@@ -1,0 +1,346 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure, plus microbenchmarks of the protocol's moving parts.
+//
+// Figure benchmarks run a shrunken-but-shape-preserving version of the
+// corresponding experiment (fewer completions, a subset of the mpl
+// sweep) and report the interesting series as custom metrics
+// (simulated transactions/second etc.). Regenerate figures at full
+// scale with:
+//
+//	go run ./cmd/sccbench -experiment fig4            # laptop scale
+//	go run ./cmd/sccbench -experiment fig4 -paper     # paper scale
+//
+// Run these benchmarks with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// benchOpts shrinks an experiment for benchmarking while keeping the
+// paper's database size and terminal count (the contention shape).
+func benchOpts() experiments.RunOpts {
+	return experiments.RunOpts{
+		Completions: 800,
+		Warmup:      80,
+		Runs:        1,
+		Seed:        1,
+		DBSize:      1000,
+		Terminals:   200,
+	}
+}
+
+// runFigure executes experiment id over a reduced sweep and reports
+// every series' value at each x as a custom benchmark metric.
+func runFigure(b *testing.B, id string, xs []float64) {
+	b.Helper()
+	spec, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reduced := *spec
+	reduced.XValues = xs
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = reduced.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range res.Points {
+		for _, col := range res.Columns() {
+			b.ReportMetric(pt.Values[col].Mean, fmt.Sprintf("%s@%g", col, pt.X))
+		}
+	}
+}
+
+// One benchmark per figure of the paper's evaluation (§5.5).
+
+func BenchmarkFig4(b *testing.B)  { runFigure(b, "fig4", []float64{10, 50, 200}) }
+func BenchmarkFig5(b *testing.B)  { runFigure(b, "fig5", []float64{10, 50, 200}) }
+func BenchmarkFig6(b *testing.B)  { runFigure(b, "fig6", []float64{10, 50, 200}) }
+func BenchmarkFig7(b *testing.B)  { runFigure(b, "fig7", []float64{10, 50, 200}) }
+func BenchmarkFig8(b *testing.B)  { runFigure(b, "fig8", []float64{10, 50, 200}) }
+func BenchmarkFig9(b *testing.B)  { runFigure(b, "fig9", []float64{10, 50, 200}) }
+func BenchmarkFig10(b *testing.B) { runFigure(b, "fig10", []float64{10, 50, 200}) }
+func BenchmarkFig11(b *testing.B) { runFigure(b, "fig11", []float64{10, 50}) }
+func BenchmarkFig12(b *testing.B) { runFigure(b, "fig12", []float64{10, 50, 200}) }
+func BenchmarkFig13(b *testing.B) { runFigure(b, "fig13", []float64{10, 50, 200}) }
+func BenchmarkFig14(b *testing.B) { runFigure(b, "fig14", []float64{10, 50, 200}) }
+func BenchmarkFig15(b *testing.B) { runFigure(b, "fig15", []float64{10, 50, 200}) }
+func BenchmarkFig16(b *testing.B) { runFigure(b, "fig16", []float64{10, 50, 200}) }
+func BenchmarkFig17(b *testing.B) { runFigure(b, "fig17", []float64{10, 50, 200}) }
+func BenchmarkFig18(b *testing.B) { runFigure(b, "fig18", []float64{10, 50}) }
+
+// Ablation benchmarks (DESIGN.md ablations A, B, D).
+
+func BenchmarkAblationPseudoCommit(b *testing.B) {
+	runFigure(b, "ablation-pseudo", []float64{25, 100})
+}
+func BenchmarkAblationFakeRestart(b *testing.B) {
+	runFigure(b, "ablation-fakerestart", []float64{50, 200})
+}
+func BenchmarkWriteProbSweep(b *testing.B) {
+	runFigure(b, "ablation-writeprob", []float64{10, 50, 90})
+}
+
+// BenchmarkRecoveryStrategies (ablation C) compares the wall-clock cost
+// of the two §4.4 recovery strategies on an abort-heavy workload — the
+// simulated metrics are identical by construction (proven in the test
+// suite), so the interesting number is real time per simulated
+// completion.
+func BenchmarkRecoveryStrategies(b *testing.B) {
+	for _, rec := range []repro.Recovery{repro.RecoveryIntentions, repro.RecoveryUndo} {
+		b.Run(rec.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := repro.DefaultSimConfig(repro.MixWorkload{DBSize: 300, ArgRange: 6}, 100, 1)
+				cfg.Recovery = rec
+				cfg.Completions = 2000
+				cfg.Warmup = 200
+				if _, err := repro.Simulate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Tables I–VIII: benchmark the derivation engine that reproduces them
+// from Definitions 1–2.
+func BenchmarkTablesDerivation(b *testing.B) {
+	types := []adt.Enumerable{adt.Page{}, adt.Stack{}, adt.Set{}, adt.KTable{}}
+	for _, typ := range types {
+		b.Run(typ.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab := compat.Derive(typ)
+				if len(tab.Ops) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGeneratedTables covers the §5.5.2 random table generator.
+func BenchmarkGeneratedTables(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if g := compat.MustGenerate(rng, 4, 4, 8); g == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// ---- Protocol microbenchmarks ----
+
+// BenchmarkSchedulerCommutingOps measures the per-operation cost of the
+// fast path (everything commutes, no cycle checks).
+func BenchmarkSchedulerCommutingOps(b *testing.B) {
+	s := core.NewScheduler(core.Options{})
+	if err := s.Register(1, adt.Set{}, compat.SetTable()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var id core.TxnID
+	for i := 0; i < b.N; i++ {
+		id++
+		if err := s.Begin(id); err != nil {
+			b.Fatal(err)
+		}
+		op := repro.Member(i % 97)
+		if dec, _, err := s.Request(id, 1, op); err != nil || dec.Outcome != core.Executed {
+			b.Fatalf("%v %v", dec, err)
+		}
+		if _, _, err := s.Commit(id); err != nil {
+			b.Fatal(err)
+		}
+		s.Forget(id)
+	}
+}
+
+// BenchmarkSchedulerRecoverableOps measures the recoverable path —
+// commit-dependency edges, a cycle check, pseudo-commit and cascade —
+// with one self-contained pair of transactions per iteration so the
+// logs stay bounded.
+func BenchmarkSchedulerRecoverableOps(b *testing.B) {
+	s := core.NewScheduler(core.Options{})
+	if err := s.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	id := core.TxnID(0)
+	for i := 0; i < b.N; i++ {
+		ta, tb := id+1, id+2
+		id += 2
+		if err := s.Begin(ta); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Begin(tb); err != nil {
+			b.Fatal(err)
+		}
+		if dec, _, err := s.Request(ta, 1, repro.Push(i)); err != nil || dec.Outcome != core.Executed {
+			b.Fatalf("%v %v", dec, err)
+		}
+		// The recoverable path: executes over ta's uncommitted push.
+		if dec, _, err := s.Request(tb, 1, repro.Push(i+1)); err != nil || dec.Outcome != core.Executed {
+			b.Fatalf("%v %v", dec, err)
+		}
+		if st, _, err := s.Commit(tb); err != nil || st != core.PseudoCommitted {
+			b.Fatalf("%v %v", st, err)
+		}
+		if st, _, err := s.Commit(ta); err != nil || st != core.Committed {
+			b.Fatalf("%v %v", st, err)
+		}
+		s.Forget(ta)
+		s.Forget(tb)
+	}
+}
+
+// BenchmarkCycleDetection measures HasCycleFrom on a dependency chain
+// of the worst-case length the simulator sees (mpl=200 transactions).
+func BenchmarkCycleDetection(b *testing.B) {
+	s := core.NewScheduler(core.Options{})
+	if err := s.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		b.Fatal(err)
+	}
+	// 200 stacked writers: each new write adds commit-dep edges to
+	// every prior writer and runs one cycle check.
+	for id := core.TxnID(1); id <= 200; id++ {
+		if err := s.Begin(id); err != nil {
+			b.Fatal(err)
+		}
+		if dec, _, err := s.Request(id, 1, repro.Write(int(id))); err != nil || dec.Outcome != core.Executed {
+			b.Fatal("setup write failed")
+		}
+	}
+	b.ResetTimer()
+	id := core.TxnID(200)
+	for i := 0; i < b.N; i++ {
+		id++
+		if err := s.Begin(id); err != nil {
+			b.Fatal(err)
+		}
+		if dec, _, err := s.Request(id, 1, repro.Write(i)); err != nil || dec.Outcome != core.Executed {
+			b.Fatal("bench write failed")
+		}
+		// Aborting keeps the graph from growing without bound while
+		// exercising removal too.
+		if _, err := s.Abort(id); err != nil {
+			b.Fatal(err)
+		}
+		s.Forget(id)
+	}
+}
+
+// BenchmarkClassification measures the compatibility-table lookup the
+// object manager performs per uncommitted log entry.
+func BenchmarkClassification(b *testing.B) {
+	tab := compat.KTableTable()
+	req := repro.TableInsert(3, 9)
+	exec := repro.TableSize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.Classify(req, exec) != compat.Recoverable {
+			b.Fatal("unexpected classification")
+		}
+	}
+}
+
+// BenchmarkBlockingHandles measures the goroutine front end end-to-end:
+// one blocked pop handed over between two handles per iteration.
+func BenchmarkBlockingHandles(b *testing.B) {
+	db := repro.NewDB(repro.Options{})
+	if err := db.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := db.Begin()
+		if _, err := t1.Do(1, repro.Push(i)); err != nil {
+			b.Fatal(err)
+		}
+		t2 := db.Begin()
+		done := make(chan error, 1)
+		go func() {
+			_, err := t2.Do(1, repro.Pop()) // blocks until t1 commits
+			done <- err
+		}()
+		if _, err := t1.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t2.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator speed (events are
+// dominated by operation steps) in simulated completions per wall
+// second.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := repro.DefaultSimConfig(repro.ReadWriteWorkload{DBSize: 1000, WriteProb: 0.3}, 50, 1)
+		cfg.Completions = 5000
+		cfg.Warmup = 0
+		if _, err := repro.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Sanity tests for the facade (kept beside the benchmarks so the
+// root package has test coverage too) ----
+
+func TestFacadeOpConstructors(t *testing.T) {
+	cases := []struct {
+		op   repro.Op
+		name string
+	}{
+		{repro.Push(1), "push"}, {repro.Pop(), "pop"}, {repro.Top(), "top"},
+		{repro.Read(), "read"}, {repro.Write(1), "write"},
+		{repro.Insert(1), "insert"}, {repro.Delete(1), "delete"}, {repro.Member(1), "member"},
+		{repro.TableInsert(1, 2), "insert"}, {repro.TableDelete(1), "delete"},
+		{repro.TableLookup(1), "lookup"}, {repro.TableSize(), "size"}, {repro.TableModify(1, 2), "modify"},
+	}
+	for _, c := range cases {
+		if c.op.Name != c.name {
+			t.Errorf("op = %+v, want name %s", c.op, c.name)
+		}
+	}
+	if !repro.TableInsert(1, 2).HasAux || repro.TableSize().HasArg {
+		t.Error("arity wrong on table ops")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := repro.NewDB(repro.Options{})
+	if err := db.Register(1, repro.Set{}, repro.SetTable()); err != nil {
+		t.Fatal(err)
+	}
+	h := db.Begin()
+	if ret, err := h.Do(1, repro.Insert(3)); err != nil || ret.Code != repro.RetCodeOK {
+		t.Fatalf("insert: %v %v", ret, err)
+	}
+	if ret, err := h.Do(1, repro.Member(3)); err != nil || ret.Code != repro.RetCodeYes {
+		t.Fatalf("member: %v %v", ret, err)
+	}
+	if st, err := h.Commit(); err != nil || st != repro.Committed {
+		t.Fatalf("commit: %v %v", st, err)
+	}
+	if len(repro.ExperimentIDs()) == 0 {
+		t.Error("no experiments registered")
+	}
+}

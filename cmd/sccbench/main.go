@@ -1,0 +1,99 @@
+// Command sccbench regenerates the paper's evaluation: every figure
+// (4–18) and the repository's ablations, printing the same series the
+// paper plots.
+//
+// Usage:
+//
+//	sccbench -experiment fig4              # one figure, laptop scale
+//	sccbench -all                          # the whole grid
+//	sccbench -experiment fig14 -paper      # paper scale (50k × 10 runs)
+//	sccbench -list                         # available experiments
+//	sccbench -tables                       # Tables I–VIII and IX–X
+//
+// Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "", "experiment id (fig4..fig18, ablation-*)")
+		all         = flag.Bool("all", false, "run every experiment")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		tables      = flag.Bool("tables", false, "print Tables I-VIII (paper vs derived) and IX-X, then exit")
+		paper       = flag.Bool("paper", false, "paper scale: 50,000 completions x 10 runs per point")
+		completions = flag.Int("completions", 0, "completions per run (default laptop scale: 4000)")
+		warmup      = flag.Int("warmup", 0, "warm-up completions discarded (default: completions/10)")
+		runs        = flag.Int("runs", 0, "runs averaged per point (default 3)")
+		seed        = flag.Int64("seed", 0, "base RNG seed (default 1)")
+		db          = flag.Int("db", 0, "database size in objects (default 1000)")
+		terminals   = flag.Int("terminals", 0, "number of terminals (default 200)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range repro.ExperimentIDs() {
+			spec, _ := repro.LookupExperiment(id)
+			fmt.Printf("%-22s %s\n", id, spec.Title)
+		}
+		return
+	}
+	if *tables {
+		fmt.Print(repro.TablesReport())
+		fmt.Print(repro.ParametersReport())
+		return
+	}
+
+	opts := repro.DefaultExperimentOpts()
+	if *paper {
+		opts = repro.PaperExperimentOpts()
+	}
+	if *completions > 0 {
+		opts.Completions = *completions
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *db > 0 {
+		opts.DBSize = *db
+	}
+	if *terminals > 0 {
+		opts.Terminals = *terminals
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = repro.ExperimentIDs()
+	case *experiment != "":
+		ids = []string{*experiment}
+	default:
+		fmt.Fprintln(os.Stderr, "sccbench: need -experiment <id>, -all, -list or -tables")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := repro.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

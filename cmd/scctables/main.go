@@ -1,0 +1,27 @@
+// Command scctables prints the paper's compatibility tables (Tables
+// I–VIII) in two forms — as published, and as re-derived from each data
+// type's semantics via Definitions 1–2 — together with the simulation
+// parameter tables (IX–X).
+//
+// Usage:
+//
+//	scctables           # Tables I-VIII, paper vs derived
+//	scctables -params   # Tables IX-X only
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	params := flag.Bool("params", false, "print only the simulation parameter tables (IX-X)")
+	flag.Parse()
+
+	if !*params {
+		fmt.Print(repro.TablesReport())
+	}
+	fmt.Print(repro.ParametersReport())
+}

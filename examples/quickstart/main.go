@@ -1,0 +1,88 @@
+// Quickstart: the paper's headline example. Two transactions push onto
+// a shared stack. Pushes do not commute, so a commutativity-based
+// scheduler would make the second transaction wait — but a push is
+// recoverable relative to a push, so here both execute immediately and
+// only the commit order is constrained.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db := repro.NewDB(repro.Options{})
+	const stack = repro.ObjectID(1)
+	if err := db.Register(stack, repro.Stack{}, repro.StackTable()); err != nil {
+		log.Fatal(err)
+	}
+
+	t1 := db.Begin()
+	t2 := db.Begin()
+
+	// T1 pushes and keeps running (imagine a long-lived transaction).
+	if _, err := t1.Do(stack, repro.Push(4)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T1: push(4) executed")
+
+	// T2's push does not commute with T1's uncommitted push, yet it
+	// executes without waiting: it is recoverable, at the price of a
+	// commit dependency T2 -> T1.
+	if _, err := t2.Do(stack, repro.Push(2)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T2: push(2) executed immediately (recoverable, commit dependency on T1)")
+
+	// T2 finishes first. From T2's (user's) perspective it is done —
+	// but durably committing before T1 would violate the dependency,
+	// so the system pseudo-commits it (§4.3).
+	status, err := t2.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T2: commit -> %v\n", status)
+
+	// T1 commits; T2's real commit cascades automatically.
+	if _, err := t1.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T1: committed")
+	t2.WaitCommitted()
+	fmt.Println("T2: real commit landed (cascade)")
+
+	final, err := db.Scheduler().CommittedState(stack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final stack state: %v\n", final)
+
+	// The other half of the story: aborts do not cascade. T3 pushes,
+	// T4 pushes on top, T3 aborts — T4 still commits, and only T4's
+	// element appears.
+	t3 := db.Begin()
+	t4 := db.Begin()
+	if _, err := t3.Do(stack, repro.Push(30)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := t4.Do(stack, repro.Push(40)); err != nil {
+		log.Fatal(err)
+	}
+	if err := t3.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T3: aborted (after T4 pushed on top)")
+	if status, err := t4.Commit(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("T4: commit -> %v (no cascading abort)\n", status)
+	}
+
+	final, err = db.Scheduler().CommittedState(stack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final stack state: %v\n", final)
+}

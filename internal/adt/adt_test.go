@@ -1,0 +1,192 @@
+package adt
+
+import (
+	"testing"
+)
+
+func TestRetString(t *testing.T) {
+	cases := []struct {
+		r    Ret
+		want string
+	}{
+		{RetOK, "ok"},
+		{Ret{Code: Fail}, "failure"},
+		{Ret{Code: Yes}, "yes"},
+		{Ret{Code: No}, "no"},
+		{Ret{Code: Null}, "null"},
+		{Ret{Code: NotFound}, "not_found"},
+		{Ret{Code: Value, Val: 3}, "value(3)"},
+		{Ret{Code: Count, Val: 7}, "count(7)"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Ret%+v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := (Op{Name: "size"}).String(); got != "size" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Op{Name: "insert", Arg: 3, HasArg: true}).String(); got != "insert(3)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Op{Name: "insert", Arg: 3, HasArg: true, Aux: 9, HasAux: true}).String(); got != "insert(3,9)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSameArg(t *testing.T) {
+	a := Op{Name: "insert", Arg: 1, HasArg: true}
+	b := Op{Name: "delete", Arg: 1, HasArg: true}
+	c := Op{Name: "delete", Arg: 2, HasArg: true}
+	d := Op{Name: "size"}
+	if !a.SameArg(b) {
+		t.Error("same args should match")
+	}
+	if a.SameArg(c) {
+		t.Error("different args should not match")
+	}
+	if a.SameArg(d) || d.SameArg(d) {
+		t.Error("parameterless operations are never same-arg")
+	}
+}
+
+func TestOpSpecInvoke(t *testing.T) {
+	sp := OpSpec{Name: "insert", HasArg: true, HasAux: true}
+	op := sp.Invoke(4, 9)
+	if !op.HasArg || op.Arg != 4 || !op.HasAux || op.Aux != 9 {
+		t.Errorf("Invoke built %+v", op)
+	}
+	sp2 := OpSpec{Name: "size"}
+	op2 := sp2.Invoke(4)
+	if op2.HasArg || op2.HasAux {
+		t.Errorf("parameterless spec picked up args: %+v", op2)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName(Stack{}, StackPush); !ok {
+		t.Error("stack should define push")
+	}
+	if _, ok := SpecByName(Stack{}, "enqueue"); ok {
+		t.Error("stack should not define enqueue")
+	}
+}
+
+func TestApplySeq(t *testing.T) {
+	st := Stack{}
+	s := st.New()
+	rets, err := ApplySeq(st, s, []Op{
+		{Name: StackPush, Arg: 4, HasArg: true},
+		{Name: StackPush, Arg: 2, HasArg: true},
+		{Name: StackTop},
+		{Name: StackPop},
+		{Name: StackPop},
+		{Name: StackPop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ret{RetOK, RetOK, {Code: Value, Val: 2}, {Code: Value, Val: 2}, {Code: Value, Val: 4}, {Code: Null}}
+	for i := range want {
+		if rets[i] != want[i] {
+			t.Errorf("ret[%d] = %v, want %v", i, rets[i], want[i])
+		}
+	}
+}
+
+func TestApplySeqError(t *testing.T) {
+	st := Stack{}
+	s := st.New()
+	_, err := ApplySeq(st, s, []Op{{Name: "bogus"}})
+	if err == nil {
+		t.Fatal("expected error for unknown operation")
+	}
+}
+
+func TestMustApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustApply should panic on malformed op")
+		}
+	}()
+	MustApply(Set{}, Set{}.New(), Op{Name: "bogus"})
+}
+
+// TestAllTypesBasicContract exercises the Type contract shared by all
+// built-in types: fresh states are empty and equal, Clone is deep,
+// unknown ops error, read-only specs don't change state.
+func TestAllTypesBasicContract(t *testing.T) {
+	types := []Type{Page{}, Stack{}, Set{}, KTable{}, Abstract{Sigma: 4}}
+	for _, typ := range types {
+		t.Run(typ.Name(), func(t *testing.T) {
+			a, b := typ.New(), typ.New()
+			if !a.Equal(b) {
+				t.Error("two fresh states should be equal")
+			}
+			if _, err := typ.Apply(a, Op{Name: "no-such-op"}); err == nil {
+				t.Error("unknown operation should error")
+			}
+			if len(typ.Specs()) == 0 {
+				t.Fatal("type defines no operations")
+			}
+			for _, sp := range typ.Specs() {
+				op := sp.Invoke(1, 1)
+				before := a.Clone()
+				if _, err := typ.Apply(a, op); err != nil {
+					t.Fatalf("Apply(%v): %v", op, err)
+				}
+				if sp.ReadOnly && !a.Equal(before) {
+					t.Errorf("read-only op %s changed state %v -> %v", sp.Name, before, a)
+				}
+			}
+			// Clone independence: mutating the clone leaves the
+			// original untouched.
+			orig := typ.New()
+			cl := orig.Clone()
+			for _, sp := range typ.Specs() {
+				if !sp.ReadOnly {
+					MustApply(typ, cl, sp.Invoke(2, 2))
+				}
+			}
+			if !orig.Equal(typ.New()) {
+				t.Error("mutating a clone affected the original state")
+			}
+		})
+	}
+}
+
+// TestEnumerables checks the enumeration contract used by the derivation
+// engine.
+func TestEnumerables(t *testing.T) {
+	for _, typ := range []Enumerable{Page{}, Stack{}, Set{}, KTable{}} {
+		t.Run(typ.Name(), func(t *testing.T) {
+			states := typ.EnumStates()
+			if len(states) < 2 {
+				t.Fatalf("want at least 2 sample states, got %d", len(states))
+			}
+			if len(typ.EnumArgs()) < 2 {
+				t.Fatalf("want at least 2 sample args")
+			}
+			// The empty state must be included.
+			found := false
+			for _, s := range states {
+				if s.Equal(typ.New()) {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("EnumStates must include the initial state")
+			}
+			// Samples must be pairwise independent (cloned).
+			for _, s := range states {
+				c := s.Clone()
+				if !c.Equal(s) {
+					t.Error("clone differs from original")
+				}
+			}
+		})
+	}
+}

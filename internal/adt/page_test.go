@@ -1,0 +1,109 @@
+package adt
+
+import "testing"
+
+func TestPageReadWrite(t *testing.T) {
+	p := Page{}
+	s := p.New()
+	if r := MustApply(p, s, Op{Name: PageRead}); r != (Ret{Code: Value, Val: 0}) {
+		t.Errorf("fresh page read = %v", r)
+	}
+	if r := MustApply(p, s, Op{Name: PageWrite, Arg: 42, HasArg: true}); r != RetOK {
+		t.Errorf("write = %v", r)
+	}
+	if r := MustApply(p, s, Op{Name: PageRead}); r != (Ret{Code: Value, Val: 42}) {
+		t.Errorf("read after write = %v", r)
+	}
+}
+
+func TestPageWriteNeedsArg(t *testing.T) {
+	p := Page{}
+	if _, err := p.Apply(p.New(), Op{Name: PageWrite}); err == nil {
+		t.Error("write without a value should error")
+	}
+}
+
+func TestPageUndoSimple(t *testing.T) {
+	p := Page{}
+	s := &PageState{V: 1}
+	ret, rec, err := p.ApplyU(s, Op{Name: PageWrite, Arg: 5, HasArg: true})
+	if err != nil || ret != RetOK {
+		t.Fatalf("ApplyU: %v %v", ret, err)
+	}
+	if err := p.Undo(s, Op{Name: PageWrite, Arg: 5, HasArg: true}, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 1 {
+		t.Errorf("undo restored %d, want 1", s.V)
+	}
+}
+
+// TestPageUndoWriteChain covers §4.4: T1 writes, T2 writes on top
+// ((write, write) is recoverable), then T1 aborts. The page must keep
+// T2's value; if T2 later aborts too, the page must fall back to the
+// original value — the before-image chain fix-up.
+func TestPageUndoWriteChain(t *testing.T) {
+	p := Page{}
+	s := &PageState{V: 1}
+	w1 := Op{Name: PageWrite, Arg: 5, HasArg: true}
+	w2 := Op{Name: PageWrite, Arg: 9, HasArg: true}
+	_, rec1, _ := p.ApplyU(s, w1)
+	_, rec2, _ := p.ApplyU(s, w2)
+
+	// T1 aborts first: state keeps T2's write.
+	if err := p.Undo(s, w1, rec1, []UndoEntry{{Op: w2, Rec: rec2}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 9 {
+		t.Fatalf("after undoing earlier write state = %d, want 9", s.V)
+	}
+	// T2 aborts second: state falls back to the original value 1.
+	if err := p.Undo(s, w2, rec2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 1 {
+		t.Fatalf("after undoing both writes state = %d, want 1", s.V)
+	}
+}
+
+// TestPageUndoWriteChainCommitLater: T1 writes, T2 writes, T2 aborts
+// (reverse order). T2's undo restores T1's value.
+func TestPageUndoWriteChainReverse(t *testing.T) {
+	p := Page{}
+	s := &PageState{V: 1}
+	w1 := Op{Name: PageWrite, Arg: 5, HasArg: true}
+	w2 := Op{Name: PageWrite, Arg: 9, HasArg: true}
+	_, rec1, _ := p.ApplyU(s, w1)
+	_, rec2, _ := p.ApplyU(s, w2)
+
+	if err := p.Undo(s, w2, rec2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 5 {
+		t.Fatalf("after undoing later write state = %d, want 5", s.V)
+	}
+	if err := p.Undo(s, w1, rec1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.V != 1 {
+		t.Fatalf("after undoing both state = %d, want 1", s.V)
+	}
+}
+
+func TestPageStateEqualClone(t *testing.T) {
+	a := &PageState{V: 3}
+	b := a.Clone().(*PageState)
+	if !a.Equal(b) {
+		t.Error("clone should equal original")
+	}
+	b.V = 4
+	if a.Equal(b) {
+		t.Error("mutated clone should differ")
+	}
+	if a.Equal(NewSetState()) {
+		t.Error("page never equals a set")
+	}
+	if a.String() != "page{3}" {
+		t.Errorf("String = %q", a.String())
+	}
+}

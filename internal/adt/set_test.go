@@ -1,0 +1,111 @@
+package adt
+
+import "testing"
+
+func ins(v int) Op { return Op{Name: SetInsert, Arg: v, HasArg: true} }
+func del(v int) Op { return Op{Name: SetDelete, Arg: v, HasArg: true} }
+func mem(v int) Op { return Op{Name: SetMember, Arg: v, HasArg: true} }
+
+func TestSetSemantics(t *testing.T) {
+	se := Set{}
+	s := se.New()
+	if r := MustApply(se, s, mem(3)); r.Code != No {
+		t.Errorf("member on empty = %v", r)
+	}
+	if r := MustApply(se, s, ins(3)); r != RetOK {
+		t.Errorf("insert = %v", r)
+	}
+	if r := MustApply(se, s, ins(3)); r != RetOK {
+		t.Errorf("re-insert = %v (paper's set insert always returns ok)", r)
+	}
+	if r := MustApply(se, s, mem(3)); r.Code != Yes {
+		t.Errorf("member = %v", r)
+	}
+	if r := MustApply(se, s, del(3)); r != RetOK {
+		t.Errorf("delete = %v", r)
+	}
+	if r := MustApply(se, s, del(3)); r.Code != Fail {
+		t.Errorf("delete absent = %v", r)
+	}
+}
+
+// TestSetPaperSequence2 replays the paper's sequence (2): even though T2
+// aborts, the semantics of T1's operations are unchanged — the history
+// is free from cascading aborts.
+func TestSetPaperSequence2(t *testing.T) {
+	se := Set{}
+	x := NewSetState()
+	y := NewSetState(5)
+
+	// X: (member(3), no, T2)
+	if r := MustApply(se, x, mem(3)); r.Code != No {
+		t.Fatalf("member(3) = %v, want no", r)
+	}
+	// X: (insert(3), ok, T1)
+	_, recIns, _ := se.ApplyU(x, ins(3))
+	_ = recIns
+	// Y: (insert(4), ok, T1)
+	MustApply(se, y, ins(4))
+	// Y: (delete(5), ok, T2)
+	_, recDel, _ := se.ApplyU(y, del(5))
+
+	// (commit, T1); (abort, T2): undo T2's delete on Y.
+	if err := se.Undo(y, del(5), recDel, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !y.Contains(5) || !y.Contains(4) {
+		t.Errorf("Y after abort of T2 = %v, want {4 5}", y)
+	}
+	if !x.Contains(3) {
+		t.Errorf("X lost T1's insert: %v", x)
+	}
+}
+
+func TestSetUndoInsertAlreadyPresent(t *testing.T) {
+	se := Set{}
+	s := NewSetState(3)
+	_, rec, _ := se.ApplyU(s, ins(3))
+	if err := se.Undo(s, ins(3), rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(3) {
+		t.Error("undo of a no-op insert must not delete the pre-existing element")
+	}
+}
+
+func TestSetUndoDeleteAbsent(t *testing.T) {
+	se := Set{}
+	s := NewSetState()
+	_, rec, _ := se.ApplyU(s, del(3))
+	if err := se.Undo(s, del(3), rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(3) {
+		t.Error("undo of a failed delete must not insert")
+	}
+}
+
+func TestSetStateHelpers(t *testing.T) {
+	s := NewSetState(3, 1, 2)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	el := s.Elements()
+	if len(el) != 3 || el[0] != 1 || el[1] != 2 || el[2] != 3 {
+		t.Errorf("Elements = %v", el)
+	}
+	if s.String() != "set{1 2 3}" {
+		t.Errorf("String = %q", s.String())
+	}
+	c := s.Clone().(*SetState)
+	MustApply(Set{}, c, del(1))
+	if !s.Contains(1) {
+		t.Error("clone mutation leaked into original")
+	}
+	if s.Equal(c) {
+		t.Error("mutated clone should differ")
+	}
+	if s.Equal(NewSetState(1, 2, 4)) {
+		t.Error("different sets compared equal")
+	}
+}

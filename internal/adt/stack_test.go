@@ -1,0 +1,203 @@
+package adt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func push(v int) Op { return Op{Name: StackPush, Arg: v, HasArg: true} }
+
+func TestStackSemantics(t *testing.T) {
+	st := Stack{}
+	s := st.New()
+	if r := MustApply(st, s, Op{Name: StackPop}); r.Code != Null {
+		t.Errorf("pop on empty = %v", r)
+	}
+	if r := MustApply(st, s, Op{Name: StackTop}); r.Code != Null {
+		t.Errorf("top on empty = %v", r)
+	}
+	MustApply(st, s, push(4))
+	MustApply(st, s, push(2))
+	if r := MustApply(st, s, Op{Name: StackTop}); r != (Ret{Code: Value, Val: 2}) {
+		t.Errorf("top = %v", r)
+	}
+	if r := MustApply(st, s, Op{Name: StackPop}); r != (Ret{Code: Value, Val: 2}) {
+		t.Errorf("pop = %v", r)
+	}
+	if got := s.(*StackState).Values(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("remaining = %v", got)
+	}
+}
+
+// TestStackUndoPushInterleaved is the paper's flagship example: two
+// pushes by different transactions; the earlier one aborts; the later
+// one's element must survive (no cascading abort, exact state as if the
+// aborted push never happened).
+func TestStackUndoPushInterleaved(t *testing.T) {
+	st := Stack{}
+	s := NewStackState(9)
+	_, rec1, _ := st.ApplyU(s, push(4)) // T1
+	_, rec2, _ := st.ApplyU(s, push(2)) // T2
+
+	if err := st.Undo(s, push(4), rec1, []UndoEntry{{Op: push(2), Rec: rec2}}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Values()
+	want := []int{9, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after undo stack = %v, want %v", got, want)
+	}
+}
+
+// TestStackUndoPopWithLaterPush: T1 pops, T2 pushes (push RR pop), T1
+// aborts. The popped cell must be re-inserted beneath T2's push.
+func TestStackUndoPopWithLaterPush(t *testing.T) {
+	st := Stack{}
+	s := NewStackState(1, 2, 3)
+	popOp := Op{Name: StackPop}
+	ret, recPop, _ := st.ApplyU(s, popOp)
+	if ret != (Ret{Code: Value, Val: 3}) {
+		t.Fatalf("pop = %v", ret)
+	}
+	_, _, _ = st.ApplyU(s, push(7))
+
+	if err := st.Undo(s, popOp, recPop, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Values()
+	want := []int{1, 2, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("stack = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stack = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStackUndoPopEmpty(t *testing.T) {
+	st := Stack{}
+	s := NewStackState()
+	popOp := Op{Name: StackPop}
+	_, rec, _ := st.ApplyU(s, popOp)
+	if err := st.Undo(s, popOp, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("stack should stay empty, got %v", s.Values())
+	}
+}
+
+func TestStackUndoTopIsNoop(t *testing.T) {
+	st := Stack{}
+	s := NewStackState(5)
+	topOp := Op{Name: StackTop}
+	_, rec, _ := st.ApplyU(s, topOp)
+	if err := st.Undo(s, topOp, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Values(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("stack changed: %v", got)
+	}
+}
+
+func TestStackEqualIgnoresTokens(t *testing.T) {
+	a := NewStackState(1, 2)
+	b := NewStackState()
+	// Build b with interleaved push/pop so its tokens differ.
+	st := Stack{}
+	MustApply(st, b, push(1))
+	MustApply(st, b, push(9))
+	MustApply(st, b, Op{Name: StackPop})
+	MustApply(st, b, push(2))
+	if !a.Equal(b) {
+		t.Errorf("%v should equal %v regardless of tokens", a, b)
+	}
+	if a.Equal(NewStackState(1)) || a.Equal(NewStackState(1, 3)) {
+		t.Error("different stacks compared equal")
+	}
+	if a.String() != "stack[1 2]" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+// TestStackUndoRandomized: random interleavings of protocol-legal
+// operation sequences; undoing a random executed prefix subset in
+// reverse order must equal replaying the kept operations from the base.
+//
+// Legality constraint from the stack's recoverability table: once any
+// transaction has an uncommitted push or pop, only push may follow
+// (pop/top after push or pop conflict and would block). So a legal
+// uncommitted suffix is: any number of top/pop while the log has no
+// push/pop yet... in practice the simplest legal families are (a) pops
+// by a single leading transaction followed by pushes, and (b) pure
+// pushes. We generate family (a).
+func TestStackUndoRandomized(t *testing.T) {
+	st := Stack{}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		depth := rng.Intn(4)
+		base := NewStackState()
+		for i := 0; i < depth; i++ {
+			base.push(rng.Intn(5))
+		}
+		work := base.Clone().(*StackState)
+
+		nPops := rng.Intn(2)
+		nPushes := rng.Intn(4)
+		type entry struct {
+			op  Op
+			rec UndoRec
+		}
+		var log []entry
+		for i := 0; i < nPops; i++ {
+			op := Op{Name: StackPop}
+			_, rec, err := st.ApplyU(work, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, entry{op, rec})
+		}
+		for i := 0; i < nPushes; i++ {
+			op := push(rng.Intn(5))
+			_, rec, err := st.ApplyU(work, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, entry{op, rec})
+		}
+
+		// Abort a random subset (in reverse execution order, with
+		// later entries passed for fix-ups).
+		aborted := make([]bool, len(log))
+		for i := range aborted {
+			aborted[i] = rng.Intn(2) == 0
+		}
+		for i := len(log) - 1; i >= 0; i-- {
+			if !aborted[i] {
+				continue
+			}
+			var later []UndoEntry
+			for j := i + 1; j < len(log); j++ {
+				if !aborted[j] { // still present
+					later = append(later, UndoEntry{Op: log[j].op, Rec: log[j].rec})
+				}
+			}
+			if err := st.Undo(work, log[i].op, log[i].rec, later); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Replay kept ops from base.
+		replay := base.Clone().(*StackState)
+		for i, e := range log {
+			if !aborted[i] {
+				MustApply(st, replay, e.op)
+			}
+		}
+		if !work.Equal(replay) {
+			t.Fatalf("trial %d: undo result %v != replay %v (base %v)", trial, work, replay, base)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package adt
+
+import "testing"
+
+func tins(k, v int) Op { return Op{Name: TableInsert, Arg: k, HasArg: true, Aux: v, HasAux: true} }
+func tdel(k int) Op    { return Op{Name: TableDelete, Arg: k, HasArg: true} }
+func tlku(k int) Op    { return Op{Name: TableLookup, Arg: k, HasArg: true} }
+func tmod(k, v int) Op { return Op{Name: TableModify, Arg: k, HasArg: true, Aux: v, HasAux: true} }
+func tsiz() Op         { return Op{Name: TableSize} }
+
+func TestKTableSemantics(t *testing.T) {
+	tb := KTable{}
+	s := tb.New()
+	if r := MustApply(tb, s, tlku(1)); r.Code != NotFound {
+		t.Errorf("lookup empty = %v", r)
+	}
+	if r := MustApply(tb, s, tsiz()); r != (Ret{Code: Count, Val: 0}) {
+		t.Errorf("size empty = %v", r)
+	}
+	if r := MustApply(tb, s, tins(1, 10)); r != RetOK {
+		t.Errorf("insert = %v", r)
+	}
+	if r := MustApply(tb, s, tins(1, 20)); r.Code != Fail {
+		t.Errorf("duplicate insert = %v (keys are unique)", r)
+	}
+	if r := MustApply(tb, s, tlku(1)); r != (Ret{Code: Value, Val: 10}) {
+		t.Errorf("lookup = %v", r)
+	}
+	if r := MustApply(tb, s, tmod(1, 30)); r != RetOK {
+		t.Errorf("modify = %v", r)
+	}
+	if r := MustApply(tb, s, tlku(1)); r != (Ret{Code: Value, Val: 30}) {
+		t.Errorf("lookup after modify = %v", r)
+	}
+	if r := MustApply(tb, s, tmod(9, 1)); r.Code != Fail {
+		t.Errorf("modify absent = %v", r)
+	}
+	if r := MustApply(tb, s, tsiz()); r != (Ret{Code: Count, Val: 1}) {
+		t.Errorf("size = %v", r)
+	}
+	if r := MustApply(tb, s, tdel(1)); r != RetOK {
+		t.Errorf("delete = %v", r)
+	}
+	if r := MustApply(tb, s, tdel(1)); r.Code != Fail {
+		t.Errorf("delete absent = %v", r)
+	}
+}
+
+func TestKTableUndoInsertDelete(t *testing.T) {
+	tb := KTable{}
+	s := NewKTableState(1, 10)
+
+	_, recIns, _ := tb.ApplyU(s, tins(2, 20))
+	_, recDel, _ := tb.ApplyU(s, tdel(1))
+
+	if err := tb.Undo(s, tdel(1), recDel, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(1); !ok || v != 10 {
+		t.Errorf("undo delete: key 1 = %v,%v", v, ok)
+	}
+	if err := tb.Undo(s, tins(2, 20), recIns, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(2); ok {
+		t.Error("undo insert left the key behind")
+	}
+}
+
+func TestKTableUndoFailedOpsAreNoops(t *testing.T) {
+	tb := KTable{}
+	s := NewKTableState(1, 10)
+	_, recIns, _ := tb.ApplyU(s, tins(1, 99)) // fails: key present
+	_, recDel, _ := tb.ApplyU(s, tdel(7))     // fails: key absent
+	_, recMod, _ := tb.ApplyU(s, tmod(7, 1))  // fails: key absent
+	for _, u := range []struct {
+		op  Op
+		rec UndoRec
+	}{{tins(1, 99), recIns}, {tdel(7), recDel}, {tmod(7, 1), recMod}} {
+		if err := tb.Undo(s, u.op, u.rec, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := s.Get(1); v != 10 || s.Len() != 1 {
+		t.Errorf("state disturbed: %v", s)
+	}
+}
+
+// TestKTableUndoModifyChain mirrors the page write chain: modify/modify
+// of the same key is mutually recoverable (both return Success whenever
+// the key exists), so undo must fix up the later modify's before-image.
+func TestKTableUndoModifyChain(t *testing.T) {
+	tb := KTable{}
+	s := NewKTableState(1, 10)
+	m1, m2 := tmod(1, 20), tmod(1, 30)
+	_, rec1, _ := tb.ApplyU(s, m1)
+	_, rec2, _ := tb.ApplyU(s, m2)
+
+	// Earlier modify aborts: later one's effect must stand.
+	if err := tb.Undo(s, m1, rec1, []UndoEntry{{Op: m2, Rec: rec2}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(1); v != 30 {
+		t.Fatalf("key 1 = %d, want 30", v)
+	}
+	// Later modify aborts afterwards: fall back to the original item.
+	if err := tb.Undo(s, m2, rec2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(1); v != 10 {
+		t.Fatalf("key 1 = %d, want 10", v)
+	}
+}
+
+// TestKTableUndoModifyChainDifferentKeys: the fix-up must only chain
+// modifies of the same key.
+func TestKTableUndoModifyChainDifferentKeys(t *testing.T) {
+	tb := KTable{}
+	s := NewKTableState(1, 10, 2, 20)
+	m1, m2 := tmod(1, 11), tmod(2, 22)
+	_, rec1, _ := tb.ApplyU(s, m1)
+	_, rec2, _ := tb.ApplyU(s, m2)
+	if err := tb.Undo(s, m1, rec1, []UndoEntry{{Op: m2, Rec: rec2}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(1); v != 10 {
+		t.Errorf("key 1 = %d, want 10 (restored)", v)
+	}
+	if v, _ := s.Get(2); v != 22 {
+		t.Errorf("key 2 = %d, want 22 (untouched)", v)
+	}
+}
+
+func TestKTableStateHelpers(t *testing.T) {
+	s := NewKTableState(2, 20, 1, 10)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if keys := s.Keys(); len(keys) != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Errorf("Keys = %v", keys)
+	}
+	if s.String() != "table{1:10 2:20}" {
+		t.Errorf("String = %q", s.String())
+	}
+	c := s.Clone().(*KTableState)
+	MustApply(KTable{}, c, tdel(1))
+	if _, ok := s.Get(1); !ok {
+		t.Error("clone mutation leaked")
+	}
+	if s.Equal(c) || s.Equal(NewKTableState(1, 10, 2, 99)) {
+		t.Error("unequal tables compared equal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd kv list should panic")
+		}
+	}()
+	NewKTableState(1)
+}
+
+func TestAbstractType(t *testing.T) {
+	a := Abstract{Sigma: 4}
+	if len(a.Specs()) != 4 {
+		t.Fatalf("specs = %d", len(a.Specs()))
+	}
+	s := a.New()
+	for i := 0; i < 4; i++ {
+		ret, rec, err := a.ApplyU(s, Op{Name: AbstractOpName(i)})
+		if err != nil || ret != RetOK {
+			t.Fatalf("op%d: %v %v", i, ret, err)
+		}
+		if err := a.Undo(s, Op{Name: AbstractOpName(i)}, rec, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Apply(s, Op{Name: "op9"}); err == nil {
+		t.Error("out-of-range abstract op should error")
+	}
+}

@@ -1,0 +1,169 @@
+package compat
+
+import "repro/internal/adt"
+
+// Derive recomputes a data type's compatibility table directly from the
+// paper's definitions by exhaustive enumeration of the type's sampled
+// states and parameters:
+//
+//   - Definition 2 (commutativity): state(o2, state(o1, s)) =
+//     state(o1, state(o2, s)), return(o1, s) = return(o1, state(o2, s))
+//     and return(o2, s) = return(o2, state(o1, s)) for every state s;
+//   - Definition 1 (recoverability): return(o2, state(o1, s)) =
+//     return(o2, s) for every state s, where o2 is the requested and o1
+//     the executed operation.
+//
+// Each (requested, executed) name pair is classified over every concrete
+// parameter assignment, bucketing assignments by whether the two
+// operations' input parameters are equal; the buckets map onto the
+// paper's Yes / Yes-SP / Yes-DP / No entries.
+func Derive(t adt.Enumerable) *Table {
+	specs := t.Specs()
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	out := NewTable(t.Name(), names)
+	for i, req := range specs {
+		for j, exec := range specs {
+			comm, rec := derivePair(t, req, exec)
+			out.Comm[i][j] = comm
+			out.Rec[i][j] = rec
+		}
+	}
+	return out
+}
+
+// derivePair classifies one (requested, executed) operation-name pair.
+func derivePair(t adt.Enumerable, req, exec adt.OpSpec) (comm, rec Entry) {
+	reqOps := instances(t, req)
+	execOps := instances(t, exec)
+	bothArgs := req.HasArg && exec.HasArg
+
+	// Bucketed verdicts: index 0 = same parameter, 1 = different.
+	// When the pair is not parameterised on both sides there is a
+	// single bucket (index 1, "unconditional").
+	commOK := [2]bool{true, true}
+	recOK := [2]bool{true, true}
+	seen := [2]bool{}
+
+	for _, ro := range reqOps {
+		for _, eo := range execOps {
+			b := 1
+			if bothArgs && ro.Arg == eo.Arg {
+				b = 0
+			}
+			seen[b] = true
+			if commOK[b] && !commutesForAll(t, ro, eo) {
+				commOK[b] = false
+			}
+			if recOK[b] && !recoverableForAll(t, ro, eo) {
+				recOK[b] = false
+			}
+		}
+	}
+	return verdict(commOK, seen, bothArgs), verdict(recOK, seen, bothArgs)
+}
+
+func verdict(ok [2]bool, seen [2]bool, bothArgs bool) Entry {
+	if !bothArgs {
+		if ok[1] && seen[1] {
+			return Yes
+		}
+		return No
+	}
+	switch {
+	case ok[0] && ok[1]:
+		return Yes
+	case ok[0] && seen[0]:
+		return YesSP
+	case ok[1] && seen[1]:
+		return YesDP
+	default:
+		return No
+	}
+}
+
+// instances expands a spec into concrete operations over the type's
+// sampled parameter values.
+func instances(t adt.Enumerable, sp adt.OpSpec) []adt.Op {
+	if !sp.HasArg {
+		return []adt.Op{{Name: sp.Name}}
+	}
+	args := t.EnumArgs()
+	var out []adt.Op
+	for _, a := range args {
+		if !sp.HasAux {
+			out = append(out, adt.Op{Name: sp.Name, Arg: a, HasArg: true})
+			continue
+		}
+		for _, x := range args {
+			out = append(out, adt.Op{Name: sp.Name, Arg: a, HasArg: true, Aux: x, HasAux: true})
+		}
+	}
+	return out
+}
+
+// commutesForAll checks Definition 2 over every sampled state.
+func commutesForAll(t adt.Enumerable, o1, o2 adt.Op) bool {
+	for _, s := range t.EnumStates() {
+		sa := s.Clone()
+		r1a := adt.MustApply(t, sa, o1)
+		r2a := adt.MustApply(t, sa, o2)
+		sb := s.Clone()
+		r2b := adt.MustApply(t, sb, o2)
+		r1b := adt.MustApply(t, sb, o1)
+		if !sa.Equal(sb) || r1a != r1b || r2a != r2b {
+			return false
+		}
+	}
+	return true
+}
+
+// recoverableForAll checks Definition 1 (req RR exec) over every sampled
+// state: executing exec first must not change req's return value.
+func recoverableForAll(t adt.Enumerable, req, exec adt.Op) bool {
+	for _, s := range t.EnumStates() {
+		sa := s.Clone()
+		adt.MustApply(t, sa, exec)
+		withExec := adt.MustApply(t, sa, req)
+		sb := s.Clone()
+		without := adt.MustApply(t, sb, req)
+		if withExec != without {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoverableOverSequence checks the generalised Definition 3 for a
+// concrete case: with base state s, after executing the uncommitted
+// sequence seq, operation req's return value must be identical for every
+// subsequence of seq (i.e. no matter which of the intervening
+// uncommitted operations later abort). Lemma 2 proves pairwise
+// recoverability implies this; the tests exercise both directions.
+func RecoverableOverSequence(t adt.Type, s adt.State, seq []adt.Op, req adt.Op) (bool, error) {
+	var want adt.Ret
+	first := true
+	n := len(seq)
+	for mask := 0; mask < 1<<n; mask++ {
+		st := s.Clone()
+		for i, op := range seq {
+			if mask&(1<<i) != 0 {
+				if _, err := t.Apply(st, op); err != nil {
+					return false, err
+				}
+			}
+		}
+		got, err := t.Apply(st, req)
+		if err != nil {
+			return false, err
+		}
+		if first {
+			want, first = got, false
+		} else if got != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}

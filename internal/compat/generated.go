@@ -1,0 +1,124 @@
+package compat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adt"
+)
+
+// Generated is a merged compatibility table for one Abstract object in
+// the abstract-data-type simulation model (§5.5.2): each (requested,
+// executed) cell is directly one of commutative / recoverable /
+// non-recoverable, with no parameter dependence ("we can merge the two
+// tables into a single compatibility table; each entry in this table
+// will be one of commutative, recoverable, or non-recoverable").
+type Generated struct {
+	// Sigma is the number of operations.
+	Sigma int
+	// Cell[i][j] classifies requested op i against executed op j.
+	Cell [][]Rel
+}
+
+// Classify implements Classifier for abstract operations "op0" … .
+func (g *Generated) Classify(requested, executed adt.Op) Rel {
+	i, okI := abstractIndex(requested.Name, g.Sigma)
+	j, okJ := abstractIndex(executed.Name, g.Sigma)
+	if !okI || !okJ {
+		return Conflict
+	}
+	return g.Cell[i][j]
+}
+
+func abstractIndex(name string, sigma int) (int, bool) {
+	for i := 0; i < sigma; i++ {
+		if name == adt.AbstractOpName(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Counts returns the number of commutative, recoverable and
+// non-recoverable cells.
+func (g *Generated) Counts() (comm, rec, non int) {
+	for i := range g.Cell {
+		for j := range g.Cell[i] {
+			switch g.Cell[i][j] {
+			case Commutes:
+				comm++
+			case Recoverable:
+				rec++
+			default:
+				non++
+			}
+		}
+	}
+	return
+}
+
+// Generate builds a random merged table per the paper's recipe for an
+// object with sigma operations: Pc/2 nondiagonal cells are chosen at
+// random and set commutative together with their symmetric partners
+// (commutativity is symmetric); then Pr of the remaining cells are
+// chosen uniformly at random and set recoverable (recoverability need
+// not be symmetric); every other cell is non-recoverable.
+//
+// Pc must be even, 0 ≤ Pc ≤ sigma²−sigma, and 0 ≤ Pr ≤ sigma²−Pc.
+func Generate(r *rand.Rand, sigma, pc, pr int) (*Generated, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("compat: Generate: sigma must be positive, got %d", sigma)
+	}
+	if pc%2 != 0 || pc < 0 || pc > sigma*sigma-sigma {
+		return nil, fmt.Errorf("compat: Generate: Pc=%d invalid for sigma=%d (must be even, ≤ %d)", pc, sigma, sigma*sigma-sigma)
+	}
+	if pr < 0 || pr > sigma*sigma-pc {
+		return nil, fmt.Errorf("compat: Generate: Pr=%d invalid for sigma=%d, Pc=%d", pr, sigma, pc)
+	}
+	g := &Generated{Sigma: sigma, Cell: make([][]Rel, sigma)}
+	for i := range g.Cell {
+		g.Cell[i] = make([]Rel, sigma)
+		for j := range g.Cell[i] {
+			g.Cell[i][j] = Conflict
+		}
+	}
+
+	// Unordered nondiagonal pairs; picking a pair sets both (i,j) and
+	// (j,i) commutative.
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < sigma; i++ {
+		for j := i + 1; j < sigma; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	r.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+	for _, p := range pairs[:pc/2] {
+		g.Cell[p.i][p.j] = Commutes
+		g.Cell[p.j][p.i] = Commutes
+	}
+
+	var rest []pair
+	for i := 0; i < sigma; i++ {
+		for j := 0; j < sigma; j++ {
+			if g.Cell[i][j] != Commutes {
+				rest = append(rest, pair{i, j})
+			}
+		}
+	}
+	r.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+	for _, p := range rest[:pr] {
+		g.Cell[p.i][p.j] = Recoverable
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate but panics on invalid parameters; for use
+// with the paper's known-good settings.
+func MustGenerate(r *rand.Rand, sigma, pc, pr int) *Generated {
+	g, err := Generate(r, sigma, pc, pr)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

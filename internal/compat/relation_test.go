@@ -1,0 +1,222 @@
+package compat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+func TestEntryHolds(t *testing.T) {
+	cases := []struct {
+		e          Entry
+		same, diff bool
+	}{
+		{No, false, false},
+		{Yes, true, true},
+		{YesSP, true, false},
+		{YesDP, false, true},
+	}
+	for _, c := range cases {
+		if c.e.Holds(true) != c.same || c.e.Holds(false) != c.diff {
+			t.Errorf("%v.Holds: got (%v,%v), want (%v,%v)",
+				c.e, c.e.Holds(true), c.e.Holds(false), c.same, c.diff)
+		}
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	want := map[Entry]string{No: "No", Yes: "Yes", YesSP: "Yes-SP", YesDP: "Yes-DP"}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), s)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	want := map[Rel]string{Commutes: "commutes", Recoverable: "recoverable", Conflict: "conflict"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Rel(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestClassifyPage(t *testing.T) {
+	tab := PageTable()
+	read := adt.Op{Name: adt.PageRead}
+	w1 := adt.Op{Name: adt.PageWrite, Arg: 1, HasArg: true}
+	w2 := adt.Op{Name: adt.PageWrite, Arg: 2, HasArg: true}
+
+	if got := tab.Classify(read, read); got != Commutes {
+		t.Errorf("(read,read) = %v", got)
+	}
+	if got := tab.Classify(read, w1); got != Conflict {
+		t.Errorf("(read requested, write executed) = %v, want conflict — the only conflicting pair", got)
+	}
+	if got := tab.Classify(w1, read); got != Recoverable {
+		t.Errorf("(write, read) = %v, want recoverable", got)
+	}
+	if got := tab.Classify(w1, w2); got != Recoverable {
+		t.Errorf("(write, write) = %v, want recoverable", got)
+	}
+}
+
+func TestClassifyStackPaperClaims(t *testing.T) {
+	tab := StackTable()
+	p1 := adt.Op{Name: adt.StackPush, Arg: 4, HasArg: true}
+	p2 := adt.Op{Name: adt.StackPush, Arg: 2, HasArg: true}
+	pop := adt.Op{Name: adt.StackPop}
+	top := adt.Op{Name: adt.StackTop}
+
+	// "two push operations do not commute but a push operation is
+	// recoverable relative to another push"
+	if got := tab.Classify(p1, p2); got != Recoverable {
+		t.Errorf("(push,push) different values = %v, want recoverable", got)
+	}
+	// Same value pushes commute (Yes-SP).
+	if got := tab.Classify(p1, p1); got != Commutes {
+		t.Errorf("(push,push) same value = %v, want commutes", got)
+	}
+	// "though a push operation does not commute with a top operation,
+	// it is recoverable relative to top"
+	if got := tab.Classify(p1, top); got != Recoverable {
+		t.Errorf("(push,top) = %v, want recoverable", got)
+	}
+	if got := tab.Classify(pop, p1); got != Conflict {
+		t.Errorf("(pop,push) = %v, want conflict", got)
+	}
+	if got := tab.Classify(top, top); got != Commutes {
+		t.Errorf("(top,top) = %v, want commutes", got)
+	}
+}
+
+func TestClassifySetParameters(t *testing.T) {
+	tab := SetTable()
+	if got := tab.Classify(adt.Op{Name: adt.SetDelete, Arg: 1, HasArg: true},
+		adt.Op{Name: adt.SetInsert, Arg: 1, HasArg: true}); got != Conflict {
+		t.Errorf("delete(1) after insert(1) = %v, want conflict", got)
+	}
+	if got := tab.Classify(adt.Op{Name: adt.SetDelete, Arg: 2, HasArg: true},
+		adt.Op{Name: adt.SetInsert, Arg: 1, HasArg: true}); got != Commutes {
+		t.Errorf("delete(2) after insert(1) = %v, want commutes", got)
+	}
+	// "insert is recoverable relative to member" even for the same
+	// element.
+	if got := tab.Classify(adt.Op{Name: adt.SetInsert, Arg: 3, HasArg: true},
+		adt.Op{Name: adt.SetMember, Arg: 3, HasArg: true}); got != Recoverable {
+		t.Errorf("insert(3) after member(3) = %v, want recoverable", got)
+	}
+}
+
+func TestClassifyUnknownOpConflicts(t *testing.T) {
+	tab := PageTable()
+	if got := tab.Classify(adt.Op{Name: "mystery"}, adt.Op{Name: adt.PageRead}); got != Conflict {
+		t.Errorf("unknown op = %v, want conflict", got)
+	}
+}
+
+func TestCommutativityOnlyDemotesRecoverable(t *testing.T) {
+	tab := PageTable()
+	base := tab.Classify(adt.Op{Name: adt.PageWrite, Arg: 1, HasArg: true}, adt.Op{Name: adt.PageRead})
+	if base != Recoverable {
+		t.Fatalf("precondition: (write,read) = %v", base)
+	}
+	co := CommutativityOnly{C: tab}
+	if got := co.Classify(adt.Op{Name: adt.PageWrite, Arg: 1, HasArg: true}, adt.Op{Name: adt.PageRead}); got != Conflict {
+		t.Errorf("commutativity-only (write,read) = %v, want conflict", got)
+	}
+	if got := co.Classify(adt.Op{Name: adt.PageRead}, adt.Op{Name: adt.PageRead}); got != Commutes {
+		t.Errorf("commutativity-only (read,read) = %v, want commutes", got)
+	}
+}
+
+func TestTableEqual(t *testing.T) {
+	a, b := PageTable(), PageTable()
+	if !a.Equal(b) {
+		t.Error("identical tables should be equal")
+	}
+	b.SetRec(adt.PageRead, adt.PageWrite, Yes)
+	if a.Equal(b) {
+		t.Error("modified table should differ")
+	}
+	if a.Equal(StackTable()) {
+		t.Error("different types should differ")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, pc := range []int{0, 2, 4} {
+		for _, pr := range []int{0, 4, 8} {
+			g := MustGenerate(rng, 4, pc, pr)
+			comm, rec, non := g.Counts()
+			if comm != pc || rec != pr || non != 16-pc-pr {
+				t.Errorf("Pc=%d Pr=%d: counts = (%d,%d,%d)", pc, pr, comm, rec, non)
+			}
+			// Commutative cells must be symmetric and nondiagonal.
+			for i := 0; i < 4; i++ {
+				if g.Cell[i][i] == Commutes {
+					t.Errorf("Pc=%d Pr=%d: diagonal cell (%d,%d) commutative", pc, pr, i, i)
+				}
+				for j := 0; j < 4; j++ {
+					if g.Cell[i][j] == Commutes && g.Cell[j][i] != Commutes {
+						t.Errorf("commutative cell (%d,%d) not symmetric", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, 0, 0, 0); err == nil {
+		t.Error("sigma=0 should error")
+	}
+	if _, err := Generate(rng, 4, 3, 0); err == nil {
+		t.Error("odd Pc should error")
+	}
+	if _, err := Generate(rng, 4, 14, 0); err == nil {
+		t.Error("Pc beyond nondiagonal count should error")
+	}
+	if _, err := Generate(rng, 4, 4, 13); err == nil {
+		t.Error("Pr beyond remaining cells should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on invalid input")
+		}
+	}()
+	MustGenerate(rng, 4, 3, 0)
+}
+
+func TestGeneratedClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := MustGenerate(rng, 4, 4, 8)
+	op := func(i int) adt.Op { return adt.Op{Name: adt.AbstractOpName(i)} }
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got := g.Classify(op(i), op(j)); got != g.Cell[i][j] {
+				t.Errorf("Classify(op%d,op%d) = %v, want %v", i, j, got, g.Cell[i][j])
+			}
+		}
+	}
+	if got := g.Classify(adt.Op{Name: "op9"}, op(0)); got != Conflict {
+		t.Errorf("out-of-range op = %v, want conflict", got)
+	}
+}
+
+// TestGenerateDeterministic: same seed, same table.
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(rand.New(rand.NewSource(77)), 4, 4, 8)
+	b := MustGenerate(rand.New(rand.NewSource(77)), 4, 4, 8)
+	for i := range a.Cell {
+		for j := range a.Cell[i] {
+			if a.Cell[i][j] != b.Cell[i][j] {
+				t.Fatalf("tables diverge at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package compat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// grid renders one matrix (commutativity or recoverability) in the
+// paper's layout: rows are the requested operation, columns the
+// executed operation.
+func grid(title string, ops []string, m [][]Entry) string {
+	width := len("Requested")
+	for _, op := range ops {
+		if len(op) > width {
+			width = len(op)
+		}
+	}
+	for i := range m {
+		for j := range m[i] {
+			if l := len(m[i][j].String()); l > width {
+				width = l
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-*s", width+2, "Requested")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "%-*s", width+2, op)
+	}
+	b.WriteByte('\n')
+	for i, op := range ops {
+		fmt.Fprintf(&b, "%-*s", width+2, op)
+		for j := range ops {
+			fmt.Fprintf(&b, "%-*s", width+2, m[i][j].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Format renders both matrices of the table.
+func (t *Table) Format() string {
+	var b strings.Builder
+	b.WriteString(grid(fmt.Sprintf("Commutativity for %s", titleCase(t.TypeName)), t.Ops, t.Comm))
+	b.WriteByte('\n')
+	b.WriteString(grid(fmt.Sprintf("Recoverability for %s", titleCase(t.TypeName)), t.Ops, t.Rec))
+	return b.String()
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/adt"
+)
+
+// This file implements the state-dependent refinement §3.2 discusses
+// and deliberately leaves out of the paper's protocol: "two pop
+// operations commute if the top two elements of the stack they are
+// operating on are the same", and a third concurrent pop needs the top
+// three equal, and so on. Rather than hand-writing such rules per type,
+// the scheduler checks the *defining property* directly on the live
+// object: a requested operation that statically conflicts is admitted
+// as state-recoverable iff its return value is invariant under every
+// subset of the other uncommitted transactions aborting (Definition 3
+// applied to the current log). The price is exactly the complexity the
+// paper warns about — up to 2^t replays for t uncommitted transactions
+// — so t is capped and larger logs fall back to blocking.
+
+// maxDynamicTxns caps the subset enumeration; beyond this the request
+// blocks as it would have without the refinement.
+const maxDynamicTxns = 6
+
+// stateRecoverable reports whether op's return value on this object is
+// unchanged no matter which subset of the other uncommitted
+// transactions later aborts. It needs the committed base state, so it
+// is only available under intentions-list recovery.
+func (o *object) stateRecoverable(requester TxnID, op adt.Op) bool {
+	if o.base == nil {
+		return false
+	}
+	// Distinct other transactions in the log, in first-appearance
+	// order.
+	var others []TxnID
+	seen := map[TxnID]bool{}
+	for _, e := range o.log {
+		if e.txn != requester && !seen[e.txn] {
+			seen[e.txn] = true
+			others = append(others, e.txn)
+		}
+	}
+	if len(others) > maxDynamicTxns {
+		return false
+	}
+
+	first := true
+	var want adt.Ret
+	for mask := 0; mask < 1<<len(others); mask++ {
+		keep := map[TxnID]bool{requester: true}
+		for i, t := range others {
+			if mask&(1<<i) != 0 {
+				keep[t] = true
+			}
+		}
+		s := o.base.Clone()
+		ok := true
+		for _, e := range o.log {
+			if !keep[e.txn] {
+				continue
+			}
+			if _, err := o.typ.Apply(s, e.op); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		got, err := o.typ.Apply(s, op)
+		if err != nil {
+			return false
+		}
+		if first {
+			want, first = got, false
+		} else if got != want {
+			return false
+		}
+	}
+	return true
+}

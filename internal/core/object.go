@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// logEntry is one uncommitted operation in an object's execution log.
+type logEntry struct {
+	txn TxnID
+	op  adt.Op
+	ret adt.Ret
+	rec adt.UndoRec // undo-log recovery only
+	seq uint64      // global execution sequence number
+}
+
+// request is a pending (possibly blocked) operation request.
+type request struct {
+	txn TxnID
+	obj ObjectID
+	op  adt.Op
+}
+
+// object is the per-object manager: type, classifier, state(s),
+// execution log of uncommitted operations, and the FIFO blocked queue.
+type object struct {
+	id    ObjectID
+	typ   adt.Type
+	und   adt.Undoer // non-nil iff typ implements adt.Undoer
+	class compat.Classifier
+
+	base    adt.State // committed state (intentions-list recovery only)
+	cur     adt.State // materialised current state
+	log     []logEntry
+	blocked []*request
+}
+
+func newObject(id ObjectID, typ adt.Type, class compat.Classifier, rec Recovery) (*object, error) {
+	o := &object{id: id, typ: typ, class: class, cur: typ.New()}
+	if u, ok := typ.(adt.Undoer); ok {
+		o.und = u
+	}
+	switch rec {
+	case RecoveryIntentions:
+		o.base = typ.New()
+	case RecoveryUndo:
+		if o.und == nil {
+			return nil, fmt.Errorf("%w: type %s", ErrNeedsUndoer, typ.Name())
+		}
+	}
+	return o, nil
+}
+
+// classifyAgainstLog classifies op (requested by txn) against every
+// uncommitted log entry of other transactions and returns the
+// de-duplicated holders it conflicts with and the holders it is
+// recoverable (but not commuting) with, in log order.
+func (o *object) classifyAgainstLog(txn TxnID, op adt.Op, class compat.Classifier) (conflicts, recovs []TxnID) {
+	seenC := map[TxnID]bool{}
+	seenR := map[TxnID]bool{}
+	for _, e := range o.log {
+		if e.txn == txn {
+			continue
+		}
+		switch class.Classify(op, e.op) {
+		case compat.Conflict:
+			if !seenC[e.txn] {
+				seenC[e.txn] = true
+				conflicts = append(conflicts, e.txn)
+			}
+		case compat.Recoverable:
+			if !seenR[e.txn] {
+				seenR[e.txn] = true
+				recovs = append(recovs, e.txn)
+			}
+		}
+	}
+	return conflicts, recovs
+}
+
+// conflictsWithBlocked reports whether op (requested by txn) fails the
+// fair-scheduling admission test: it is not commutative with some
+// blocked request of another transaction. It returns the blocked
+// requesters op must wait behind.
+func (o *object) conflictsWithBlocked(txn TxnID, op adt.Op, class compat.Classifier) []TxnID {
+	var waits []TxnID
+	seen := map[TxnID]bool{}
+	for _, r := range o.blocked {
+		if r.txn == txn || seen[r.txn] {
+			continue
+		}
+		if class.Classify(op, r.op) != compat.Commutes {
+			seen[r.txn] = true
+			waits = append(waits, r.txn)
+		}
+	}
+	return waits
+}
+
+// execute applies op for txn, appends the log entry and returns the
+// operation's return value.
+func (o *object) execute(txn TxnID, op adt.Op, seq uint64, rec Recovery) (adt.Ret, error) {
+	var (
+		ret adt.Ret
+		ur  adt.UndoRec
+		err error
+	)
+	if rec == RecoveryUndo {
+		ret, ur, err = o.und.ApplyU(o.cur, op)
+	} else {
+		ret, err = o.typ.Apply(o.cur, op)
+	}
+	if err != nil {
+		return adt.Ret{}, err
+	}
+	o.log = append(o.log, logEntry{txn: txn, op: op, ret: ret, rec: ur, seq: seq})
+	return ret, nil
+}
+
+// removeTxn removes txn's entries from the log, folding them into the
+// committed state (commit=true) or reversing their effects
+// (commit=false) according to the recovery strategy. With debug set it
+// asserts the soundness property: surviving entries' return values are
+// unchanged by the removal.
+func (o *object) removeTxn(txn TxnID, commit bool, rec Recovery, debug bool) error {
+	if rec == RecoveryUndo {
+		return o.removeTxnUndo(txn, commit)
+	}
+	return o.removeTxnIntentions(txn, commit, debug)
+}
+
+func (o *object) removeTxnIntentions(txn TxnID, commit bool, debug bool) error {
+	kept := o.log[:0:0]
+	var removed []logEntry
+	for _, e := range o.log {
+		if e.txn == txn {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	o.log = kept
+
+	if commit {
+		// Fold the committing transaction's operations into the
+		// base. Every surviving earlier entry commutes with them
+		// (the committing transaction has out-degree zero), so
+		// applying them directly to the base is sound.
+		for _, e := range removed {
+			ret, err := o.typ.Apply(o.base, e.op)
+			if err != nil {
+				return fmt.Errorf("core: intentions commit replay on object %d: %w", o.id, err)
+			}
+			if debug && ret != e.ret {
+				return fmt.Errorf("core: object %d: commit fold changed return of %v: logged %v, replayed %v",
+					o.id, e.op, e.ret, ret)
+			}
+		}
+		if debug {
+			return o.checkReplayMatchesCur()
+		}
+		return nil
+	}
+
+	// Abort: rebuild the materialised state by replaying the
+	// surviving log onto the base. Soundness (Theorem 1) guarantees
+	// every replayed return equals the logged one.
+	curr := o.base.Clone()
+	for i := range o.log {
+		ret, err := o.typ.Apply(curr, o.log[i].op)
+		if err != nil {
+			return fmt.Errorf("core: intentions abort replay on object %d: %w", o.id, err)
+		}
+		if debug && ret != o.log[i].ret {
+			return fmt.Errorf("core: object %d: abort replay changed return of %v: logged %v, replayed %v (soundness violation)",
+				o.id, o.log[i].op, o.log[i].ret, ret)
+		}
+		o.log[i].ret = ret
+	}
+	o.cur = curr
+	return nil
+}
+
+// checkReplayMatchesCur asserts base+log == cur (debug only).
+func (o *object) checkReplayMatchesCur() error {
+	s := o.base.Clone()
+	for _, e := range o.log {
+		if _, err := o.typ.Apply(s, e.op); err != nil {
+			return err
+		}
+	}
+	if !s.Equal(o.cur) {
+		return fmt.Errorf("core: object %d: base+log = %v diverges from materialised state %v", o.id, s, o.cur)
+	}
+	return nil
+}
+
+func (o *object) removeTxnUndo(txn TxnID, commit bool) error {
+	if commit {
+		kept := o.log[:0:0]
+		for _, e := range o.log {
+			if e.txn != txn {
+				kept = append(kept, e)
+			}
+		}
+		o.log = kept
+		return nil
+	}
+	// Undo the transaction's operations in reverse execution order.
+	// Each undo sees the later entries still present in the log so it
+	// can fix up before-image chains.
+	for i := len(o.log) - 1; i >= 0; i-- {
+		e := o.log[i]
+		if e.txn != txn {
+			continue
+		}
+		later := make([]adt.UndoEntry, 0, len(o.log)-i-1)
+		for _, le := range o.log[i+1:] {
+			later = append(later, adt.UndoEntry{Op: le.op, Rec: le.rec})
+		}
+		if err := o.und.Undo(o.cur, e.op, e.rec, later); err != nil {
+			return fmt.Errorf("core: undo on object %d: %w", o.id, err)
+		}
+		o.log = append(o.log[:i], o.log[i+1:]...)
+	}
+	return nil
+}
+
+// dequeueBlocked removes txn's blocked request, if any.
+func (o *object) dequeueBlocked(txn TxnID) {
+	for i, r := range o.blocked {
+		if r.txn == txn {
+			o.blocked = append(o.blocked[:i], o.blocked[i+1:]...)
+			return
+		}
+	}
+}
+
+// hasEntries reports whether txn has uncommitted operations here.
+func (o *object) hasEntries(txn TxnID) bool {
+	for _, e := range o.log {
+		if e.txn == txn {
+			return true
+		}
+	}
+	return false
+}

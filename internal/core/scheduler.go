@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/depgraph"
+)
+
+// txn is the scheduler's bookkeeping for one transaction.
+type txn struct {
+	id      TxnID
+	state   txnState
+	visited map[ObjectID]struct{} // objects with log entries of this txn
+	blocked *request              // outstanding blocked request, if any
+	nops    int                   // operations executed so far
+	// held marks a pseudo-committed transaction whose real commit is
+	// controlled by an external coordinator (distributed commit): it
+	// is excluded from the automatic out-degree-zero cascade and
+	// finalised only by Release.
+	held bool
+}
+
+// Scheduler is the semantics-based concurrency controller. It is safe
+// for concurrent use; every public method runs under one mutex, so calls
+// are serialised and deterministic given a call order.
+type Scheduler struct {
+	mu      sync.Mutex
+	opts    Options
+	class   compat.Classifier // predicate-adjusted default classifier (nil: per-object)
+	g       *depgraph.Graph
+	objects map[ObjectID]*object
+	factory func(ObjectID) (adt.Type, compat.Classifier)
+	txns    map[TxnID]*txn
+	nextSeq uint64
+	stats   Stats
+
+	// pendingRetry holds objects whose blocked queues must be
+	// rescanned before the current call returns.
+	pendingRetry map[ObjectID]bool
+}
+
+// NewScheduler returns a scheduler with the given options.
+func NewScheduler(opts Options) *Scheduler {
+	return &Scheduler{
+		opts:         opts,
+		g:            depgraph.New(),
+		objects:      make(map[ObjectID]*object),
+		txns:         make(map[TxnID]*txn),
+		pendingRetry: make(map[ObjectID]bool),
+	}
+}
+
+// SetFactory installs a lazy object constructor: the first request
+// against an unregistered object id calls it. The simulator uses this so
+// a 1000-object database only materialises touched objects.
+func (s *Scheduler) SetFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.factory = f
+}
+
+// Register creates the object eagerly with an explicit type and
+// classifier. The classifier should be the plain (recoverability-aware)
+// table even under PredCommutativity; the scheduler applies the
+// predicate itself.
+func (s *Scheduler) Register(id ObjectID, typ adt.Type, class compat.Classifier) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; ok {
+		return ErrDuplicateObj
+	}
+	o, err := newObject(id, typ, class, s.opts.Recovery)
+	if err != nil {
+		return err
+	}
+	s.objects[id] = o
+	return nil
+}
+
+// ObjectState returns a snapshot (clone) of the object's materialised
+// state, for inspection by examples and tests.
+func (s *Scheduler) ObjectState(id ObjectID) (adt.State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, ErrUnknownObject
+	}
+	return o.cur.Clone(), nil
+}
+
+// CommittedState returns a snapshot of the object's committed (base)
+// state under intentions-list recovery; under undo-log recovery it
+// returns the materialised state (there is no separate base).
+func (s *Scheduler) CommittedState(id ObjectID) (adt.State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, ErrUnknownObject
+	}
+	if s.opts.Recovery == RecoveryIntentions {
+		return o.base.Clone(), nil
+	}
+	return o.cur.Clone(), nil
+}
+
+// Begin registers a new transaction.
+func (s *Scheduler) Begin(id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.txns[id]; ok {
+		return ErrDuplicateTxn
+	}
+	s.txns[id] = &txn{id: id, state: stActive, visited: make(map[ObjectID]struct{})}
+	s.g.AddNode(id)
+	return nil
+}
+
+// classifier returns the effective classifier for an object under the
+// configured predicate.
+func (s *Scheduler) classifier(o *object) compat.Classifier {
+	if s.opts.Predicate == PredCommutativity {
+		return compat.CommutativityOnly{C: o.class}
+	}
+	return o.class
+}
+
+func (s *Scheduler) lookupTxn(id TxnID) (*txn, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, ErrUnknownTxn
+	}
+	return t, nil
+}
+
+func (s *Scheduler) lookupObject(id ObjectID) (*object, error) {
+	if o, ok := s.objects[id]; ok {
+		return o, nil
+	}
+	if s.factory != nil {
+		typ, class := s.factory(id)
+		o, err := newObject(id, typ, class, s.opts.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		s.objects[id] = o
+		return o, nil
+	}
+	return nil, ErrUnknownObject
+}
+
+// Request asks to execute op on obj for transaction id, implementing
+// Figure 2 of the paper. The Decision reports the immediate outcome;
+// Effects reports anything that happened downstream (an abort of the
+// requester can unblock other transactions and cascade commits).
+func (s *Scheduler) Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effects, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff Effects
+
+	t, err := s.lookupTxn(id)
+	if err != nil {
+		return Decision{}, eff, err
+	}
+	switch t.state {
+	case stActive:
+	case stBlocked:
+		return Decision{}, eff, ErrTxnBlocked
+	case stPseudo:
+		return Decision{}, eff, ErrPseudoRequest
+	default:
+		return Decision{}, eff, ErrTxnTerminated
+	}
+	o, err := s.lookupObject(obj)
+	if err != nil {
+		return Decision{}, eff, err
+	}
+
+	dec, err := s.tryExecute(t, o, op, false, &eff)
+	if err != nil {
+		return Decision{}, eff, err
+	}
+	if err := s.settle(&eff); err != nil {
+		return Decision{}, eff, err
+	}
+	s.assertInvariants()
+	return dec, eff, nil
+}
+
+// tryExecute runs the Figure-2 decision procedure for one request. When
+// retry is true the request is a blocked-queue retry: the fair-admission
+// test against *earlier* blocked requests is handled by the caller.
+func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Effects) (Decision, error) {
+	class := s.classifier(o)
+
+	// Fair scheduling: an incoming request that does not commute with
+	// a blocked request waits behind it, even if it is compatible
+	// with every executed operation (§5.2).
+	var fairWaits []TxnID
+	if !s.opts.Unfair && !retry {
+		fairWaits = o.conflictsWithBlocked(t.id, op, class)
+	}
+
+	conflicts, recovs := o.classifyAgainstLog(t.id, op, class)
+
+	// State-dependent refinement (§3.2): a statically conflicting
+	// request whose return value is invariant on the live object is
+	// demoted to recoverable — commit dependencies instead of
+	// blocking. Only consulted when the static tables said conflict,
+	// so the common paths pay nothing.
+	if len(conflicts) > 0 && s.opts.StateDependent && s.opts.Recovery == RecoveryIntentions &&
+		o.stateRecoverable(t.id, op) {
+		recovs = mergeTxnLists(recovs, conflicts)
+		conflicts = nil
+	}
+
+	if len(conflicts) > 0 || len(fairWaits) > 0 {
+		// Step 1 of Figure 2: wait-for edges to every holder of a
+		// non-recoverable operation (and, under fair scheduling,
+		// to the blocked requesters ahead of us), then deadlock
+		// detection.
+		for _, h := range conflicts {
+			s.g.AddEdge(t.id, h, depgraph.WaitFor)
+			s.stats.WaitForEdges++
+		}
+		for _, h := range fairWaits {
+			s.g.AddEdge(t.id, h, depgraph.WaitFor)
+			s.stats.WaitForEdges++
+		}
+		s.stats.CycleChecks++
+		if s.g.HasCycleFrom(t.id) {
+			s.stats.DeadlockAborts++
+			if err := s.finalize(t, false, ReasonDeadlock, eff); err != nil {
+				return Decision{}, err
+			}
+			return Decision{Outcome: Aborted, Reason: ReasonDeadlock}, nil
+		}
+		t.state = stBlocked
+		t.blocked = &request{txn: t.id, obj: o.id, op: op}
+		if !retry {
+			o.blocked = append(o.blocked, t.blocked)
+			// A retried request that stays blocked never resumed
+			// running, so it is not a fresh block for the paper's
+			// blocking-ratio metric (the deadlock check above still
+			// counted).
+			s.stats.Blocks++
+			if r := s.opts.Recorder; r != nil {
+				r.Blocked(t.id, o.id, op)
+			}
+		}
+		return Decision{Outcome: Blocked}, nil
+	}
+
+	if len(recovs) > 0 {
+		// Step 3: commit-dependency edges to every holder the
+		// operation is recoverable (but not commuting) with, then
+		// cycle detection (serializability guard).
+		for _, h := range recovs {
+			s.g.AddEdge(t.id, h, depgraph.CommitDep)
+			s.stats.CommitDepEdges++
+		}
+		s.stats.CycleChecks++
+		if s.g.HasCycleFrom(t.id) {
+			s.stats.CycleAborts++
+			if err := s.finalize(t, false, ReasonCommitCycle, eff); err != nil {
+				return Decision{}, err
+			}
+			return Decision{Outcome: Aborted, Reason: ReasonCommitCycle}, nil
+		}
+	}
+
+	// Step 2/3: execute.
+	s.nextSeq++
+	ret, err := o.execute(t.id, op, s.nextSeq, s.opts.Recovery)
+	if err != nil {
+		return Decision{}, err
+	}
+	t.visited[o.id] = struct{}{}
+	t.nops++
+	s.stats.Executes++
+	if r := s.opts.Recorder; r != nil {
+		r.Executed(t.id, o.id, op, ret, s.nextSeq)
+	}
+	return Decision{Outcome: Executed, Ret: ret}, nil
+}
+
+// Commit finishes transaction id. If it has outstanding commit
+// dependencies it pseudo-commits (§4.3); otherwise it commits for real,
+// which may unblock waiters and cascade commits of its dependants.
+func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff Effects
+
+	t, err := s.lookupTxn(id)
+	if err != nil {
+		return 0, eff, err
+	}
+	switch t.state {
+	case stActive:
+	case stBlocked:
+		return 0, eff, ErrTxnBlocked
+	case stPseudo:
+		return PseudoCommitted, eff, nil
+	default:
+		return 0, eff, ErrTxnTerminated
+	}
+
+	if s.g.OutDegree(id) > 0 {
+		t.state = stPseudo
+		s.stats.PseudoCommits++
+		if r := s.opts.Recorder; r != nil {
+			r.PseudoCommitted(id)
+		}
+		s.assertInvariants()
+		return PseudoCommitted, eff, nil
+	}
+
+	if err := s.finalize(t, true, ReasonNone, &eff); err != nil {
+		return 0, eff, err
+	}
+	if err := s.settle(&eff); err != nil {
+		return 0, eff, err
+	}
+	s.assertInvariants()
+	return Committed, eff, nil
+}
+
+// CommitHold is the distributed variant of Commit (phase one of the
+// §6 commit conversation): the transaction pseudo-commits even if it
+// has no local dependencies, its operations stay in the logs, and it is
+// excluded from the automatic cascade — only Release (or, for the whole
+// cluster, the coordinator) finalises it. It returns the transaction's
+// current out-degree so the coordinator can decide whether the global
+// dependency set is empty.
+func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff Effects
+	t, err := s.lookupTxn(id)
+	if err != nil {
+		return 0, eff, err
+	}
+	switch t.state {
+	case stActive:
+	case stBlocked:
+		return 0, eff, ErrTxnBlocked
+	case stPseudo:
+		return s.g.OutDegree(id), eff, nil
+	default:
+		return 0, eff, ErrTxnTerminated
+	}
+	t.state = stPseudo
+	t.held = true
+	s.stats.PseudoCommits++
+	if r := s.opts.Recorder; r != nil {
+		r.PseudoCommitted(id)
+	}
+	s.assertInvariants()
+	return s.g.OutDegree(id), eff, nil
+}
+
+// Release really commits a held, pseudo-committed transaction. The
+// caller (the distributed coordinator) must have established that the
+// transaction's global dependency set is empty; locally that means an
+// out-degree of zero, which Release enforces.
+func (s *Scheduler) Release(id TxnID) (Effects, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff Effects
+	t, err := s.lookupTxn(id)
+	if err != nil {
+		return eff, err
+	}
+	if t.state != stPseudo || !t.held {
+		return eff, fmt.Errorf("core: Release: T%d is %s, not a held pseudo-committed transaction", id, t.state)
+	}
+	if d := s.g.OutDegree(id); d != 0 {
+		return eff, fmt.Errorf("core: Release: T%d still has %d outstanding dependencies", id, d)
+	}
+	if err := s.finalize(t, true, ReasonNone, &eff); err != nil {
+		return eff, err
+	}
+	if err := s.settle(&eff); err != nil {
+		return eff, err
+	}
+	s.assertInvariants()
+	return eff, nil
+}
+
+// Abort aborts transaction id at the caller's request.
+func (s *Scheduler) Abort(id TxnID) (Effects, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff Effects
+
+	t, err := s.lookupTxn(id)
+	if err != nil {
+		return eff, err
+	}
+	switch t.state {
+	case stActive, stBlocked:
+	case stPseudo:
+		// "A transaction which has pseudo-committed will definitely
+		// commit" — user aborts are refused.
+		return eff, fmt.Errorf("%w: pseudo-committed transactions cannot abort", ErrTxnTerminated)
+	default:
+		return eff, ErrTxnTerminated
+	}
+
+	if err := s.finalize(t, false, ReasonUser, &eff); err != nil {
+		return eff, err
+	}
+	if err := s.settle(&eff); err != nil {
+		return eff, err
+	}
+	s.assertInvariants()
+	return eff, nil
+}
+
+// finalize terminates t: it removes the transaction's operations from
+// every object it visited (folding or undoing per the recovery
+// strategy), removes its node from the dependency graph, really commits
+// any pseudo-committed dependants whose out-degree dropped to zero, and
+// schedules blocked-queue retries on the affected objects.
+func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effects) error {
+	if t.state == stPseudo && !commit {
+		return fmt.Errorf("core: internal: pseudo-committed T%d selected for abort", t.id)
+	}
+	if t.blocked != nil {
+		if o, ok := s.objects[t.blocked.obj]; ok {
+			o.dequeueBlocked(t.id)
+		}
+		t.blocked = nil
+	}
+
+	affected := make([]ObjectID, 0, len(t.visited))
+	for oid := range t.visited {
+		affected = append(affected, oid)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, oid := range affected {
+		o := s.objects[oid]
+		if err := o.removeTxn(t.id, commit, s.opts.Recovery, s.opts.Debug); err != nil {
+			return err
+		}
+		s.pendingRetry[oid] = true
+	}
+
+	if commit {
+		t.state = stCommitted
+		s.stats.Commits++
+		if r := s.opts.Recorder; r != nil {
+			r.Committed(t.id)
+		}
+	} else {
+		t.state = stAborted
+		s.stats.Aborts++
+		if r := s.opts.Recorder; r != nil {
+			r.Aborted(t.id, reason)
+		}
+	}
+
+	dependants := s.g.RemoveNode(t.id)
+	for _, d := range dependants {
+		dt, ok := s.txns[d]
+		if !ok {
+			continue
+		}
+		if dt.state == stPseudo && !dt.held && s.g.OutDegree(d) == 0 {
+			// Record before recursing so Effects.Committed lists
+			// cascaded commits in the order they happen.
+			eff.Committed = append(eff.Committed, d)
+			if err := s.finalize(dt, true, ReasonNone, eff); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// settle drains the pending-retry set: for each affected object it
+// rescans the blocked queue in FIFO order, granting requests that can
+// now run. A retry can itself abort a blocked transaction (new cycle),
+// which re-triggers finalization and more retries; settle loops to a
+// fixpoint. Objects are processed in ascending id order for
+// determinism.
+func (s *Scheduler) settle(eff *Effects) error {
+	for len(s.pendingRetry) > 0 {
+		oid := minObject(s.pendingRetry)
+		delete(s.pendingRetry, oid)
+		if err := s.retryObject(s.objects[oid], eff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeTxnLists appends the members of extra not already in base,
+// preserving order.
+func mergeTxnLists(base, extra []TxnID) []TxnID {
+	seen := make(map[TxnID]bool, len(base))
+	for _, t := range base {
+		seen[t] = true
+	}
+	for _, t := range extra {
+		if !seen[t] {
+			seen[t] = true
+			base = append(base, t)
+		}
+	}
+	return base
+}
+
+func minObject(m map[ObjectID]bool) ObjectID {
+	first := true
+	var min ObjectID
+	for k := range m {
+		if first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}
+
+// retryObject rescans one object's blocked queue in order. Under fair
+// scheduling a request stays blocked if it does not commute with an
+// earlier request that is itself still blocked. If a retry aborts the
+// blocked transaction, the queue has changed under us: the object is
+// re-queued for another pass and the scan restarts via settle.
+func (s *Scheduler) retryObject(o *object, eff *Effects) error {
+	class := s.classifier(o)
+	var stillBlocked []*request
+	queue := append([]*request(nil), o.blocked...)
+
+scan:
+	for _, r := range queue {
+		t, ok := s.txns[r.txn]
+		if !ok || t.state != stBlocked || t.blocked != r {
+			continue // stale entry
+		}
+		if !s.opts.Unfair {
+			for _, earlier := range stillBlocked {
+				if class.Classify(r.op, earlier.op) != compat.Commutes {
+					stillBlocked = append(stillBlocked, r)
+					continue scan
+				}
+			}
+		}
+
+		// A retry is a fresh request: shed the old wait-for edges,
+		// re-classify, and either execute, re-block (fresh edges,
+		// fresh deadlock check) or abort on a new cycle.
+		s.g.RemoveWaitEdges(r.txn)
+		t.state = stActive
+		t.blocked = nil
+		o.dequeueBlocked(r.txn)
+
+		dec, err := s.tryExecute(t, o, r.op, true, eff)
+		if err != nil {
+			return err
+		}
+		switch dec.Outcome {
+		case Executed:
+			s.stats.Grants++
+			eff.Grants = append(eff.Grants, Grant{Txn: r.txn, Object: o.id, Op: r.op, Ret: dec.Ret})
+		case Blocked:
+			// Re-insert at the front of the remaining queue
+			// positions — i.e. keep FIFO order. tryExecute set
+			// t.blocked; put it back in the queue where it was.
+			o.blocked = append(o.blocked, nil)
+			copy(o.blocked[len(stillBlocked)+1:], o.blocked[len(stillBlocked):])
+			o.blocked[len(stillBlocked)] = t.blocked
+			stillBlocked = append(stillBlocked, t.blocked)
+		case Aborted:
+			eff.RetryAborts = append(eff.RetryAborts, RetryAbort{Txn: r.txn, Reason: dec.Reason})
+			// finalize (inside tryExecute) re-queued affected
+			// objects, possibly including this one; restart the
+			// scan from settle's loop.
+			s.pendingRetry[o.id] = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// assertInvariants runs debug-only global checks.
+func (s *Scheduler) assertInvariants() {
+	if !s.opts.Debug {
+		return
+	}
+	if !s.g.Acyclic() {
+		panic("core: dependency graph became cyclic")
+	}
+	for _, o := range s.objects {
+		if s.opts.Recovery == RecoveryIntentions {
+			if err := o.checkReplayMatchesCur(); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// StatsSnapshot returns a copy of the cumulative counters. CycleChecks
+// reflects the scheduler's own count (block-time deadlock checks plus
+// recoverable-execution checks).
+func (s *Scheduler) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// TxnOps returns how many operations the transaction has executed (used
+// for the paper's abort-length metric).
+func (s *Scheduler) TxnOps(id TxnID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.txns[id]; ok {
+		return t.nops
+	}
+	return 0
+}
+
+// TxnState returns a human-readable state for tests and tools.
+func (s *Scheduler) TxnState(id TxnID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.txns[id]; ok {
+		return t.state.String()
+	}
+	return "unknown"
+}
+
+// Forget drops a terminated transaction's bookkeeping. Long-running
+// users (the simulator) call it to keep the txn map bounded.
+func (s *Scheduler) Forget(id TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.txns[id]; ok && (t.state == stCommitted || t.state == stAborted) {
+		delete(s.txns, id)
+	}
+}
+
+// OutDegree exposes the transaction's dependency-graph out-degree (for
+// tests and examples).
+func (s *Scheduler) OutDegree(id TxnID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.OutDegree(id)
+}
+
+// OutEdgesOf returns the transaction's current outgoing dependency
+// edges at this scheduler (wait-for and commit-dependency). The
+// distributed layer piggybacks these on its coordination calls to
+// maintain the global dependency graph (§6 of the paper).
+func (s *Scheduler) OutEdgesOf(id TxnID) []depgraph.Edge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.OutEdges(id)
+}

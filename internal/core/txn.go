@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// ErrTxnAborted is returned by Handle methods after the scheduler has
+// aborted the transaction (deadlock or commit-dependency cycle). The
+// caller should begin a fresh transaction and retry.
+var ErrTxnAborted = errors.New("core: transaction aborted")
+
+// DB is the blocking, goroutine-friendly front end to a Scheduler: real
+// goroutines call Handle.Do and are parked until their operation
+// executes, exactly the shape of a multi-threaded transaction system.
+// The deterministic simulator talks to the Scheduler directly instead.
+type DB struct {
+	s *Scheduler
+
+	mu      sync.Mutex
+	nextTxn TxnID
+	handles map[TxnID]*Handle
+}
+
+// NewDB wraps options in a fresh scheduler and returns the blocking
+// front end.
+func NewDB(opts Options) *DB {
+	return &DB{s: NewScheduler(opts), handles: make(map[TxnID]*Handle)}
+}
+
+// Scheduler exposes the underlying scheduler (for stats and state
+// inspection).
+func (db *DB) Scheduler() *Scheduler { return db.s }
+
+// Register forwards to Scheduler.Register.
+func (db *DB) Register(id ObjectID, typ adt.Type, class compat.Classifier) error {
+	return db.s.Register(id, typ, class)
+}
+
+// waitMsg resolves a blocked Do call.
+type waitMsg struct {
+	ret     adt.Ret
+	aborted bool
+	reason  AbortReason
+}
+
+// Handle is one transaction's session. A Handle must be used from a
+// single goroutine at a time (concurrent transactions use separate
+// handles).
+type Handle struct {
+	db *DB
+	id TxnID
+
+	mu        sync.Mutex
+	waitCh    chan waitMsg
+	dead      bool
+	reason    AbortReason
+	committed chan struct{} // closed at real commit
+	pseudo    bool
+}
+
+// Begin starts a new transaction.
+func (db *DB) Begin() *Handle {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextTxn++
+	h := &Handle{db: db, id: db.nextTxn, committed: make(chan struct{})}
+	if err := db.s.Begin(h.id); err != nil {
+		// IDs are generated here, so this cannot collide.
+		panic(fmt.Sprintf("core: Begin: %v", err))
+	}
+	db.handles[h.id] = h
+	return h
+}
+
+// ID returns the transaction id.
+func (h *Handle) ID() TxnID { return h.id }
+
+// deliver routes scheduler effects to waiting handles.
+func (db *DB) deliver(eff Effects) {
+	for _, g := range eff.Grants {
+		if h := db.handles[g.Txn]; h != nil && h.waitCh != nil {
+			h.waitCh <- waitMsg{ret: g.Ret}
+			h.waitCh = nil
+		}
+	}
+	for _, a := range eff.RetryAborts {
+		if h := db.handles[a.Txn]; h != nil && h.waitCh != nil {
+			h.waitCh <- waitMsg{aborted: true, reason: a.Reason}
+			h.waitCh = nil
+		}
+	}
+	for _, id := range eff.Committed {
+		if h := db.handles[id]; h != nil {
+			close(h.committed)
+			delete(db.handles, id)
+		}
+	}
+}
+
+// Do executes op against obj, blocking until the operation runs. It
+// returns ErrTxnAborted (wrapped with the reason) if the scheduler
+// aborts the transaction instead.
+func (h *Handle) Do(obj ObjectID, op adt.Op) (adt.Ret, error) {
+	db := h.db
+	db.mu.Lock()
+	if h.dead {
+		db.mu.Unlock()
+		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, h.reason)
+	}
+	dec, eff, err := db.s.Request(h.id, obj, op)
+	if err != nil {
+		db.mu.Unlock()
+		return adt.Ret{}, err
+	}
+	var ch chan waitMsg
+	if dec.Outcome == Blocked {
+		ch = make(chan waitMsg, 1)
+		h.waitCh = ch
+	}
+	db.deliver(eff)
+	if dec.Outcome == Aborted {
+		h.die(dec.Reason)
+	}
+	db.mu.Unlock()
+
+	switch dec.Outcome {
+	case Executed:
+		return dec.Ret, nil
+	case Aborted:
+		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, dec.Reason)
+	}
+
+	msg := <-ch
+	if msg.aborted {
+		db.mu.Lock()
+		h.die(msg.reason)
+		db.mu.Unlock()
+		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, msg.reason)
+	}
+	return msg.ret, nil
+}
+
+// die marks the handle dead. Caller holds db.mu.
+func (h *Handle) die(reason AbortReason) {
+	h.dead = true
+	h.reason = reason
+	delete(h.db.handles, h.id)
+}
+
+// Commit completes the transaction. The returned status is
+// PseudoCommitted when the transaction still has commit dependencies:
+// its results are final from the caller's perspective, and
+// WaitCommitted (or the Committed channel) reports when the real commit
+// lands.
+func (h *Handle) Commit() (CommitStatus, error) {
+	db := h.db
+	db.mu.Lock()
+	if h.dead {
+		db.mu.Unlock()
+		return 0, fmt.Errorf("%w (%s)", ErrTxnAborted, h.reason)
+	}
+	status, eff, err := db.s.Commit(h.id)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	db.deliver(eff)
+	if status == Committed {
+		select {
+		case <-h.committed:
+		default:
+			close(h.committed)
+		}
+		delete(db.handles, h.id)
+	} else {
+		h.pseudo = true
+	}
+	db.mu.Unlock()
+	return status, nil
+}
+
+// Abort rolls the transaction back.
+func (h *Handle) Abort() error {
+	db := h.db
+	db.mu.Lock()
+	if h.dead {
+		db.mu.Unlock()
+		return nil // already gone
+	}
+	eff, err := db.s.Abort(h.id)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.deliver(eff)
+	h.die(ReasonUser)
+	db.mu.Unlock()
+	return nil
+}
+
+// Committed returns a channel closed when the transaction has really
+// committed (for pseudo-committed transactions this happens once every
+// transaction it depends on has terminated).
+func (h *Handle) Committed() <-chan struct{} { return h.committed }
+
+// WaitCommitted blocks until the real commit.
+func (h *Handle) WaitCommitted() { <-h.committed }

@@ -1,0 +1,250 @@
+package core_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+func newStackDB(t *testing.T, opts core.Options) *core.DB {
+	t.Helper()
+	db := core.NewDB(opts)
+	if err := db.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func pushOp(v int) adt.Op { return adt.Op{Name: adt.StackPush, Arg: v, HasArg: true} }
+func popOp() adt.Op       { return adt.Op{Name: adt.StackPop} }
+
+// TestHandleConcurrentPushes: two goroutines push concurrently under
+// recoverability; neither waits; the later committer pseudo-commits and
+// its real commit lands once the first terminates.
+func TestHandleConcurrentPushes(t *testing.T) {
+	db := newStackDB(t, core.Options{Debug: true})
+
+	t1 := db.Begin()
+	t2 := db.Begin()
+
+	if _, err := t1.Do(1, pushOp(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(1, pushOp(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := t2.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != core.PseudoCommitted {
+		t.Fatalf("t2 commit = %v, want pseudo-committed", st)
+	}
+	select {
+	case <-t2.Committed():
+		t.Fatal("t2 must not really commit before t1 terminates")
+	default:
+	}
+
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit = %v, %v", st, err)
+	}
+
+	select {
+	case <-t2.Committed():
+	case <-time.After(time.Second):
+		t.Fatal("t2's real commit never landed")
+	}
+
+	got, err := db.Scheduler().CommittedState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(adt.NewStackState(4, 2)) {
+		t.Fatalf("stack = %v, want stack[4 2]", got)
+	}
+}
+
+// TestHandleBlockingDo: a pop blocks behind an uncommitted push and is
+// granted when the pusher commits.
+func TestHandleBlockingDo(t *testing.T) {
+	db := newStackDB(t, core.Options{Debug: true})
+	t1 := db.Begin()
+	t2 := db.Begin()
+
+	if _, err := t1.Do(1, pushOp(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan adt.Ret, 1)
+	errs := make(chan error, 1)
+	var started sync.WaitGroup
+	started.Add(1)
+	go func() {
+		started.Done()
+		ret, err := t2.Do(1, popOp())
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- ret
+	}()
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let t2 reach the blocked state
+
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit: %v, %v", st, err)
+	}
+	select {
+	case ret := <-got:
+		if ret != (adt.Ret{Code: adt.Value, Val: 7}) {
+			t.Fatalf("pop = %v, want value(7)", ret)
+		}
+	case err := <-errs:
+		t.Fatalf("pop failed: %v", err)
+	case <-time.After(time.Second):
+		t.Fatal("blocked pop never granted")
+	}
+	if st, err := t2.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t2 commit: %v, %v", st, err)
+	}
+}
+
+// TestHandleDeadlockVictim: two handles form a wait-for cycle; the
+// second blocker gets ErrTxnAborted from its parked Do.
+func TestHandleDeadlockVictim(t *testing.T) {
+	db := core.NewDB(core.Options{Debug: true})
+	for _, id := range []core.ObjectID{1, 2} {
+		if err := db.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := func(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+	r := adt.Op{Name: adt.PageRead}
+
+	t1 := db.Begin()
+	t2 := db.Begin()
+	if _, err := t1.Do(1, w(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(2, w(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := t1.Do(2, r)
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// t2 closes the cycle and is chosen as the victim.
+	_, err := t2.Do(1, r)
+	if !errors.Is(err, core.ErrTxnAborted) {
+		t.Fatalf("t2 read = %v, want ErrTxnAborted", err)
+	}
+	// t1's parked read is granted by t2's abort.
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("t1's read failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("t1's read never resumed")
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit: %v, %v", st, err)
+	}
+	// Operations on the dead handle keep failing fast.
+	if _, err := t2.Do(1, r); !errors.Is(err, core.ErrTxnAborted) {
+		t.Fatalf("dead handle Do = %v", err)
+	}
+	if _, err := t2.Commit(); !errors.Is(err, core.ErrTxnAborted) {
+		t.Fatalf("dead handle Commit = %v", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatalf("dead handle Abort should be a no-op, got %v", err)
+	}
+}
+
+// TestHandleAbort: user abort undoes effects.
+func TestHandleAbort(t *testing.T) {
+	db := newStackDB(t, core.Options{})
+	t1 := db.Begin()
+	if _, err := t1.Do(1, pushOp(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scheduler().ObjectState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(adt.NewStackState()) {
+		t.Fatalf("stack after abort = %v, want empty", got)
+	}
+}
+
+// TestHandleHammer drives many goroutines through random operations to
+// shake out races (run with -race).
+func TestHandleHammer(t *testing.T) {
+	db := core.NewDB(core.Options{})
+	for i := 1; i <= 4; i++ {
+		if err := db.Register(core.ObjectID(i), adt.Set{}, compat.SetTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 8
+	const txnsPerWorker = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWorker; i++ {
+				h := db.Begin()
+				ok := true
+				for k := 0; k < 4 && ok; k++ {
+					obj := core.ObjectID(1 + (w+i+k)%4)
+					var op adt.Op
+					switch (w + i + k) % 3 {
+					case 0:
+						op = adt.Op{Name: adt.SetInsert, Arg: k, HasArg: true}
+					case 1:
+						op = adt.Op{Name: adt.SetMember, Arg: k, HasArg: true}
+					default:
+						op = adt.Op{Name: adt.SetDelete, Arg: k, HasArg: true}
+					}
+					if _, err := h.Do(obj, op); err != nil {
+						if !errors.Is(err, core.ErrTxnAborted) {
+							t.Errorf("Do: %v", err)
+						}
+						ok = false
+					}
+				}
+				if ok {
+					if _, err := h.Commit(); err != nil {
+						t.Errorf("Commit: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Everything terminated, so all logs must be empty: committed
+	// state == materialised state.
+	for i := 1; i <= 4; i++ {
+		a, _ := db.Scheduler().ObjectState(core.ObjectID(i))
+		b, _ := db.Scheduler().CommittedState(core.ObjectID(i))
+		if !a.Equal(b) {
+			t.Errorf("object %d: materialised %v != committed %v after drain", i, a, b)
+		}
+	}
+}

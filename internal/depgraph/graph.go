@@ -1,0 +1,280 @@
+// Package depgraph implements the unified dependency graph of §4.2: a
+// directed graph over active transactions whose edges are either
+// wait-for edges (the requester waits for the holder of a conflicting
+// operation) or commit-dependency edges (the requester executed an
+// operation recoverable relative to the holder's and must therefore
+// commit after it). Cycle detection over the union of both edge kinds
+// simultaneously resolves deadlocks and serializability violations, the
+// paper's key implementation trick ("the detection of commit dependency
+// cycles is combined with the deadlock detection scheme").
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxnID identifies a transaction node.
+type TxnID uint64
+
+// EdgeKind distinguishes the two edge varieties.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// WaitFor: the source transaction is blocked waiting for the
+	// target to terminate.
+	WaitFor EdgeKind = iota
+	// CommitDep: the source transaction must commit after the target
+	// terminates.
+	CommitDep
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	if k == WaitFor {
+		return "wait-for"
+	}
+	return "commit-dep"
+}
+
+// node holds a transaction's outgoing edges by kind and a count of
+// incoming edges per source (for O(degree) removal).
+type node struct {
+	out map[TxnID]EdgeKind // target -> kind (CommitDep dominates WaitFor if both)
+	in  map[TxnID]struct{} // sources that have an edge to this node
+}
+
+// Graph is a dependency graph. The zero value is not ready; use New.
+// Graph is not safe for concurrent use; the scheduler in internal/core
+// serialises access.
+type Graph struct {
+	nodes map[TxnID]*node
+	// cycleChecks counts invocations of the cycle-detection
+	// algorithm, the numerator of the paper's cycle check ratio.
+	cycleChecks uint64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[TxnID]*node)}
+}
+
+// AddNode ensures a node exists for t.
+func (g *Graph) AddNode(t TxnID) {
+	if _, ok := g.nodes[t]; !ok {
+		g.nodes[t] = &node{out: make(map[TxnID]EdgeKind), in: make(map[TxnID]struct{})}
+	}
+}
+
+// HasNode reports whether t is present.
+func (g *Graph) HasNode(t TxnID) bool { _, ok := g.nodes[t]; return ok }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// AddEdge inserts a directed edge from -> to of the given kind, creating
+// the nodes if needed. Self-edges are ignored. If both kinds of edge
+// arise between the same pair, CommitDep wins: a wait-for edge is
+// transient (it disappears when the request is granted) while the commit
+// dependency constrains commit order for the transactions' lifetimes.
+func (g *Graph) AddEdge(from, to TxnID, kind EdgeKind) {
+	if from == to {
+		return
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	f := g.nodes[from]
+	if prev, ok := f.out[to]; ok {
+		if prev == CommitDep || kind == WaitFor {
+			return
+		}
+	}
+	f.out[to] = kind
+	g.nodes[to].in[from] = struct{}{}
+}
+
+// RemoveOutEdges deletes every outgoing edge of t, of both kinds. The
+// distributed layer uses it to rebuild a transaction's mirrored edges
+// from the per-site truth.
+func (g *Graph) RemoveOutEdges(t TxnID) {
+	n, ok := g.nodes[t]
+	if !ok {
+		return
+	}
+	for to := range n.out {
+		delete(n.out, to)
+		if tn, ok := g.nodes[to]; ok {
+			delete(tn.in, t)
+		}
+	}
+}
+
+// RemoveWaitEdges deletes every outgoing wait-for edge of t (called when
+// a blocked request is granted or abandoned). Commit-dependency edges
+// are retained.
+func (g *Graph) RemoveWaitEdges(t TxnID) {
+	n, ok := g.nodes[t]
+	if !ok {
+		return
+	}
+	for to, kind := range n.out {
+		if kind == WaitFor {
+			delete(n.out, to)
+			if tn, ok := g.nodes[to]; ok {
+				delete(tn.in, t)
+			}
+		}
+	}
+}
+
+// RemoveNode deletes t and every edge touching it (called when a
+// transaction terminates, §4.2: "the node that corresponds to the
+// terminating transaction together with the edges associated with the
+// node is removed"). It returns the former in-neighbours of t — the
+// transactions that were depending on or waiting for t — so the caller
+// can re-examine them (e.g. commit pseudo-committed dependants whose
+// out-degree dropped to zero).
+func (g *Graph) RemoveNode(t TxnID) []TxnID {
+	n, ok := g.nodes[t]
+	if !ok {
+		return nil
+	}
+	dependants := make([]TxnID, 0, len(n.in))
+	for src := range n.in {
+		if sn, ok := g.nodes[src]; ok {
+			delete(sn.out, t)
+		}
+		dependants = append(dependants, src)
+	}
+	for to := range n.out {
+		if tn, ok := g.nodes[to]; ok {
+			delete(tn.in, t)
+		}
+	}
+	delete(g.nodes, t)
+	sort.Slice(dependants, func(i, j int) bool { return dependants[i] < dependants[j] })
+	return dependants
+}
+
+// OutDegree returns the number of outgoing edges of t (both kinds).
+func (g *Graph) OutDegree(t TxnID) int {
+	if n, ok := g.nodes[t]; ok {
+		return len(n.out)
+	}
+	return 0
+}
+
+// OutEdges returns t's outgoing edges sorted by target.
+func (g *Graph) OutEdges(t TxnID) []Edge {
+	n, ok := g.nodes[t]
+	if !ok {
+		return nil
+	}
+	out := make([]Edge, 0, len(n.out))
+	for to, kind := range n.out {
+		out = append(out, Edge{From: t, To: to, Kind: kind})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
+// Edge is a materialised edge, for inspection and tests.
+type Edge struct {
+	From, To TxnID
+	Kind     EdgeKind
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string {
+	return fmt.Sprintf("T%d -%s-> T%d", e.From, e.Kind, e.To)
+}
+
+// HasCycleFrom runs cycle detection starting at t: it reports whether t
+// can reach itself following outgoing edges of either kind. Because
+// edges are only ever *added* from the transaction currently making a
+// request, any new cycle must pass through that transaction, so this
+// targeted search is equivalent to a full-graph acyclicity check after
+// each scheduler step. Each call increments the cycle-check counter.
+func (g *Graph) HasCycleFrom(t TxnID) bool {
+	g.cycleChecks++
+	n, ok := g.nodes[t]
+	if !ok {
+		return false
+	}
+	seen := map[TxnID]bool{t: true}
+	stack := make([]TxnID, 0, len(n.out))
+	for to := range n.out {
+		stack = append(stack, to)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == t {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if cn, ok := g.nodes[cur]; ok {
+			for to := range cn.out {
+				if to == t {
+					return true
+				}
+				if !seen[to] {
+					stack = append(stack, to)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Acyclic reports whether the whole graph is acyclic (used by tests and
+// debug assertions; the scheduler relies on HasCycleFrom).
+func (g *Graph) Acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[TxnID]int, len(g.nodes))
+	var visit func(TxnID) bool
+	visit = func(t TxnID) bool {
+		colour[t] = grey
+		for to := range g.nodes[t].out {
+			switch colour[to] {
+			case grey:
+				return false
+			case white:
+				if !visit(to) {
+					return false
+				}
+			}
+		}
+		colour[t] = black
+		return true
+	}
+	for t := range g.nodes {
+		if colour[t] == white {
+			if !visit(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CycleChecks returns the number of cycle-detection invocations so far.
+func (g *Graph) CycleChecks() uint64 { return g.cycleChecks }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []TxnID {
+	out := make([]TxnID, 0, len(g.nodes))
+	for t := range g.nodes {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

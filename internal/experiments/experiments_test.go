@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// tinyOpts shrinks every experiment enough to smoke-test the harness.
+func tinyOpts() RunOpts {
+	return RunOpts{Completions: 150, Warmup: 15, Runs: 1, Seed: 1, DBSize: 400, Terminals: 40}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"ablation-pseudo", "ablation-fakerestart", "ablation-writeprob",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%s): %v", id, err)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Run("fig99", tinyOpts()); err == nil {
+		t.Error("Run with unknown id accepted")
+	}
+}
+
+func TestSpecsWellFormed(t *testing.T) {
+	for _, id := range IDs() {
+		spec, _ := Lookup(id)
+		if spec.Title == "" || spec.XLabel == "" || spec.PaperNote == "" {
+			t.Errorf("%s: incomplete metadata", id)
+		}
+		if len(spec.XValues) == 0 || len(spec.Metrics) == 0 || len(spec.Series) == 0 {
+			t.Errorf("%s: empty sweep/metrics/series", id)
+		}
+		if spec.Base == nil {
+			t.Errorf("%s: no base config", id)
+		}
+	}
+}
+
+// TestRunFig4Tiny exercises the full pipeline on a shrunken Figure 4
+// and checks the result is structurally complete.
+func TestRunFig4Tiny(t *testing.T) {
+	opts := tinyOpts()
+	spec, _ := Lookup("fig4")
+	spec = &Spec{ // shrink the sweep, keep everything else
+		ID: spec.ID, Title: spec.Title, XLabel: spec.XLabel,
+		XValues: []float64{10, 25}, Metrics: spec.Metrics,
+		Series: spec.Series, Base: spec.Base, PaperNote: spec.PaperNote,
+	}
+	res, err := spec.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	cols := res.Columns()
+	if len(cols) != 2 {
+		t.Fatalf("columns = %v", cols)
+	}
+	for _, pt := range res.Points {
+		for _, c := range cols {
+			s, ok := pt.Values[c]
+			if !ok || s.Mean <= 0 {
+				t.Errorf("x=%v col=%s sample=%+v", pt.X, c, s)
+			}
+		}
+	}
+	tab := res.Table()
+	for _, frag := range []string{"FIG4", "mpl.level", "commutativity/throughput", "paper:"} {
+		if !strings.Contains(tab, frag) {
+			t.Errorf("table missing %q:\n%s", frag, tab)
+		}
+	}
+	x, best := res.Peak("recoverability/" + metrics.Throughput)
+	if best.Mean <= 0 || (x != 10 && x != 25) {
+		t.Errorf("peak = %v at %v", best, x)
+	}
+	if xs := res.Sorted(); xs[0] != 10 || xs[1] != 25 {
+		t.Errorf("sorted xs = %v", xs)
+	}
+}
+
+func TestOptsDefaults(t *testing.T) {
+	o := RunOpts{}.withDefaults()
+	d := DefaultOpts()
+	if o.Completions != d.Completions || o.Runs != d.Runs || o.DBSize != d.DBSize {
+		t.Errorf("withDefaults = %+v", o)
+	}
+	if o.Warmup != d.Completions/10 {
+		t.Errorf("warmup default = %d", o.Warmup)
+	}
+	p := PaperOpts()
+	if p.Completions != 50000 || p.Runs != 10 {
+		t.Errorf("paper opts = %+v", p)
+	}
+}
+
+func TestTablesReport(t *testing.T) {
+	rep := TablesReport()
+	for _, frag := range []string{
+		"Tables I–II (Page)",
+		"Tables III–IV (Stack)",
+		"Tables V–VI (Set)",
+		"Tables VII–VIII (Table)",
+		"Commutativity for Stack",
+		"Recoverability for Set",
+		"agreement: exact",
+		"commutativity (write,write): paper No, derived Yes-SP",
+	} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("tables report missing %q", frag)
+		}
+	}
+}
+
+func TestParametersReport(t *testing.T) {
+	rep := ParametersReport()
+	for _, frag := range []string{"1000 objects", "Write.probability", "0.05 seconds", "1 CPU + 2 disks"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("parameters report missing %q", frag)
+		}
+	}
+}

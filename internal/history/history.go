@@ -1,0 +1,324 @@
+// Package history records multi-object execution histories produced by
+// the core scheduler and verifies the paper's two correctness
+// requirements (Definition 7):
+//
+//   - soundness / freedom from cascading aborts (Definition 4, Lemma 3):
+//     replaying each object's log with every aborted transaction's
+//     operations deleted must reproduce the recorded return value of
+//     every surviving operation;
+//   - serializability (Lemma 4): replaying the committed transactions
+//     serially, in their real-commit order, must reproduce every
+//     recorded return value and the final state of every object.
+//
+// The real-commit order is a valid serialization order because both
+// commit-dependency edges and blocking order the earlier transaction's
+// commit first; the checker exploits that.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+)
+
+// OpEvent is one executed operation.
+type OpEvent struct {
+	Seq    uint64
+	Txn    core.TxnID
+	Object core.ObjectID
+	Op     adt.Op
+	Ret    adt.Ret
+}
+
+// Recorder implements core.Recorder, accumulating the history. It is
+// safe for concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	events   []OpEvent
+	aborted  map[core.TxnID]bool
+	pseudo   map[core.TxnID]bool
+	commits  []core.TxnID // real commits in order
+	blockCnt int
+}
+
+// NewRecorder returns an empty history recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		aborted: make(map[core.TxnID]bool),
+		pseudo:  make(map[core.TxnID]bool),
+	}
+}
+
+// Executed implements core.Recorder.
+func (r *Recorder) Executed(txn core.TxnID, obj core.ObjectID, op adt.Op, ret adt.Ret, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, OpEvent{Seq: seq, Txn: txn, Object: obj, Op: op, Ret: ret})
+}
+
+// Blocked implements core.Recorder.
+func (r *Recorder) Blocked(core.TxnID, core.ObjectID, adt.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blockCnt++
+}
+
+// Aborted implements core.Recorder.
+func (r *Recorder) Aborted(txn core.TxnID, _ core.AbortReason) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aborted[txn] = true
+}
+
+// PseudoCommitted implements core.Recorder.
+func (r *Recorder) PseudoCommitted(txn core.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pseudo[txn] = true
+}
+
+// Committed implements core.Recorder.
+func (r *Recorder) Committed(txn core.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commits = append(r.commits, txn)
+}
+
+// Events returns the executed operations in execution order.
+func (r *Recorder) Events() []OpEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]OpEvent(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Commits returns the real-commit order.
+func (r *Recorder) Commits() []core.TxnID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]core.TxnID(nil), r.commits...)
+}
+
+// AbortedTxns returns the set of aborted transactions.
+func (r *Recorder) AbortedTxns() map[core.TxnID]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[core.TxnID]bool, len(r.aborted))
+	for t := range r.aborted {
+		out[t] = true
+	}
+	return out
+}
+
+// Blocks returns the number of block events.
+func (r *Recorder) Blocks() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.blockCnt
+}
+
+// PseudoCommitPrecedesCommit verifies that every transaction recorded as
+// pseudo-committed was later really committed (pseudo-committed
+// transactions "will definitely commit") and never aborted.
+func (r *Recorder) PseudoCommitPrecedesCommit() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	committed := make(map[core.TxnID]bool, len(r.commits))
+	for _, t := range r.commits {
+		committed[t] = true
+	}
+	for t := range r.pseudo {
+		if r.aborted[t] {
+			return fmt.Errorf("history: T%d pseudo-committed but later aborted", t)
+		}
+		if !committed[t] {
+			return fmt.Errorf("history: T%d pseudo-committed but never really committed", t)
+		}
+	}
+	return nil
+}
+
+// CheckSoundness replays each object's full operation sequence with
+// aborted transactions' operations deleted and verifies every surviving
+// operation returns its recorded value (Definition 4 extended across
+// the log: the observable semantics of survivors are unaffected by the
+// removal). types maps each object to its data type; objects start from
+// the type's initial state.
+func CheckSoundness(types map[core.ObjectID]adt.Type, events []OpEvent, aborted map[core.TxnID]bool) error {
+	states := make(map[core.ObjectID]adt.State)
+	for _, e := range events {
+		if aborted[e.Txn] {
+			continue
+		}
+		typ, ok := types[e.Object]
+		if !ok {
+			return fmt.Errorf("history: no type for object %d", e.Object)
+		}
+		s, ok := states[e.Object]
+		if !ok {
+			s = typ.New()
+			states[e.Object] = s
+		}
+		ret, err := typ.Apply(s, e.Op)
+		if err != nil {
+			return fmt.Errorf("history: replay %v on object %d: %w", e.Op, e.Object, err)
+		}
+		if ret != e.Ret {
+			return fmt.Errorf("history: soundness violation: T%d %v on object %d returned %v live but %v with aborted transactions removed",
+				e.Txn, e.Op, e.Object, e.Ret, ret)
+		}
+	}
+	return nil
+}
+
+// CheckSerializability replays the committed transactions serially in
+// real-commit order and verifies every recorded return value matches,
+// then compares the final states against want (typically the
+// scheduler's committed states). Transactions that never committed
+// (still active at the end of the run) are skipped, which is only sound
+// if their operations did not affect committed returns — guaranteed for
+// histories where every transaction terminated; callers should drain
+// first for strict checking.
+func CheckSerializability(types map[core.ObjectID]adt.Type, events []OpEvent, commitOrder []core.TxnID, want map[core.ObjectID]adt.State) error {
+	pos := make(map[core.TxnID]int, len(commitOrder))
+	for i, t := range commitOrder {
+		pos[t] = i
+	}
+	// Group events by transaction, preserving each transaction's own
+	// execution order (<_T is respected by Seq order).
+	byTxn := make(map[core.TxnID][]OpEvent)
+	for _, e := range events {
+		if _, ok := pos[e.Txn]; !ok {
+			continue
+		}
+		byTxn[e.Txn] = append(byTxn[e.Txn], e)
+	}
+
+	states := make(map[core.ObjectID]adt.State)
+	for _, t := range commitOrder {
+		for _, e := range byTxn[t] {
+			typ, ok := types[e.Object]
+			if !ok {
+				return fmt.Errorf("history: no type for object %d", e.Object)
+			}
+			s, ok := states[e.Object]
+			if !ok {
+				s = typ.New()
+				states[e.Object] = s
+			}
+			ret, err := typ.Apply(s, e.Op)
+			if err != nil {
+				return fmt.Errorf("history: serial replay %v: %w", e.Op, err)
+			}
+			if ret != e.Ret {
+				return fmt.Errorf("history: serializability violation: T%d %v on object %d returned %v concurrently but %v in commit-order serial execution",
+					e.Txn, e.Op, e.Object, e.Ret, ret)
+			}
+		}
+	}
+
+	for oid, w := range want {
+		got, ok := states[oid]
+		if !ok {
+			got = types[oid].New()
+		}
+		if !got.Equal(w) {
+			return fmt.Errorf("history: final state of object %d: serial replay %v, scheduler %v", oid, got, w)
+		}
+	}
+	return nil
+}
+
+// SerializationOrder derives a valid serialization order for the given
+// committed transactions from the recorded events: whenever operations
+// of two committed transactions on the same object do not commute, the
+// transaction whose operation executed first must serialize first
+// (blocking already guarantees this for non-recoverable pairs, and the
+// commit-dependency protocol for recoverable ones). The order is the
+// lexicographically smallest topological order, so it is deterministic.
+// An error is reported if the constraints are cyclic — i.e. the
+// execution was not serializable at all.
+//
+// The distributed checker needs this because per-site commit streams
+// interleave in ways that need not form a global topological order,
+// even though one always exists (the global dependency graph is kept
+// acyclic).
+func SerializationOrder(events []OpEvent, committed []core.TxnID, nonCommuting func(obj core.ObjectID, later, earlier adt.Op) bool) ([]core.TxnID, error) {
+	in := make(map[core.TxnID]int, len(committed))
+	succ := make(map[core.TxnID]map[core.TxnID]bool, len(committed))
+	for _, t := range committed {
+		in[t] = 0
+		succ[t] = make(map[core.TxnID]bool)
+	}
+	for i, earlier := range events {
+		if _, ok := in[earlier.Txn]; !ok {
+			continue
+		}
+		for _, later := range events[i+1:] {
+			if later.Object != earlier.Object || later.Txn == earlier.Txn {
+				continue
+			}
+			if _, ok := in[later.Txn]; !ok {
+				continue
+			}
+			if nonCommuting(earlier.Object, later.Op, earlier.Op) && !succ[earlier.Txn][later.Txn] {
+				succ[earlier.Txn][later.Txn] = true
+				in[later.Txn]++
+			}
+		}
+	}
+	var order []core.TxnID
+	for len(order) < len(committed) {
+		pick := core.TxnID(0)
+		found := false
+		for _, t := range committed {
+			if in[t] == 0 && (!found || t < pick) {
+				pick, found = t, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("history: serialization constraints are cyclic over %d remaining transactions", len(committed)-len(order))
+		}
+		order = append(order, pick)
+		in[pick] = -1 // consumed
+		for s := range succ[pick] {
+			in[s]--
+		}
+	}
+	return order, nil
+}
+
+// CommitOrderRespectsDependencies verifies that for every recoverable
+// (non-commuting) pair o_i <E o_j with both transactions committed, T_i
+// really committed before T_j — the commit-dependency contract of §4.3.
+// classify must be the same classifier the scheduler used per object.
+func CommitOrderRespectsDependencies(events []OpEvent, commitOrder []core.TxnID, classify func(obj core.ObjectID, requested, executed adt.Op) bool) error {
+	pos := make(map[core.TxnID]int, len(commitOrder))
+	for i, t := range commitOrder {
+		pos[t] = i
+	}
+	for i, earlier := range events {
+		pi, ok := pos[earlier.Txn]
+		if !ok {
+			continue
+		}
+		for _, later := range events[i+1:] {
+			if later.Object != earlier.Object || later.Txn == earlier.Txn {
+				continue
+			}
+			pj, ok := pos[later.Txn]
+			if !ok {
+				continue
+			}
+			if classify(earlier.Object, later.Op, earlier.Op) && pj < pi {
+				return fmt.Errorf("history: commit order violates dependency: T%d's %v ran after T%d's %v on object %d but committed first",
+					later.Txn, later.Op, earlier.Txn, earlier.Op, earlier.Object)
+			}
+		}
+	}
+	return nil
+}

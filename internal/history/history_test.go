@@ -1,0 +1,144 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+)
+
+func pushEv(seq uint64, txn core.TxnID, v int, ret adt.Ret) OpEvent {
+	return OpEvent{Seq: seq, Txn: txn, Object: 1, Op: adt.Op{Name: adt.StackPush, Arg: v, HasArg: true}, Ret: ret}
+}
+
+func popEv(seq uint64, txn core.TxnID, ret adt.Ret) OpEvent {
+	return OpEvent{Seq: seq, Txn: txn, Object: 1, Op: adt.Op{Name: adt.StackPop}, Ret: ret}
+}
+
+var stackTypes = map[core.ObjectID]adt.Type{1: adt.Stack{}}
+
+func TestCheckSoundnessAccepts(t *testing.T) {
+	// T1 push(4); T2 push(2); T1 aborted. Survivor T2's push still
+	// returns ok.
+	events := []OpEvent{
+		pushEv(1, 1, 4, adt.RetOK),
+		pushEv(2, 2, 2, adt.RetOK),
+	}
+	if err := CheckSoundness(stackTypes, events, map[core.TxnID]bool{1: true}); err != nil {
+		t.Errorf("sound history rejected: %v", err)
+	}
+}
+
+func TestCheckSoundnessRejects(t *testing.T) {
+	// T1 push(4); T2 pop -> 4 (cascading read); T1 aborted. The pop's
+	// recorded return can no longer be reproduced.
+	events := []OpEvent{
+		pushEv(1, 1, 4, adt.RetOK),
+		popEv(2, 2, adt.Ret{Code: adt.Value, Val: 4}),
+	}
+	err := CheckSoundness(stackTypes, events, map[core.TxnID]bool{1: true})
+	if err == nil || !strings.Contains(err.Error(), "soundness violation") {
+		t.Errorf("cascading-abort history accepted: %v", err)
+	}
+}
+
+func TestCheckSerializabilityAccepts(t *testing.T) {
+	events := []OpEvent{
+		pushEv(1, 1, 4, adt.RetOK),
+		pushEv(2, 2, 2, adt.RetOK),
+	}
+	want := map[core.ObjectID]adt.State{1: adt.NewStackState(4, 2)}
+	if err := CheckSerializability(stackTypes, events, []core.TxnID{1, 2}, want); err != nil {
+		t.Errorf("serializable history rejected: %v", err)
+	}
+}
+
+func TestCheckSerializabilityRejectsReturnMismatch(t *testing.T) {
+	// Commit order T2 before T1 contradicts the final state/returns:
+	// T1 pushed first and T2's pop observed T1's element.
+	events := []OpEvent{
+		pushEv(1, 1, 4, adt.RetOK),
+		popEv(2, 2, adt.Ret{Code: adt.Value, Val: 4}),
+	}
+	err := CheckSerializability(stackTypes, events, []core.TxnID{2, 1}, map[core.ObjectID]adt.State{1: adt.NewStackState(4)})
+	if err == nil {
+		t.Error("non-serializable commit order accepted")
+	}
+}
+
+func TestCheckSerializabilityRejectsStateMismatch(t *testing.T) {
+	events := []OpEvent{pushEv(1, 1, 4, adt.RetOK)}
+	err := CheckSerializability(stackTypes, events, []core.TxnID{1}, map[core.ObjectID]adt.State{1: adt.NewStackState(9)})
+	if err == nil || !strings.Contains(err.Error(), "final state") {
+		t.Errorf("state mismatch accepted: %v", err)
+	}
+}
+
+func TestCommitOrderRespectsDependencies(t *testing.T) {
+	events := []OpEvent{
+		pushEv(1, 1, 4, adt.RetOK),
+		pushEv(2, 2, 2, adt.RetOK),
+	}
+	dep := func(_ core.ObjectID, requested, executed adt.Op) bool {
+		return requested.Name == adt.StackPush && executed.Name == adt.StackPush
+	}
+	if err := CommitOrderRespectsDependencies(events, []core.TxnID{1, 2}, dep); err != nil {
+		t.Errorf("legal commit order rejected: %v", err)
+	}
+	if err := CommitOrderRespectsDependencies(events, []core.TxnID{2, 1}, dep); err == nil {
+		t.Error("dependency-violating commit order accepted")
+	}
+}
+
+func TestRecorderBookkeeping(t *testing.T) {
+	r := NewRecorder()
+	r.Executed(1, 1, adt.Op{Name: adt.StackPush, Arg: 1, HasArg: true}, adt.RetOK, 2)
+	r.Executed(2, 1, adt.Op{Name: adt.StackPush, Arg: 2, HasArg: true}, adt.RetOK, 1)
+	r.Blocked(3, 1, adt.Op{Name: adt.StackPop})
+	r.PseudoCommitted(2)
+	r.Committed(1)
+	r.Committed(2)
+	r.Aborted(3, core.ReasonDeadlock)
+
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("events not sorted by seq: %+v", ev)
+	}
+	if got := r.Commits(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("commits = %v", got)
+	}
+	if !r.AbortedTxns()[3] || r.AbortedTxns()[1] {
+		t.Errorf("aborted = %v", r.AbortedTxns())
+	}
+	if r.Blocks() != 1 {
+		t.Errorf("blocks = %d", r.Blocks())
+	}
+	if err := r.PseudoCommitPrecedesCommit(); err != nil {
+		t.Errorf("valid pseudo-commit bookkeeping rejected: %v", err)
+	}
+}
+
+func TestPseudoCommitViolations(t *testing.T) {
+	r := NewRecorder()
+	r.PseudoCommitted(1)
+	if err := r.PseudoCommitPrecedesCommit(); err == nil {
+		t.Error("pseudo-committed-but-never-committed accepted")
+	}
+	r2 := NewRecorder()
+	r2.PseudoCommitted(1)
+	r2.Aborted(1, core.ReasonUser)
+	if err := r2.PseudoCommitPrecedesCommit(); err == nil {
+		t.Error("pseudo-committed-then-aborted accepted")
+	}
+}
+
+func TestCheckSoundnessUnknownObject(t *testing.T) {
+	events := []OpEvent{pushEv(1, 1, 4, adt.RetOK)}
+	if err := CheckSoundness(map[core.ObjectID]adt.Type{}, events, nil); err == nil {
+		t.Error("missing type accepted")
+	}
+	if err := CheckSerializability(map[core.ObjectID]adt.Type{}, events, []core.TxnID{1}, nil); err == nil {
+		t.Error("missing type accepted in serial replay")
+	}
+}

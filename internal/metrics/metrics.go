@@ -1,0 +1,178 @@
+// Package metrics defines the performance metrics of §5.4 (throughput,
+// response time, blocking ratio, restart ratio, cycle check ratio,
+// abort length) and multi-run aggregation with mean, standard deviation
+// and 90% confidence intervals, matching the paper's reporting ("the 90
+// percent confidence intervals lie within ±2% of the mean").
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Run holds the raw counters of one simulation run.
+type Run struct {
+	// SimTime is the simulated seconds the measurement window lasted.
+	SimTime float64
+	// Completed counts transactions that completed (committed or
+	// pseudo-committed) inside the window; completions are the
+	// denominator of every ratio ("this includes committed and
+	// pseudo-committed transactions", §5.4 — and every
+	// pseudo-committed transaction eventually commits).
+	Completed int
+	// TotalResponse is the summed response time (submission to
+	// completion, including ready-queue waits and restarts).
+	TotalResponse float64
+	// Blocks counts operation requests that were denied and blocked.
+	Blocks int
+	// Restarts counts transaction aborts followed by restart.
+	Restarts int
+	// CycleChecks counts invocations of cycle detection (deadlock
+	// checks on block + commit-dependency checks on recoverable
+	// execution).
+	CycleChecks int
+	// AbortOps is the summed number of operations executed by
+	// transactions at the moment they were aborted.
+	AbortOps int
+}
+
+// Throughput returns completed transactions per simulated second.
+func (r Run) Throughput() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.SimTime
+}
+
+// ResponseTime returns the mean transaction response time in simulated
+// seconds.
+func (r Run) ResponseTime() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.TotalResponse / float64(r.Completed)
+}
+
+// BlockingRatio returns blocks per completion.
+func (r Run) BlockingRatio() float64 { return r.perCompletion(float64(r.Blocks)) }
+
+// RestartRatio returns restarts per completion.
+func (r Run) RestartRatio() float64 { return r.perCompletion(float64(r.Restarts)) }
+
+// CycleCheckRatio returns cycle-detection invocations per completion.
+func (r Run) CycleCheckRatio() float64 { return r.perCompletion(float64(r.CycleChecks)) }
+
+// AbortLength returns the mean number of operations executed by aborted
+// transactions at abort time.
+func (r Run) AbortLength() float64 {
+	if r.Restarts == 0 {
+		return 0
+	}
+	return float64(r.AbortOps) / float64(r.Restarts)
+}
+
+func (r Run) perCompletion(x float64) float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return x / float64(r.Completed)
+}
+
+// Metric names, used by the experiment harness to select series.
+const (
+	Throughput      = "throughput"
+	ResponseTime    = "response-time"
+	BlockingRatio   = "blocking-ratio"
+	RestartRatio    = "restart-ratio"
+	CycleCheckRatio = "cycle-check-ratio"
+	AbortLength     = "abort-length"
+)
+
+// Value extracts a named metric from the run.
+func (r Run) Value(metric string) (float64, error) {
+	switch metric {
+	case Throughput:
+		return r.Throughput(), nil
+	case ResponseTime:
+		return r.ResponseTime(), nil
+	case BlockingRatio:
+		return r.BlockingRatio(), nil
+	case RestartRatio:
+		return r.RestartRatio(), nil
+	case CycleCheckRatio:
+		return r.CycleCheckRatio(), nil
+	case AbortLength:
+		return r.AbortLength(), nil
+	}
+	return 0, fmt.Errorf("metrics: unknown metric %q", metric)
+}
+
+// Sample aggregates one metric across runs.
+type Sample struct {
+	N    int
+	Mean float64
+	Std  float64
+	// CI90 is the half-width of the 90% confidence interval of the
+	// mean (Student's t).
+	CI90 float64
+}
+
+// Aggregate computes the sample statistics of xs.
+func Aggregate(xs []float64) Sample {
+	n := len(xs)
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Sample{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	ci := tCrit90(n-1) * std / math.Sqrt(float64(n))
+	return Sample{N: n, Mean: mean, Std: std, CI90: ci}
+}
+
+// tCrit90 returns the two-sided 90% critical value of Student's t with
+// df degrees of freedom (table for small df, 1.645 asymptote beyond).
+func tCrit90(df int) float64 {
+	table := []float64{
+		0, 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+		1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+		1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+		1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.645
+}
+
+// String renders the sample as "mean ± ci90".
+func (s Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.CI90)
+}
+
+// AggregateRuns extracts a named metric from each run and aggregates.
+func AggregateRuns(runs []Run, metric string) (Sample, error) {
+	xs := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		v, err := r.Value(metric)
+		if err != nil {
+			return Sample{}, err
+		}
+		xs = append(xs, v)
+	}
+	return Aggregate(xs), nil
+}

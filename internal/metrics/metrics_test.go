@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRun() Run {
+	return Run{
+		SimTime:       100,
+		Completed:     500,
+		TotalResponse: 1250,
+		Blocks:        600,
+		Restarts:      50,
+		CycleChecks:   700,
+		AbortOps:      200,
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := sampleRun()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"throughput", r.Throughput(), 5.0},
+		{"response", r.ResponseTime(), 2.5},
+		{"blocking ratio", r.BlockingRatio(), 1.2},
+		{"restart ratio", r.RestartRatio(), 0.1},
+		{"cycle check ratio", r.CycleCheckRatio(), 1.4},
+		{"abort length", r.AbortLength(), 4.0},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRunZeroGuards(t *testing.T) {
+	var r Run
+	for _, m := range []string{Throughput, ResponseTime, BlockingRatio, RestartRatio, CycleCheckRatio, AbortLength} {
+		v, err := r.Value(m)
+		if err != nil || v != 0 {
+			t.Errorf("zero run %s = %v, %v", m, v, err)
+		}
+	}
+	if _, err := r.Value("nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := Aggregate([]float64{2, 4, 6})
+	if s.N != 3 || math.Abs(s.Mean-4) > 1e-12 {
+		t.Errorf("sample = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+	// CI90 = t(2) * std / sqrt(3) = 2.920 * 2 / 1.732...
+	want := 2.920 * 2 / math.Sqrt(3)
+	if math.Abs(s.CI90-want) > 1e-9 {
+		t.Errorf("ci90 = %v, want %v", s.CI90, want)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	if s := Aggregate(nil); s.N != 0 {
+		t.Errorf("empty aggregate = %+v", s)
+	}
+	s := Aggregate([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.CI90 != 0 {
+		t.Errorf("singleton aggregate = %+v", s)
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	if tCrit90(1) != 6.314 || tCrit90(9) != 1.833 {
+		t.Error("t table wrong")
+	}
+	if tCrit90(1000) != 1.645 {
+		t.Error("asymptote wrong")
+	}
+	if tCrit90(0) != 0 {
+		t.Error("df=0 should be 0")
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	runs := []Run{sampleRun(), sampleRun()}
+	s, err := AggregateRuns(runs, Throughput)
+	if err != nil || s.Mean != 5 || s.Std != 0 {
+		t.Errorf("AggregateRuns = %+v, %v", s, err)
+	}
+	if _, err := AggregateRuns(runs, "nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+// TestAggregateProperties: mean lies within [min, max]; scaling inputs
+// scales mean, std and CI linearly.
+func TestAggregateProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		s := Aggregate(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		if s.Mean < min-1e-9 || s.Mean > max+1e-9 {
+			return false
+		}
+		const k = 3.0
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = k * x
+		}
+		s2 := Aggregate(scaled)
+		return math.Abs(s2.Mean-k*s.Mean) < 1e-6*(1+math.Abs(k*s.Mean)) &&
+			math.Abs(s2.Std-k*s.Std) < 1e-6*(1+k*s.Std) &&
+			math.Abs(s2.CI90-k*s.CI90) < 1e-6*(1+k*s.CI90)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim is a discrete-event reproduction of the paper's closed
+// queuing simulation model (§5.1, Figure 3), itself a modified version
+// of Agrawal, Carey & Livny's model: a fixed set of terminals submits
+// transactions; at most mpl.level transactions execute concurrently
+// (the rest wait in the ready queue); each operation passes concurrency
+// control and then consumes resources (a CPU then a disk under finite
+// resources, a flat step time under infinite resources); blocked
+// transactions wait in per-object queues; aborted transactions restart
+// immediately at the tail of the ready queue; a terminal whose
+// transaction completes (pseudo-commits or commits) thinks for an
+// exponentially distributed time and submits a new one.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Config collects every model parameter (Tables IX and X) plus protocol
+// and run-control knobs.
+type Config struct {
+	// Terminals is num.of.terminals (nominally 200).
+	Terminals int
+	// MPL is mpl.level, the multiprogramming level.
+	MPL int
+	// MinLength/MaxLength bound the uniformly distributed transaction
+	// length (nominally 4..12, mean 8).
+	MinLength, MaxLength int
+	// StepTime is the execution time of each operation under
+	// infinite resources (nominally 0.05 s).
+	StepTime float64
+	// CPUTime and IOTime split a step under finite resources
+	// (nominally 0.015 s + 0.035 s).
+	CPUTime, IOTime float64
+	// ResourceUnits is the number of resource units, each one CPU and
+	// two disks; 0 means infinite resources.
+	ResourceUnits int
+	// ThinkTime is ext.think.time, the mean of the exponential
+	// terminal think time (nominally 1 s).
+	ThinkTime float64
+
+	// Predicate selects recoverability or the commutativity baseline.
+	Predicate core.Predicate
+	// Unfair disables fair scheduling (Figures 8–9 study this).
+	Unfair bool
+	// Recovery selects the recovery strategy (no simulated cost
+	// either way; the paper does not charge for recovery).
+	Recovery core.Recovery
+	// DisablePseudoCommit makes completion wait for the real commit
+	// (ablation A: isolates pseudo-commit's latency contribution).
+	DisablePseudoCommit bool
+	// FakeRestarts makes a restarted transaction draw a fresh
+	// operation sequence instead of re-executing the original (the
+	// alternative the paper mentions but does not use).
+	FakeRestarts bool
+
+	// Workload generates transactions and the database.
+	Workload workload.Generator
+	// Seed drives all randomness; a fixed seed gives a bit-identical
+	// run.
+	Seed int64
+
+	// Completions is how many transaction completions to simulate
+	// after warm-up (the paper runs 50,000).
+	Completions int
+	// Warmup is how many completions to discard before measuring.
+	Warmup int
+	// MaxEvents guards against runaway runs; 0 picks a generous
+	// default.
+	MaxEvents int
+}
+
+// Default returns the paper's nominal settings (Table X) with the given
+// workload, multiprogramming level and seed. Completions defaults to a
+// laptop-friendly 4,000 with 10% warm-up; pass the paper's 50,000 for
+// full fidelity.
+func Default(w workload.Generator, mpl int, seed int64) Config {
+	return Config{
+		Terminals:   200,
+		MPL:         mpl,
+		MinLength:   4,
+		MaxLength:   12,
+		StepTime:    0.05,
+		CPUTime:     0.015,
+		IOTime:      0.035,
+		ThinkTime:   1.0,
+		Workload:    w,
+		Seed:        seed,
+		Completions: 4000,
+		Warmup:      400,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Workload == nil:
+		return errors.New("sim: config needs a workload")
+	case c.Terminals <= 0:
+		return errors.New("sim: Terminals must be positive")
+	case c.MPL <= 0:
+		return errors.New("sim: MPL must be positive")
+	case c.MinLength <= 0 || c.MaxLength < c.MinLength:
+		return fmt.Errorf("sim: bad length bounds [%d,%d]", c.MinLength, c.MaxLength)
+	case c.StepTime <= 0 && c.ResourceUnits == 0:
+		return errors.New("sim: StepTime must be positive under infinite resources")
+	case c.ResourceUnits > 0 && (c.CPUTime <= 0 || c.IOTime <= 0):
+		return errors.New("sim: CPUTime and IOTime must be positive under finite resources")
+	case c.ResourceUnits < 0:
+		return errors.New("sim: ResourceUnits must be >= 0")
+	case c.ThinkTime < 0:
+		return errors.New("sim: ThinkTime must be >= 0")
+	case c.Completions <= 0:
+		return errors.New("sim: Completions must be positive")
+	case c.Warmup < 0:
+		return errors.New("sim: Warmup must be >= 0")
+	}
+	return nil
+}
+
+// maxEvents returns the event guard.
+func (c Config) maxEvents() int {
+	if c.MaxEvents > 0 {
+		return c.MaxEvents
+	}
+	// Each operation needs a handful of events, but deep-thrash
+	// regimes (restart ratios beyond the paper's worst case) replay
+	// transactions many times over; 20,000 events per completion
+	// leaves room for that while still catching genuine stalls.
+	n := (c.Completions + c.Warmup) * 20_000
+	if n < 2_000_000 {
+		n = 2_000_000
+	}
+	return n
+}

@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// smallCfg returns a quick configuration for tests.
+func smallCfg(w workload.Generator, mpl int, seed int64) Config {
+	cfg := Default(w, mpl, seed)
+	cfg.Terminals = 50
+	cfg.Completions = 600
+	cfg.Warmup = 60
+	return cfg
+}
+
+func rw() workload.Generator { return workload.ReadWrite{DBSize: 200, WriteProb: 0.3} }
+
+func TestSimulateBasic(t *testing.T) {
+	run, err := Simulate(smallCfg(rw(), 25, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Completed != 600 {
+		t.Errorf("completed = %d, want 600", run.Completed)
+	}
+	if run.SimTime <= 0 {
+		t.Errorf("simulated time = %v", run.SimTime)
+	}
+	if run.Throughput() <= 0 {
+		t.Errorf("throughput = %v", run.Throughput())
+	}
+	if run.ResponseTime() <= 0 {
+		t.Errorf("response time = %v", run.ResponseTime())
+	}
+}
+
+// TestDeterminism: identical seeds give bit-identical metrics;
+// different seeds differ somewhere.
+func TestDeterminism(t *testing.T) {
+	a, err := Simulate(smallCfg(rw(), 25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(smallCfg(rw(), 25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := Simulate(smallCfg(rw(), 25, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestRecoverabilityBeatsCommutativity is the paper's headline claim at
+// simulation level: with meaningful data contention the recoverability
+// predicate yields at least the commutativity baseline's throughput,
+// and lower blocking.
+func TestRecoverabilityBeatsCommutativity(t *testing.T) {
+	cfg := smallCfg(workload.ReadWrite{DBSize: 300, WriteProb: 0.3}, 50, 3)
+	cfg.Completions = 1500
+	cfg.Warmup = 150
+
+	cfg.Predicate = core.PredRecoverability
+	recRuns, err := SimulateRuns(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Predicate = core.PredCommutativity
+	commRuns, err := SimulateRuns(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recTP, _ := metrics.AggregateRuns(recRuns, metrics.Throughput)
+	commTP, _ := metrics.AggregateRuns(commRuns, metrics.Throughput)
+	if recTP.Mean < commTP.Mean {
+		t.Errorf("throughput: recoverability %.2f < commutativity %.2f", recTP.Mean, commTP.Mean)
+	}
+	recBR, _ := metrics.AggregateRuns(recRuns, metrics.BlockingRatio)
+	commBR, _ := metrics.AggregateRuns(commRuns, metrics.BlockingRatio)
+	if recBR.Mean > commBR.Mean {
+		t.Errorf("blocking ratio: recoverability %.3f > commutativity %.3f", recBR.Mean, commBR.Mean)
+	}
+	recRT, _ := metrics.AggregateRuns(recRuns, metrics.ResponseTime)
+	commRT, _ := metrics.AggregateRuns(commRuns, metrics.ResponseTime)
+	if recRT.Mean > commRT.Mean*1.05 {
+		t.Errorf("response time: recoverability %.3f noticeably above commutativity %.3f", recRT.Mean, commRT.Mean)
+	}
+}
+
+// TestFiniteResourcesSlower: with one resource unit the same workload
+// takes longer per transaction than with infinite resources.
+func TestFiniteResourcesSlower(t *testing.T) {
+	cfg := smallCfg(rw(), 25, 5)
+	inf, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResourceUnits = 1
+	one, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Throughput() >= inf.Throughput() {
+		t.Errorf("1 resource unit throughput %.2f >= infinite %.2f", one.Throughput(), inf.Throughput())
+	}
+	if one.ResponseTime() <= inf.ResponseTime() {
+		t.Errorf("1 resource unit response %.3f <= infinite %.3f", one.ResponseTime(), inf.ResponseTime())
+	}
+}
+
+// TestAbstractWorkload: the ADT model runs, and more recoverability
+// (higher Pr) means less blocking on the same seed.
+func TestAbstractWorkload(t *testing.T) {
+	mk := func(pr int) workload.Generator {
+		return workload.Abstract{DBSize: 120, Sigma: 4, Pc: 4, Pr: pr, TableSeed: 99}
+	}
+	cfg := smallCfg(mk(0), 50, 2)
+	r0, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = mk(8)
+	r8, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.BlockingRatio() >= r0.BlockingRatio() {
+		t.Errorf("Pr=8 blocking ratio %.3f >= Pr=0 %.3f", r8.BlockingRatio(), r0.BlockingRatio())
+	}
+	if r8.Throughput() <= r0.Throughput() {
+		t.Errorf("Pr=8 throughput %.2f <= Pr=0 %.2f", r8.Throughput(), r0.Throughput())
+	}
+}
+
+// TestMixWorkload: the realistic stack/set/table mix completes cleanly
+// under both recovery strategies with identical results (determinism of
+// the protocol is recovery-agnostic).
+func TestMixWorkload(t *testing.T) {
+	cfg := smallCfg(workload.Mix{DBSize: 90, ArgRange: 6}, 25, 4)
+	cfg.Recovery = core.RecoveryIntentions
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recovery = core.RecoveryUndo
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("recovery strategies diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAblationPseudoCommit: at moderate contention (where the MPL slot
+// pressure pseudo-commit relieves is not itself the bottleneck),
+// disabling pseudo-commit increases response time — completion waits
+// for the real commit. In deep-thrash regimes the comparison can
+// invert because deferred completions throttle admission; the ablation
+// benchmark sweeps both.
+func TestAblationPseudoCommit(t *testing.T) {
+	cfg := smallCfg(workload.ReadWrite{DBSize: 600, WriteProb: 0.3}, 25, 6)
+	on, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisablePseudoCommit = true
+	off, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.ResponseTime() < on.ResponseTime() {
+		t.Errorf("response without pseudo-commit %.3f < with %.3f", off.ResponseTime(), on.ResponseTime())
+	}
+}
+
+// TestFakeRestarts: the alternative restart policy runs to completion.
+func TestFakeRestarts(t *testing.T) {
+	cfg := smallCfg(workload.ReadWrite{DBSize: 60, WriteProb: 0.5}, 50, 9)
+	cfg.FakeRestarts = true
+	run, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Completed != cfg.Completions {
+		t.Errorf("completed = %d", run.Completed)
+	}
+}
+
+// TestUnfairScheduling runs the unfair variant (Figures 8–9) and
+// checks it blocks no more than fair scheduling on the same seed.
+func TestUnfairScheduling(t *testing.T) {
+	cfg := smallCfg(workload.ReadWrite{DBSize: 300, WriteProb: 0.3}, 50, 10)
+	fair, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Unfair = true
+	unfair, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfair.BlockingRatio() > fair.BlockingRatio() {
+		t.Errorf("unfair blocking ratio %.3f > fair %.3f", unfair.BlockingRatio(), fair.BlockingRatio())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := smallCfg(rw(), 10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.Workload = nil }, "workload"},
+		{func(c *Config) { c.Terminals = 0 }, "Terminals"},
+		{func(c *Config) { c.MPL = 0 }, "MPL"},
+		{func(c *Config) { c.MinLength = 0 }, "length"},
+		{func(c *Config) { c.MaxLength = 1 }, "length"},
+		{func(c *Config) { c.StepTime = 0 }, "StepTime"},
+		{func(c *Config) { c.ResourceUnits = -1 }, "ResourceUnits"},
+		{func(c *Config) { c.ResourceUnits = 2; c.CPUTime = 0 }, "CPUTime"},
+		{func(c *Config) { c.ThinkTime = -1 }, "ThinkTime"},
+		{func(c *Config) { c.Completions = 0 }, "Completions"},
+		{func(c *Config) { c.Warmup = -1 }, "Warmup"},
+	}
+	for _, c := range cases {
+		cfg := good
+		c.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutation %q: err = %v", c.want, err)
+		}
+		if _, simErr := Simulate(cfg); simErr == nil {
+			t.Errorf("Simulate accepted invalid config (%s)", c.want)
+		}
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	cfg := smallCfg(rw(), 10, 1)
+	if cfg.maxEvents() < 1_000_000 {
+		t.Error("default guard too small")
+	}
+	cfg.MaxEvents = 10
+	if cfg.maxEvents() != 10 {
+		t.Error("explicit guard ignored")
+	}
+	_, err := Simulate(cfg)
+	if err == nil || !strings.Contains(err.Error(), "event guard") {
+		t.Errorf("guard did not trip: %v", err)
+	}
+}
+
+// TestSimulateRunsSeeds: n runs use consecutive seeds and all complete.
+func TestSimulateRunsSeeds(t *testing.T) {
+	cfg := smallCfg(rw(), 10, 42)
+	cfg.Completions = 200
+	cfg.Warmup = 20
+	runs, err := SimulateRuns(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if runs[0] == runs[1] && runs[1] == runs[2] {
+		t.Error("all runs identical — seeds not advancing")
+	}
+	single, err := Simulate(Config(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0] != single {
+		t.Error("first run should equal a single run with the base seed")
+	}
+}

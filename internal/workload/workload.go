@@ -1,0 +1,173 @@
+// Package workload implements the paper's two simulation data models
+// (§5.5): the read/write model (pages, write.probability) and the
+// abstract-data-type model (σ=4 operations per object with randomly
+// generated compatibility tables parameterised by Pc and Pr), plus a
+// "realistic" mix of the paper's concrete types for examples and extra
+// benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+// Step is one operation request of a transaction: which object, which
+// operation.
+type Step struct {
+	Object core.ObjectID
+	Op     adt.Op
+}
+
+// Generator produces transactions and describes the database they run
+// against. Objects are numbered 1..DBSize; the paper draws each
+// operation's object uniformly and independently.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Size returns the database size in objects.
+	Size() int
+	// Factory returns the lazy object constructor handed to
+	// core.Scheduler.SetFactory.
+	Factory() func(core.ObjectID) (adt.Type, compat.Classifier)
+	// NewTxn draws a transaction of the given length using r.
+	NewTxn(r *rand.Rand, length int) []Step
+}
+
+// ReadWrite is the read/write model of §5.5.1: every object is a Page,
+// every operation is a read or a write, and an operation is a write
+// with probability WriteProb (the paper's write.probability, nominally
+// 0.3).
+type ReadWrite struct {
+	DBSize    int
+	WriteProb float64
+}
+
+// Name implements Generator.
+func (w ReadWrite) Name() string { return fmt.Sprintf("read-write(p_w=%.2f)", w.WriteProb) }
+
+// Size implements Generator.
+func (w ReadWrite) Size() int { return w.DBSize }
+
+// Factory implements Generator. All pages share the paper's Page
+// tables (Tables I–II).
+func (w ReadWrite) Factory() func(core.ObjectID) (adt.Type, compat.Classifier) {
+	table := compat.PageTable()
+	return func(core.ObjectID) (adt.Type, compat.Classifier) {
+		return adt.Page{}, table
+	}
+}
+
+// NewTxn implements Generator.
+func (w ReadWrite) NewTxn(r *rand.Rand, length int) []Step {
+	steps := make([]Step, length)
+	for i := range steps {
+		obj := core.ObjectID(1 + r.Intn(w.DBSize))
+		if r.Float64() < w.WriteProb {
+			steps[i] = Step{Object: obj, Op: adt.Op{Name: adt.PageWrite, Arg: r.Intn(1000), HasArg: true}}
+		} else {
+			steps[i] = Step{Object: obj, Op: adt.Op{Name: adt.PageRead}}
+		}
+	}
+	return steps
+}
+
+// Abstract is the abstract-data-type model of §5.5.2: each object
+// defines Sigma parameter-less operations whose conflict behaviour is a
+// randomly generated merged compatibility table with Pc commutative and
+// Pr recoverable entries. Each object's table is drawn deterministically
+// from TableSeed so that runs are reproducible and both predicates see
+// identical databases.
+type Abstract struct {
+	DBSize    int
+	Sigma     int
+	Pc, Pr    int
+	TableSeed int64
+}
+
+// Name implements Generator.
+func (w Abstract) Name() string {
+	return fmt.Sprintf("abstract(sigma=%d,Pc=%d,Pr=%d)", w.Sigma, w.Pc, w.Pr)
+}
+
+// Size implements Generator.
+func (w Abstract) Size() int { return w.DBSize }
+
+// Factory implements Generator.
+func (w Abstract) Factory() func(core.ObjectID) (adt.Type, compat.Classifier) {
+	typ := adt.Abstract{Sigma: w.Sigma}
+	return func(id core.ObjectID) (adt.Type, compat.Classifier) {
+		r := rand.New(rand.NewSource(w.TableSeed + int64(id)))
+		return typ, compat.MustGenerate(r, w.Sigma, w.Pc, w.Pr)
+	}
+}
+
+// NewTxn implements Generator: "each operation is selected using a
+// random variable distributed uniformly between 1 and 4" and the object
+// uniformly over the database.
+func (w Abstract) NewTxn(r *rand.Rand, length int) []Step {
+	steps := make([]Step, length)
+	for i := range steps {
+		steps[i] = Step{
+			Object: core.ObjectID(1 + r.Intn(w.DBSize)),
+			Op:     adt.Op{Name: adt.AbstractOpName(r.Intn(w.Sigma))},
+		}
+	}
+	return steps
+}
+
+// Mix is a database of the paper's concrete types — stacks, sets and
+// tables in equal proportion (object id mod 3) — with operations drawn
+// uniformly from each type's repertoire and parameters from a small
+// domain (ArgRange). It exercises the real compatibility tables,
+// including their parameter-dependent entries.
+type Mix struct {
+	DBSize   int
+	ArgRange int // parameters drawn from [1, ArgRange]
+}
+
+// Name implements Generator.
+func (w Mix) Name() string { return "mix(stack/set/table)" }
+
+// Size implements Generator.
+func (w Mix) Size() int { return w.DBSize }
+
+// typeFor returns the type and table for an object id.
+func (w Mix) typeFor(id core.ObjectID) (adt.Type, *compat.Table) {
+	switch id % 3 {
+	case 0:
+		return adt.Stack{}, compat.StackTable()
+	case 1:
+		return adt.Set{}, compat.SetTable()
+	default:
+		return adt.KTable{}, compat.KTableTable()
+	}
+}
+
+// Factory implements Generator.
+func (w Mix) Factory() func(core.ObjectID) (adt.Type, compat.Classifier) {
+	return func(id core.ObjectID) (adt.Type, compat.Classifier) {
+		typ, tab := w.typeFor(id)
+		return typ, tab
+	}
+}
+
+// NewTxn implements Generator.
+func (w Mix) NewTxn(r *rand.Rand, length int) []Step {
+	argRange := w.ArgRange
+	if argRange <= 0 {
+		argRange = 8
+	}
+	steps := make([]Step, length)
+	for i := range steps {
+		obj := core.ObjectID(1 + r.Intn(w.DBSize))
+		typ, _ := w.typeFor(obj)
+		specs := typ.Specs()
+		sp := specs[r.Intn(len(specs))]
+		steps[i] = Step{Object: obj, Op: sp.Invoke(1+r.Intn(argRange), 1+r.Intn(argRange))}
+	}
+	return steps
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+func TestReadWriteGenerator(t *testing.T) {
+	w := ReadWrite{DBSize: 100, WriteProb: 0.3}
+	if w.Size() != 100 {
+		t.Errorf("Size = %d", w.Size())
+	}
+	if w.Name() == "" {
+		t.Error("empty name")
+	}
+	rng := rand.New(rand.NewSource(1))
+	writes, total := 0, 0
+	for i := 0; i < 500; i++ {
+		steps := w.NewTxn(rng, 8)
+		if len(steps) != 8 {
+			t.Fatalf("length = %d", len(steps))
+		}
+		for _, s := range steps {
+			if s.Object < 1 || s.Object > 100 {
+				t.Fatalf("object %d out of range", s.Object)
+			}
+			total++
+			switch s.Op.Name {
+			case adt.PageWrite:
+				writes++
+				if !s.Op.HasArg {
+					t.Fatal("write without a value")
+				}
+			case adt.PageRead:
+			default:
+				t.Fatalf("unexpected op %s", s.Op.Name)
+			}
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("write fraction = %.3f, want ≈0.30", frac)
+	}
+
+	typ, class := w.Factory()(core.ObjectID(5))
+	if typ.Name() != "page" {
+		t.Errorf("factory type = %s", typ.Name())
+	}
+	if class == nil {
+		t.Error("nil classifier")
+	}
+}
+
+func TestAbstractGenerator(t *testing.T) {
+	w := Abstract{DBSize: 50, Sigma: 4, Pc: 4, Pr: 8, TableSeed: 3}
+	if w.Name() == "" || w.Size() != 50 {
+		t.Error("metadata wrong")
+	}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		for _, s := range w.NewTxn(rng, 6) {
+			seen[s.Op.Name] = true
+			if s.Op.HasArg {
+				t.Fatal("abstract ops are parameterless")
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[adt.AbstractOpName(i)] {
+			t.Errorf("op%d never drawn", i)
+		}
+	}
+
+	// Factory tables are deterministic per object and respect Pc/Pr.
+	f := w.Factory()
+	_, c1 := f(core.ObjectID(7))
+	_, c2 := f(core.ObjectID(7))
+	g1 := c1.(*compat.Generated)
+	g2 := c2.(*compat.Generated)
+	comm, rec, _ := g1.Counts()
+	if comm != 4 || rec != 8 {
+		t.Errorf("counts = %d,%d, want 4,8", comm, rec)
+	}
+	for i := range g1.Cell {
+		for j := range g1.Cell[i] {
+			if g1.Cell[i][j] != g2.Cell[i][j] {
+				t.Fatal("factory not deterministic per object")
+			}
+		}
+	}
+	_, c3 := f(core.ObjectID(8))
+	g3 := c3.(*compat.Generated)
+	same := true
+	for i := range g1.Cell {
+		for j := range g1.Cell[i] {
+			if g1.Cell[i][j] != g3.Cell[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different objects should (generically) differ in tables")
+	}
+}
+
+func TestMixGenerator(t *testing.T) {
+	w := Mix{DBSize: 30, ArgRange: 5}
+	if w.Name() == "" || w.Size() != 30 {
+		t.Error("metadata wrong")
+	}
+	f := w.Factory()
+	kinds := map[string]bool{}
+	for id := core.ObjectID(1); id <= 30; id++ {
+		typ, class := f(id)
+		kinds[typ.Name()] = true
+		if class == nil {
+			t.Fatal("nil classifier")
+		}
+	}
+	for _, k := range []string{"stack", "set", "table"} {
+		if !kinds[k] {
+			t.Errorf("mix never produced %s", k)
+		}
+	}
+
+	// Every generated op must be applicable to its object's type.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		for _, s := range w.NewTxn(rng, 5) {
+			typ, _ := f(s.Object)
+			if _, err := typ.Apply(typ.New(), s.Op); err != nil {
+				t.Fatalf("op %v invalid for %s: %v", s.Op, typ.Name(), err)
+			}
+		}
+	}
+
+	// Zero ArgRange falls back to a sane default.
+	w0 := Mix{DBSize: 9}
+	for _, s := range w0.NewTxn(rng, 4) {
+		if s.Op.HasArg && (s.Op.Arg < 1 || s.Op.Arg > 8) {
+			t.Errorf("arg %d outside default range", s.Op.Arg)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package repro is a faithful Go implementation of Badrinath &
+// Ramamritham, "Semantics-Based Concurrency Control: Beyond
+// Commutativity" (ICDE 1987 / ACM TODS 17(1), 1992): a concurrency
+// controller for atomic data types that exploits *recoverability* — a
+// conflict predicate weaker than commutativity that still avoids
+// cascading aborts — plus the paper's full simulation study.
+//
+// The package re-exports the library's public surface; implementations
+// live under internal/ (see DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	db := repro.NewDB(repro.Options{})
+//	db.Register(1, repro.Stack{}, repro.StackTable())
+//	t1, t2 := db.Begin(), db.Begin()
+//	t1.Do(1, repro.Push(4))
+//	t2.Do(1, repro.Push(2))      // runs immediately: push is recoverable
+//	t2.Commit()                  // pseudo-commits (depends on t1)
+//	t1.Commit()                  // t2's real commit cascades
+package repro
+
+import (
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ---- Concurrency controller (internal/core) ----
+
+// Core protocol types.
+type (
+	// DB is the blocking, goroutine-friendly transaction interface.
+	DB = core.DB
+	// Handle is one transaction's session on a DB.
+	Handle = core.Handle
+	// Scheduler is the deterministic event-style controller beneath DB.
+	Scheduler = core.Scheduler
+	// Options configures the protocol (predicate, recovery strategy,
+	// fairness, debugging).
+	Options = core.Options
+	// TxnID identifies a transaction.
+	TxnID = core.TxnID
+	// ObjectID identifies a database object.
+	ObjectID = core.ObjectID
+	// Decision is the immediate outcome of a Scheduler request.
+	Decision = core.Decision
+	// Effects reports downstream consequences of a scheduler call.
+	Effects = core.Effects
+	// Stats are cumulative protocol counters.
+	Stats = core.Stats
+	// CommitStatus distinguishes real commits from pseudo-commits.
+	CommitStatus = core.CommitStatus
+	// Predicate selects recoverability or the commutativity baseline.
+	Predicate = core.Predicate
+	// Recovery selects the §4.4 recovery strategy.
+	Recovery = core.Recovery
+)
+
+// Protocol constants and constructors.
+var (
+	// NewDB builds the blocking front end.
+	NewDB = core.NewDB
+	// NewScheduler builds the raw controller.
+	NewScheduler = core.NewScheduler
+	// ErrTxnAborted is returned once the scheduler has aborted a
+	// transaction (deadlock or commit-dependency cycle).
+	ErrTxnAborted = core.ErrTxnAborted
+)
+
+// Predicate, recovery and status values.
+const (
+	PredRecoverability = core.PredRecoverability
+	PredCommutativity  = core.PredCommutativity
+	RecoveryIntentions = core.RecoveryIntentions
+	RecoveryUndo       = core.RecoveryUndo
+	Committed          = core.Committed
+	PseudoCommitted    = core.PseudoCommitted
+)
+
+// ---- Atomic data types (internal/adt) ----
+
+// Data type and operation types.
+type (
+	// Op is an operation invocation.
+	Op = adt.Op
+	// Ret is an operation's return value.
+	Ret = adt.Ret
+	// Type is an atomic data type (state space + operations).
+	Type = adt.Type
+	// State is an object state.
+	State = adt.State
+	// Page is the read/write object of §3.2.1.
+	Page = adt.Page
+	// Stack is the push/pop/top object of §3.2.2.
+	Stack = adt.Stack
+	// Set is the insert/delete/member object of §3.2.3.
+	Set = adt.Set
+	// KTable is the keyed table of §3.2.4.
+	KTable = adt.KTable
+)
+
+// Operation constructors for the built-in types.
+
+// Push builds a stack push.
+func Push(v int) Op { return Op{Name: adt.StackPush, Arg: v, HasArg: true} }
+
+// Pop builds a stack pop.
+func Pop() Op { return Op{Name: adt.StackPop} }
+
+// Top builds a stack top.
+func Top() Op { return Op{Name: adt.StackTop} }
+
+// Read builds a page read.
+func Read() Op { return Op{Name: adt.PageRead} }
+
+// Write builds a page write.
+func Write(v int) Op { return Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+
+// Insert builds a set insert.
+func Insert(v int) Op { return Op{Name: adt.SetInsert, Arg: v, HasArg: true} }
+
+// Delete builds a set delete.
+func Delete(v int) Op { return Op{Name: adt.SetDelete, Arg: v, HasArg: true} }
+
+// Member builds a set membership test.
+func Member(v int) Op { return Op{Name: adt.SetMember, Arg: v, HasArg: true} }
+
+// TableInsert builds a table insert of (key, item).
+func TableInsert(key, item int) Op {
+	return Op{Name: adt.TableInsert, Arg: key, HasArg: true, Aux: item, HasAux: true}
+}
+
+// TableDelete builds a table delete of key.
+func TableDelete(key int) Op { return Op{Name: adt.TableDelete, Arg: key, HasArg: true} }
+
+// TableLookup builds a table lookup of key.
+func TableLookup(key int) Op { return Op{Name: adt.TableLookup, Arg: key, HasArg: true} }
+
+// TableSize builds a table size query.
+func TableSize() Op { return Op{Name: adt.TableSize} }
+
+// TableModify builds a table modify of (key, item).
+func TableModify(key, item int) Op {
+	return Op{Name: adt.TableModify, Arg: key, HasArg: true, Aux: item, HasAux: true}
+}
+
+// Return codes.
+const (
+	RetCodeOK       = adt.OK
+	RetCodeFail     = adt.Fail
+	RetCodeYes      = adt.Yes
+	RetCodeNo       = adt.No
+	RetCodeNull     = adt.Null
+	RetCodeNotFound = adt.NotFound
+	RetCodeValue    = adt.Value
+	RetCodeCount    = adt.Count
+)
+
+// ---- Compatibility tables (internal/compat) ----
+
+// Compatibility types.
+type (
+	// CompatTable is a commutativity + recoverability table.
+	CompatTable = compat.Table
+	// Classifier classifies operation pairs (commutes / recoverable /
+	// conflict).
+	Classifier = compat.Classifier
+)
+
+// Paper tables and derivation.
+var (
+	// PageTable returns the paper's Tables I–II.
+	PageTable = compat.PageTable
+	// StackTable returns the paper's Tables III–IV.
+	StackTable = compat.StackTable
+	// SetTable returns the paper's Tables V–VI.
+	SetTable = compat.SetTable
+	// KTableTable returns the paper's Tables VII–VIII.
+	KTableTable = compat.KTableTable
+	// DeriveTable recomputes a type's tables from Definitions 1–2.
+	DeriveTable = compat.Derive
+)
+
+// ---- Simulation (internal/sim, internal/workload, internal/metrics) ----
+
+// Simulation types.
+type (
+	// SimConfig parameterises the closed queuing model (Tables IX–X).
+	SimConfig = sim.Config
+	// RunMetrics are one run's measured metrics (§5.4).
+	RunMetrics = metrics.Run
+	// Sample is a multi-run aggregate (mean, stddev, 90% CI).
+	Sample = metrics.Sample
+	// WorkloadGenerator produces transactions and the database.
+	WorkloadGenerator = workload.Generator
+	// ReadWriteWorkload is the §5.5.1 read/write model.
+	ReadWriteWorkload = workload.ReadWrite
+	// AbstractWorkload is the §5.5.2 abstract-data-type model.
+	AbstractWorkload = workload.Abstract
+	// MixWorkload is a stack/set/table mix over the paper's real types.
+	MixWorkload = workload.Mix
+)
+
+// Simulation entry points.
+var (
+	// DefaultSimConfig returns the paper's nominal parameters.
+	DefaultSimConfig = sim.Default
+	// Simulate runs one simulation.
+	Simulate = sim.Simulate
+	// SimulateRuns runs n seeds and returns per-run metrics.
+	SimulateRuns = sim.SimulateRuns
+	// AggregateRuns aggregates a metric across runs.
+	AggregateRuns = metrics.AggregateRuns
+)
+
+// ---- Experiments (internal/experiments) ----
+
+// Experiment types.
+type (
+	// Experiment is a declarative figure/ablation definition.
+	Experiment = experiments.Spec
+	// ExperimentOpts scales an experiment run.
+	ExperimentOpts = experiments.RunOpts
+	// ExperimentResult is a completed experiment.
+	ExperimentResult = experiments.Result
+)
+
+// Experiment entry points.
+var (
+	// ExperimentIDs lists every figure and ablation.
+	ExperimentIDs = experiments.IDs
+	// RunExperiment executes one experiment by id ("fig4" … "fig18",
+	// "ablation-…").
+	RunExperiment = experiments.Run
+	// LookupExperiment finds an experiment definition.
+	LookupExperiment = experiments.Lookup
+	// DefaultExperimentOpts is the laptop-scale default.
+	DefaultExperimentOpts = experiments.DefaultOpts
+	// PaperExperimentOpts is the paper's full scale (50,000
+	// completions × 10 runs per point).
+	PaperExperimentOpts = experiments.PaperOpts
+	// TablesReport renders Tables I–VIII, paper vs derived.
+	TablesReport = experiments.TablesReport
+	// ParametersReport renders Tables IX–X.
+	ParametersReport = experiments.ParametersReport
+)
