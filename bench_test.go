@@ -16,15 +16,19 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro"
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 // benchOpts shrinks an experiment for benchmarking while keeping the
@@ -284,6 +288,94 @@ func BenchmarkBlockingHandles(b *testing.B) {
 		if _, err := t2.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Shard-scaling benchmarks (internal/dist) ----
+
+// BenchmarkShardScaling measures parallel transaction throughput on an
+// independent-object workload as the object space is sharded across
+// 1..N sites. Each parallel worker owns one object, so transactions
+// never conflict: with one shard every request funnels through a
+// single scheduler mutex (the pre-sharding architecture); with N
+// shards the sites proceed in parallel and never touch the
+// coordinator. shards=1 is the single-scheduler baseline the N-shard
+// numbers should beat on multicore hardware.
+func BenchmarkShardScaling(b *testing.B) {
+	const objects = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := dist.New(shards, core.Options{}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for id := core.ObjectID(1); id <= objects; id++ {
+				if err := c.Register(id, adt.Set{}, compat.SetTable()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				obj := core.ObjectID(1 + (next.Add(1)-1)%objects)
+				i := 0
+				for pb.Next() {
+					i++
+					t := c.Begin()
+					if _, err := t.Do(obj, repro.Insert(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := t.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardScalingContended is the same sweep under a sharded
+// read/write workload with 10% cross-site steps — dependency edges,
+// mirror traffic and held commits included, closer to a real mixed
+// load than the perfectly partitionable case above.
+func BenchmarkShardScalingContended(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := dist.New(shards, core.Options{}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.Sharded{
+				Inner: workload.ReadWrite{DBSize: 512, WriteProb: 0.3},
+				Sites: shards, CrossProb: 0.1,
+			}
+			c.SetFactory(gen.Factory())
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					steps := gen.NewTxn(r, 8)
+				restart:
+					t := c.Begin()
+					for _, st := range steps {
+						if _, err := t.Do(st.Object, st.Op); err != nil {
+							if errors.Is(err, core.ErrTxnAborted) {
+								goto restart // retry, as the simulator does
+							}
+							b.Error(err)
+							return
+						}
+					}
+					if _, err := t.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

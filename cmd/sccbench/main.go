@@ -9,18 +9,74 @@
 //	sccbench -experiment fig14 -paper      # paper scale (50k × 10 runs)
 //	sccbench -list                         # available experiments
 //	sccbench -tables                       # Tables I–VIII and IX–X
+//	sccbench -shardscale                   # 1-shard vs N-shard throughput
 //
 // Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
+// Shard-scaling knobs: -shards, -workers, -txns, -cross.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/workload"
 )
+
+// runShardScale sweeps cluster sizes over a sharded read/write
+// workload and prints a throughput table: the §6 cluster doubling as a
+// local sharding layer, 1 shard being the single-scheduler baseline.
+func runShardScale(shardList string, workers, txns, db int, cross float64, seed int64) error {
+	var counts []int
+	for _, f := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -shards list: %w", err)
+		}
+		if n <= 0 {
+			return fmt.Errorf("bad -shards list: counts must be positive, got %d", n)
+		}
+		counts = append(counts, n)
+	}
+	fmt.Printf("shard scaling: %d workers x %d txns, read/write db=%d, cross-site prob %.2f\n",
+		workers, txns, db, cross)
+	fmt.Printf("%-8s %12s %12s %10s %10s %12s\n", "shards", "txn/s", "ops", "held", "aborts", "elapsed")
+	var baseline float64
+	for _, n := range counts {
+		c, err := dist.New(n, core.Options{}, dist.RouteByModulo(n), nil)
+		if err != nil {
+			return err
+		}
+		res, err := dist.RunLoad(c, dist.LoadConfig{
+			Workload: workload.Sharded{
+				Inner: workload.ReadWrite{DBSize: db, WriteProb: 0.3},
+				Sites: n, CrossProb: cross,
+			},
+			Workers:       workers,
+			TxnsPerWorker: txns,
+			Seed:          seed,
+		})
+		if err != nil {
+			return err
+		}
+		speedup := ""
+		if n == 1 {
+			baseline = res.TxnPerSec
+		} else if baseline > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", res.TxnPerSec/baseline)
+		}
+		fmt.Printf("%-8d %12.0f %12d %10d %10d %12s%s\n",
+			n, res.TxnPerSec, res.Ops, res.Pseudo, res.Aborts,
+			res.Elapsed.Round(time.Millisecond), speedup)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -35,8 +91,30 @@ func main() {
 		seed        = flag.Int64("seed", 0, "base RNG seed (default 1)")
 		db          = flag.Int("db", 0, "database size in objects (default 1000)")
 		terminals   = flag.Int("terminals", 0, "number of terminals (default 200)")
+
+		shardScale = flag.Bool("shardscale", false, "run the 1-shard vs N-shard throughput comparison")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -shardscale")
+		workers    = flag.Int("workers", 16, "concurrent workers for -shardscale")
+		txns       = flag.Int("txns", 2000, "transactions per worker for -shardscale")
+		cross      = flag.Float64("cross", 0.1, "cross-site step probability for -shardscale")
 	)
 	flag.Parse()
+
+	if *shardScale {
+		dbSize := *db
+		if dbSize == 0 {
+			dbSize = 1000
+		}
+		seedVal := *seed
+		if seedVal == 0 {
+			seedVal = 1
+		}
+		if err := runShardScale(*shards, *workers, *txns, dbSize, *cross, seedVal); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range repro.ExperimentIDs() {

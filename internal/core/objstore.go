@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// objectStore owns the per-object managers: eager registration, lazy
+// construction through the factory, and lookup. It is one of the three
+// separable components of the scheduler (object state, transaction
+// bookkeeping, graph maintenance); it holds no locking of its own — the
+// owning Scheduler (or any other Participant implementation) serialises
+// access.
+type objectStore struct {
+	recovery Recovery
+	objects  map[ObjectID]*object
+	factory  func(ObjectID) (adt.Type, compat.Classifier)
+}
+
+func newObjectStore(rec Recovery) objectStore {
+	return objectStore{recovery: rec, objects: make(map[ObjectID]*object)}
+}
+
+// setFactory installs the lazy constructor used by lookup for
+// unregistered ids.
+func (st *objectStore) setFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
+	st.factory = f
+}
+
+// register creates the object eagerly.
+func (st *objectStore) register(id ObjectID, typ adt.Type, class compat.Classifier) error {
+	if _, ok := st.objects[id]; ok {
+		return ErrDuplicateObj
+	}
+	o, err := newObject(id, typ, class, st.recovery)
+	if err != nil {
+		return err
+	}
+	st.objects[id] = o
+	return nil
+}
+
+// lookup returns the object, constructing it through the factory on
+// first touch.
+func (st *objectStore) lookup(id ObjectID) (*object, error) {
+	if o, ok := st.objects[id]; ok {
+		return o, nil
+	}
+	if st.factory != nil {
+		typ, class := st.factory(id)
+		o, err := newObject(id, typ, class, st.recovery)
+		if err != nil {
+			return nil, err
+		}
+		st.objects[id] = o
+		return o, nil
+	}
+	return nil, ErrUnknownObject
+}
+
+// get returns the object without materialising it.
+func (st *objectStore) get(id ObjectID) (*object, bool) {
+	o, ok := st.objects[id]
+	return o, ok
+}

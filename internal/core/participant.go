@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/adt"
+	"repro/internal/depgraph"
+)
+
+// Participant is the per-site face of the protocol: everything the §6
+// distributed layer needs from a local scheduler, and nothing more. A
+// cluster coordinator drives one Participant per site; the local
+// single-site path and the distributed path share this abstraction, so
+// a site can be an in-process Scheduler today and a network stub
+// tomorrow without the coordinator changing.
+//
+// The method set corresponds to the paper's per-site operations:
+// Begin/Request ("do"), CommitHold (pseudo-commit-and-hold, phase one
+// of the distributed commit conversation), Release (the real commit,
+// once the coordinator has established that the global dependency set
+// is empty), Abort, and OutEdgesOf — the dependency-event export the
+// coordinator mirrors into its union graph to detect cross-site
+// deadlock and commit-dependency cycles no single site can see.
+type Participant interface {
+	// Begin registers a new transaction at this participant.
+	Begin(id TxnID) error
+	// Request asks to execute op on obj for the transaction.
+	Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effects, error)
+	// Commit finishes the transaction locally (single-site commit:
+	// pseudo-commits under outstanding dependencies, else commits for
+	// real and cascades).
+	Commit(id TxnID) (CommitStatus, Effects, error)
+	// CommitHold pseudo-commits and holds: the transaction is excluded
+	// from the automatic cascade until Release. Returns the local
+	// out-degree so the coordinator can sum the global dependency set.
+	CommitHold(id TxnID) (int, Effects, error)
+	// Release really commits a held transaction whose local
+	// dependencies have drained.
+	Release(id TxnID) (Effects, error)
+	// Abort aborts the transaction (active or blocked).
+	Abort(id TxnID) (Effects, error)
+	// OutEdgesOf exports the transaction's current outgoing dependency
+	// edges at this participant. The returned slice is owned by the
+	// caller (implementations must return a fresh copy, not internal
+	// state): the coordinator filters and retains it.
+	OutEdgesOf(id TxnID) []depgraph.Edge
+	// Forget drops a terminated transaction's bookkeeping.
+	Forget(id TxnID)
+}
+
+// Scheduler is the in-process Participant.
+var _ Participant = (*Scheduler)(nil)

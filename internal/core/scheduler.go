@@ -10,31 +10,48 @@ import (
 	"repro/internal/depgraph"
 )
 
-// txn is the scheduler's bookkeeping for one transaction.
-type txn struct {
-	id      TxnID
-	state   txnState
-	visited map[ObjectID]struct{} // objects with log entries of this txn
-	blocked *request              // outstanding blocked request, if any
-	nops    int                   // operations executed so far
-	// held marks a pseudo-committed transaction whose real commit is
-	// controlled by an external coordinator (distributed commit): it
-	// is excluded from the automatic out-degree-zero cascade and
-	// finalised only by Release.
-	held bool
+// graphKeeper owns dependency-graph maintenance: edge insertion and
+// cycle detection, with the protocol counters kept in lockstep. It is
+// the third separable scheduler component beside objectStore and
+// txnStore.
+type graphKeeper struct {
+	g     *depgraph.Graph
+	stats *Stats
+}
+
+func newGraphKeeper(stats *Stats) graphKeeper {
+	return graphKeeper{g: depgraph.New(), stats: stats}
+}
+
+// waitFor adds a wait-for edge from -> to.
+func (gk graphKeeper) waitFor(from, to TxnID) {
+	gk.g.AddEdge(from, to, depgraph.WaitFor)
+	gk.stats.WaitForEdges++
+}
+
+// commitDep adds a commit-dependency edge from -> to.
+func (gk graphKeeper) commitDep(from, to TxnID) {
+	gk.g.AddEdge(from, to, depgraph.CommitDep)
+	gk.stats.CommitDepEdges++
+}
+
+// cycleFrom runs counted cycle detection starting at t.
+func (gk graphKeeper) cycleFrom(t TxnID) bool {
+	gk.stats.CycleChecks++
+	return gk.g.HasCycleFrom(t)
 }
 
 // Scheduler is the semantics-based concurrency controller. It is safe
 // for concurrent use; every public method runs under one mutex, so calls
-// are serialised and deterministic given a call order.
+// are serialised and deterministic given a call order. For parallelism
+// beyond one scheduler, shard objects across several schedulers behind
+// the Participant interface (see internal/dist).
 type Scheduler struct {
 	mu      sync.Mutex
 	opts    Options
-	class   compat.Classifier // predicate-adjusted default classifier (nil: per-object)
-	g       *depgraph.Graph
-	objects map[ObjectID]*object
-	factory func(ObjectID) (adt.Type, compat.Classifier)
-	txns    map[TxnID]*txn
+	store   objectStore
+	txns    txnStore
+	gk      graphKeeper
 	nextSeq uint64
 	stats   Stats
 
@@ -45,13 +62,14 @@ type Scheduler struct {
 
 // NewScheduler returns a scheduler with the given options.
 func NewScheduler(opts Options) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		opts:         opts,
-		g:            depgraph.New(),
-		objects:      make(map[ObjectID]*object),
-		txns:         make(map[TxnID]*txn),
+		store:        newObjectStore(opts.Recovery),
+		txns:         newTxnStore(),
 		pendingRetry: make(map[ObjectID]bool),
 	}
+	s.gk = newGraphKeeper(&s.stats)
+	return s
 }
 
 // SetFactory installs a lazy object constructor: the first request
@@ -60,7 +78,7 @@ func NewScheduler(opts Options) *Scheduler {
 func (s *Scheduler) SetFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.factory = f
+	s.store.setFactory(f)
 }
 
 // Register creates the object eagerly with an explicit type and
@@ -70,15 +88,7 @@ func (s *Scheduler) SetFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
 func (s *Scheduler) Register(id ObjectID, typ adt.Type, class compat.Classifier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.objects[id]; ok {
-		return ErrDuplicateObj
-	}
-	o, err := newObject(id, typ, class, s.opts.Recovery)
-	if err != nil {
-		return err
-	}
-	s.objects[id] = o
-	return nil
+	return s.store.register(id, typ, class)
 }
 
 // ObjectState returns a snapshot (clone) of the object's materialised
@@ -86,7 +96,7 @@ func (s *Scheduler) Register(id ObjectID, typ adt.Type, class compat.Classifier)
 func (s *Scheduler) ObjectState(id ObjectID) (adt.State, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.objects[id]
+	o, ok := s.store.get(id)
 	if !ok {
 		return nil, ErrUnknownObject
 	}
@@ -99,7 +109,7 @@ func (s *Scheduler) ObjectState(id ObjectID) (adt.State, error) {
 func (s *Scheduler) CommittedState(id ObjectID) (adt.State, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.objects[id]
+	o, ok := s.store.get(id)
 	if !ok {
 		return nil, ErrUnknownObject
 	}
@@ -113,11 +123,10 @@ func (s *Scheduler) CommittedState(id ObjectID) (adt.State, error) {
 func (s *Scheduler) Begin(id TxnID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.txns[id]; ok {
-		return ErrDuplicateTxn
+	if _, err := s.txns.begin(id); err != nil {
+		return err
 	}
-	s.txns[id] = &txn{id: id, state: stActive, visited: make(map[ObjectID]struct{})}
-	s.g.AddNode(id)
+	s.gk.g.AddNode(id)
 	return nil
 }
 
@@ -130,30 +139,6 @@ func (s *Scheduler) classifier(o *object) compat.Classifier {
 	return o.class
 }
 
-func (s *Scheduler) lookupTxn(id TxnID) (*txn, error) {
-	t, ok := s.txns[id]
-	if !ok {
-		return nil, ErrUnknownTxn
-	}
-	return t, nil
-}
-
-func (s *Scheduler) lookupObject(id ObjectID) (*object, error) {
-	if o, ok := s.objects[id]; ok {
-		return o, nil
-	}
-	if s.factory != nil {
-		typ, class := s.factory(id)
-		o, err := newObject(id, typ, class, s.opts.Recovery)
-		if err != nil {
-			return nil, err
-		}
-		s.objects[id] = o
-		return o, nil
-	}
-	return nil, ErrUnknownObject
-}
-
 // Request asks to execute op on obj for transaction id, implementing
 // Figure 2 of the paper. The Decision reports the immediate outcome;
 // Effects reports anything that happened downstream (an abort of the
@@ -163,7 +148,7 @@ func (s *Scheduler) Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effect
 	defer s.mu.Unlock()
 	var eff Effects
 
-	t, err := s.lookupTxn(id)
+	t, err := s.txns.lookup(id)
 	if err != nil {
 		return Decision{}, eff, err
 	}
@@ -176,7 +161,7 @@ func (s *Scheduler) Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effect
 	default:
 		return Decision{}, eff, ErrTxnTerminated
 	}
-	o, err := s.lookupObject(obj)
+	o, err := s.store.lookup(obj)
 	if err != nil {
 		return Decision{}, eff, err
 	}
@@ -225,15 +210,12 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 		// to the blocked requesters ahead of us), then deadlock
 		// detection.
 		for _, h := range conflicts {
-			s.g.AddEdge(t.id, h, depgraph.WaitFor)
-			s.stats.WaitForEdges++
+			s.gk.waitFor(t.id, h)
 		}
 		for _, h := range fairWaits {
-			s.g.AddEdge(t.id, h, depgraph.WaitFor)
-			s.stats.WaitForEdges++
+			s.gk.waitFor(t.id, h)
 		}
-		s.stats.CycleChecks++
-		if s.g.HasCycleFrom(t.id) {
+		if s.gk.cycleFrom(t.id) {
 			s.stats.DeadlockAborts++
 			if err := s.finalize(t, false, ReasonDeadlock, eff); err != nil {
 				return Decision{}, err
@@ -261,11 +243,9 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 		// operation is recoverable (but not commuting) with, then
 		// cycle detection (serializability guard).
 		for _, h := range recovs {
-			s.g.AddEdge(t.id, h, depgraph.CommitDep)
-			s.stats.CommitDepEdges++
+			s.gk.commitDep(t.id, h)
 		}
-		s.stats.CycleChecks++
-		if s.g.HasCycleFrom(t.id) {
+		if s.gk.cycleFrom(t.id) {
 			s.stats.CycleAborts++
 			if err := s.finalize(t, false, ReasonCommitCycle, eff); err != nil {
 				return Decision{}, err
@@ -297,7 +277,7 @@ func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
 	defer s.mu.Unlock()
 	var eff Effects
 
-	t, err := s.lookupTxn(id)
+	t, err := s.txns.lookup(id)
 	if err != nil {
 		return 0, eff, err
 	}
@@ -311,7 +291,7 @@ func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
 		return 0, eff, ErrTxnTerminated
 	}
 
-	if s.g.OutDegree(id) > 0 {
+	if s.gk.g.OutDegree(id) > 0 {
 		t.state = stPseudo
 		s.stats.PseudoCommits++
 		if r := s.opts.Recorder; r != nil {
@@ -342,7 +322,7 @@ func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var eff Effects
-	t, err := s.lookupTxn(id)
+	t, err := s.txns.lookup(id)
 	if err != nil {
 		return 0, eff, err
 	}
@@ -351,7 +331,7 @@ func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
 	case stBlocked:
 		return 0, eff, ErrTxnBlocked
 	case stPseudo:
-		return s.g.OutDegree(id), eff, nil
+		return s.gk.g.OutDegree(id), eff, nil
 	default:
 		return 0, eff, ErrTxnTerminated
 	}
@@ -362,7 +342,7 @@ func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
 		r.PseudoCommitted(id)
 	}
 	s.assertInvariants()
-	return s.g.OutDegree(id), eff, nil
+	return s.gk.g.OutDegree(id), eff, nil
 }
 
 // Release really commits a held, pseudo-committed transaction. The
@@ -373,14 +353,14 @@ func (s *Scheduler) Release(id TxnID) (Effects, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var eff Effects
-	t, err := s.lookupTxn(id)
+	t, err := s.txns.lookup(id)
 	if err != nil {
 		return eff, err
 	}
 	if t.state != stPseudo || !t.held {
 		return eff, fmt.Errorf("core: Release: T%d is %s, not a held pseudo-committed transaction", id, t.state)
 	}
-	if d := s.g.OutDegree(id); d != 0 {
+	if d := s.gk.g.OutDegree(id); d != 0 {
 		return eff, fmt.Errorf("core: Release: T%d still has %d outstanding dependencies", id, d)
 	}
 	if err := s.finalize(t, true, ReasonNone, &eff); err != nil {
@@ -399,7 +379,7 @@ func (s *Scheduler) Abort(id TxnID) (Effects, error) {
 	defer s.mu.Unlock()
 	var eff Effects
 
-	t, err := s.lookupTxn(id)
+	t, err := s.txns.lookup(id)
 	if err != nil {
 		return eff, err
 	}
@@ -433,8 +413,13 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 		return fmt.Errorf("core: internal: pseudo-committed T%d selected for abort", t.id)
 	}
 	if t.blocked != nil {
-		if o, ok := s.objects[t.blocked.obj]; ok {
+		if o, ok := s.store.get(t.blocked.obj); ok {
 			o.dequeueBlocked(t.id)
+			// Removing a blocked request can unblock later queue
+			// members that were fairness-gated behind it, even when
+			// the terminating transaction had no log entries on the
+			// object — without a rescan they would wait forever.
+			s.pendingRetry[o.id] = true
 		}
 		t.blocked = nil
 	}
@@ -445,7 +430,7 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	for _, oid := range affected {
-		o := s.objects[oid]
+		o, _ := s.store.get(oid)
 		if err := o.removeTxn(t.id, commit, s.opts.Recovery, s.opts.Debug); err != nil {
 			return err
 		}
@@ -466,13 +451,13 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 		}
 	}
 
-	dependants := s.g.RemoveNode(t.id)
+	dependants := s.gk.g.RemoveNode(t.id)
 	for _, d := range dependants {
-		dt, ok := s.txns[d]
+		dt, ok := s.txns.get(d)
 		if !ok {
 			continue
 		}
-		if dt.state == stPseudo && !dt.held && s.g.OutDegree(d) == 0 {
+		if dt.state == stPseudo && !dt.held && s.gk.g.OutDegree(d) == 0 {
 			// Record before recursing so Effects.Committed lists
 			// cascaded commits in the order they happen.
 			eff.Committed = append(eff.Committed, d)
@@ -494,7 +479,8 @@ func (s *Scheduler) settle(eff *Effects) error {
 	for len(s.pendingRetry) > 0 {
 		oid := minObject(s.pendingRetry)
 		delete(s.pendingRetry, oid)
-		if err := s.retryObject(s.objects[oid], eff); err != nil {
+		o, _ := s.store.get(oid)
+		if err := s.retryObject(o, eff); err != nil {
 			return err
 		}
 	}
@@ -540,7 +526,7 @@ func (s *Scheduler) retryObject(o *object, eff *Effects) error {
 
 scan:
 	for _, r := range queue {
-		t, ok := s.txns[r.txn]
+		t, ok := s.txns.get(r.txn)
 		if !ok || t.state != stBlocked || t.blocked != r {
 			continue // stale entry
 		}
@@ -556,7 +542,7 @@ scan:
 		// A retry is a fresh request: shed the old wait-for edges,
 		// re-classify, and either execute, re-block (fresh edges,
 		// fresh deadlock check) or abort on a new cycle.
-		s.g.RemoveWaitEdges(r.txn)
+		s.gk.g.RemoveWaitEdges(r.txn)
 		t.state = stActive
 		t.blocked = nil
 		o.dequeueBlocked(r.txn)
@@ -594,10 +580,10 @@ func (s *Scheduler) assertInvariants() {
 	if !s.opts.Debug {
 		return
 	}
-	if !s.g.Acyclic() {
+	if !s.gk.g.Acyclic() {
 		panic("core: dependency graph became cyclic")
 	}
-	for _, o := range s.objects {
+	for _, o := range s.store.objects {
 		if s.opts.Recovery == RecoveryIntentions {
 			if err := o.checkReplayMatchesCur(); err != nil {
 				panic(err)
@@ -620,7 +606,7 @@ func (s *Scheduler) StatsSnapshot() Stats {
 func (s *Scheduler) TxnOps(id TxnID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.txns[id]; ok {
+	if t, ok := s.txns.get(id); ok {
 		return t.nops
 	}
 	return 0
@@ -630,7 +616,7 @@ func (s *Scheduler) TxnOps(id TxnID) int {
 func (s *Scheduler) TxnState(id TxnID) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.txns[id]; ok {
+	if t, ok := s.txns.get(id); ok {
 		return t.state.String()
 	}
 	return "unknown"
@@ -641,9 +627,7 @@ func (s *Scheduler) TxnState(id TxnID) string {
 func (s *Scheduler) Forget(id TxnID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.txns[id]; ok && (t.state == stCommitted || t.state == stAborted) {
-		delete(s.txns, id)
-	}
+	s.txns.forget(id)
 }
 
 // OutDegree exposes the transaction's dependency-graph out-degree (for
@@ -651,7 +635,7 @@ func (s *Scheduler) Forget(id TxnID) {
 func (s *Scheduler) OutDegree(id TxnID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.g.OutDegree(id)
+	return s.gk.g.OutDegree(id)
 }
 
 // OutEdgesOf returns the transaction's current outgoing dependency
@@ -661,5 +645,5 @@ func (s *Scheduler) OutDegree(id TxnID) int {
 func (s *Scheduler) OutEdgesOf(id TxnID) []depgraph.Edge {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.g.OutEdges(id)
+	return s.gk.g.OutEdges(id)
 }

@@ -1,0 +1,183 @@
+package depgraph
+
+import "sort"
+
+// Mirror is the coordinator's union of per-participant dependency
+// graphs (§6 of the paper): each site reports the outgoing edges its
+// local scheduler holds for a transaction, the mirror records them
+// tagged with the reporting site, and cycle detection runs over the
+// union of every site's edges. A cross-site deadlock or
+// commit-dependency cycle — invisible to any single site — closes in
+// the union and is caught here.
+//
+// Edges are site-scoped: Observe replaces one site's edge set for a
+// transaction without disturbing the edges other sites reported for
+// the same transaction, so the mirror can be rebuilt incrementally
+// from per-site truth as coordination messages arrive.
+//
+// Mirror is not safe for concurrent use; the distributed coordinator
+// serialises access.
+type Mirror struct {
+	// out[from][to][site] records that site reported an edge
+	// from -> to of the given kind.
+	out map[TxnID]map[TxnID]map[int]EdgeKind
+	// in[to] is the set of sources with at least one edge to `to`,
+	// for O(degree) node removal.
+	in          map[TxnID]map[TxnID]struct{}
+	cycleChecks uint64
+}
+
+// NewMirror returns an empty mirror.
+func NewMirror() *Mirror {
+	return &Mirror{
+		out: make(map[TxnID]map[TxnID]map[int]EdgeKind),
+		in:  make(map[TxnID]map[TxnID]struct{}),
+	}
+}
+
+// Observe replaces site's out-edge set for transaction from with the
+// given edges (each must have Edge.From == from; edges reported for
+// other transactions are ignored). Passing an empty or nil slice
+// clears the site's contribution for the transaction.
+func (m *Mirror) Observe(site int, from TxnID, edges []Edge) {
+	// Drop the site's previous contribution.
+	for to, sites := range m.out[from] {
+		if _, ok := sites[site]; ok {
+			delete(sites, site)
+			if len(sites) == 0 {
+				delete(m.out[from], to)
+				delete(m.in[to], from)
+				if len(m.in[to]) == 0 {
+					delete(m.in, to)
+				}
+			}
+		}
+	}
+	for _, e := range edges {
+		if e.From != from || e.To == from {
+			continue
+		}
+		tos := m.out[from]
+		if tos == nil {
+			tos = make(map[TxnID]map[int]EdgeKind)
+			m.out[from] = tos
+		}
+		sites := tos[e.To]
+		if sites == nil {
+			sites = make(map[int]EdgeKind)
+			tos[e.To] = sites
+		}
+		sites[site] = e.Kind
+		ins := m.in[e.To]
+		if ins == nil {
+			ins = make(map[TxnID]struct{})
+			m.in[e.To] = ins
+		}
+		ins[from] = struct{}{}
+	}
+	if len(m.out[from]) == 0 {
+		delete(m.out, from)
+	}
+}
+
+// RemoveTxn deletes every edge touching t, from every site (the
+// transaction terminated globally). It returns the former
+// in-neighbours of t in ascending order — the transactions that were
+// depending on or waiting for t — so the coordinator can re-examine
+// them for release.
+func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
+	dependants := make([]TxnID, 0, len(m.in[t]))
+	for src := range m.in[t] {
+		dependants = append(dependants, src)
+		if tos := m.out[src]; tos != nil {
+			delete(tos, t)
+			if len(tos) == 0 {
+				delete(m.out, src)
+			}
+		}
+	}
+	delete(m.in, t)
+	for to := range m.out[t] {
+		delete(m.in[to], t)
+		if len(m.in[to]) == 0 {
+			delete(m.in, to)
+		}
+	}
+	delete(m.out, t)
+	sort.Slice(dependants, func(i, j int) bool { return dependants[i] < dependants[j] })
+	return dependants
+}
+
+// OutDegree returns the number of distinct targets t has an edge to,
+// across all sites. This is the size of the transaction's global
+// dependency set: zero means the coordinator may release it.
+func (m *Mirror) OutDegree(t TxnID) int {
+	return len(m.out[t])
+}
+
+// HasCycleFrom reports whether t can reach itself over the union of
+// every site's edges. As with Graph.HasCycleFrom, any new cycle must
+// pass through the transaction whose edges were just observed, so the
+// targeted search is equivalent to a full acyclicity check after each
+// ingest.
+func (m *Mirror) HasCycleFrom(t TxnID) bool {
+	m.cycleChecks++
+	start := m.out[t]
+	if len(start) == 0 {
+		return false
+	}
+	seen := map[TxnID]bool{t: true}
+	stack := make([]TxnID, 0, len(start))
+	for to := range start {
+		stack = append(stack, to)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == t {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for to := range m.out[cur] {
+			if to == t {
+				return true
+			}
+			if !seen[to] {
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+// CycleChecks returns the number of cycle-detection invocations so far.
+func (m *Mirror) CycleChecks() uint64 { return m.cycleChecks }
+
+// Edges returns the union's materialised edges, one per (from, to)
+// pair (CommitDep dominates WaitFor when sites disagree), sorted by
+// source then target — for tests and inspection tools.
+func (m *Mirror) Edges() []Edge {
+	var out []Edge
+	for from, tos := range m.out {
+		for to, sites := range tos {
+			kind := WaitFor
+			for _, k := range sites {
+				if k == CommitDep {
+					kind = CommitDep
+					break
+				}
+			}
+			out = append(out, Edge{From: from, To: to, Kind: kind})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,420 @@
+// Package dist implements the paper's §6 extension to distributed
+// objects: the database is partitioned across sites, each site runs an
+// independent semantics-based scheduler (any core.Participant), and a
+// coordinator mirrors the commit-dependency and wait-for edges every
+// site reports into a union graph (depgraph.Mirror). Cycle detection
+// over the union catches cross-site deadlocks and commit-dependency
+// cycles that no single site can see.
+//
+// Commit is the paper's commit conversation: the coordinator
+// pseudo-commits-and-holds the transaction at every participant it
+// visited (core.Participant.CommitHold), then releases the real commit
+// everywhere once the transaction's global dependency set — its
+// out-degree in the mirrored union graph — drains to zero. Until then
+// the transaction is complete from the caller's perspective
+// (PseudoCommitted) and its operations remain visible to, and gate,
+// later transactions at each site.
+//
+// The same machinery doubles as a shared-memory sharding layer: New(n,
+// ...) with in-process sites gives n independently locked schedulers,
+// so transactions over objects at different sites proceed in parallel
+// instead of serialising on one scheduler mutex. Independent
+// transactions never touch the coordinator (no dependency edges, no
+// mirror traffic), which is what makes the sharded path scale.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+)
+
+// SiteID identifies one participant site, 0..NumSites-1.
+type SiteID int
+
+// Router maps an object to the site that owns it. Routers must be
+// deterministic and total over the object-id space.
+type Router func(core.ObjectID) SiteID
+
+// RouteByModulo partitions objects across n sites by id modulo n — the
+// uniform partitioning the paper's simulation model assumes.
+func RouteByModulo(n int) Router {
+	return func(id core.ObjectID) SiteID { return SiteID(uint64(id) % uint64(n)) }
+}
+
+// Observer receives coordinator-level events. Implementations must be
+// safe for concurrent use; callbacks run without coordinator locks
+// held. A nil Observer disables observation.
+type Observer interface {
+	// Held reports a commit conversation that left the transaction
+	// pseudo-committed-and-held with globalDeps outstanding
+	// cross-site dependencies.
+	Held(t core.TxnID, globalDeps int)
+	// Released reports that the transaction's global dependency set
+	// drained and the real commit landed at every participant.
+	Released(t core.TxnID)
+	// Aborted reports a coordinator-initiated or propagated abort.
+	Aborted(t core.TxnID, reason string)
+}
+
+// Errors.
+var (
+	// ErrBadSites is returned by New for a non-positive site count.
+	ErrBadSites = errors.New("dist: cluster needs at least one site")
+	// ErrTxnDone is returned for operations on a transaction that has
+	// already entered commit.
+	ErrTxnDone = errors.New("dist: transaction already committed")
+)
+
+// waitMsg resolves a blocked Do call at one site.
+type waitMsg struct {
+	ret     adt.Ret
+	aborted bool
+	reason  core.AbortReason
+}
+
+// site is one participant plus the delivery plumbing for its blocked
+// requests. Each site has its own mutex: operations against different
+// sites never contend, which is the whole point of sharding.
+type site struct {
+	id SiteID
+	mu sync.Mutex
+	p  core.Participant
+	// waiters maps a blocked transaction to the channel its Do call
+	// is parked on. A transaction blocks at no more than one site at
+	// a time (Do is synchronous per handle).
+	waiters map[core.TxnID]chan waitMsg
+}
+
+// deliver routes one scheduler call's effects to parked Do calls.
+// Caller holds s.mu. Held transactions are never auto-committed by a
+// local scheduler, so eff.Committed is empty for cluster-managed
+// transactions; grants and retry-aborts are what matter here.
+func (s *site) deliver(eff core.Effects) {
+	for _, g := range eff.Grants {
+		if ch, ok := s.waiters[g.Txn]; ok {
+			delete(s.waiters, g.Txn)
+			ch <- waitMsg{ret: g.Ret}
+		}
+	}
+	for _, a := range eff.RetryAborts {
+		if ch, ok := s.waiters[a.Txn]; ok {
+			delete(s.waiters, a.Txn)
+			ch <- waitMsg{aborted: true, reason: a.Reason}
+		}
+	}
+}
+
+// Cluster is a set of participant sites under one commit coordinator.
+// It is safe for concurrent use; each transaction handle must be
+// driven by one goroutine at a time.
+type Cluster struct {
+	route  Router
+	obs    Observer
+	sites  []*site
+	scheds []*core.Scheduler // concrete schedulers, for Register/Site
+
+	nextID atomic.Uint64
+
+	// mu guards the coordinator state: the mirrored union graph and
+	// the live-transaction registry. Transactions with no dependency
+	// edges never take it after Begin.
+	mu     sync.Mutex
+	mirror *depgraph.Mirror
+	txns   map[core.TxnID]*Txn
+}
+
+// New builds a cluster of n in-process sites, each running its own
+// scheduler with the given options. route decides object placement
+// (nil means RouteByModulo(n)); obs optionally observes coordinator
+// events.
+func New(n int, opts core.Options, route Router, obs Observer) (*Cluster, error) {
+	if n <= 0 {
+		return nil, ErrBadSites
+	}
+	if route == nil {
+		route = RouteByModulo(n)
+	}
+	c := &Cluster{
+		route:  route,
+		obs:    obs,
+		mirror: depgraph.NewMirror(),
+		txns:   make(map[core.TxnID]*Txn),
+	}
+	for i := 0; i < n; i++ {
+		sched := core.NewScheduler(opts)
+		c.scheds = append(c.scheds, sched)
+		c.sites = append(c.sites, &site{
+			id:      SiteID(i),
+			p:       sched,
+			waiters: make(map[core.TxnID]chan waitMsg),
+		})
+	}
+	return c, nil
+}
+
+// NumSites returns the number of participant sites.
+func (c *Cluster) NumSites() int { return len(c.sites) }
+
+// Site exposes one site's scheduler for registration-time setup and
+// state inspection (object states are site-local; route objects with
+// the cluster's router).
+func (c *Cluster) Site(id SiteID) *core.Scheduler { return c.scheds[id] }
+
+// SiteOf returns the site that owns the object.
+func (c *Cluster) SiteOf(id core.ObjectID) SiteID { return c.route(id) }
+
+// Register creates the object eagerly at its home site.
+func (c *Cluster) Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error {
+	return c.scheds[c.route(id)].Register(id, typ, class)
+}
+
+// SetFactory installs a lazy object constructor at every site. Routing
+// guarantees an object only ever materialises at its home site.
+func (c *Cluster) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)) {
+	for _, s := range c.scheds {
+		s.SetFactory(f)
+	}
+}
+
+// Begin starts a distributed transaction. The coordinator assigns the
+// id; sites learn about the transaction lazily on first touch.
+func (c *Cluster) Begin() *Txn {
+	t := &Txn{
+		c:         c,
+		id:        core.TxnID(c.nextID.Add(1)),
+		visited:   make(map[SiteID]bool),
+		committed: make(chan struct{}),
+		aborted:   make(chan struct{}),
+	}
+	t.state.Store(txActive)
+	c.mu.Lock()
+	c.txns[t.id] = t
+	c.mu.Unlock()
+	return t
+}
+
+// Stats aggregates every site's scheduler counters.
+func (c *Cluster) Stats() core.Stats {
+	var sum core.Stats
+	for _, s := range c.scheds {
+		st := s.StatsSnapshot()
+		sum.Executes += st.Executes
+		sum.Blocks += st.Blocks
+		sum.Grants += st.Grants
+		sum.Aborts += st.Aborts
+		sum.DeadlockAborts += st.DeadlockAborts
+		sum.CycleAborts += st.CycleAborts
+		sum.Commits += st.Commits
+		sum.PseudoCommits += st.PseudoCommits
+		sum.CycleChecks += st.CycleChecks
+		sum.CommitDepEdges += st.CommitDepEdges
+		sum.WaitForEdges += st.WaitForEdges
+	}
+	return sum
+}
+
+// filterLive drops edges to transactions the coordinator has already
+// finalised: their mirror nodes are gone, and re-adding a stale edge
+// would hold the source's dependency set open forever. Filters in
+// place (Participant.OutEdgesOf hands over ownership). Caller holds
+// c.mu.
+func (c *Cluster) filterLive(edges []depgraph.Edge) []depgraph.Edge {
+	live := edges[:0]
+	for _, e := range edges {
+		if _, ok := c.txns[e.To]; ok {
+			live = append(live, e)
+		}
+	}
+	return live
+}
+
+// observe mirrors t's current out-edges at site sid into the union
+// graph and reports whether that closed a global cycle through t.
+//
+// Mirror writes for a (site, transaction) pair must be serialised
+// against the edge export they carry, or a slow writer could clobber
+// a fresher observe with stale edges (losing, say, a commit
+// dependency — the transaction would then never be released). The
+// site mutex is that serialisation: every OutEdgesOf-plus-Observe
+// pair runs under s.mu, here and in refreshParked, giving the lock
+// order site.mu -> Cluster.mu (never the reverse).
+func (c *Cluster) observe(t *Txn, sid SiteID) bool {
+	s := c.sites[sid]
+	s.mu.Lock()
+	edges := s.p.OutEdgesOf(t.id)
+	if len(edges) == 0 && !t.anyEdges.Load() {
+		s.mu.Unlock()
+		return false // fast path: no coordinator involvement
+	}
+	if len(edges) > 0 {
+		t.anyEdges.Store(true)
+	}
+	c.mu.Lock()
+	c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
+	cyc := c.mirror.HasCycleFrom(t.id)
+	c.mu.Unlock()
+	s.mu.Unlock()
+	return cyc
+}
+
+// refreshParked re-mirrors the out-edges of every transaction still
+// parked at the site. A site-level retry (inside some other call's
+// settle) can shed a parked transaction's wait-for edges and re-block
+// it behind different holders while its owner goroutine sleeps —
+// under unfair scheduling even behind holders it had no edge to when
+// it parked. The owner cannot re-observe until it wakes, so whoever
+// ran the site operation refreshes on its behalf; otherwise a
+// cross-site deadlock through a re-blocked edge would be invisible
+// to the union graph forever.
+//
+// Only transactions still parked (present in s.waiters, checked under
+// s.mu) are touched: once granted, the owner's own observe is the
+// single writer for the pair, and the s.mu serialisation above keeps
+// the two from interleaving stale reads with fresh writes.
+//
+// A re-mirrored edge can itself close a cross-site cycle between
+// transactions that are ALL parked — then no owner's observe will
+// ever run the check, so refreshParked must: on a cycle through a
+// parked transaction it aborts it at this site and wakes its owner
+// with the deadlock verdict (the owner propagates the abort to its
+// other sites). Aborting can reshuffle the remaining parked queue, so
+// the scan restarts until a pass is quiet.
+func (c *Cluster) refreshParked(s *site) {
+	for {
+		s.mu.Lock()
+		ids := make([]core.TxnID, 0, len(s.waiters))
+		for id := range s.waiters {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		aborted := false
+		for _, id := range ids {
+			s.mu.Lock()
+			ch, parked := s.waiters[id]
+			if !parked {
+				s.mu.Unlock()
+				continue // granted or aborted meanwhile; its owner observes
+			}
+			edges := s.p.OutEdgesOf(id)
+			cycle := false
+			c.mu.Lock()
+			if t, ok := c.txns[id]; ok {
+				if len(edges) > 0 {
+					t.anyEdges.Store(true)
+				}
+				c.mirror.Observe(int(s.id), id, c.filterLive(edges))
+				cycle = c.mirror.HasCycleFrom(id)
+			}
+			c.mu.Unlock()
+			if cycle {
+				// Local abort + wake the owner; it runs the global
+				// abort when it receives the message.
+				delete(s.waiters, id)
+				if eff, err := s.p.Abort(id); err == nil {
+					s.deliver(eff)
+				}
+				ch <- waitMsg{aborted: true, reason: core.ReasonDeadlock}
+				aborted = true
+			}
+			s.mu.Unlock()
+		}
+		if !aborted {
+			return
+		}
+	}
+}
+
+// abortEverywhere aborts t at every visited site (skipping skipSite,
+// where the local scheduler already finalised it), delivers the
+// resulting grants to parked calls, and finalises the transaction at
+// the coordinator. reason is for the observer.
+func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason string) {
+	sids := t.visitedSorted()
+	for _, sid := range sids {
+		s := c.sites[sid]
+		s.mu.Lock()
+		delete(s.waiters, t.id)
+		if sid != skipSite {
+			if eff, err := s.p.Abort(t.id); err == nil {
+				s.deliver(eff)
+			}
+			// ErrTxnTerminated here means a site-local retry abort
+			// beat us to it; the local state is already clean.
+		}
+		s.p.Forget(t.id)
+		s.mu.Unlock()
+		c.refreshParked(s)
+	}
+	c.mu.Lock()
+	t.state.Store(txAborted)
+	c.mu.Unlock()
+	close(t.aborted)
+	if c.obs != nil {
+		c.obs.Aborted(t.id, reason)
+	}
+	c.finalizeGlobal([]core.TxnID{t.id})
+}
+
+// releaseAt lands the real commit at every site t visited and
+// delivers the unblocked grants.
+func (c *Cluster) releaseAt(t *Txn) {
+	for _, sid := range t.visitedSorted() {
+		s := c.sites[sid]
+		s.mu.Lock()
+		if eff, err := s.p.Release(t.id); err == nil {
+			s.deliver(eff)
+		} else {
+			// Release can only fail if the coordinator's dependency
+			// accounting is wrong — surface loudly.
+			s.mu.Unlock()
+			panic(fmt.Sprintf("dist: release of T%d at site %d: %v", t.id, sid, err))
+		}
+		s.p.Forget(t.id)
+		s.mu.Unlock()
+		c.refreshParked(s)
+	}
+}
+
+// finalizeGlobal removes globally terminated transactions from the
+// mirror and cascades: any held transaction whose global dependency
+// set drains is released at its sites, which may in turn drain
+// others. Site-level finalisation always precedes mirror removal, so
+// by the time a dependant is selected here its local out-degrees are
+// already zero and Release cannot fail.
+func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
+	for len(ids) > 0 {
+		c.mu.Lock()
+		var ready []*Txn
+		for _, id := range ids {
+			for _, d := range c.mirror.RemoveTxn(id) {
+				dt := c.txns[d]
+				if dt != nil && dt.state.Load() == txPseudo && c.mirror.OutDegree(d) == 0 {
+					dt.state.Store(txReleasing)
+					ready = append(ready, dt)
+				}
+			}
+			delete(c.txns, id)
+		}
+		c.mu.Unlock()
+
+		ids = ids[:0]
+		for _, dt := range ready {
+			c.releaseAt(dt)
+			c.mu.Lock()
+			dt.state.Store(txCommitted)
+			c.mu.Unlock()
+			close(dt.committed)
+			if c.obs != nil {
+				c.obs.Released(dt.id)
+			}
+			ids = append(ids, dt.id)
+		}
+	}
+}

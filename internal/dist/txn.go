@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+)
+
+// Distributed transaction states. Writes happen under the cluster's
+// coordinator lock; reads are lock-free.
+const (
+	txActive int32 = iota
+	txPseudo
+	txReleasing
+	txCommitted
+	txAborted
+)
+
+// Txn is a distributed transaction handle. Like core.Handle it must be
+// driven by one goroutine at a time; separate transactions are fully
+// concurrent. Operations route to the owning site's participant; the
+// coordinator only gets involved when a dependency edge appears.
+type Txn struct {
+	c  *Cluster
+	id core.TxnID
+
+	state atomic.Int32
+
+	// visited marks sites where Begin has run. Owner-goroutine-only
+	// until the transaction pseudo-commits, after which the owner
+	// mutates nothing.
+	visited map[SiteID]bool
+	// anyEdges is set once the transaction has ever had a dependency
+	// edge at any site; while false, commits take the edge-free fast
+	// path and never touch the coordinator. Set by the owner's own
+	// observes and by refreshParked (a foreign goroutine), hence
+	// atomic.
+	anyEdges atomic.Bool
+
+	committed chan struct{} // closed when the real commit lands everywhere
+	aborted   chan struct{} // closed when the transaction aborts
+}
+
+// ID returns the coordinator-assigned transaction id (unique across
+// the cluster).
+func (t *Txn) ID() core.TxnID { return t.id }
+
+// visitedSorted returns the visited sites in ascending order, for
+// deterministic multi-site conversations.
+func (t *Txn) visitedSorted() []SiteID {
+	sids := make([]SiteID, 0, len(t.visited))
+	for sid := range t.visited {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	return sids
+}
+
+// errState converts a non-active state into the caller-facing error.
+func (t *Txn) errState() error {
+	if t.state.Load() == txAborted {
+		return fmt.Errorf("%w (distributed transaction T%d)", core.ErrTxnAborted, t.id)
+	}
+	return fmt.Errorf("%w (T%d)", ErrTxnDone, t.id)
+}
+
+// Do executes op against obj, blocking until the operation runs at the
+// object's home site. It returns an error wrapping core.ErrTxnAborted
+// if a site scheduler or the coordinator's union-graph cycle detection
+// aborts the transaction instead.
+func (t *Txn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
+	if t.state.Load() != txActive {
+		return adt.Ret{}, t.errState()
+	}
+	sid := t.c.route(obj)
+	s := t.c.sites[sid]
+
+	if !t.visited[sid] {
+		s.mu.Lock()
+		err := s.p.Begin(t.id)
+		s.mu.Unlock()
+		if err != nil {
+			return adt.Ret{}, err
+		}
+		t.visited[sid] = true
+	}
+
+	s.mu.Lock()
+	dec, eff, err := s.p.Request(t.id, obj, op)
+	if err != nil {
+		s.mu.Unlock()
+		return adt.Ret{}, err
+	}
+	var ch chan waitMsg
+	if dec.Outcome == core.Blocked {
+		ch = make(chan waitMsg, 1)
+		s.waiters[t.id] = ch
+	}
+	s.deliver(eff)
+	s.mu.Unlock()
+	// No refreshParked here: a clean Executed/Blocked request runs no
+	// settle, so no parked transaction's edges moved; the Aborted
+	// branch refreshes every visited site via abortEverywhere.
+
+	switch dec.Outcome {
+	case core.Aborted:
+		// The site already finalised us locally; propagate the abort
+		// to every other visited site and the coordinator.
+		t.c.abortEverywhere(t, sid, dec.Reason.String())
+		return adt.Ret{}, fmt.Errorf("%w (%s at site %d)", core.ErrTxnAborted, dec.Reason, sid)
+
+	case core.Blocked:
+		// Mirror the wait-for edges before parking: a cross-site
+		// deadlock closes in the union graph even though each site's
+		// local check passed (§6).
+		if t.c.observe(t, sid) {
+			t.c.abortEverywhere(t, noSite, "cross-site deadlock")
+			return adt.Ret{}, fmt.Errorf("%w (cross-site deadlock involving T%d)", core.ErrTxnAborted, t.id)
+		}
+		msg := <-ch
+		if msg.aborted {
+			t.c.abortEverywhere(t, sid, msg.reason.String())
+			return adt.Ret{}, fmt.Errorf("%w (%s at site %d)", core.ErrTxnAborted, msg.reason, sid)
+		}
+		// Granted: the wait-for edges are gone and commit dependencies
+		// may have taken their place — re-mirror and re-check.
+		if t.c.observe(t, sid) {
+			t.c.abortEverywhere(t, noSite, "cross-site dependency cycle")
+			return adt.Ret{}, fmt.Errorf("%w (coordinator detected a cross-site dependency cycle involving T%d)", core.ErrTxnAborted, t.id)
+		}
+		return msg.ret, nil
+
+	default: // Executed
+		if t.c.observe(t, sid) {
+			t.c.abortEverywhere(t, noSite, "cross-site dependency cycle")
+			return adt.Ret{}, fmt.Errorf("%w (coordinator detected a cross-site dependency cycle involving T%d)", core.ErrTxnAborted, t.id)
+		}
+		return dec.Ret, nil
+	}
+}
+
+// noSite is the abortEverywhere sentinel for "no site has finalised
+// the transaction yet".
+const noSite SiteID = -1
+
+// Commit runs the paper's distributed commit conversation: the
+// transaction pseudo-commits-and-holds at every site it visited; if
+// its global dependency set (out-degree in the mirrored union graph)
+// is empty the coordinator releases the real commit everywhere and
+// returns Committed. Otherwise it returns PseudoCommitted — complete
+// from the caller's perspective — and the coordinator releases it
+// automatically once the transactions it depends on terminate;
+// WaitCommitted observes that.
+func (t *Txn) Commit() (core.CommitStatus, error) {
+	switch t.state.Load() {
+	case txActive:
+	case txPseudo, txReleasing:
+		return core.PseudoCommitted, nil
+	case txCommitted:
+		return core.Committed, nil
+	default:
+		return 0, t.errState()
+	}
+
+	sids := t.visitedSorted()
+
+	// Fast path: a transaction that never grew a dependency edge has a
+	// provably empty global dependency set (edges only arise from its
+	// own requests, and every request left zero), so each site can
+	// commit directly — no hold phase, no coordinator conversation.
+	// This is the path perfectly partitioned traffic takes, and it is
+	// what makes sharded throughput scale.
+	if !t.anyEdges.Load() {
+		for _, sid := range sids {
+			s := t.c.sites[sid]
+			s.mu.Lock()
+			st, eff, err := s.p.Commit(t.id)
+			if err == nil {
+				s.deliver(eff)
+				s.p.Forget(t.id)
+			}
+			s.mu.Unlock()
+			if err != nil {
+				return 0, fmt.Errorf("dist: commit of T%d at site %d: %w", t.id, sid, err)
+			}
+			if st != core.Committed {
+				panic(fmt.Sprintf("dist: edge-free T%d pseudo-committed at site %d", t.id, sid))
+			}
+			t.c.refreshParked(s)
+		}
+		t.c.mu.Lock()
+		t.state.Store(txCommitted)
+		t.c.mu.Unlock()
+		close(t.committed)
+		if t.c.obs != nil {
+			t.c.obs.Released(t.id)
+		}
+		// Others may have mirrored commit dependencies on us; drain them.
+		t.c.finalizeGlobal([]core.TxnID{t.id})
+		return core.Committed, nil
+	}
+
+	// Hold at every site, folding the dependency-edge export into the
+	// same critical section (one site round per participant): the
+	// mirror ends up holding per-site truth as of the hold, and each
+	// export-and-observe runs under the site mutex (see
+	// Cluster.observe for the ordering argument).
+	c := t.c
+	for _, sid := range sids {
+		s := c.sites[sid]
+		s.mu.Lock()
+		_, eff, err := s.p.CommitHold(t.id)
+		if err == nil {
+			s.deliver(eff)
+			edges := s.p.OutEdgesOf(t.id)
+			c.mu.Lock()
+			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
+			c.mu.Unlock()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("dist: commit-hold of T%d at site %d: %w", t.id, sid, err)
+		}
+	}
+
+	// Sum the global dependency set over the mirrored union graph.
+	c.mu.Lock()
+	gdeps := c.mirror.OutDegree(t.id)
+	if gdeps > 0 {
+		t.state.Store(txPseudo)
+	}
+	c.mu.Unlock()
+
+	if gdeps > 0 {
+		if t.c.obs != nil {
+			t.c.obs.Held(t.id, gdeps)
+		}
+		return core.PseudoCommitted, nil
+	}
+
+	// Global dependency set empty: land the real commit everywhere.
+	t.c.releaseAt(t)
+	t.c.mu.Lock()
+	t.state.Store(txCommitted)
+	t.c.mu.Unlock()
+	close(t.committed)
+	if t.c.obs != nil {
+		t.c.obs.Released(t.id)
+	}
+	t.c.finalizeGlobal([]core.TxnID{t.id})
+	return core.Committed, nil
+}
+
+// Abort rolls the transaction back at every site. Pseudo-committed
+// transactions cannot abort (they have promised to commit).
+func (t *Txn) Abort() error {
+	switch t.state.Load() {
+	case txActive:
+	case txAborted:
+		return nil // already gone
+	default:
+		return fmt.Errorf("%w: pseudo-committed transactions cannot abort", ErrTxnDone)
+	}
+	t.c.abortEverywhere(t, noSite, core.ReasonUser.String())
+	return nil
+}
+
+// Committed returns a channel closed when the real commit has landed
+// at every site.
+func (t *Txn) Committed() <-chan struct{} { return t.committed }
+
+// WaitCommitted blocks until the transaction's real commit lands at
+// every site, or returns an error wrapping core.ErrTxnAborted if the
+// transaction aborted instead.
+func (t *Txn) WaitCommitted() error {
+	select {
+	case <-t.committed:
+		return nil
+	case <-t.aborted:
+		return fmt.Errorf("%w (T%d)", core.ErrTxnAborted, t.id)
+	}
+}

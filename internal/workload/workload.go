@@ -119,6 +119,67 @@ func (w Abstract) NewTxn(r *rand.Rand, length int) []Step {
 	return steps
 }
 
+// Sharded adapts a type-uniform workload (ReadWrite or Abstract, whose
+// objects are interchangeable) to a multi-site database: each
+// transaction picks a home site and draws its objects from that site's
+// partition (id mod Sites), with each step escaping to the whole
+// database with probability CrossProb. CrossProb 0 gives perfectly
+// partitionable traffic (every transaction single-site); CrossProb 1
+// recovers the inner workload's uniform draw. This is the access model
+// for the §6 distributed runs and the shard-scaling benchmarks.
+type Sharded struct {
+	Inner Generator
+	// Sites is the number of partitions (must match the cluster's
+	// site count for single-site transactions to stay single-site).
+	Sites int
+	// CrossProb is the per-step probability of a cross-partition
+	// access.
+	CrossProb float64
+}
+
+// Name implements Generator.
+func (w Sharded) Name() string {
+	return fmt.Sprintf("sharded(%s,sites=%d,cross=%.2f)", w.Inner.Name(), w.Sites, w.CrossProb)
+}
+
+// Size implements Generator.
+func (w Sharded) Size() int { return w.Inner.Size() }
+
+// Factory implements Generator.
+func (w Sharded) Factory() func(core.ObjectID) (adt.Type, compat.Classifier) {
+	return w.Inner.Factory()
+}
+
+// NewTxn implements Generator: it draws the inner transaction, then
+// re-homes each non-cross step's object onto the transaction's home
+// partition (preserving the operation sequence). Degenerate
+// configurations — fewer than two sites, or a database smaller than
+// the site count (no full partition to re-home onto) — pass the inner
+// draw through unchanged.
+func (w Sharded) NewTxn(r *rand.Rand, length int) []Step {
+	steps := w.Inner.NewTxn(r, length)
+	if w.Sites <= 1 || w.Inner.Size() < w.Sites {
+		return steps
+	}
+	home := r.Intn(w.Sites)
+	size := w.Inner.Size()
+	for i := range steps {
+		if w.CrossProb > 0 && r.Float64() < w.CrossProb {
+			continue // this step stays wherever the inner draw put it
+		}
+		id := int(steps[i].Object)
+		id = id - id%w.Sites + home
+		if id < 1 {
+			id += w.Sites
+		}
+		if id > size {
+			id -= w.Sites
+		}
+		steps[i].Object = core.ObjectID(id)
+	}
+	return steps
+}
+
 // Mix is a database of the paper's concrete types — stacks, sets and
 // tables in equal proportion (object id mod 3) — with operations drawn
 // uniformly from each type's repertoire and parameters from a small

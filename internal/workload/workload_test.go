@@ -148,3 +148,59 @@ func TestMixGenerator(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedGenerator(t *testing.T) {
+	const sites = 4
+	w := Sharded{Inner: ReadWrite{DBSize: 100, WriteProb: 0.5}, Sites: sites}
+	if w.Size() != 100 {
+		t.Errorf("Size = %d", w.Size())
+	}
+	if w.Name() == "" {
+		t.Error("empty name")
+	}
+	r := rand.New(rand.NewSource(1))
+	// CrossProb 0: every transaction is single-partition and ids stay
+	// in range.
+	for i := 0; i < 200; i++ {
+		steps := w.NewTxn(r, 8)
+		if len(steps) != 8 {
+			t.Fatalf("length = %d", len(steps))
+		}
+		home := steps[0].Object % sites
+		for _, s := range steps {
+			if s.Object < 1 || int(s.Object) > w.Size() {
+				t.Fatalf("object %d out of range", s.Object)
+			}
+			if s.Object%sites != home {
+				t.Fatalf("txn spans partitions without CrossProb: %v", steps)
+			}
+		}
+	}
+	// CrossProb 1 must reproduce the inner generator's spread: expect
+	// many multi-partition transactions.
+	wx := Sharded{Inner: ReadWrite{DBSize: 100, WriteProb: 0.5}, Sites: sites, CrossProb: 1}
+	multi := 0
+	for i := 0; i < 200; i++ {
+		steps := wx.NewTxn(r, 8)
+		parts := map[core.ObjectID]bool{}
+		for _, s := range steps {
+			parts[s.Object%sites] = true
+		}
+		if len(parts) > 1 {
+			multi++
+		}
+	}
+	if multi < 150 {
+		t.Errorf("only %d/200 transactions crossed partitions under CrossProb=1", multi)
+	}
+	// Sites<=1 passes the inner draw through.
+	w1 := Sharded{Inner: ReadWrite{DBSize: 100, WriteProb: 0.5}, Sites: 1}
+	if steps := w1.NewTxn(r, 5); len(steps) != 5 {
+		t.Error("degenerate sharding broke the draw")
+	}
+	// The factory is the inner factory: pages everywhere.
+	typ, _ := w.Factory()(core.ObjectID(7))
+	if _, ok := typ.(adt.Page); !ok {
+		t.Errorf("factory type = %T", typ)
+	}
+}

@@ -39,6 +39,10 @@ type (
 	Handle = core.Handle
 	// Scheduler is the deterministic event-style controller beneath DB.
 	Scheduler = core.Scheduler
+	// Participant is the per-site scheduler abstraction: what a
+	// distributed coordinator (internal/dist, §6 of the paper) needs
+	// from a local scheduler. Scheduler implements it.
+	Participant = core.Participant
 	// Options configures the protocol (predicate, recovery strategy,
 	// fairness, debugging).
 	Options = core.Options
