@@ -247,8 +247,43 @@ func BenchmarkCycleDetection(b *testing.B) {
 }
 
 // BenchmarkClassification measures the compatibility-table lookup the
-// object manager performs per uncommitted log entry.
+// object manager performs per uncommitted log entry. Since the compiled
+// classifiers landed, that per-entry cost is a dense array lookup over
+// op ids interned once per request (see object.classifyAgainstLog);
+// the ByName and Table variants below track the costs of per-call name
+// interning and of the original string-indexed Table.Classify.
 func BenchmarkClassification(b *testing.B) {
+	comp := compat.KTableTable().Compile()
+	req := repro.TableInsert(3, 9)
+	exec := repro.TableSize()
+	row := comp.Row(comp.OpID(req.Name), false)
+	execID := comp.OpID(exec.Name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if row.Classify(execID, req.SameArg(exec)) != compat.Recoverable {
+			b.Fatal("unexpected classification")
+		}
+	}
+}
+
+// BenchmarkClassificationByName is the compiled classifier resolving
+// both operation names per call (what a one-off Classify costs).
+func BenchmarkClassificationByName(b *testing.B) {
+	comp := compat.KTableTable().Compile()
+	req := repro.TableInsert(3, 9)
+	exec := repro.TableSize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comp.Classify(req, exec) != compat.Recoverable {
+			b.Fatal("unexpected classification")
+		}
+	}
+}
+
+// BenchmarkClassificationTable is the uncompiled, entry-logic
+// Table.Classify the scheduler falls back to for classifiers it cannot
+// compile.
+func BenchmarkClassificationTable(b *testing.B) {
 	tab := compat.KTableTable()
 	req := repro.TableInsert(3, 9)
 	exec := repro.TableSize()

@@ -1,0 +1,183 @@
+package main
+
+// Benchmark-comparison mode: parse two `go test -bench` output files
+// (a before and an after, each ideally -count=10 or more) and emit a
+// JSON report with per-benchmark mean/min/max and speedups — a
+// dependency-free stand-in for benchstat that the repository's
+// BENCH_*.json perf trajectory is recorded with. See docs/PERF.md for
+// the workflow.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchSample is one parsed benchmark output line.
+type benchSample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// benchStats summarises every sample of one benchmark on one side.
+type benchStats struct {
+	Runs        int      `json:"runs"`
+	NsPerOpMean float64  `json:"ns_per_op_mean"`
+	NsPerOpMin  float64  `json:"ns_per_op_min"`
+	NsPerOpMax  float64  `json:"ns_per_op_max"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchComparison pairs one benchmark's before and after stats.
+type benchComparison struct {
+	Name    string      `json:"name"`
+	Before  *benchStats `json:"before,omitempty"`
+	After   *benchStats `json:"after,omitempty"`
+	Speedup *float64    `json:"speedup,omitempty"` // before mean / after mean
+}
+
+// benchReport is the emitted document.
+type benchReport struct {
+	Note       string            `json:"note"`
+	BeforeFile string            `json:"before_file"`
+	AfterFile  string            `json:"after_file"`
+	Benchmarks []benchComparison `json:"benchmarks"`
+}
+
+// parseBenchFile collects samples per benchmark name from `go test
+// -bench` output. The trailing -N GOMAXPROCS suffix is stripped so
+// runs from different machines compare.
+func parseBenchFile(path string) (map[string][]benchSample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]benchSample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, sample, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		out[name] = append(out[name], sample)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkX-8 1000 123 ns/op ..." line.
+func parseBenchLine(line string) (string, benchSample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchSample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s benchSample
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp, found = v, true
+		case "B/op":
+			s.bytesPerOp, s.hasMem = v, true
+		case "allocs/op":
+			s.allocsPerOp, s.hasMem = v, true
+		}
+	}
+	return name, s, found
+}
+
+func summarise(samples []benchSample) *benchStats {
+	if len(samples) == 0 {
+		return nil
+	}
+	st := &benchStats{
+		Runs:       len(samples),
+		NsPerOpMin: math.Inf(1),
+		NsPerOpMax: math.Inf(-1),
+	}
+	var sumNs, sumB, sumA float64
+	memRuns := 0
+	for _, s := range samples {
+		sumNs += s.nsPerOp
+		st.NsPerOpMin = math.Min(st.NsPerOpMin, s.nsPerOp)
+		st.NsPerOpMax = math.Max(st.NsPerOpMax, s.nsPerOp)
+		if s.hasMem {
+			memRuns++
+			sumB += s.bytesPerOp
+			sumA += s.allocsPerOp
+		}
+	}
+	st.NsPerOpMean = round3(sumNs / float64(len(samples)))
+	st.NsPerOpMin = round3(st.NsPerOpMin)
+	st.NsPerOpMax = round3(st.NsPerOpMax)
+	if memRuns > 0 {
+		b := round3(sumB / float64(memRuns))
+		a := round3(sumA / float64(memRuns))
+		st.BytesPerOp = &b
+		st.AllocsPerOp = &a
+	}
+	return st
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// writeBenchComparison builds and writes the JSON report.
+func writeBenchComparison(w io.Writer, beforePath, afterPath, note string) error {
+	before, err := parseBenchFile(beforePath)
+	if err != nil {
+		return fmt.Errorf("parse -before: %w", err)
+	}
+	after, err := parseBenchFile(afterPath)
+	if err != nil {
+		return fmt.Errorf("parse -after: %w", err)
+	}
+	names := make(map[string]bool)
+	for n := range before {
+		names[n] = true
+	}
+	for n := range after {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	rep := benchReport{Note: note, BeforeFile: beforePath, AfterFile: afterPath}
+	for _, n := range sorted {
+		c := benchComparison{
+			Name:   n,
+			Before: summarise(before[n]),
+			After:  summarise(after[n]),
+		}
+		if c.Before != nil && c.After != nil && c.After.NsPerOpMean > 0 {
+			sp := round3(c.Before.NsPerOpMean / c.After.NsPerOpMean)
+			c.Speedup = &sp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, c)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -13,12 +13,27 @@
 //
 // Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
 // Shard-scaling knobs: -shards, -workers, -txns, -cross.
+//
+// Profiling: -cpuprofile / -memprofile write pprof files for any mode,
+// so perf work profiles the real workloads without editing code:
+//
+//	sccbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
+// Benchmark comparison: -benchjson summarises two saved `go test
+// -bench` outputs (see docs/PERF.md) into the BENCH_*.json format the
+// repository records its perf trajectory with:
+//
+//	go test -run xxx -bench . -benchmem -count=10 . > after.txt
+//	sccbench -benchjson -before before.txt -after after.txt > BENCH_1.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -97,8 +112,58 @@ func main() {
 		workers    = flag.Int("workers", 16, "concurrent workers for -shardscale")
 		txns       = flag.Int("txns", 2000, "transactions per worker for -shardscale")
 		cross      = flag.Float64("cross", 0.1, "cross-site step probability for -shardscale")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		benchjson = flag.Bool("benchjson", false, "compare two saved `go test -bench` outputs as JSON")
+		beforeTxt = flag.String("before", "", "before-side bench output file for -benchjson")
+		afterTxt  = flag.String("after", "", "after-side bench output file for -benchjson")
+		benchNote = flag.String("note", "", "free-form note embedded in the -benchjson report")
 	)
 	flag.Parse()
+
+	if *benchjson {
+		if *beforeTxt == "" || *afterTxt == "" {
+			fmt.Fprintln(os.Stderr, "sccbench: -benchjson needs -before and -after files")
+			os.Exit(2)
+		}
+		if err := writeBenchComparison(os.Stdout, *beforeTxt, *afterTxt, *benchNote); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sccbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *shardScale {
 		dbSize := *db

@@ -147,6 +147,17 @@ type State interface {
 	fmt.Stringer
 }
 
+// Copier is optionally implemented by states that can adopt another
+// state's value in place. Long-lived holders — the intentions-list
+// abort replay rebuilds the materialised state from the committed base
+// on every abort — use it to reuse one allocation instead of cloning
+// per rebuild. CopyFrom reports false (receiver unchanged) when src has
+// a different concrete type.
+type Copier interface {
+	State
+	CopyFrom(src State) bool
+}
+
 // Type is an atomic data type: a state space plus operations.
 type Type interface {
 	// Name identifies the type ("page", "stack", "set", "table", ...).

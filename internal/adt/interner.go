@@ -1,0 +1,50 @@
+package adt
+
+// OpID is a small dense integer identifying an operation name within one
+// Interner's universe. The compat package's compiled classifiers index
+// their dense relation arrays by OpID, turning the per-log-entry table
+// lookup of Figure 2 into an array load. NoOpID marks a name outside the
+// universe.
+type OpID int32
+
+// NoOpID is returned for names the interner has never seen.
+const NoOpID OpID = -1
+
+// Interner assigns dense OpIDs to operation names. It is built once
+// (per compatibility table / per object) and read-only afterwards, so it
+// is safe for concurrent readers.
+type Interner struct {
+	ids   map[string]OpID
+	names []string
+}
+
+// NewInterner interns the given names in order: names[i] gets OpID(i).
+// Duplicate names keep their first id.
+func NewInterner(names []string) *Interner {
+	in := &Interner{
+		ids:   make(map[string]OpID, len(names)),
+		names: make([]string, 0, len(names)),
+	}
+	for _, n := range names {
+		if _, ok := in.ids[n]; ok {
+			continue
+		}
+		in.ids[n] = OpID(len(in.names))
+		in.names = append(in.names, n)
+	}
+	return in
+}
+
+// ID returns the OpID for name, or NoOpID.
+func (in *Interner) ID(name string) OpID {
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	return NoOpID
+}
+
+// Len returns the number of interned names.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Name returns the name interned at id.
+func (in *Interner) Name(id OpID) string { return in.names[id] }

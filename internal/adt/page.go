@@ -44,10 +44,35 @@ func (Page) Specs() []OpSpec {
 	}
 }
 
-// Apply implements Type.
+// Apply implements Type. It is implemented directly rather than through
+// ApplyU so the no-undo paths (intentions-list execution and replay, the
+// derivation engine) never allocate a discarded undo record.
 func (t Page) Apply(s State, op Op) (Ret, error) {
-	ret, _, err := t.ApplyU(s, op)
-	return ret, err
+	ps, ok := s.(*PageState)
+	if !ok {
+		return Ret{}, badOp(t, op)
+	}
+	switch op.Name {
+	case PageRead:
+		return Ret{Code: Value, Val: ps.V}, nil
+	case PageWrite:
+		if !op.HasArg {
+			return Ret{}, badOp(t, op)
+		}
+		ps.V = op.Arg
+		return RetOK, nil
+	}
+	return Ret{}, badOp(t, op)
+}
+
+// CopyFrom implements Copier.
+func (p *PageState) CopyFrom(src State) bool {
+	q, ok := src.(*PageState)
+	if !ok {
+		return false
+	}
+	*p = *q
+	return true
 }
 
 // pageWriteRec remembers the value overwritten by a write (its

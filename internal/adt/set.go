@@ -98,10 +98,47 @@ func (Set) Specs() []OpSpec {
 	}
 }
 
-// Apply implements Type.
+// Apply implements Type. Implemented directly (not via ApplyU) so the
+// no-undo paths never allocate a discarded undo record.
 func (t Set) Apply(s State, op Op) (Ret, error) {
-	ret, _, err := t.ApplyU(s, op)
-	return ret, err
+	ss, ok := s.(*SetState)
+	if !ok || !op.HasArg {
+		return Ret{}, badOp(t, op)
+	}
+	switch op.Name {
+	case SetInsert:
+		ss.m[op.Arg] = true
+		return RetOK, nil
+	case SetDelete:
+		if ss.m[op.Arg] {
+			delete(ss.m, op.Arg)
+			return RetOK, nil
+		}
+		return Ret{Code: Fail}, nil
+	case SetMember:
+		if ss.m[op.Arg] {
+			return Ret{Code: Yes}, nil
+		}
+		return Ret{Code: No}, nil
+	}
+	return Ret{}, badOp(t, op)
+}
+
+// CopyFrom implements Copier.
+func (s *SetState) CopyFrom(src State) bool {
+	q, ok := src.(*SetState)
+	if !ok {
+		return false
+	}
+	if s.m == nil {
+		s.m = make(map[int]bool, len(q.m))
+	} else {
+		clear(s.m)
+	}
+	for v := range q.m {
+		s.m[v] = true
+	}
+	return true
 }
 
 // setRec remembers whether an insert actually added / a delete actually

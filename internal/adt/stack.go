@@ -112,10 +112,45 @@ func (Stack) Specs() []OpSpec {
 	}
 }
 
-// Apply implements Type.
+// Apply implements Type. Implemented directly (not via ApplyU) so the
+// no-undo paths never allocate a discarded undo record.
 func (t Stack) Apply(s State, op Op) (Ret, error) {
-	ret, _, err := t.ApplyU(s, op)
-	return ret, err
+	ss, ok := s.(*StackState)
+	if !ok {
+		return Ret{}, badOp(t, op)
+	}
+	switch op.Name {
+	case StackPush:
+		if !op.HasArg {
+			return Ret{}, badOp(t, op)
+		}
+		ss.push(op.Arg)
+		return RetOK, nil
+	case StackPop:
+		if len(ss.cells) == 0 {
+			return Ret{Code: Null}, nil
+		}
+		top := ss.cells[len(ss.cells)-1]
+		ss.cells = ss.cells[:len(ss.cells)-1]
+		return Ret{Code: Value, Val: top.v}, nil
+	case StackTop:
+		if len(ss.cells) == 0 {
+			return Ret{Code: Null}, nil
+		}
+		return Ret{Code: Value, Val: ss.cells[len(ss.cells)-1].v}, nil
+	}
+	return Ret{}, badOp(t, op)
+}
+
+// CopyFrom implements Copier.
+func (s *StackState) CopyFrom(src State) bool {
+	q, ok := src.(*StackState)
+	if !ok {
+		return false
+	}
+	s.cells = append(s.cells[:0], q.cells...)
+	s.nextTok = q.nextTok
+	return true
 }
 
 // stackPushRec identifies the pushed cell by token.

@@ -111,10 +111,70 @@ func (KTable) Specs() []OpSpec {
 	}
 }
 
-// Apply implements Type.
+// Apply implements Type. Implemented directly (not via ApplyU) so the
+// no-undo paths never allocate a discarded undo record.
 func (t KTable) Apply(s State, op Op) (Ret, error) {
-	ret, _, err := t.ApplyU(s, op)
-	return ret, err
+	ts, ok := s.(*KTableState)
+	if !ok {
+		return Ret{}, badOp(t, op)
+	}
+	switch op.Name {
+	case TableInsert:
+		if !op.HasArg || !op.HasAux {
+			return Ret{}, badOp(t, op)
+		}
+		if _, exists := ts.m[op.Arg]; exists {
+			return Ret{Code: Fail}, nil
+		}
+		ts.m[op.Arg] = op.Aux
+		return RetOK, nil
+	case TableDelete:
+		if !op.HasArg {
+			return Ret{}, badOp(t, op)
+		}
+		if _, exists := ts.m[op.Arg]; exists {
+			delete(ts.m, op.Arg)
+			return RetOK, nil
+		}
+		return Ret{Code: Fail}, nil
+	case TableLookup:
+		if !op.HasArg {
+			return Ret{}, badOp(t, op)
+		}
+		if item, exists := ts.m[op.Arg]; exists {
+			return Ret{Code: Value, Val: item}, nil
+		}
+		return Ret{Code: NotFound}, nil
+	case TableSize:
+		return Ret{Code: Count, Val: len(ts.m)}, nil
+	case TableModify:
+		if !op.HasArg || !op.HasAux {
+			return Ret{}, badOp(t, op)
+		}
+		if _, exists := ts.m[op.Arg]; exists {
+			ts.m[op.Arg] = op.Aux
+			return RetOK, nil
+		}
+		return Ret{Code: Fail}, nil
+	}
+	return Ret{}, badOp(t, op)
+}
+
+// CopyFrom implements Copier.
+func (s *KTableState) CopyFrom(src State) bool {
+	q, ok := src.(*KTableState)
+	if !ok {
+		return false
+	}
+	if s.m == nil {
+		s.m = make(map[int]int, len(q.m))
+	} else {
+		clear(s.m)
+	}
+	for k, v := range q.m {
+		s.m[k] = v
+	}
+	return true
 }
 
 // tableInsRec remembers whether an insert succeeded (undo removes the

@@ -1,0 +1,184 @@
+package compat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+// opInstances expands a type's specs into concrete operations over a
+// couple of argument values, plus an operation the table has never
+// heard of, so equivalence checks cover same-arg, different-arg,
+// no-arg and unknown-name classifications.
+func opInstances(t adt.Type) []adt.Op {
+	ops := []adt.Op{{Name: "bogus-op"}, {Name: "bogus-arg", Arg: 1, HasArg: true}}
+	for _, sp := range t.Specs() {
+		if !sp.HasArg {
+			ops = append(ops, sp.Invoke())
+			continue
+		}
+		for _, a := range []int{1, 2} {
+			if !sp.HasAux {
+				ops = append(ops, sp.Invoke(a))
+				continue
+			}
+			for _, x := range []int{1, 7} {
+				ops = append(ops, sp.Invoke(a, x))
+			}
+		}
+	}
+	return ops
+}
+
+// checkEquivalence asserts the compiled classifier agrees with the
+// source classifier on every operation pair, for both the plain
+// relation and the CommutativityOnly composition, through every API
+// surface (Classify, ClassifyIDs, Row).
+func checkEquivalence(t *testing.T, name string, src Classifier, comp *Compiled, ops []adt.Op) {
+	t.Helper()
+	commOnly := CommutativityOnly{C: src}
+	for _, req := range ops {
+		reqID := comp.OpID(req.Name)
+		row := comp.Row(reqID, false)
+		rowComm := comp.Row(reqID, true)
+		for _, exec := range ops {
+			execID := comp.OpID(exec.Name)
+			same := req.SameArg(exec)
+
+			want := src.Classify(req, exec)
+			if got := comp.Classify(req, exec); got != want {
+				t.Fatalf("%s: Classify(%v, %v) = %v, source says %v", name, req, exec, got, want)
+			}
+			if got := comp.ClassifyIDs(reqID, execID, same, false); got != want {
+				t.Fatalf("%s: ClassifyIDs(%v, %v) = %v, source says %v", name, req, exec, got, want)
+			}
+			if got := row.Classify(execID, same); got != want {
+				t.Fatalf("%s: Row.Classify(%v, %v) = %v, source says %v", name, req, exec, got, want)
+			}
+
+			wantCO := commOnly.Classify(req, exec)
+			if got := comp.ClassifyIDs(reqID, execID, same, true); got != wantCO {
+				t.Fatalf("%s: ClassifyIDs(%v, %v, commOnly) = %v, CommutativityOnly says %v",
+					name, req, exec, got, wantCO)
+			}
+			if got := rowComm.Classify(execID, same); got != wantCO {
+				t.Fatalf("%s: Row(commOnly).Classify(%v, %v) = %v, CommutativityOnly says %v",
+					name, req, exec, got, wantCO)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesPaperTables covers Tables I–VIII (the hardcoded
+// paper tables) and the tables the derivation engine recomputes from
+// Definitions 1–2.
+func TestCompiledMatchesPaperTables(t *testing.T) {
+	cases := []struct {
+		typ adt.Enumerable
+		tab *Table
+	}{
+		{adt.Page{}, PageTable()},
+		{adt.Stack{}, StackTable()},
+		{adt.Set{}, SetTable()},
+		{adt.KTable{}, KTableTable()},
+	}
+	for _, c := range cases {
+		ops := opInstances(c.typ)
+		checkEquivalence(t, "paper/"+c.tab.TypeName, c.tab, c.tab.Compile(), ops)
+		derived := Derive(c.typ)
+		checkEquivalence(t, "derived/"+derived.TypeName, derived, derived.Compile(), ops)
+	}
+}
+
+// TestCompiledMatchesGeneratedTables covers the §5.5.2 random merged
+// tables across a spread of sigma / Pc / Pr settings.
+func TestCompiledMatchesGeneratedTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sigma := range []int{1, 2, 4, 6} {
+		for trial := 0; trial < 5; trial++ {
+			maxPc := sigma*sigma - sigma
+			pc := rng.Intn(maxPc/2+1) * 2
+			pr := rng.Intn(sigma*sigma - pc + 1)
+			g := MustGenerate(rng, sigma, pc, pr)
+
+			ops := []adt.Op{{Name: "bogus-op"}, {Name: "op99999"}}
+			for i := 0; i < sigma; i++ {
+				ops = append(ops, adt.Op{Name: adt.AbstractOpName(i)})
+			}
+			checkEquivalence(t, "generated", g, g.Compile(), ops)
+		}
+	}
+}
+
+// TestCompileClassifier covers the wrapper lowering: CommutativityOnly
+// compiles to the demoted relation, an already-compiled classifier
+// passes through, and unknown classifier implementations are refused.
+func TestCompileClassifier(t *testing.T) {
+	tab := StackTable()
+	comp, ok := CompileClassifier(tab)
+	if !ok || comp == nil {
+		t.Fatal("table failed to compile")
+	}
+	if again, ok := CompileClassifier(comp); !ok || again != comp {
+		t.Fatal("compiled classifier should pass through")
+	}
+
+	co, ok := CompileClassifier(CommutativityOnly{C: tab})
+	if !ok {
+		t.Fatal("CommutativityOnly(table) failed to compile")
+	}
+	checkEquivalence(t, "commonly-wrapped", CommutativityOnly{C: tab}, co, opInstances(adt.Stack{}))
+
+	if _, ok := CompileClassifier(opaqueClassifier{tab}); ok {
+		t.Fatal("unknown classifier implementations must not compile")
+	}
+	if _, ok := CompileClassifier(CommutativityOnly{C: opaqueClassifier{tab}}); ok {
+		t.Fatal("CommutativityOnly around an unknown classifier must not compile")
+	}
+}
+
+// opaqueClassifier hides a classifier's structure from CompileClassifier.
+type opaqueClassifier struct{ inner Classifier }
+
+func (o opaqueClassifier) Classify(req, exec adt.Op) Rel { return o.inner.Classify(req, exec) }
+
+// TestCompileDuplicateOpName pins Compile against Classify for the
+// degenerate table whose Ops repeats a name: both must resolve the
+// first occurrence's row, even when a later duplicate row disagrees.
+func TestCompileDuplicateOpName(t *testing.T) {
+	tab := NewTable("dup", []string{"a", "b", "a"})
+	tab.SetComm("a", "b", Yes)
+	tab.Comm[2][1] = No // the shadowed duplicate row disagrees
+	tab.Rec[2][1] = No
+	comp := tab.Compile()
+	opA, opB := adt.Op{Name: "a"}, adt.Op{Name: "b"}
+	if want, got := tab.Classify(opA, opB), comp.Classify(opA, opB); got != want {
+		t.Fatalf("duplicate-name table: compiled %v, source %v", got, want)
+	}
+	if got := comp.Classify(opA, opB); got != Commutes {
+		t.Fatalf("duplicate-name table: classified %v, want commutes (first row wins)", got)
+	}
+}
+
+// TestTableIndex pins the name→index map against the linear scan it
+// replaced, including the miss case and a hand-rolled Table literal
+// (nil map) falling back to the scan.
+func TestTableIndex(t *testing.T) {
+	tab := KTableTable()
+	for i, name := range tab.Ops {
+		if got := tab.Index(name); got != i {
+			t.Fatalf("Index(%q) = %d, want %d", name, got, i)
+		}
+	}
+	if got := tab.Index("nope"); got != -1 {
+		t.Fatalf("Index miss = %d, want -1", got)
+	}
+	literal := &Table{TypeName: "raw", Ops: []string{"a", "b"}}
+	if got := literal.Index("b"); got != 1 {
+		t.Fatalf("literal Table Index(b) = %d, want 1", got)
+	}
+	if got := literal.Index("z"); got != -1 {
+		t.Fatalf("literal Table Index miss = %d, want -1", got)
+	}
+}

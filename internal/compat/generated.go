@@ -30,13 +30,30 @@ func (g *Generated) Classify(requested, executed adt.Op) Rel {
 	return g.Cell[i][j]
 }
 
+// abstractIndex parses "op<i>" without materialising candidate names
+// (the old linear probe allocated one string per comparison).
 func abstractIndex(name string, sigma int) (int, bool) {
-	for i := 0; i < sigma; i++ {
-		if name == adt.AbstractOpName(i) {
-			return i, true
-		}
+	if len(name) < 3 || name[0] != 'o' || name[1] != 'p' {
+		return 0, false
 	}
-	return 0, false
+	if name[2] == '0' && len(name) > 3 {
+		return 0, false // leading zero: not a canonical AbstractOpName
+	}
+	if len(name) > 2+10 {
+		return 0, false // more digits than any int32-range sigma; avoids overflow
+	}
+	i := 0
+	for k := 2; k < len(name); k++ {
+		d := name[k]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		i = i*10 + int(d-'0')
+	}
+	if i >= sigma {
+		return 0, false
+	}
+	return i, true
 }
 
 // Counts returns the number of commutative, recoverable and

@@ -104,6 +104,11 @@ type Table struct {
 	// Rec[i][j] is the recoverability entry for requested Ops[i]
 	// against executed Ops[j] (Tables II, IV, VI, VIII).
 	Rec [][]Entry
+
+	// index maps operation name to row/column index. Built by NewTable
+	// (Ops is fixed from then on); nil for hand-rolled Table literals,
+	// which fall back to the linear scan.
+	index map[string]int
 }
 
 // NewTable returns an empty table over the given operations with every
@@ -112,6 +117,12 @@ func NewTable(typeName string, ops []string) *Table {
 	t := &Table{TypeName: typeName, Ops: append([]string(nil), ops...)}
 	t.Comm = newGrid(len(ops))
 	t.Rec = newGrid(len(ops))
+	t.index = make(map[string]int, len(ops))
+	for i, name := range t.Ops {
+		if _, ok := t.index[name]; !ok {
+			t.index[name] = i
+		}
+	}
 	return t
 }
 
@@ -125,6 +136,12 @@ func newGrid(n int) [][]Entry {
 
 // Index returns the row/column index of the named operation, or -1.
 func (t *Table) Index(op string) int {
+	if t.index != nil {
+		if i, ok := t.index[op]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, name := range t.Ops {
 		if name == op {
 			return i

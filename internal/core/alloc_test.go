@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// The allocation regression tests pin the tentpole property of the
+// compiled-classifier + scratch-reuse work: the steady-state request
+// path does not touch the heap. They run a generous warm-up first so
+// every pool and scratch buffer reaches its steady capacity.
+
+// TestCommutingPathZeroAllocs asserts a steady-state Begin / Request
+// (commuting op) / Commit / Forget cycle performs zero heap
+// allocations.
+func TestCommutingPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := NewScheduler(Options{})
+	if err := s.Register(1, adt.Set{}, compat.SetTable()); err != nil {
+		t.Fatal(err)
+	}
+	var id TxnID
+	cycle := func() {
+		id++
+		if err := s.Begin(id); err != nil {
+			t.Fatal(err)
+		}
+		op := adt.Op{Name: adt.SetMember, Arg: int(id % 97), HasArg: true}
+		if dec, _, err := s.Request(id, 1, op); err != nil || dec.Outcome != Executed {
+			t.Fatalf("request: %v %v", dec, err)
+		}
+		if st, _, err := s.Commit(id); err != nil || st != Committed {
+			t.Fatalf("commit: %v %v", st, err)
+		}
+		s.Forget(id)
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(500, cycle); avg != 0 {
+		t.Fatalf("commuting Request/Commit cycle allocates %.2f times per op, want 0", avg)
+	}
+}
+
+// TestRecoverablePathBoundedAllocs asserts the recoverable path —
+// commit-dependency edges, a cycle check, pseudo-commit and cascade —
+// stays within a fixed small allocation bound per transaction pair
+// (the Effects lists returned to the caller still allocate).
+func TestRecoverablePathBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := NewScheduler(Options{})
+	if err := s.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	var id TxnID
+	pair := func() {
+		ta, tb := id+1, id+2
+		id += 2
+		if err := s.Begin(ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Begin(tb); err != nil {
+			t.Fatal(err)
+		}
+		push := func(v int) adt.Op { return adt.Op{Name: adt.StackPush, Arg: v, HasArg: true} }
+		if dec, _, err := s.Request(ta, 1, push(1)); err != nil || dec.Outcome != Executed {
+			t.Fatalf("request: %v %v", dec, err)
+		}
+		if dec, _, err := s.Request(tb, 1, push(2)); err != nil || dec.Outcome != Executed {
+			t.Fatalf("request: %v %v", dec, err)
+		}
+		if st, _, err := s.Commit(tb); err != nil || st != PseudoCommitted {
+			t.Fatalf("commit b: %v %v", st, err)
+		}
+		if st, _, err := s.Commit(ta); err != nil || st != Committed {
+			t.Fatalf("commit a: %v %v", st, err)
+		}
+		s.Forget(ta)
+		s.Forget(tb)
+	}
+	for i := 0; i < 200; i++ {
+		pair()
+	}
+	const bound = 4.0
+	if avg := testing.AllocsPerRun(500, pair); avg > bound {
+		t.Fatalf("recoverable pair allocates %.2f times, want <= %.0f", avg, bound)
+	}
+}

@@ -9,18 +9,20 @@ import (
 
 // logEntry is one uncommitted operation in an object's execution log.
 type logEntry struct {
-	txn TxnID
-	op  adt.Op
-	ret adt.Ret
-	rec adt.UndoRec // undo-log recovery only
-	seq uint64      // global execution sequence number
+	txn  TxnID
+	op   adt.Op
+	opid adt.OpID // op.Name interned against the compiled classifier, or NoOpID
+	ret  adt.Ret
+	rec  adt.UndoRec // undo-log recovery only
+	seq  uint64      // global execution sequence number
 }
 
 // request is a pending (possibly blocked) operation request.
 type request struct {
-	txn TxnID
-	obj ObjectID
-	op  adt.Op
+	txn  TxnID
+	obj  ObjectID
+	op   adt.Op
+	opid adt.OpID // like logEntry.opid, for the fair-admission test
 }
 
 // object is the per-object manager: type, classifier, state(s),
@@ -31,16 +33,33 @@ type object struct {
 	und   adt.Undoer // non-nil iff typ implements adt.Undoer
 	class compat.Classifier
 
+	// comp is the classifier lowered to interned-id array lookups
+	// (non-nil whenever the classifier is table-backed); commOnly
+	// selects the compile-time-composed commutativity-only baseline.
+	// classEff is the effective classifier for fallback paths — the
+	// predicate wrapper is applied once here instead of being boxed on
+	// every request.
+	comp     *compat.Compiled
+	commOnly bool
+	classEff compat.Classifier
+
 	base    adt.State // committed state (intentions-list recovery only)
 	cur     adt.State // materialised current state
 	log     []logEntry
 	blocked []*request
 }
 
-func newObject(id ObjectID, typ adt.Type, class compat.Classifier, rec Recovery) (*object, error) {
+func newObject(id ObjectID, typ adt.Type, class compat.Classifier, rec Recovery, pred Predicate) (*object, error) {
 	o := &object{id: id, typ: typ, class: class, cur: typ.New()}
 	if u, ok := typ.(adt.Undoer); ok {
 		o.und = u
+	}
+	o.comp, _ = compat.CompileClassifier(class)
+	o.commOnly = pred == PredCommutativity
+	if o.commOnly {
+		o.classEff = compat.CommutativityOnly{C: class}
+	} else {
+		o.classEff = class
 	}
 	switch rec {
 	case RecoveryIntentions:
@@ -53,28 +72,72 @@ func newObject(id ObjectID, typ adt.Type, class compat.Classifier, rec Recovery)
 	return o, nil
 }
 
+// opID interns an operation name against the object's compiled
+// classifier (NoOpID when the classifier did not compile).
+func (o *object) opID(op adt.Op) adt.OpID {
+	if o.comp == nil {
+		return adt.NoOpID
+	}
+	return o.comp.OpID(op.Name)
+}
+
+// classify relates a requested operation (pre-interned as reqID) to an
+// executed or blocked one under the object's effective predicate.
+func (o *object) classify(reqID adt.OpID, req adt.Op, execID adt.OpID, exec adt.Op) compat.Rel {
+	if o.comp != nil {
+		return o.comp.ClassifyIDs(reqID, execID, req.SameArg(exec), o.commOnly)
+	}
+	return o.classEff.Classify(req, exec)
+}
+
+// appendUniqueTxn appends t unless present. Holder lists are short (a
+// handful of uncommitted transactions), so the linear scan beats the
+// map the old implementation allocated per call.
+func appendUniqueTxn(list []TxnID, t TxnID) []TxnID {
+	for _, x := range list {
+		if x == t {
+			return list
+		}
+	}
+	return append(list, t)
+}
+
 // classifyAgainstLog classifies op (requested by txn) against every
 // uncommitted log entry of other transactions and returns the
 // de-duplicated holders it conflicts with and the holders it is
-// recoverable (but not commuting) with, in log order.
-func (o *object) classifyAgainstLog(txn TxnID, op adt.Op, class compat.Classifier) (conflicts, recovs []TxnID) {
-	seenC := map[TxnID]bool{}
-	seenR := map[TxnID]bool{}
-	for _, e := range o.log {
+// recoverable (but not commuting) with, in log order. Results are
+// appended to conflicts[:0] and recovs[:0]; passing reused scratch
+// buffers makes the scan allocation-free.
+func (o *object) classifyAgainstLog(txn TxnID, op adt.Op, conflicts, recovs []TxnID) (c, r []TxnID) {
+	conflicts, recovs = conflicts[:0], recovs[:0]
+	if o.comp != nil {
+		// Resolve the requested op's table row (and the predicate)
+		// once; each log entry is then one indexed load.
+		row := o.comp.Row(o.comp.OpID(op.Name), o.commOnly)
+		for i := range o.log {
+			e := &o.log[i]
+			if e.txn == txn {
+				continue
+			}
+			switch row.Classify(e.opid, op.SameArg(e.op)) {
+			case compat.Conflict:
+				conflicts = appendUniqueTxn(conflicts, e.txn)
+			case compat.Recoverable:
+				recovs = appendUniqueTxn(recovs, e.txn)
+			}
+		}
+		return conflicts, recovs
+	}
+	for i := range o.log {
+		e := &o.log[i]
 		if e.txn == txn {
 			continue
 		}
-		switch class.Classify(op, e.op) {
+		switch o.classEff.Classify(op, e.op) {
 		case compat.Conflict:
-			if !seenC[e.txn] {
-				seenC[e.txn] = true
-				conflicts = append(conflicts, e.txn)
-			}
+			conflicts = appendUniqueTxn(conflicts, e.txn)
 		case compat.Recoverable:
-			if !seenR[e.txn] {
-				seenR[e.txn] = true
-				recovs = append(recovs, e.txn)
-			}
+			recovs = appendUniqueTxn(recovs, e.txn)
 		}
 	}
 	return conflicts, recovs
@@ -83,17 +146,30 @@ func (o *object) classifyAgainstLog(txn TxnID, op adt.Op, class compat.Classifie
 // conflictsWithBlocked reports whether op (requested by txn) fails the
 // fair-scheduling admission test: it is not commutative with some
 // blocked request of another transaction. It returns the blocked
-// requesters op must wait behind.
-func (o *object) conflictsWithBlocked(txn TxnID, op adt.Op, class compat.Classifier) []TxnID {
-	var waits []TxnID
-	seen := map[TxnID]bool{}
+// requesters op must wait behind, appended to waits[:0].
+func (o *object) conflictsWithBlocked(txn TxnID, op adt.Op, waits []TxnID) []TxnID {
+	waits = waits[:0]
+	if len(o.blocked) == 0 {
+		return waits
+	}
+	if o.comp != nil {
+		row := o.comp.Row(o.comp.OpID(op.Name), o.commOnly)
+		for _, r := range o.blocked {
+			if r.txn == txn {
+				continue
+			}
+			if row.Classify(r.opid, op.SameArg(r.op)) != compat.Commutes {
+				waits = appendUniqueTxn(waits, r.txn)
+			}
+		}
+		return waits
+	}
 	for _, r := range o.blocked {
-		if r.txn == txn || seen[r.txn] {
+		if r.txn == txn {
 			continue
 		}
-		if class.Classify(op, r.op) != compat.Commutes {
-			seen[r.txn] = true
-			waits = append(waits, r.txn)
+		if o.classEff.Classify(op, r.op) != compat.Commutes {
+			waits = appendUniqueTxn(waits, r.txn)
 		}
 	}
 	return waits
@@ -115,7 +191,7 @@ func (o *object) execute(txn TxnID, op adt.Op, seq uint64, rec Recovery) (adt.Re
 	if err != nil {
 		return adt.Ret{}, err
 	}
-	o.log = append(o.log, logEntry{txn: txn, op: op, ret: ret, rec: ur, seq: seq})
+	o.log = append(o.log, logEntry{txn: txn, op: op, opid: o.opID(op), ret: ret, rec: ur, seq: seq})
 	return ret, nil
 }
 
@@ -123,35 +199,54 @@ func (o *object) execute(txn TxnID, op adt.Op, seq uint64, rec Recovery) (adt.Re
 // committed state (commit=true) or reversing their effects
 // (commit=false) according to the recovery strategy. With debug set it
 // asserts the soundness property: surviving entries' return values are
-// unchanged by the removal.
-func (o *object) removeTxn(txn TxnID, commit bool, rec Recovery, debug bool) error {
+// unchanged by the removal. sc provides reusable buffers.
+func (o *object) removeTxn(txn TxnID, commit bool, rec Recovery, debug bool, sc *schedScratch) error {
 	if rec == RecoveryUndo {
-		return o.removeTxnUndo(txn, commit)
+		return o.removeTxnUndo(txn, commit, sc)
 	}
-	return o.removeTxnIntentions(txn, commit, debug)
+	return o.removeTxnIntentions(txn, commit, debug, sc)
 }
 
-func (o *object) removeTxnIntentions(txn TxnID, commit bool, debug bool) error {
-	kept := o.log[:0:0]
-	var removed []logEntry
-	for _, e := range o.log {
-		if e.txn == txn {
-			removed = append(removed, e)
+func (o *object) removeTxnIntentions(txn TxnID, commit bool, debug bool, sc *schedScratch) error {
+	// Compact the log in place, collecting the transaction's entries
+	// into the reusable scratch buffer (the old version allocated a
+	// fresh kept slice plus a removed slice on every termination).
+	removed := sc.removed[:0]
+	kept := o.log[:0]
+	for i := range o.log {
+		if o.log[i].txn == txn {
+			removed = append(removed, o.log[i])
 		} else {
-			kept = append(kept, e)
+			kept = append(kept, o.log[i])
 		}
 	}
 	if len(removed) == 0 {
+		sc.removed = removed
 		return nil
+	}
+	// Zero the vacated tail so undo records and op payloads don't leak
+	// past the shrunk length.
+	tail := o.log[len(kept):len(o.log)]
+	for i := range tail {
+		tail[i] = logEntry{}
 	}
 	o.log = kept
 
+	err := o.foldOrReplay(removed, commit, debug)
+	sc.removed = clearLogEntries(removed)
+	return err
+}
+
+// foldOrReplay finishes an intentions-list removal once the departing
+// entries have been extracted.
+func (o *object) foldOrReplay(removed []logEntry, commit, debug bool) error {
 	if commit {
 		// Fold the committing transaction's operations into the
 		// base. Every surviving earlier entry commutes with them
 		// (the committing transaction has out-degree zero), so
 		// applying them directly to the base is sound.
-		for _, e := range removed {
+		for i := range removed {
+			e := &removed[i]
 			ret, err := o.typ.Apply(o.base, e.op)
 			if err != nil {
 				return fmt.Errorf("core: intentions commit replay on object %d: %w", o.id, err)
@@ -169,8 +264,17 @@ func (o *object) removeTxnIntentions(txn TxnID, commit bool, debug bool) error {
 
 	// Abort: rebuild the materialised state by replaying the
 	// surviving log onto the base. Soundness (Theorem 1) guarantees
-	// every replayed return equals the logged one.
-	curr := o.base.Clone()
+	// every replayed return equals the logged one. States that support
+	// in-place copying are rebuilt into the existing materialised
+	// state, so the steady-state abort path allocates nothing; a
+	// replay error leaves the object unusable either way (the caller
+	// treats it as a broken internal invariant).
+	var curr adt.State
+	if c, ok := o.cur.(adt.Copier); ok && c.CopyFrom(o.base) {
+		curr = o.cur
+	} else {
+		curr = o.base.Clone()
+	}
 	for i := range o.log {
 		ret, err := o.typ.Apply(curr, o.log[i].op)
 		if err != nil {
@@ -200,42 +304,93 @@ func (o *object) checkReplayMatchesCur() error {
 	return nil
 }
 
-func (o *object) removeTxnUndo(txn TxnID, commit bool) error {
+func (o *object) removeTxnUndo(txn TxnID, commit bool, sc *schedScratch) error {
 	if commit {
-		kept := o.log[:0:0]
-		for _, e := range o.log {
-			if e.txn != txn {
-				kept = append(kept, e)
-			}
-		}
-		o.log = kept
+		o.compactLogExcluding(txn, -1)
 		return nil
 	}
 	// Undo the transaction's operations in reverse execution order.
-	// Each undo sees the later entries still present in the log so it
-	// can fix up before-image chains.
-	for i := len(o.log) - 1; i >= 0; i-- {
-		e := o.log[i]
+	// Each undo must see the later entries still present in the log so
+	// it can fix up before-image chains; walking backwards, those are
+	// exactly the surviving (other-transaction) entries processed so
+	// far, maintained as the suffix later[pos:] of one reusable buffer.
+	// The old version rebuilt a fresh `later` slice and shifted the log
+	// with append(log[:i], log[i+1:]...) per undone entry — O(n²) for
+	// a transaction with many operations on one object.
+	n := len(o.log)
+	later := sc.undoLater
+	if cap(later) < n {
+		later = make([]adt.UndoEntry, n)
+	}
+	later = later[:n]
+	pos := n
+	undone := false
+	for i := n - 1; i >= 0; i-- {
+		e := &o.log[i]
 		if e.txn != txn {
+			pos--
+			later[pos] = adt.UndoEntry{Op: e.op, Rec: e.rec}
 			continue
 		}
-		later := make([]adt.UndoEntry, 0, len(o.log)-i-1)
-		for _, le := range o.log[i+1:] {
-			later = append(later, adt.UndoEntry{Op: le.op, Rec: le.rec})
-		}
-		if err := o.und.Undo(o.cur, e.op, e.rec, later); err != nil {
+		undone = true
+		if err := o.und.Undo(o.cur, e.op, e.rec, later[pos:]); err != nil {
+			// Keep the log consistent with the undos applied so far:
+			// drop the entries at index > i that were already undone.
+			o.compactLogExcluding(txn, i)
+			sc.undoLater = clearUndoEntries(later)
 			return fmt.Errorf("core: undo on object %d: %w", o.id, err)
 		}
-		o.log = append(o.log[:i], o.log[i+1:]...)
 	}
+	if undone {
+		o.compactLogExcluding(txn, -1)
+	}
+	sc.undoLater = clearUndoEntries(later)
 	return nil
+}
+
+// compactLogExcluding removes txn's entries with index > from in a
+// single pass, preserving order (from = -1 removes them all).
+func (o *object) compactLogExcluding(txn TxnID, from int) {
+	kept := o.log[:0]
+	for i := range o.log {
+		if o.log[i].txn == txn && i > from {
+			continue
+		}
+		kept = append(kept, o.log[i])
+	}
+	tail := o.log[len(kept):len(o.log)]
+	for i := range tail {
+		tail[i] = logEntry{}
+	}
+	o.log = kept
+}
+
+// clearUndoEntries drops the buffer's references so pooled undo records
+// don't pin aborted transactions' state, and returns it for reuse.
+func clearUndoEntries(buf []adt.UndoEntry) []adt.UndoEntry {
+	for i := range buf {
+		buf[i] = adt.UndoEntry{}
+	}
+	return buf[:0]
+}
+
+// clearLogEntries likewise zeroes extracted log entries (undo records,
+// op payloads) so the scratch buffer's capacity doesn't pin them, and
+// returns it for reuse.
+func clearLogEntries(buf []logEntry) []logEntry {
+	for i := range buf {
+		buf[i] = logEntry{}
+	}
+	return buf[:0]
 }
 
 // dequeueBlocked removes txn's blocked request, if any.
 func (o *object) dequeueBlocked(txn TxnID) {
 	for i, r := range o.blocked {
 		if r.txn == txn {
-			o.blocked = append(o.blocked[:i], o.blocked[i+1:]...)
+			copy(o.blocked[i:], o.blocked[i+1:])
+			o.blocked[len(o.blocked)-1] = nil
+			o.blocked = o.blocked[:len(o.blocked)-1]
 			return
 		}
 	}
@@ -243,8 +398,8 @@ func (o *object) dequeueBlocked(txn TxnID) {
 
 // hasEntries reports whether txn has uncommitted operations here.
 func (o *object) hasEntries(txn TxnID) bool {
-	for _, e := range o.log {
-		if e.txn == txn {
+	for i := range o.log {
+		if o.log[i].txn == txn {
 			return true
 		}
 	}

@@ -12,13 +12,14 @@ import (
 // owning Scheduler (or any other Participant implementation) serialises
 // access.
 type objectStore struct {
-	recovery Recovery
-	objects  map[ObjectID]*object
-	factory  func(ObjectID) (adt.Type, compat.Classifier)
+	recovery  Recovery
+	predicate Predicate
+	objects   map[ObjectID]*object
+	factory   func(ObjectID) (adt.Type, compat.Classifier)
 }
 
-func newObjectStore(rec Recovery) objectStore {
-	return objectStore{recovery: rec, objects: make(map[ObjectID]*object)}
+func newObjectStore(rec Recovery, pred Predicate) objectStore {
+	return objectStore{recovery: rec, predicate: pred, objects: make(map[ObjectID]*object)}
 }
 
 // setFactory installs the lazy constructor used by lookup for
@@ -32,7 +33,7 @@ func (st *objectStore) register(id ObjectID, typ adt.Type, class compat.Classifi
 	if _, ok := st.objects[id]; ok {
 		return ErrDuplicateObj
 	}
-	o, err := newObject(id, typ, class, st.recovery)
+	o, err := newObject(id, typ, class, st.recovery, st.predicate)
 	if err != nil {
 		return err
 	}
@@ -48,7 +49,7 @@ func (st *objectStore) lookup(id ObjectID) (*object, error) {
 	}
 	if st.factory != nil {
 		typ, class := st.factory(id)
-		o, err := newObject(id, typ, class, st.recovery)
+		o, err := newObject(id, typ, class, st.recovery, st.predicate)
 		if err != nil {
 			return nil, err
 		}

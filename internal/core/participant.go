@@ -42,6 +42,11 @@ type Participant interface {
 	// caller (implementations must return a fresh copy, not internal
 	// state): the coordinator filters and retains it.
 	OutEdgesOf(id TxnID) []depgraph.Edge
+	// OutEdgesAppend is OutEdgesOf appending into buf[:0], so a caller
+	// that exports edges on every coordination call can reuse one
+	// buffer. As with OutEdgesOf, the result never aliases
+	// implementation state — only buf.
+	OutEdgesAppend(id TxnID, buf []depgraph.Edge) []depgraph.Edge
 	// Forget drops a terminated transaction's bookkeeping.
 	Forget(id TxnID)
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/adt"
@@ -41,6 +41,33 @@ func (gk graphKeeper) cycleFrom(t TxnID) bool {
 	return gk.g.HasCycleFrom(t)
 }
 
+// schedScratch holds the scheduler's reusable buffers. Every holder
+// list, affected-object list and queue snapshot the protocol's inner
+// loops need lives here, grown once and reused, so a steady-state
+// Request+Commit of a commuting operation performs zero heap
+// allocations. All fields follow the same discipline: a consumer takes
+// field[:0], appends, and stores the result back so the grown capacity
+// survives.
+type schedScratch struct {
+	conflicts []TxnID // classifyAgainstLog conflict holders
+	recovs    []TxnID // classifyAgainstLog recoverable holders
+	fairWaits []TxnID // conflictsWithBlocked waiters
+
+	affected []ObjectID // finalize's touched-object list
+
+	// dependants holds one reusable buffer per finalize recursion
+	// depth: a cascading commit at depth d iterates its dependant list
+	// while deeper finalizes fill theirs.
+	dependants [][]TxnID
+	depth      int
+
+	removed   []logEntry      // removeTxnIntentions' extracted entries
+	undoLater []adt.UndoEntry // removeTxnUndo's suffix buffer
+
+	retrySnap    []*request // retryObject's queue snapshot
+	stillBlocked []*request // retryObject's fairness gate
+}
+
 // Scheduler is the semantics-based concurrency controller. It is safe
 // for concurrent use; every public method runs under one mutex, so calls
 // are serialised and deterministic given a call order. For parallelism
@@ -54,6 +81,7 @@ type Scheduler struct {
 	gk      graphKeeper
 	nextSeq uint64
 	stats   Stats
+	sc      schedScratch
 
 	// pendingRetry holds objects whose blocked queues must be
 	// rescanned before the current call returns.
@@ -64,7 +92,7 @@ type Scheduler struct {
 func NewScheduler(opts Options) *Scheduler {
 	s := &Scheduler{
 		opts:         opts,
-		store:        newObjectStore(opts.Recovery),
+		store:        newObjectStore(opts.Recovery, opts.Predicate),
 		txns:         newTxnStore(),
 		pendingRetry: make(map[ObjectID]bool),
 	}
@@ -84,7 +112,7 @@ func (s *Scheduler) SetFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
 // Register creates the object eagerly with an explicit type and
 // classifier. The classifier should be the plain (recoverability-aware)
 // table even under PredCommutativity; the scheduler applies the
-// predicate itself.
+// predicate itself (composed once at registration, not per request).
 func (s *Scheduler) Register(id ObjectID, typ adt.Type, class compat.Classifier) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -130,15 +158,6 @@ func (s *Scheduler) Begin(id TxnID) error {
 	return nil
 }
 
-// classifier returns the effective classifier for an object under the
-// configured predicate.
-func (s *Scheduler) classifier(o *object) compat.Classifier {
-	if s.opts.Predicate == PredCommutativity {
-		return compat.CommutativityOnly{C: o.class}
-	}
-	return o.class
-}
-
 // Request asks to execute op on obj for transaction id, implementing
 // Figure 2 of the paper. The Decision reports the immediate outcome;
 // Effects reports anything that happened downstream (an abort of the
@@ -181,17 +200,15 @@ func (s *Scheduler) Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effect
 // retry is true the request is a blocked-queue retry: the fair-admission
 // test against *earlier* blocked requests is handled by the caller.
 func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Effects) (Decision, error) {
-	class := s.classifier(o)
-
 	// Fair scheduling: an incoming request that does not commute with
 	// a blocked request waits behind it, even if it is compatible
 	// with every executed operation (§5.2).
-	var fairWaits []TxnID
+	fairWaits := s.sc.fairWaits[:0]
 	if !s.opts.Unfair && !retry {
-		fairWaits = o.conflictsWithBlocked(t.id, op, class)
+		fairWaits = o.conflictsWithBlocked(t.id, op, fairWaits)
 	}
 
-	conflicts, recovs := o.classifyAgainstLog(t.id, op, class)
+	conflicts, recovs := o.classifyAgainstLog(t.id, op, s.sc.conflicts, s.sc.recovs)
 
 	// State-dependent refinement (§3.2): a statically conflicting
 	// request whose return value is invariant on the live object is
@@ -201,8 +218,13 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 	if len(conflicts) > 0 && s.opts.StateDependent && s.opts.Recovery == RecoveryIntentions &&
 		o.stateRecoverable(t.id, op) {
 		recovs = mergeTxnLists(recovs, conflicts)
-		conflicts = nil
+		conflicts = conflicts[:0]
 	}
+
+	// Store the (possibly grown) buffers back before any nested
+	// finalize runs; the locals keep aliasing them safely because the
+	// nested paths only touch the other scratch fields.
+	s.sc.fairWaits, s.sc.conflicts, s.sc.recovs = fairWaits, conflicts, recovs
 
 	if len(conflicts) > 0 || len(fairWaits) > 0 {
 		// Step 1 of Figure 2: wait-for edges to every holder of a
@@ -223,7 +245,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 			return Decision{Outcome: Aborted, Reason: ReasonDeadlock}, nil
 		}
 		t.state = stBlocked
-		t.blocked = &request{txn: t.id, obj: o.id, op: op}
+		t.blocked = &request{txn: t.id, obj: o.id, op: op, opid: o.opID(op)}
 		if !retry {
 			o.blocked = append(o.blocked, t.blocked)
 			// A retried request that stays blocked never resumed
@@ -424,14 +446,17 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 		t.blocked = nil
 	}
 
-	affected := make([]ObjectID, 0, len(t.visited))
+	// The affected-object pass completes before the cascade below, so
+	// one shared buffer serves every recursion depth.
+	affected := s.sc.affected[:0]
 	for oid := range t.visited {
 		affected = append(affected, oid)
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	slices.Sort(affected)
+	s.sc.affected = affected
 	for _, oid := range affected {
 		o, _ := s.store.get(oid)
-		if err := o.removeTxn(t.id, commit, s.opts.Recovery, s.opts.Debug); err != nil {
+		if err := o.removeTxn(t.id, commit, s.opts.Recovery, s.opts.Debug, &s.sc); err != nil {
 			return err
 		}
 		s.pendingRetry[oid] = true
@@ -451,7 +476,15 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 		}
 	}
 
-	dependants := s.gk.g.RemoveNode(t.id)
+	// Each recursion depth owns one reusable dependants buffer: the
+	// list is iterated while deeper cascades fill theirs.
+	depth := s.sc.depth
+	if depth == len(s.sc.dependants) {
+		s.sc.dependants = append(s.sc.dependants, nil)
+	}
+	dependants := s.gk.g.RemoveNodeInto(t.id, s.sc.dependants[depth][:0])
+	s.sc.dependants[depth] = dependants
+	s.sc.depth++
 	for _, d := range dependants {
 		dt, ok := s.txns.get(d)
 		if !ok {
@@ -462,10 +495,12 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 			// cascaded commits in the order they happen.
 			eff.Committed = append(eff.Committed, d)
 			if err := s.finalize(dt, true, ReasonNone, eff); err != nil {
+				s.sc.depth--
 				return err
 			}
 		}
 	}
+	s.sc.depth--
 	return nil
 }
 
@@ -488,17 +523,11 @@ func (s *Scheduler) settle(eff *Effects) error {
 }
 
 // mergeTxnLists appends the members of extra not already in base,
-// preserving order.
+// preserving order. Both lists are short holder lists, so the linear
+// scan replaces the map the old version allocated.
 func mergeTxnLists(base, extra []TxnID) []TxnID {
-	seen := make(map[TxnID]bool, len(base))
-	for _, t := range base {
-		seen[t] = true
-	}
 	for _, t := range extra {
-		if !seen[t] {
-			seen[t] = true
-			base = append(base, t)
-		}
+		base = appendUniqueTxn(base, t)
 	}
 	return base
 }
@@ -520,9 +549,12 @@ func minObject(m map[ObjectID]bool) ObjectID {
 // blocked transaction, the queue has changed under us: the object is
 // re-queued for another pass and the scan restarts via settle.
 func (s *Scheduler) retryObject(o *object, eff *Effects) error {
-	class := s.classifier(o)
-	var stillBlocked []*request
-	queue := append([]*request(nil), o.blocked...)
+	queue := append(s.sc.retrySnap[:0], o.blocked...)
+	stillBlocked := s.sc.stillBlocked[:0]
+	defer func() {
+		s.sc.retrySnap = clearRequests(queue)
+		s.sc.stillBlocked = clearRequests(stillBlocked)
+	}()
 
 scan:
 	for _, r := range queue {
@@ -532,7 +564,7 @@ scan:
 		}
 		if !s.opts.Unfair {
 			for _, earlier := range stillBlocked {
-				if class.Classify(r.op, earlier.op) != compat.Commutes {
+				if o.classify(r.opid, r.op, earlier.opid, earlier.op) != compat.Commutes {
 					stillBlocked = append(stillBlocked, r)
 					continue scan
 				}
@@ -573,6 +605,15 @@ scan:
 		}
 	}
 	return nil
+}
+
+// clearRequests nils out the buffer's pointers so retired requests can
+// be collected, and returns it for reuse.
+func clearRequests(buf []*request) []*request {
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf[:0]
 }
 
 // assertInvariants runs debug-only global checks.
@@ -646,4 +687,14 @@ func (s *Scheduler) OutEdgesOf(id TxnID) []depgraph.Edge {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gk.g.OutEdges(id)
+}
+
+// OutEdgesAppend is OutEdgesOf with a caller-provided scratch buffer:
+// edges are appended to buf[:0]. The distributed layer reuses one
+// buffer per site so the per-coordination-call export allocates
+// nothing.
+func (s *Scheduler) OutEdgesAppend(id TxnID, buf []depgraph.Edge) []depgraph.Edge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gk.g.OutEdgesAppend(id, buf)
 }

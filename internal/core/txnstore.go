@@ -16,8 +16,11 @@ type txn struct {
 
 // txnStore owns the transaction table. Like objectStore it is a
 // lock-free component; the owning scheduler serialises access.
+// Forgotten transactions are pooled and reused so a steady-state
+// begin/terminate/forget cycle allocates nothing.
 type txnStore struct {
-	m map[TxnID]*txn
+	m    map[TxnID]*txn
+	free []*txn
 }
 
 func newTxnStore() txnStore {
@@ -29,7 +32,17 @@ func (ts *txnStore) begin(id TxnID) (*txn, error) {
 	if _, ok := ts.m[id]; ok {
 		return nil, ErrDuplicateTxn
 	}
-	t := &txn{id: id, state: stActive, visited: make(map[ObjectID]struct{})}
+	var t *txn
+	if n := len(ts.free); n > 0 {
+		t = ts.free[n-1]
+		ts.free[n-1] = nil
+		ts.free = ts.free[:n-1]
+		visited := t.visited
+		clear(visited)
+		*t = txn{id: id, state: stActive, visited: visited}
+	} else {
+		t = &txn{id: id, state: stActive, visited: make(map[ObjectID]struct{})}
+	}
 	ts.m[id] = t
 	return t, nil
 }
@@ -49,9 +62,12 @@ func (ts *txnStore) get(id TxnID) (*txn, bool) {
 	return t, ok
 }
 
-// forget drops a terminated transaction's bookkeeping.
+// forget drops a terminated transaction's bookkeeping and recycles the
+// record.
 func (ts *txnStore) forget(id TxnID) {
 	if t, ok := ts.m[id]; ok && (t.state == stCommitted || t.state == stAborted) {
 		delete(ts.m, id)
+		t.blocked = nil
+		ts.free = append(ts.free, t)
 	}
 }

@@ -1,0 +1,53 @@
+//go:build !race
+
+package depgraph
+
+import "testing"
+
+// TestHasCycleFromZeroAllocs pins the epoch-based cycle detection:
+// after the first traversal grows the graph-owned stack, repeated
+// checks over a long dependency chain never touch the heap. (Race
+// builds skip — instrumentation allocates.)
+func TestHasCycleFromZeroAllocs(t *testing.T) {
+	g := New()
+	const n = 200
+	// A dense "every writer depends on every earlier writer" shape,
+	// like the cycle-detection benchmark.
+	for i := TxnID(1); i <= n; i++ {
+		g.AddNode(i)
+		for j := TxnID(1); j < i; j++ {
+			g.AddEdge(i, j, CommitDep)
+		}
+	}
+	if g.HasCycleFrom(n) {
+		t.Fatal("acyclic graph reported a cycle")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if g.HasCycleFrom(n) {
+			t.Fatal("acyclic graph reported a cycle")
+		}
+	}); avg != 0 {
+		t.Fatalf("HasCycleFrom allocates %.2f times per check, want 0", avg)
+	}
+}
+
+// TestNodeChurnZeroAllocs pins the node pool: a steady-state
+// add/remove cycle reuses pooled nodes and scratch.
+func TestNodeChurnZeroAllocs(t *testing.T) {
+	g := New()
+	g.AddNode(1)
+	var next TxnID = 1
+	var buf []TxnID
+	cycle := func() {
+		next++
+		g.AddNode(next)
+		g.AddEdge(next, next-1, WaitFor)
+		buf = g.RemoveNodeInto(next-1, buf)
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("node churn allocates %.2f times per cycle, want 0", avg)
+	}
+}

@@ -10,8 +10,9 @@
 package depgraph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // TxnID identifies a transaction node.
@@ -43,6 +44,10 @@ func (k EdgeKind) String() string {
 type node struct {
 	out map[TxnID]EdgeKind // target -> kind (CommitDep dominates WaitFor if both)
 	in  map[TxnID]struct{} // sources that have an edge to this node
+	// visited is the epoch stamp of the last HasCycleFrom traversal
+	// that reached this node; comparing against the graph's current
+	// epoch replaces a per-call `seen` map.
+	visited uint64
 }
 
 // Graph is a dependency graph. The zero value is not ready; use New.
@@ -53,6 +58,15 @@ type Graph struct {
 	// cycleChecks counts invocations of the cycle-detection
 	// algorithm, the numerator of the paper's cycle check ratio.
 	cycleChecks uint64
+
+	// epoch is bumped per HasCycleFrom call; nodes stamped with the
+	// current epoch count as visited.
+	epoch uint64
+	// stack is the reusable DFS work list.
+	stack []TxnID
+	// free pools removed nodes (with their emptied edge maps) for
+	// reuse, so a steady-state Begin/terminate cycle allocates nothing.
+	free []*node
 }
 
 // New returns an empty graph.
@@ -63,6 +77,13 @@ func New() *Graph {
 // AddNode ensures a node exists for t.
 func (g *Graph) AddNode(t TxnID) {
 	if _, ok := g.nodes[t]; !ok {
+		if n := len(g.free); n > 0 {
+			nd := g.free[n-1]
+			g.free[n-1] = nil
+			g.free = g.free[:n-1]
+			g.nodes[t] = nd
+			return
+		}
 		g.nodes[t] = &node{out: make(map[TxnID]EdgeKind), in: make(map[TxnID]struct{})}
 	}
 }
@@ -136,11 +157,18 @@ func (g *Graph) RemoveWaitEdges(t TxnID) {
 // can re-examine them (e.g. commit pseudo-committed dependants whose
 // out-degree dropped to zero).
 func (g *Graph) RemoveNode(t TxnID) []TxnID {
+	return g.RemoveNodeInto(t, nil)
+}
+
+// RemoveNodeInto is RemoveNode with a caller-provided scratch buffer:
+// dependants are appended to buf[:0], so a reused buffer makes
+// steady-state node removal allocation-free.
+func (g *Graph) RemoveNodeInto(t TxnID, buf []TxnID) []TxnID {
 	n, ok := g.nodes[t]
 	if !ok {
-		return nil
+		return buf[:0]
 	}
-	dependants := make([]TxnID, 0, len(n.in))
+	dependants := buf[:0]
 	for src := range n.in {
 		if sn, ok := g.nodes[src]; ok {
 			delete(sn.out, t)
@@ -153,7 +181,10 @@ func (g *Graph) RemoveNode(t TxnID) []TxnID {
 		}
 	}
 	delete(g.nodes, t)
-	sort.Slice(dependants, func(i, j int) bool { return dependants[i] < dependants[j] })
+	clear(n.out)
+	clear(n.in)
+	g.free = append(g.free, n)
+	slices.Sort(dependants)
 	return dependants
 }
 
@@ -167,15 +198,23 @@ func (g *Graph) OutDegree(t TxnID) int {
 
 // OutEdges returns t's outgoing edges sorted by target.
 func (g *Graph) OutEdges(t TxnID) []Edge {
+	return g.OutEdgesAppend(t, nil)
+}
+
+// OutEdgesAppend appends t's outgoing edges, sorted by target, to
+// buf[:0] and returns the result. With a reused buffer the export is
+// allocation-free; the distributed layer's per-site mirror traffic uses
+// this.
+func (g *Graph) OutEdgesAppend(t TxnID, buf []Edge) []Edge {
+	out := buf[:0]
 	n, ok := g.nodes[t]
 	if !ok {
-		return nil
+		return out
 	}
-	out := make([]Edge, 0, len(n.out))
 	for to, kind := range n.out {
 		out = append(out, Edge{From: t, To: to, Kind: kind})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	slices.SortFunc(out, func(a, b Edge) int { return cmp.Compare(a.To, b.To) })
 	return out
 }
 
@@ -202,33 +241,44 @@ func (g *Graph) HasCycleFrom(t TxnID) bool {
 	if !ok {
 		return false
 	}
-	seen := map[TxnID]bool{t: true}
-	stack := make([]TxnID, 0, len(n.out))
+	// Epoch-stamped visited marks and a graph-owned stack replace the
+	// per-call map and slice: in steady state the traversal allocates
+	// nothing.
+	g.epoch++
+	epoch := g.epoch
+	n.visited = epoch
+	stack := g.stack[:0]
 	for to := range n.out {
 		stack = append(stack, to)
 	}
+	found := false
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == t {
-			return true
+			found = true
+			break
 		}
-		if seen[cur] {
+		cn, ok := g.nodes[cur]
+		if !ok || cn.visited == epoch {
 			continue
 		}
-		seen[cur] = true
-		if cn, ok := g.nodes[cur]; ok {
-			for to := range cn.out {
-				if to == t {
-					return true
-				}
-				if !seen[to] {
-					stack = append(stack, to)
-				}
+		cn.visited = epoch
+		for to := range cn.out {
+			if to == t {
+				found = true
+				break
+			}
+			if tn, ok := g.nodes[to]; ok && tn.visited != epoch {
+				stack = append(stack, to)
 			}
 		}
+		if found {
+			break
+		}
 	}
-	return false
+	g.stack = stack[:0]
+	return found
 }
 
 // Acyclic reports whether the whole graph is acyclic (used by tests and
@@ -275,6 +325,6 @@ func (g *Graph) Nodes() []TxnID {
 	for t := range g.nodes {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -1,6 +1,9 @@
 package depgraph
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Mirror is the coordinator's union of per-participant dependency
 // graphs (§6 of the paper): each site reports the outgoing edges its
@@ -25,13 +28,18 @@ type Mirror struct {
 	// for O(degree) node removal.
 	in          map[TxnID]map[TxnID]struct{}
 	cycleChecks uint64
+
+	// seen and stack are reusable cycle-detection scratch.
+	seen  map[TxnID]bool
+	stack []TxnID
 }
 
 // NewMirror returns an empty mirror.
 func NewMirror() *Mirror {
 	return &Mirror{
-		out: make(map[TxnID]map[TxnID]map[int]EdgeKind),
-		in:  make(map[TxnID]map[TxnID]struct{}),
+		out:  make(map[TxnID]map[TxnID]map[int]EdgeKind),
+		in:   make(map[TxnID]map[TxnID]struct{}),
+		seen: make(map[TxnID]bool),
 	}
 }
 
@@ -104,7 +112,7 @@ func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
 		}
 	}
 	delete(m.out, t)
-	sort.Slice(dependants, func(i, j int) bool { return dependants[i] < dependants[j] })
+	slices.Sort(dependants)
 	return dependants
 }
 
@@ -126,16 +134,20 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 	if len(start) == 0 {
 		return false
 	}
-	seen := map[TxnID]bool{t: true}
-	stack := make([]TxnID, 0, len(start))
+	clear(m.seen)
+	seen := m.seen
+	seen[t] = true
+	stack := m.stack[:0]
 	for to := range start {
 		stack = append(stack, to)
 	}
+	found := false
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == t {
-			return true
+			found = true
+			break
 		}
 		if seen[cur] {
 			continue
@@ -143,14 +155,19 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 		seen[cur] = true
 		for to := range m.out[cur] {
 			if to == t {
-				return true
+				found = true
+				break
 			}
 			if !seen[to] {
 				stack = append(stack, to)
 			}
 		}
+		if found {
+			break
+		}
 	}
-	return false
+	m.stack = stack[:0]
+	return found
 }
 
 // CycleChecks returns the number of cycle-detection invocations so far.
@@ -173,11 +190,11 @@ func (m *Mirror) Edges() []Edge {
 			out = append(out, Edge{From: from, To: to, Kind: kind})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
+	slices.SortFunc(out, func(a, b Edge) int {
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return out[i].To < out[j].To
+		return cmp.Compare(a.To, b.To)
 	})
 	return out
 }

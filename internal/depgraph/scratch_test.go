@@ -1,0 +1,82 @@
+package depgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRemoveNodeIntoReusesBuffer checks the scratch variant returns the
+// same dependants as RemoveNode and appends into the provided buffer.
+func TestRemoveNodeIntoReusesBuffer(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		g.AddEdge(2, 1, WaitFor)
+		g.AddEdge(3, 1, CommitDep)
+		g.AddEdge(1, 4, WaitFor)
+		return g
+	}
+
+	want := build().RemoveNode(1)
+	if !reflect.DeepEqual(want, []TxnID{2, 3}) {
+		t.Fatalf("RemoveNode dependants = %v, want [2 3]", want)
+	}
+
+	buf := make([]TxnID, 0, 8)
+	got := build().RemoveNodeInto(1, buf)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RemoveNodeInto = %v, want %v", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("RemoveNodeInto did not use the provided buffer")
+	}
+
+	if got := build().RemoveNodeInto(99, buf); len(got) != 0 {
+		t.Fatalf("RemoveNodeInto(missing) = %v, want empty", got)
+	}
+}
+
+// TestOutEdgesAppendReusesBuffer checks the scratch variant matches
+// OutEdges and appends into the provided buffer.
+func TestOutEdgesAppendReusesBuffer(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 3, WaitFor)
+	g.AddEdge(1, 2, CommitDep)
+
+	want := g.OutEdges(1)
+	if !reflect.DeepEqual(want, []Edge{{1, 2, CommitDep}, {1, 3, WaitFor}}) {
+		t.Fatalf("OutEdges = %v", want)
+	}
+
+	buf := make([]Edge, 0, 8)
+	got := g.OutEdgesAppend(1, buf)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OutEdgesAppend = %v, want %v", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("OutEdgesAppend did not use the provided buffer")
+	}
+
+	if got := g.OutEdgesAppend(42, buf); len(got) != 0 {
+		t.Fatalf("OutEdgesAppend(missing) = %v, want empty", got)
+	}
+}
+
+// TestNodePoolReuse checks a removed node's record is recycled intact:
+// edges added after reuse behave like a fresh node's.
+func TestNodePoolReuse(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, WaitFor)
+	g.RemoveNode(1)
+	g.AddNode(3) // reuses node 1's record
+	g.AddEdge(3, 2, CommitDep)
+	if d := g.OutDegree(3); d != 1 {
+		t.Fatalf("reused node out-degree = %d, want 1", d)
+	}
+	if g.HasCycleFrom(3) {
+		t.Fatal("reused node reported a phantom cycle")
+	}
+	g.AddEdge(2, 3, WaitFor)
+	if !g.HasCycleFrom(2) {
+		t.Fatal("cycle through reused node not detected")
+	}
+}

@@ -90,6 +90,20 @@ type site struct {
 	// is parked on. A transaction blocks at no more than one site at
 	// a time (Do is synchronous per handle).
 	waiters map[core.TxnID]chan waitMsg
+	// edgeBuf is the reusable OutEdgesAppend scratch for this site's
+	// mirror exports. Guarded by mu, like every export-and-observe
+	// pair.
+	edgeBuf []depgraph.Edge
+}
+
+// edges exports id's current out-edges into the site's reusable
+// buffer. Caller holds s.mu; the result is valid until the next edges
+// call on this site, which every consumer (observe, refreshParked, the
+// commit-hold loop) satisfies by finishing with the slice before
+// releasing the mutex.
+func (s *site) edges(id core.TxnID) []depgraph.Edge {
+	s.edgeBuf = s.p.OutEdgesAppend(id, s.edgeBuf)
+	return s.edgeBuf
 }
 
 // deliver routes one scheduler call's effects to parked Do calls.
@@ -223,8 +237,9 @@ func (c *Cluster) Stats() core.Stats {
 // filterLive drops edges to transactions the coordinator has already
 // finalised: their mirror nodes are gone, and re-adding a stale edge
 // would hold the source's dependency set open forever. Filters in
-// place (Participant.OutEdgesOf hands over ownership). Caller holds
-// c.mu.
+// place (the site's reusable export buffer is ours until the site
+// mutex is released, and the mirror copies what it keeps). Caller
+// holds c.mu.
 func (c *Cluster) filterLive(edges []depgraph.Edge) []depgraph.Edge {
 	live := edges[:0]
 	for _, e := range edges {
@@ -248,7 +263,7 @@ func (c *Cluster) filterLive(edges []depgraph.Edge) []depgraph.Edge {
 func (c *Cluster) observe(t *Txn, sid SiteID) bool {
 	s := c.sites[sid]
 	s.mu.Lock()
-	edges := s.p.OutEdgesOf(t.id)
+	edges := s.edges(t.id)
 	if len(edges) == 0 && !t.anyEdges.Load() {
 		s.mu.Unlock()
 		return false // fast path: no coordinator involvement
@@ -302,7 +317,7 @@ func (c *Cluster) refreshParked(s *site) {
 				s.mu.Unlock()
 				continue // granted or aborted meanwhile; its owner observes
 			}
-			edges := s.p.OutEdgesOf(id)
+			edges := s.edges(id)
 			cycle := false
 			c.mu.Lock()
 			if t, ok := c.txns[id]; ok {

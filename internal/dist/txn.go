@@ -215,7 +215,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		_, eff, err := s.p.CommitHold(t.id)
 		if err == nil {
 			s.deliver(eff)
-			edges := s.p.OutEdgesOf(t.id)
+			edges := s.edges(t.id)
 			c.mu.Lock()
 			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
 			c.mu.Unlock()
