@@ -16,6 +16,7 @@
 package repro_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -469,5 +470,48 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if len(repro.ExperimentIDs()) == 0 {
 		t.Error("no experiments registered")
+	}
+}
+
+// TestFacadeStoreBothBackends runs one transaction body through the
+// re-exported Store interface on both back ends — the point of the
+// unified client API.
+func TestFacadeStoreBothBackends(t *testing.T) {
+	cluster, err := repro.NewCluster(2, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]repro.Store{
+		"db":      repro.NewDB(repro.Options{}),
+		"cluster": cluster,
+	} {
+		if err := st.Register(1, repro.Set{}, repro.SetTable()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		err := st.Run(context.Background(), func(tx repro.Txn) error {
+			if _, err := tx.Do(1, repro.Insert(7)); err != nil {
+				return err
+			}
+			ret, err := tx.Do(1, repro.Member(7))
+			if err != nil {
+				return err
+			}
+			if ret.Code != repro.RetCodeYes {
+				return fmt.Errorf("member after insert = %v", ret)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: Run = %v", name, err)
+		}
+		if stats := st.Stats(); stats.Commits != 1 || stats.Executes != 2 {
+			t.Fatalf("%s: stats = %+v", name, stats)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("%s: Close = %v", name, err)
+		}
+		if _, err := st.Begin().Do(1, repro.Insert(8)); !errors.Is(err, repro.ErrClosed) {
+			t.Fatalf("%s: Do after Close = %v", name, err)
+		}
 	}
 }

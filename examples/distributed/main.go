@@ -56,7 +56,10 @@ func main() {
 	} else {
 		fmt.Printf("T1 commit -> %v\n", st)
 	}
-	t2.WaitCommitted()
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("T2 released: real commit landed at all sites")
 
 	// --- a cycle only the coordinator can see ---

@@ -4,10 +4,13 @@
 // insert and runs immediately, while a probe for the *same* SKU is not
 // recoverable (its answer would depend on whether the insert commits)
 // and blocks until the restocking transaction finishes. The example
-// also shows a deadlock being detected and its victim restarted.
+// also shows a deadlock being detected (as a typed, errors.Is-able
+// ErrDeadlock) and its victim restarted, plus a context-cancelled probe
+// withdrawing its blocked request without killing the transaction.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -48,8 +51,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Shopper B probes SKU 7 — the very element in flight. That pair
-	// is not recoverable, so B blocks until the restocker commits.
+	// An impatient shopper probes SKU 7 — the very element in flight —
+	// with a deadline. The probe blocks behind the uncommitted insert;
+	// when the deadline fires, DoCtx withdraws the request from the
+	// queue and the transaction stays alive for other work.
+	impatient := db.Begin()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	if _, err := impatient.DoCtx(ctx, skus, repro.Member(7)); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("impatient shopper: member(7) timed out and was withdrawn (txn still live)")
+	} else {
+		log.Fatalf("impatient shopper: expected deadline, got %v", err)
+	}
+	cancel()
+	if _, err := impatient.Do(skus, repro.Member(3)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := impatient.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("impatient shopper: probed another SKU and committed after the timeout")
+
+	// Shopper B probes SKU 7 with patience. That pair is not
+	// recoverable, so B blocks until the restocker commits.
 	shopperB := db.Begin()
 	done := make(chan repro.Ret, 1)
 	go func() {
@@ -95,10 +118,12 @@ func main() {
 	}()
 	time.Sleep(50 * time.Millisecond)
 	_, err = clerk2.Do(audits, repro.Pop()) // closes the cycle
-	if !errors.Is(err, repro.ErrTxnAborted) {
+	if !errors.Is(err, repro.ErrDeadlock) {
 		log.Fatalf("expected clerk 2 to be the deadlock victim, got %v", err)
 	}
-	fmt.Printf("clerk 2: aborted by deadlock detection (%v)\n", err)
+	var ab *repro.ErrAborted
+	errors.As(err, &ab)
+	fmt.Printf("clerk 2: aborted by deadlock detection (typed: reason=%v retryable=%v)\n", ab.Reason, ab.Retryable())
 	if err := <-wait1; err != nil {
 		log.Fatal(err)
 	}
@@ -108,18 +133,19 @@ func main() {
 	}
 
 	// Victims restart as fresh transactions, exactly like the paper's
-	// simulator does.
-	retry := db.Begin()
-	if _, err := retry.Do(skus, repro.Insert(9)); err != nil {
+	// simulator does — Store.Run is that restart policy packaged up
+	// (retryable aborts re-run the body with backoff).
+	err = db.Run(context.Background(), func(t repro.Txn) error {
+		if _, err := t.Do(skus, repro.Insert(9)); err != nil {
+			return err
+		}
+		_, err := t.Do(audits, repro.Pop())
+		return err
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := retry.Do(audits, repro.Pop()); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := retry.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("clerk 2 (restarted): committed")
+	fmt.Println("clerk 2 (restarted via Run): committed")
 
 	stock, err := db.Scheduler().CommittedState(skus)
 	if err != nil {

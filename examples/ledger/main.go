@@ -6,9 +6,14 @@
 // relative to size, so tellers proceed immediately with a commit
 // dependency on the auditor; a size requested *after* an uncommitted
 // insert, however, still blocks (size RR insert = No).
+//
+// The whole scenario is written once against the Store/Txn interfaces
+// and then run twice: on a single-scheduler DB and on a 2-site
+// distributed cluster — the point of the unified client API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -19,26 +24,29 @@ import (
 
 const accounts = repro.ObjectID(1)
 
-func main() {
-	db := repro.NewDB(repro.Options{})
-	if err := db.Register(accounts, repro.KTable{}, repro.KTableTable()); err != nil {
+func runScenario(st repro.Store) {
+	ctx := context.Background()
+	if err := st.Register(accounts, repro.KTable{}, repro.KTableTable()); err != nil {
 		log.Fatal(err)
 	}
 
-	// Seed two existing accounts.
-	seed := db.Begin()
-	for acct, balance := range map[int]int{101: 500, 102: 900} {
-		if _, err := seed.Do(accounts, repro.TableInsert(acct, balance)); err != nil {
-			log.Fatal(err)
+	// Seed two existing accounts through the managed Run loop.
+	err := st.Run(ctx, func(t repro.Txn) error {
+		for acct, balance := range map[int]int{101: 500, 102: 900} {
+			if _, err := t.Do(accounts, repro.TableInsert(acct, balance)); err != nil {
+				return err
+			}
 		}
-	}
-	if _, err := seed.Commit(); err != nil {
+		return nil
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The auditor starts: it counts accounts and inspects balances,
-	// staying open for a while (a long-lived read-mostly transaction).
-	auditor := db.Begin()
+	// staying open for a while (a long-lived read-mostly transaction) —
+	// so it manages its own Txn instead of using Run.
+	auditor := st.Begin()
 	n, err := auditor.Do(accounts, repro.TableSize())
 	if err != nil {
 		log.Fatal(err)
@@ -53,34 +61,36 @@ func main() {
 	// Tellers open new accounts concurrently. None of them waits for
 	// the auditor: insert is recoverable relative to size and lookup.
 	var wg sync.WaitGroup
-	statuses := make([]repro.CommitStatus, 3)
+	tellers := make([]repro.Txn, 3)
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			teller := db.Begin()
 			acct := 200 + i
 			start := time.Now()
+			teller := st.Begin()
 			if _, err := teller.Do(accounts, repro.TableInsert(acct, 100*(i+1))); err != nil {
 				log.Fatalf("teller %d: %v", i, err)
 			}
-			st, err := teller.Commit()
+			status, err := teller.Commit()
 			if err != nil {
 				log.Fatalf("teller %d: %v", i, err)
 			}
-			statuses[i] = st
-			fmt.Printf("teller %d: opened account %d in %v -> %v\n", i, acct, time.Since(start).Round(time.Millisecond), st)
+			tellers[i] = teller
+			fmt.Printf("teller %d: opened account %d in %v -> %v\n", i, acct, time.Since(start).Round(time.Millisecond), status)
 		}(i)
 	}
 	wg.Wait()
 
-	pseudo := 0
-	for _, st := range statuses {
-		if st == repro.PseudoCommitted {
-			pseudo++
+	pending := 0
+	for _, teller := range tellers {
+		select {
+		case <-teller.Done():
+		default:
+			pending++
 		}
 	}
-	fmt.Printf("%d of 3 tellers pseudo-committed behind the auditor (none waited)\n", pseudo)
+	fmt.Printf("%d of 3 tellers pseudo-committed behind the auditor (none waited)\n", pending)
 
 	// The auditor's view stayed consistent throughout — its size
 	// ignores the tellers' uncommitted inserts by construction, and a
@@ -95,10 +105,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("auditor: committed; tellers' real commits cascade")
+	for i, teller := range tellers {
+		<-teller.Done()
+		if err := teller.Err(); err != nil {
+			log.Fatalf("teller %d: %v", i, err)
+		}
+	}
 
-	final, err := db.Scheduler().CommittedState(accounts)
+	stats := st.Stats()
+	fmt.Printf("store stats: %d commits, %d pseudo-commits, %d commit-dep edges\n",
+		stats.Commits, stats.PseudoCommits, stats.CommitDepEdges)
+}
+
+func main() {
+	fmt.Println("=== single-scheduler DB ===")
+	runScenario(repro.NewDB(repro.Options{}))
+
+	fmt.Println("\n=== 2-site distributed cluster (same code) ===")
+	cluster, err := repro.NewCluster(2, repro.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("final ledger: %v\n", final)
+	runScenario(cluster)
 }

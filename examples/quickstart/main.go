@@ -1,11 +1,20 @@
-// Quickstart: the paper's headline example. Two transactions push onto
-// a shared stack. Pushes do not commute, so a commutativity-based
-// scheduler would make the second transaction wait — but a push is
-// recoverable relative to a push, so here both execute immediately and
-// only the commit order is constrained.
+// Quickstart: the paper's headline example through the Store/Txn API.
+// Two transactions push onto a shared stack. Pushes do not commute, so
+// a commutativity-based scheduler would make the second transaction
+// wait — but a push is recoverable relative to a push, so here both
+// execute immediately and only the commit order is constrained.
+//
+// The recommended shape is Store.Run: write the transaction body as a
+// function, return nil to commit (a pseudo-commit counts — it is a
+// promise), return an error to abort; Run restarts the body on
+// retryable aborts (deadlock, commit-dependency cycle) with backoff.
+// The same code runs against a single-scheduler DB or a distributed
+// cluster (repro.NewCluster) — Store is the one client API.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -13,16 +22,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := repro.NewDB(repro.Options{})
 	const stack = repro.ObjectID(1)
 	if err := db.Register(stack, repro.Stack{}, repro.StackTable()); err != nil {
 		log.Fatal(err)
 	}
 
+	// Two explicit transactions, to show the interleaving Run would
+	// hide: T1 pushes and stays open (a long-lived transaction).
 	t1 := db.Begin()
 	t2 := db.Begin()
-
-	// T1 pushes and keeps running (imagine a long-lived transaction).
 	if _, err := t1.Do(stack, repro.Push(4)); err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +48,8 @@ func main() {
 
 	// T2 finishes first. From T2's (user's) perspective it is done —
 	// but durably committing before T1 would violate the dependency,
-	// so the system pseudo-commits it (§4.3).
+	// so the system pseudo-commits it (§4.3). Done reports the real
+	// commit.
 	status, err := t2.Commit()
 	if err != nil {
 		log.Fatal(err)
@@ -50,7 +61,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("T1: committed")
-	t2.WaitCommitted()
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("T2: real commit landed (cascade)")
 
 	final, err := db.Scheduler().CommittedState(stack)
@@ -59,9 +73,26 @@ func main() {
 	}
 	fmt.Printf("final stack state: %v\n", final)
 
+	// The recommended form: Store.Run wraps begin/commit/retry. This
+	// body pushes twice; had the scheduler chosen it as a deadlock or
+	// cycle victim, Run would have restarted it transparently.
+	err = db.Run(ctx, func(t repro.Txn) error {
+		for _, v := range []int{10, 20} {
+			if _, err := t.Do(stack, repro.Push(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Run: pushed 10 and 20 in one managed transaction")
+
 	// The other half of the story: aborts do not cascade. T3 pushes,
 	// T4 pushes on top, T3 aborts — T4 still commits, and only T4's
-	// element appears.
+	// element appears. Abort outcomes are typed: errors.Is picks the
+	// class, errors.As the victim and reason.
 	t3 := db.Begin()
 	t4 := db.Begin()
 	if _, err := t3.Do(stack, repro.Push(30)); err != nil {
@@ -78,6 +109,11 @@ func main() {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("T4: commit -> %v (no cascading abort)\n", status)
+	}
+	<-t3.Done()
+	var ab *repro.ErrAborted
+	if err := t3.Err(); errors.As(err, &ab) {
+		fmt.Printf("T3's verdict is typed: txn=%d reason=%v retryable=%v\n", ab.Txn, ab.Reason, ab.Retryable())
 	}
 
 	final, err = db.Scheduler().CommittedState(stack)

@@ -46,6 +46,159 @@ func TestCommutingPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBlockedPathZeroAllocs asserts the blocked path — park a
+// conflicting request, wait-for edge, deadlock check, grant on the
+// holder's commit — allocates nothing in steady state when driven
+// through the *Into variants with a reused Effects buffer: the
+// per-block request is pooled (graveyard -> free list) and the grant
+// is appended into the caller's buffer.
+func TestBlockedPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := NewScheduler(Options{})
+	if err := s.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	write := func(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+	read := adt.Op{Name: adt.PageRead}
+	var eff Effects
+	var id TxnID
+	cycle := func() {
+		ta, tb := id+1, id+2
+		id += 2
+		if err := s.Begin(ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Begin(tb); err != nil {
+			t.Fatal(err)
+		}
+		if dec, err := s.RequestInto(&eff, ta, 1, write(int(id))); err != nil || dec.Outcome != Executed {
+			t.Fatalf("write: %v %v", dec, err)
+		}
+		if dec, err := s.RequestInto(&eff, tb, 1, read); err != nil || dec.Outcome != Blocked {
+			t.Fatalf("read: %v %v", dec, err)
+		}
+		if st, err := s.CommitInto(&eff, ta); err != nil || st != Committed {
+			t.Fatalf("commit a: %v %v", st, err)
+		}
+		if len(eff.Grants) != 1 || eff.Grants[0].Txn != tb {
+			t.Fatalf("grants = %+v", eff.Grants)
+		}
+		if st, err := s.CommitInto(&eff, tb); err != nil || st != Committed {
+			t.Fatalf("commit b: %v %v", st, err)
+		}
+		s.Forget(ta)
+		s.Forget(tb)
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(500, cycle); avg != 0 {
+		t.Fatalf("blocked Request/grant cycle allocates %.2f times per pair, want 0", avg)
+	}
+}
+
+// TestWithdrawPathZeroAllocs asserts the cancellation path — park,
+// withdraw, followers retried — allocates nothing in steady state.
+func TestWithdrawPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := NewScheduler(Options{})
+	if err := s.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	write := func(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+	read := adt.Op{Name: adt.PageRead}
+	var eff Effects
+	var id TxnID
+	cycle := func() {
+		ta, tb := id+1, id+2
+		id += 2
+		if err := s.Begin(ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Begin(tb); err != nil {
+			t.Fatal(err)
+		}
+		if dec, err := s.RequestInto(&eff, ta, 1, write(int(id))); err != nil || dec.Outcome != Executed {
+			t.Fatalf("write: %v %v", dec, err)
+		}
+		if dec, err := s.RequestInto(&eff, tb, 1, read); err != nil || dec.Outcome != Blocked {
+			t.Fatalf("read: %v %v", dec, err)
+		}
+		if err := s.WithdrawInto(&eff, tb); err != nil {
+			t.Fatalf("withdraw: %v", err)
+		}
+		if err := s.AbortInto(&eff, tb); err != nil {
+			t.Fatalf("abort b: %v", err)
+		}
+		if st, err := s.CommitInto(&eff, ta); err != nil || st != Committed {
+			t.Fatalf("commit a: %v %v", st, err)
+		}
+		s.Forget(ta)
+		s.Forget(tb)
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(500, cycle); avg != 0 {
+		t.Fatalf("withdraw cycle allocates %.2f times per pair, want 0", avg)
+	}
+}
+
+// TestRecoverablePathIntoZeroAllocs asserts that the recoverable path
+// driven through the *Into variants — commit-dependency edges, a cycle
+// check, pseudo-commit and cascade, with the Effects appended into a
+// reused buffer — performs zero allocations (the value-returning
+// variant below still pays for the escaping Effects lists).
+func TestRecoverablePathIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := NewScheduler(Options{})
+	if err := s.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	push := func(v int) adt.Op { return adt.Op{Name: adt.StackPush, Arg: v, HasArg: true} }
+	var eff Effects
+	var id TxnID
+	pair := func() {
+		ta, tb := id+1, id+2
+		id += 2
+		if err := s.Begin(ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Begin(tb); err != nil {
+			t.Fatal(err)
+		}
+		if dec, err := s.RequestInto(&eff, ta, 1, push(1)); err != nil || dec.Outcome != Executed {
+			t.Fatalf("request: %v %v", dec, err)
+		}
+		if dec, err := s.RequestInto(&eff, tb, 1, push(2)); err != nil || dec.Outcome != Executed {
+			t.Fatalf("request: %v %v", dec, err)
+		}
+		if st, err := s.CommitInto(&eff, tb); err != nil || st != PseudoCommitted {
+			t.Fatalf("commit b: %v %v", st, err)
+		}
+		if st, err := s.CommitInto(&eff, ta); err != nil || st != Committed {
+			t.Fatalf("commit a: %v %v", st, err)
+		}
+		if len(eff.Committed) != 1 || eff.Committed[0] != tb {
+			t.Fatalf("cascade = %+v", eff.Committed)
+		}
+		s.Forget(ta)
+		s.Forget(tb)
+	}
+	for i := 0; i < 200; i++ {
+		pair()
+	}
+	if avg := testing.AllocsPerRun(500, pair); avg != 0 {
+		t.Fatalf("recoverable Into pair allocates %.2f times, want 0", avg)
+	}
+}
+
 // TestRecoverablePathBoundedAllocs asserts the recoverable path —
 // commit-dependency edges, a cycle check, pseudo-commit and cascade —
 // stays within a fixed small allocation bound per transaction pair

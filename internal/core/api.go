@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// Store is the transactional client API. Both back ends implement it —
+// DB (one scheduler, one process) and dist.Cluster (the §6 distributed
+// cluster / local sharding layer) — so client code, the workload
+// harness and the examples are written once against Store/Txn and run
+// unchanged on either. The recommended way to write a transaction is
+// Run; Begin is the low-level entry for code that manages its own
+// retries.
+type Store interface {
+	// Register creates an object with an explicit type and classifier.
+	// The classifier should be the plain (recoverability-aware) table
+	// even under PredCommutativity; the store applies the predicate
+	// itself.
+	Register(id ObjectID, typ adt.Type, class compat.Classifier) error
+	// Begin starts a transaction. It never fails: on a closed store it
+	// returns a transaction whose operations report ErrClosed.
+	Begin() Txn
+	// Run executes fn inside a transaction and commits it, retrying on
+	// retryable aborts (deadlock, commit-dependency cycle) with bounded
+	// exponential backoff. See RunStore for the exact contract.
+	Run(ctx context.Context, fn func(Txn) error) error
+	// Stats returns a snapshot of the protocol counters. DB snapshots
+	// under the scheduler lock (globally consistent); Cluster sums
+	// per-site snapshots (each site consistent, the sum fuzzy across
+	// sites — see Cluster.Stats for how multi-site transactions count).
+	Stats() Stats
+	// Close marks the store closed: transactions begun afterwards fail
+	// with ErrClosed. Transactions already in flight are unaffected and
+	// run to completion. Close is idempotent and never blocks.
+	Close() error
+}
+
+// Txn is one transaction's session, implemented by *Handle (DB) and
+// *dist.Txn (Cluster). A Txn must be driven by one goroutine at a time;
+// separate transactions are fully concurrent.
+//
+// Abort outcomes are typed: errors satisfy errors.As(err, **ErrAborted)
+// and errors.Is against ErrTxnAborted / ErrDeadlock / ErrConflictCycle.
+type Txn interface {
+	// ID returns the transaction id.
+	ID() TxnID
+	// Do executes op against obj, blocking until the operation runs or
+	// the scheduler aborts the transaction.
+	Do(obj ObjectID, op adt.Op) (adt.Ret, error)
+	// DoCtx is Do with cancellation: if ctx expires while the request
+	// is blocked, the request is withdrawn from the scheduler queue
+	// (transactions parked behind it are retried, so nothing strands),
+	// the transaction stays active with its executed operations intact,
+	// and ctx.Err() is returned. If the grant raced the cancellation,
+	// the operation has executed and its result is returned instead.
+	DoCtx(ctx context.Context, obj ObjectID, op adt.Op) (adt.Ret, error)
+	// Commit completes the transaction. PseudoCommitted means complete
+	// from the caller's perspective with the real commit pending on
+	// dependencies; Done reports when it lands.
+	Commit() (CommitStatus, error)
+	// CommitCtx is Commit guarded by ctx: if ctx is already done, no
+	// commit is attempted, ctx.Err() is returned, and the transaction
+	// remains active (in particular, still abortable).
+	CommitCtx(ctx context.Context) (CommitStatus, error)
+	// Abort rolls the transaction back at every participant. Aborting
+	// an already-aborted transaction is a no-op; pseudo-committed
+	// transactions refuse (they have promised to commit).
+	Abort() error
+	// Done returns a channel closed when the transaction reaches its
+	// terminal state: the real commit has landed (for pseudo-commits,
+	// after every dependency drained) or the transaction aborted. It
+	// replaces the old WaitCommitted/Committed methods.
+	Done() <-chan struct{}
+	// Err reports how the transaction ended: nil after a real commit
+	// (and while still in flight), a *ErrAborted after an abort. It is
+	// meaningful once Done's channel is closed.
+	Err() error
+}
+
+// Compile-time conformance: both front ends satisfy Store, their
+// transactions Txn. (Cluster's assertions live in internal/dist.)
+var (
+	_ Store = (*DB)(nil)
+	_ Txn   = (*Handle)(nil)
+	_ Txn   = closedTxn{}
+)
+
+// Retry policy shared by RunStore and the workload load harness:
+// restarts back off exponentially from RunBackoffBase, capped at
+// RunBackoffShift doublings (the closed-loop stand-in for the
+// simulator's think time), with full jitter. After RunMaxAttempts the
+// last abort error is returned — a safety valve against pathological
+// livelock.
+const (
+	RunBackoffBase  = 25 * time.Microsecond
+	RunBackoffShift = 6
+	RunMaxAttempts  = 1000
+)
+
+// RunStore executes fn inside a transaction against st and commits it.
+// Both Store implementations delegate their Run method here.
+//
+// The contract: a fresh transaction is begun per attempt and passed to
+// fn; if fn returns nil the transaction is committed (pseudo-commit
+// counts as success — the commit is a promise). If fn returns an error,
+// or the commit fails, the transaction is aborted (a no-op if the
+// scheduler already aborted it) and the error is classified: retryable
+// aborts (*ErrAborted with a deadlock or commit-dependency-cycle
+// reason, however deep in fn's wrapping) restart fn with backoff;
+// anything else — user errors, ErrClosed, ctx expiry — is returned
+// as-is. fn must be prepared to run more than once and must not retain
+// the Txn across calls.
+func RunStore(ctx context.Context, st Store, fn func(Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t := st.Begin()
+		err := fn(t)
+		if err == nil {
+			_, err = t.CommitCtx(ctx)
+			if err == nil {
+				return nil
+			}
+		}
+		t.Abort() // no-op if the scheduler already finalised it
+		var ab *ErrAborted
+		if !errors.As(err, &ab) || !ab.Retryable() || attempt+1 >= RunMaxAttempts {
+			return err
+		}
+		shift := attempt
+		if shift > RunBackoffShift {
+			shift = RunBackoffShift
+		}
+		// Full jitter: an immediate replay of the same operations tends
+		// to re-collide with the same resident set.
+		delay := time.Duration(1+rand.Int63n(1<<shift)) * RunBackoffBase
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// closedDone is the shared pre-closed Done channel for transactions
+// that failed before they began.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// closedTxn is the transaction a closed Store's Begin returns: every
+// operation fails with the recorded error, Done is already closed.
+type closedTxn struct{ err error }
+
+// ClosedTxn returns a Txn that failed before it began: operations
+// report err, Done is already closed. Store implementations return it
+// from Begin after Close.
+func ClosedTxn(err error) Txn { return closedTxn{err: err} }
+
+func (c closedTxn) ID() TxnID                            { return 0 }
+func (c closedTxn) Do(ObjectID, adt.Op) (adt.Ret, error) { return adt.Ret{}, c.err }
+func (c closedTxn) Commit() (CommitStatus, error)        { return 0, c.err }
+func (c closedTxn) CommitCtx(context.Context) (CommitStatus, error) {
+	return 0, c.err
+}
+func (c closedTxn) Abort() error          { return nil }
+func (c closedTxn) Done() <-chan struct{} { return closedDone }
+func (c closedTxn) Err() error            { return c.err }
+
+func (c closedTxn) DoCtx(_ context.Context, _ ObjectID, _ adt.Op) (adt.Ret, error) {
+	return adt.Ret{}, c.err
+}

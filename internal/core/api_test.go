@@ -1,0 +1,253 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+// TestRunCommits: the happy path — fn runs once, Run commits.
+func TestRunCommits(t *testing.T) {
+	db := newStackDB(t, core.Options{Debug: true})
+	calls := 0
+	err := db.Run(context.Background(), func(tx core.Txn) error {
+		calls++
+		_, err := tx.Do(1, pushOp(1))
+		return err
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("Run = %v after %d calls", err, calls)
+	}
+	got, err := db.Scheduler().CommittedState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(adt.NewStackState(1)) {
+		t.Fatalf("state = %v, want stack[1]", got)
+	}
+}
+
+// TestRunRetriesRetryableAbort: a retryable abort error surfaced by fn
+// (here a real scheduler deadlock) restarts the body; the second
+// attempt succeeds.
+func TestRunRetriesRetryableAbort(t *testing.T) {
+	db := core.NewDB(core.Options{Debug: true})
+	for _, id := range []core.ObjectID{1, 2} {
+		if err := db.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first attempt surfaces the typed abort a Do returns when the
+	// scheduler picks the transaction as a deadlock victim; Run must
+	// classify it retryable and restart the body (the real-deadlock
+	// variant below exercises the same path end to end).
+	attempts := 0
+	err := db.Run(context.Background(), func(tx core.Txn) error {
+		attempts++
+		if attempts == 1 {
+			return &core.ErrAborted{Txn: tx.ID(), Reason: core.ReasonDeadlock}
+		}
+		_, err := tx.Do(1, writeOp(7))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	got, err := db.Scheduler().ObjectState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "page{7}" {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+// TestRunRealDeadlockRetries: two Run bodies that lock the same two
+// pages in opposite order; the deadlock victim restarts and both
+// eventually commit.
+func TestRunRealDeadlockRetries(t *testing.T) {
+	db := core.NewDB(core.Options{})
+	for _, id := range []core.ObjectID{1, 2} {
+		if err := db.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := func(first, second core.ObjectID) func(core.Txn) error {
+		return func(tx core.Txn) error {
+			if _, err := tx.Do(first, writeOp(int(first))); err != nil {
+				return err
+			}
+			_, err := tx.Do(second, readOp())
+			return err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = db.Run(context.Background(), body(1, 2)) }()
+	go func() { defer wg.Done(); errs[1] = db.Run(context.Background(), body(2, 1)) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Run %d = %v", i, err)
+		}
+	}
+	if st := db.Stats(); st.Commits != 2 {
+		t.Fatalf("commits = %d, want 2", st.Commits)
+	}
+}
+
+// TestRunFatalError: a non-abort error from fn aborts the transaction
+// and is returned verbatim, with no retry.
+func TestRunFatalError(t *testing.T) {
+	db := newStackDB(t, core.Options{})
+	boom := errors.New("boom")
+	calls := 0
+	err := db.Run(context.Background(), func(tx core.Txn) error {
+		calls++
+		if _, err := tx.Do(1, pushOp(9)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("Run = %v after %d calls, want boom after 1", err, calls)
+	}
+	// The aborted body's push must not survive.
+	got, err := db.Scheduler().ObjectState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(adt.NewStackState()) {
+		t.Fatalf("state = %v, want empty", got)
+	}
+}
+
+// TestRunUserAbortNotRetried: a user abort (fn aborts its own txn and
+// propagates the resulting error) is classified fatal.
+func TestRunUserAbortNotRetried(t *testing.T) {
+	db := newStackDB(t, core.Options{})
+	calls := 0
+	err := db.Run(context.Background(), func(tx core.Txn) error {
+		calls++
+		return &core.ErrAborted{Txn: tx.ID(), Reason: core.ReasonUser}
+	})
+	var ab *core.ErrAborted
+	if !errors.As(err, &ab) || ab.Reason != core.ReasonUser || calls != 1 {
+		t.Fatalf("Run = %v after %d calls", err, calls)
+	}
+}
+
+// TestRunCtxCancelled: a cancelled context stops the loop with
+// ctx.Err().
+func TestRunCtxCancelled(t *testing.T) {
+	db := newStackDB(t, core.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := db.Run(ctx, func(core.Txn) error { t.Fatal("fn must not run"); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
+// TestStoreClose: Close gates new work with ErrClosed but leaves
+// in-flight transactions alone; it is idempotent.
+func TestStoreClose(t *testing.T) {
+	db := newStackDB(t, core.Options{})
+	inflight := db.Begin()
+	if _, err := inflight.Do(1, pushOp(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	late := db.Begin()
+	if _, err := late.Do(1, pushOp(4)); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("Do on closed store = %v", err)
+	}
+	if _, err := late.Commit(); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("Commit on closed store = %v", err)
+	}
+	select {
+	case <-late.Done():
+	default:
+		t.Fatal("closed-store txn must be Done already")
+	}
+	if err := db.Register(2, adt.Stack{}, compat.StackTable()); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("Register on closed store = %v", err)
+	}
+	if err := db.Run(context.Background(), func(tx core.Txn) error {
+		_, err := tx.Do(1, pushOp(5))
+		return err
+	}); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("Run on closed store = %v", err)
+	}
+	// The in-flight transaction is unaffected.
+	if st, err := inflight.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("in-flight commit = %v, %v", st, err)
+	}
+}
+
+// TestTypedAbortErrors: the error taxonomy — Is against the sentinels,
+// As for the reason, retryability classification.
+func TestTypedAbortErrors(t *testing.T) {
+	db := core.NewDB(core.Options{})
+	for _, id := range []core.ObjectID{1, 2} {
+		if err := db.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1 := db.Begin()
+	t2 := db.Begin()
+	if _, err := t1.Do(1, writeOp(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(2, writeOp(2)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := t1.Do(2, readOp())
+		blocked <- err
+	}()
+	waitState(t, db.Scheduler(), t1.ID(), "blocked")
+	_, err := t2.Do(1, readOp()) // closes the cycle; t2 is the victim
+	if !errors.Is(err, core.ErrTxnAborted) {
+		t.Fatalf("err = %v, want Is(ErrTxnAborted)", err)
+	}
+	if !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("err = %v, want Is(ErrDeadlock)", err)
+	}
+	if errors.Is(err, core.ErrConflictCycle) {
+		t.Fatalf("deadlock must not match ErrConflictCycle: %v", err)
+	}
+	var ab *core.ErrAborted
+	if !errors.As(err, &ab) {
+		t.Fatalf("err = %v, want As(*ErrAborted)", err)
+	}
+	if ab.Txn != t2.ID() || ab.Reason != core.ReasonDeadlock || !ab.Retryable() {
+		t.Fatalf("ErrAborted = %+v", ab)
+	}
+	// Err() on the dead handle reports the same typed verdict.
+	<-t2.Done()
+	if err := t2.Err(); !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("Err() = %v", err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit = %v, %v", st, err)
+	}
+}

@@ -16,16 +16,21 @@ import (
 	"fmt"
 
 	"repro/internal/adt"
-	"repro/internal/depgraph"
+	"repro/internal/proto"
 )
+
+// The protocol's shared value vocabulary (identifier types, abort
+// reasons, the Effects record) lives in internal/proto so that the
+// delivery layer can route it without importing core; this package
+// aliases every name, so core remains the package user code imports.
 
 // TxnID identifies a transaction. IDs are assigned by the caller and
 // must be unique for the scheduler's lifetime (restarted transactions
 // get fresh IDs).
-type TxnID = depgraph.TxnID
+type TxnID = proto.TxnID
 
 // ObjectID identifies a database object.
-type ObjectID uint64
+type ObjectID = proto.ObjectID
 
 // Predicate selects the conflict predicate.
 type Predicate uint8
@@ -71,36 +76,24 @@ func (r Recovery) String() string {
 	return "intentions-list"
 }
 
-// AbortReason says why the scheduler aborted a transaction.
-type AbortReason uint8
+// AbortReason says why the scheduler aborted a transaction (see
+// proto.AbortReason for the values' meanings).
+type AbortReason = proto.AbortReason
 
 // Abort reasons.
 const (
 	// ReasonNone: not aborted.
-	ReasonNone AbortReason = iota
+	ReasonNone = proto.ReasonNone
 	// ReasonDeadlock: a cycle was found when the transaction blocked
 	// (wait-for edges closed a cycle).
-	ReasonDeadlock
+	ReasonDeadlock = proto.ReasonDeadlock
 	// ReasonCommitCycle: a cycle was found when a recoverable
 	// operation tried to execute (commit-dependency edges closed a
 	// cycle) — the serializability guard of Lemma 4.
-	ReasonCommitCycle
+	ReasonCommitCycle = proto.ReasonCommitCycle
 	// ReasonUser: the caller invoked Abort.
-	ReasonUser
+	ReasonUser = proto.ReasonUser
 )
-
-// String implements fmt.Stringer.
-func (r AbortReason) String() string {
-	switch r {
-	case ReasonDeadlock:
-		return "deadlock"
-	case ReasonCommitCycle:
-		return "commit-dependency cycle"
-	case ReasonUser:
-		return "user abort"
-	}
-	return "none"
-}
 
 // Outcome is the immediate result of a Request.
 type Outcome uint8
@@ -147,33 +140,17 @@ func (s CommitStatus) String() string {
 }
 
 // Grant reports a previously blocked request that has now executed.
-type Grant struct {
-	Txn    TxnID
-	Object ObjectID
-	Op     adt.Op
-	Ret    adt.Ret
-}
+type Grant = proto.Grant
 
 // RetryAbort reports a previously blocked transaction that was aborted
 // while its request was being retried (a new cycle formed).
-type RetryAbort struct {
-	Txn    TxnID
-	Reason AbortReason
-}
+type RetryAbort = proto.RetryAbort
 
 // Effects collects everything that happened downstream of one scheduler
 // call: requests granted, blocked transactions aborted during retry,
-// and pseudo-committed transactions that really committed.
-type Effects struct {
-	Grants      []Grant
-	RetryAborts []RetryAbort
-	Committed   []TxnID
-}
-
-// Empty reports whether the call had no downstream effects.
-func (e *Effects) Empty() bool {
-	return len(e.Grants) == 0 && len(e.RetryAborts) == 0 && len(e.Committed) == 0
-}
+// and pseudo-committed transactions that really committed. Reusable via
+// Reset; the *Into scheduler variants append into a caller-owned value.
+type Effects = proto.Effects
 
 // Recorder receives protocol events; internal/history implements it to
 // check soundness and serializability. Methods are called with the
@@ -244,6 +221,7 @@ var (
 	ErrNeedsUndoer   = errors.New("core: undo-log recovery requires the type to implement adt.Undoer")
 	ErrTxnTerminated = errors.New("core: transaction already terminated")
 	ErrPseudoRequest = errors.New("core: pseudo-committed transaction cannot issue operations")
+	ErrNotBlocked    = errors.New("core: transaction has no blocked request to withdraw")
 )
 
 // txnState is a transaction's lifecycle state.

@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+func writeOp(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+func readOp() adt.Op       { return adt.Op{Name: adt.PageRead} }
+
+func waitState(t *testing.T, s *core.Scheduler, id core.TxnID, state string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.TxnState(id) == state {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("T%d never reached %s (now %s)", id, state, s.TxnState(id))
+}
+
+// TestDoCtxCancelWithdraws: cancelling a blocked DoCtx returns
+// ctx.Err(), withdraws the queued request from the scheduler, and
+// leaves the transaction active — it can issue further operations and
+// commit.
+func TestDoCtxCancelWithdraws(t *testing.T) {
+	db := core.NewDB(core.Options{Debug: true})
+	if err := db.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	t1 := db.Begin()
+	t2 := db.Begin()
+	if _, err := t1.Do(1, writeOp(10)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		_, err := t2.DoCtx(ctx, 1, readOp()) // read conflicts with the uncommitted write
+		res <- err
+	}()
+	waitState(t, db.Scheduler(), t2.ID(), "blocked")
+	cancel()
+	select {
+	case err := <-res:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled DoCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled DoCtx never returned")
+	}
+	// The request is withdrawn, the transaction back to active.
+	waitState(t, db.Scheduler(), t2.ID(), "active")
+	// T2 is still usable: once T1 commits, the same read executes.
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit = %v, %v", st, err)
+	}
+	if ret, err := t2.Do(1, readOp()); err != nil || ret.Val != 10 {
+		t.Fatalf("post-cancel read = %v, %v", ret, err)
+	}
+	if st, err := t2.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t2 commit = %v, %v", st, err)
+	}
+}
+
+// TestDoCtxCancelWakesFairnessFollowers is the lost-wakeup regression
+// for the withdrawal path (the PR 1 finalize bug class): a request
+// fairness-gated behind the cancelled one must be retried when the
+// cancelled request leaves the queue, not wait forever.
+func TestDoCtxCancelWakesFairnessFollowers(t *testing.T) {
+	db := core.NewDB(core.Options{Debug: true})
+	if err := db.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	t1 := db.Begin()
+	t2 := db.Begin()
+	t3 := db.Begin()
+	if _, err := t1.Do(1, writeOp(10)); err != nil { // uncommitted write
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t2res := make(chan error, 1)
+	go func() {
+		_, err := t2.DoCtx(ctx, 1, readOp()) // parks first (conflict)
+		t2res <- err
+	}()
+	waitState(t, db.Scheduler(), t2.ID(), "blocked")
+	// T3's write is recoverable with T1's write but does not commute
+	// with T2's parked read: fairness queues it behind T2 only.
+	t3res := make(chan error, 1)
+	go func() {
+		_, err := t3.Do(1, writeOp(30))
+		t3res <- err
+	}()
+	waitState(t, db.Scheduler(), t3.ID(), "blocked")
+	// T2 gives up. Its departure must wake T3 even though T1 — the
+	// transaction T3 is recoverable with — never terminated.
+	cancel()
+	if err := <-t2res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DoCtx = %v", err)
+	}
+	select {
+	case err := <-t3res:
+		if err != nil {
+			t.Fatalf("follower's write failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("lost wakeup: follower stayed parked after the withdrawal")
+	}
+	if st, err := t3.Commit(); err != nil || st != core.PseudoCommitted {
+		t.Fatalf("t3 commit = %v, %v (want pseudo: recoverable over T1)", st, err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t1 commit = %v, %v", st, err)
+	}
+	if st, err := t2.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("t2 (cancelled-Do) commit = %v, %v", st, err)
+	}
+}
+
+// TestCommitCtxExpiredLeavesAbortable: a deadline-expired CommitCtx
+// performs no commit and leaves the transaction active, so the caller
+// can still abort it (or retry the commit).
+func TestCommitCtxExpiredLeavesAbortable(t *testing.T) {
+	db := core.NewDB(core.Options{Debug: true})
+	if err := db.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	h := db.Begin()
+	if _, err := h.Do(1, pushOp(5)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := h.CommitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired CommitCtx = %v, want DeadlineExceeded", err)
+	}
+	if st := db.Scheduler().TxnState(h.ID()); st != "active" {
+		t.Fatalf("after expired CommitCtx txn is %s, want active", st)
+	}
+	if err := h.Abort(); err != nil {
+		t.Fatalf("abort after expired CommitCtx = %v", err)
+	}
+	got, err := db.Scheduler().ObjectState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(adt.NewStackState()) {
+		t.Fatalf("stack after abort = %v, want empty", got)
+	}
+}
+
+// TestDoCtxPreCancelled: an already-cancelled context fails fast
+// without touching the scheduler.
+func TestDoCtxPreCancelled(t *testing.T) {
+	db := core.NewDB(core.Options{})
+	if err := db.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	h := db.Begin()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.DoCtx(ctx, 1, pushOp(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled DoCtx = %v", err)
+	}
+	if n := db.Stats().Executes; n != 0 {
+		t.Fatalf("pre-cancelled DoCtx executed %d ops", n)
+	}
+	if _, err := h.Do(1, pushOp(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := h.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("commit = %v, %v", st, err)
+	}
+}
+
+// TestDBCancelStress hammers the DB with workers whose DoCtx calls are
+// randomly cancelled, then checks conservation: every commit-reported
+// push survives in the committed state, everything else is rolled
+// back. Run under -race this is the cancellation path's data-race
+// test.
+func TestDBCancelStress(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 60
+		objects = 3
+	)
+	db := core.NewDB(core.Options{})
+	for id := core.ObjectID(1); id <= objects; id++ {
+		if err := db.Register(id, adt.Stack{}, compat.StackTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var balance [objects + 1]atomic.Int64
+	var cancels atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) * 7919))
+			for i := 0; i < rounds; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(r.Intn(500))*time.Microsecond)
+				h := db.Begin()
+				obj := core.ObjectID(1 + (w+i)%objects)
+				popping := (w+i)%3 == 0
+				var op adt.Op
+				if popping {
+					op = adt.Op{Name: adt.StackPop}
+				} else {
+					op = adt.Op{Name: adt.StackPush, Arg: w*rounds + i, HasArg: true}
+				}
+				ret, err := h.DoCtx(ctx, obj, op)
+				if err != nil {
+					cancel()
+					switch {
+					case errors.Is(err, context.DeadlineExceeded):
+						cancels.Add(1)
+						h.Abort() // cancelled mid-txn: roll back
+					case errors.Is(err, core.ErrTxnAborted):
+					default:
+						t.Errorf("DoCtx: %v", err)
+					}
+					continue
+				}
+				cancel()
+				if _, err := h.Commit(); err != nil {
+					if !errors.Is(err, core.ErrTxnAborted) {
+						t.Errorf("Commit: %v", err)
+					}
+					continue
+				}
+				if popping {
+					if ret.Code == adt.Value {
+						balance[obj].Add(-1)
+					}
+				} else {
+					balance[obj].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for id := core.ObjectID(1); id <= objects; id++ {
+		s, err := db.Scheduler().CommittedState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := int64(s.(*adt.StackState).Len())
+		if want := balance[id].Load(); depth != want {
+			t.Errorf("object %d: committed depth %d, want %d", id, depth, want)
+		}
+	}
+	t.Logf("cancel stress: %d deadline cancellations", cancels.Load())
+}

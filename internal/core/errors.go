@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Client-facing errors for the Store/Txn API. Abort outcomes are typed
+// (*ErrAborted) so callers classify them with errors.Is/errors.As
+// instead of string matching; the sentinels below are the Is targets.
+var (
+	// ErrTxnAborted matches every scheduler- or user-initiated abort,
+	// whatever the reason. It is the stable "begin a fresh transaction
+	// and retry" signal (Store.Run does exactly that for retryable
+	// reasons).
+	ErrTxnAborted = errors.New("transaction aborted")
+	// ErrDeadlock matches aborts whose reason is a wait-for cycle
+	// (local or cross-site deadlock).
+	ErrDeadlock = errors.New("transaction aborted: deadlock")
+	// ErrConflictCycle matches aborts whose reason is a
+	// commit-dependency cycle — the serializability guard tripping on a
+	// recoverable execution (local or cross-site).
+	ErrConflictCycle = errors.New("transaction aborted: commit-dependency cycle")
+	// ErrClosed is returned by operations on a closed Store and by
+	// transactions begun after Close.
+	ErrClosed = errors.New("store is closed")
+	// ErrTxnDone is returned for operations on a transaction that has
+	// already entered commit (pseudo- or really committed).
+	ErrTxnDone = errors.New("transaction already committed")
+)
+
+// ErrAborted is the typed abort outcome: the scheduler (or the
+// distributed coordinator) terminated the transaction instead of
+// executing the request. It matches ErrTxnAborted always, and
+// ErrDeadlock / ErrConflictCycle according to Reason, so both coarse
+// and precise errors.Is checks work:
+//
+//	var ab *core.ErrAborted
+//	if errors.As(err, &ab) && ab.Retryable() { restart() }
+//	if errors.Is(err, core.ErrDeadlock) { ... }
+type ErrAborted struct {
+	// Txn is the aborted transaction's id.
+	Txn TxnID
+	// Reason says why the scheduler chose it as a victim.
+	Reason AbortReason
+}
+
+// Error implements error.
+func (e *ErrAborted) Error() string {
+	return fmt.Sprintf("transaction T%d aborted (%s)", e.Txn, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrTxnAborted / ErrDeadlock /
+// ErrConflictCycle) work on wrapped abort errors.
+func (e *ErrAborted) Is(target error) bool {
+	switch target {
+	case ErrTxnAborted:
+		return true
+	case ErrDeadlock:
+		return e.Reason == ReasonDeadlock
+	case ErrConflictCycle:
+		return e.Reason == ReasonCommitCycle
+	}
+	return false
+}
+
+// Retryable reports whether restarting the transaction can succeed:
+// true for scheduler-chosen victims (deadlock and commit-dependency
+// cycles are artifacts of the interleaving), false for user aborts.
+func (e *ErrAborted) Retryable() bool {
+	return e.Reason == ReasonDeadlock || e.Reason == ReasonCommitCycle
+}
+
+// abortErr builds the typed abort error for a transaction.
+func abortErr(id TxnID, reason AbortReason) error {
+	return &ErrAborted{Txn: id, Reason: reason}
+}

@@ -13,39 +13,47 @@ import (
 // tomorrow without the coordinator changing.
 //
 // The method set corresponds to the paper's per-site operations:
-// Begin/Request ("do"), CommitHold (pseudo-commit-and-hold, phase one
-// of the distributed commit conversation), Release (the real commit,
-// once the coordinator has established that the global dependency set
-// is empty), Abort, and OutEdgesOf — the dependency-event export the
-// coordinator mirrors into its union graph to detect cross-site
+// Begin/RequestInto ("do"), CommitInto (single-site commit),
+// CommitHoldInto (pseudo-commit-and-hold, phase one of the distributed
+// commit conversation), ReleaseInto (the real commit, once the
+// coordinator has established that the global dependency set is empty),
+// AbortInto, WithdrawInto (a context-cancelled waiter abandoning its
+// blocked request), and OutEdgesAppend — the dependency-event export
+// the coordinator mirrors into its union graph to detect cross-site
 // deadlock and commit-dependency cycles no single site can see.
+//
+// Every mutating call follows the *Into convention: downstream effects
+// are appended into a caller-owned Effects buffer (reset on entry), so
+// a coordinator that reuses one buffer per site allocates nothing per
+// conversation round.
 type Participant interface {
 	// Begin registers a new transaction at this participant.
 	Begin(id TxnID) error
-	// Request asks to execute op on obj for the transaction.
-	Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effects, error)
-	// Commit finishes the transaction locally (single-site commit:
+	// RequestInto asks to execute op on obj for the transaction.
+	RequestInto(eff *Effects, id TxnID, obj ObjectID, op adt.Op) (Decision, error)
+	// CommitInto finishes the transaction locally (single-site commit:
 	// pseudo-commits under outstanding dependencies, else commits for
 	// real and cascades).
-	Commit(id TxnID) (CommitStatus, Effects, error)
-	// CommitHold pseudo-commits and holds: the transaction is excluded
-	// from the automatic cascade until Release. Returns the local
-	// out-degree so the coordinator can sum the global dependency set.
-	CommitHold(id TxnID) (int, Effects, error)
-	// Release really commits a held transaction whose local
+	CommitInto(eff *Effects, id TxnID) (CommitStatus, error)
+	// CommitHoldInto pseudo-commits and holds: the transaction is
+	// excluded from the automatic cascade until Release. Returns the
+	// local out-degree so the coordinator can sum the global dependency
+	// set.
+	CommitHoldInto(eff *Effects, id TxnID) (int, error)
+	// ReleaseInto really commits a held transaction whose local
 	// dependencies have drained.
-	Release(id TxnID) (Effects, error)
-	// Abort aborts the transaction (active or blocked).
-	Abort(id TxnID) (Effects, error)
-	// OutEdgesOf exports the transaction's current outgoing dependency
-	// edges at this participant. The returned slice is owned by the
-	// caller (implementations must return a fresh copy, not internal
-	// state): the coordinator filters and retains it.
-	OutEdgesOf(id TxnID) []depgraph.Edge
-	// OutEdgesAppend is OutEdgesOf appending into buf[:0], so a caller
-	// that exports edges on every coordination call can reuse one
-	// buffer. As with OutEdgesOf, the result never aliases
-	// implementation state — only buf.
+	ReleaseInto(eff *Effects, id TxnID) error
+	// AbortInto aborts the transaction (active or blocked).
+	AbortInto(eff *Effects, id TxnID) error
+	// WithdrawInto abandons the transaction's blocked request and
+	// returns it to the active state (context cancellation of a parked
+	// Do). Followers queued behind the request are retried.
+	WithdrawInto(eff *Effects, id TxnID) error
+	// OutEdgesAppend exports the transaction's current outgoing
+	// dependency edges at this participant, appended into buf[:0], so a
+	// caller that exports edges on every coordination call can reuse
+	// one buffer. The result never aliases implementation state — only
+	// buf: the coordinator filters and retains it.
 	OutEdgesAppend(id TxnID, buf []depgraph.Edge) []depgraph.Edge
 	// Forget drops a terminated transaction's bookkeeping.
 	Forget(id TxnID)

@@ -86,6 +86,14 @@ type Scheduler struct {
 	// pendingRetry holds objects whose blocked queues must be
 	// rescanned before the current call returns.
 	pendingRetry map[ObjectID]bool
+
+	// reqFree pools retired blocked-path requests for reuse; reqGrave
+	// parks requests retired during the current call until its end, so
+	// a pooled request is never handed out while retryObject's queue
+	// snapshot may still alias it (stale entries are recognised by
+	// pointer identity).
+	reqFree  []*request
+	reqGrave []*request
 }
 
 // NewScheduler returns a scheduler with the given options.
@@ -163,37 +171,55 @@ func (s *Scheduler) Begin(id TxnID) error {
 // Effects reports anything that happened downstream (an abort of the
 // requester can unblock other transactions and cascade commits).
 func (s *Scheduler) Request(id TxnID, obj ObjectID, op adt.Op) (Decision, Effects, error) {
+	var eff Effects
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var eff Effects
+	dec, err := s.requestLocked(&eff, id, obj, op)
+	s.drainRetired()
+	return dec, eff, err
+}
 
+// RequestInto is Request appending its effects into a caller-owned,
+// reusable buffer (reset on entry): the delivery layer passes one
+// Effects per lock domain, so the steady-state conversation between a
+// blocking front end and the scheduler allocates nothing.
+func (s *Scheduler) RequestInto(eff *Effects, id TxnID, obj ObjectID, op adt.Op) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	dec, err := s.requestLocked(eff, id, obj, op)
+	s.drainRetired()
+	return dec, err
+}
+
+func (s *Scheduler) requestLocked(eff *Effects, id TxnID, obj ObjectID, op adt.Op) (Decision, error) {
 	t, err := s.txns.lookup(id)
 	if err != nil {
-		return Decision{}, eff, err
+		return Decision{}, err
 	}
 	switch t.state {
 	case stActive:
 	case stBlocked:
-		return Decision{}, eff, ErrTxnBlocked
+		return Decision{}, ErrTxnBlocked
 	case stPseudo:
-		return Decision{}, eff, ErrPseudoRequest
+		return Decision{}, ErrPseudoRequest
 	default:
-		return Decision{}, eff, ErrTxnTerminated
+		return Decision{}, ErrTxnTerminated
 	}
 	o, err := s.store.lookup(obj)
 	if err != nil {
-		return Decision{}, eff, err
+		return Decision{}, err
 	}
 
-	dec, err := s.tryExecute(t, o, op, false, &eff)
+	dec, err := s.tryExecute(t, o, op, false, eff)
 	if err != nil {
-		return Decision{}, eff, err
+		return Decision{}, err
 	}
-	if err := s.settle(&eff); err != nil {
-		return Decision{}, eff, err
+	if err := s.settle(eff); err != nil {
+		return Decision{}, err
 	}
 	s.assertInvariants()
-	return dec, eff, nil
+	return dec, nil
 }
 
 // tryExecute runs the Figure-2 decision procedure for one request. When
@@ -245,7 +271,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 			return Decision{Outcome: Aborted, Reason: ReasonDeadlock}, nil
 		}
 		t.state = stBlocked
-		t.blocked = &request{txn: t.id, obj: o.id, op: op, opid: o.opID(op)}
+		t.blocked = s.newRequest(t.id, o.id, op, o.opID(op))
 		if !retry {
 			o.blocked = append(o.blocked, t.blocked)
 			// A retried request that stays blocked never resumed
@@ -295,22 +321,38 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 // dependencies it pseudo-commits (§4.3); otherwise it commits for real,
 // which may unblock waiters and cascade commits of its dependants.
 func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
+	var eff Effects
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var eff Effects
+	st, err := s.commitLocked(&eff, id)
+	s.drainRetired()
+	return st, eff, err
+}
 
+// CommitInto is Commit appending into a caller-owned, reusable Effects
+// buffer (reset on entry).
+func (s *Scheduler) CommitInto(eff *Effects, id TxnID) (CommitStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	st, err := s.commitLocked(eff, id)
+	s.drainRetired()
+	return st, err
+}
+
+func (s *Scheduler) commitLocked(eff *Effects, id TxnID) (CommitStatus, error) {
 	t, err := s.txns.lookup(id)
 	if err != nil {
-		return 0, eff, err
+		return 0, err
 	}
 	switch t.state {
 	case stActive:
 	case stBlocked:
-		return 0, eff, ErrTxnBlocked
+		return 0, ErrTxnBlocked
 	case stPseudo:
-		return PseudoCommitted, eff, nil
+		return PseudoCommitted, nil
 	default:
-		return 0, eff, ErrTxnTerminated
+		return 0, ErrTxnTerminated
 	}
 
 	if s.gk.g.OutDegree(id) > 0 {
@@ -320,17 +362,17 @@ func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
 			r.PseudoCommitted(id)
 		}
 		s.assertInvariants()
-		return PseudoCommitted, eff, nil
+		return PseudoCommitted, nil
 	}
 
-	if err := s.finalize(t, true, ReasonNone, &eff); err != nil {
-		return 0, eff, err
+	if err := s.finalize(t, true, ReasonNone, eff); err != nil {
+		return 0, err
 	}
-	if err := s.settle(&eff); err != nil {
-		return 0, eff, err
+	if err := s.settle(eff); err != nil {
+		return 0, err
 	}
 	s.assertInvariants()
-	return Committed, eff, nil
+	return Committed, nil
 }
 
 // CommitHold is the distributed variant of Commit (phase one of the
@@ -341,21 +383,36 @@ func (s *Scheduler) Commit(id TxnID) (CommitStatus, Effects, error) {
 // current out-degree so the coordinator can decide whether the global
 // dependency set is empty.
 func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
+	var eff Effects
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var eff Effects
+	deg, err := s.commitHoldLocked(id)
+	return deg, eff, err
+}
+
+// CommitHoldInto is CommitHold with the caller-owned Effects convention
+// of the other *Into variants (a hold has no downstream effects today,
+// but the distributed layer treats every participant call uniformly).
+func (s *Scheduler) CommitHoldInto(eff *Effects, id TxnID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	return s.commitHoldLocked(id)
+}
+
+func (s *Scheduler) commitHoldLocked(id TxnID) (int, error) {
 	t, err := s.txns.lookup(id)
 	if err != nil {
-		return 0, eff, err
+		return 0, err
 	}
 	switch t.state {
 	case stActive:
 	case stBlocked:
-		return 0, eff, ErrTxnBlocked
+		return 0, ErrTxnBlocked
 	case stPseudo:
-		return s.gk.g.OutDegree(id), eff, nil
+		return s.gk.g.OutDegree(id), nil
 	default:
-		return 0, eff, ErrTxnTerminated
+		return 0, ErrTxnTerminated
 	}
 	t.state = stPseudo
 	t.held = true
@@ -364,7 +421,7 @@ func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
 		r.PseudoCommitted(id)
 	}
 	s.assertInvariants()
-	return s.gk.g.OutDegree(id), eff, nil
+	return s.gk.g.OutDegree(id), nil
 }
 
 // Release really commits a held, pseudo-committed transaction. The
@@ -372,57 +429,143 @@ func (s *Scheduler) CommitHold(id TxnID) (int, Effects, error) {
 // transaction's global dependency set is empty; locally that means an
 // out-degree of zero, which Release enforces.
 func (s *Scheduler) Release(id TxnID) (Effects, error) {
+	var eff Effects
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var eff Effects
+	err := s.releaseLocked(&eff, id)
+	s.drainRetired()
+	return eff, err
+}
+
+// ReleaseInto is Release appending into a caller-owned, reusable
+// Effects buffer (reset on entry).
+func (s *Scheduler) ReleaseInto(eff *Effects, id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	err := s.releaseLocked(eff, id)
+	s.drainRetired()
+	return err
+}
+
+func (s *Scheduler) releaseLocked(eff *Effects, id TxnID) error {
 	t, err := s.txns.lookup(id)
 	if err != nil {
-		return eff, err
+		return err
 	}
 	if t.state != stPseudo || !t.held {
-		return eff, fmt.Errorf("core: Release: T%d is %s, not a held pseudo-committed transaction", id, t.state)
+		return fmt.Errorf("core: Release: T%d is %s, not a held pseudo-committed transaction", id, t.state)
 	}
 	if d := s.gk.g.OutDegree(id); d != 0 {
-		return eff, fmt.Errorf("core: Release: T%d still has %d outstanding dependencies", id, d)
+		return fmt.Errorf("core: Release: T%d still has %d outstanding dependencies", id, d)
 	}
-	if err := s.finalize(t, true, ReasonNone, &eff); err != nil {
-		return eff, err
+	if err := s.finalize(t, true, ReasonNone, eff); err != nil {
+		return err
 	}
-	if err := s.settle(&eff); err != nil {
-		return eff, err
+	if err := s.settle(eff); err != nil {
+		return err
 	}
 	s.assertInvariants()
-	return eff, nil
+	return nil
 }
 
 // Abort aborts transaction id at the caller's request.
 func (s *Scheduler) Abort(id TxnID) (Effects, error) {
+	var eff Effects
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var eff Effects
+	err := s.abortLocked(&eff, id)
+	s.drainRetired()
+	return eff, err
+}
 
+// AbortInto is Abort appending into a caller-owned, reusable Effects
+// buffer (reset on entry).
+func (s *Scheduler) AbortInto(eff *Effects, id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	err := s.abortLocked(eff, id)
+	s.drainRetired()
+	return err
+}
+
+func (s *Scheduler) abortLocked(eff *Effects, id TxnID) error {
 	t, err := s.txns.lookup(id)
 	if err != nil {
-		return eff, err
+		return err
 	}
 	switch t.state {
 	case stActive, stBlocked:
 	case stPseudo:
 		// "A transaction which has pseudo-committed will definitely
 		// commit" — user aborts are refused.
-		return eff, fmt.Errorf("%w: pseudo-committed transactions cannot abort", ErrTxnTerminated)
+		return fmt.Errorf("%w: pseudo-committed transactions cannot abort", ErrTxnTerminated)
 	default:
-		return eff, ErrTxnTerminated
+		return ErrTxnTerminated
 	}
 
-	if err := s.finalize(t, false, ReasonUser, &eff); err != nil {
-		return eff, err
+	if err := s.finalize(t, false, ReasonUser, eff); err != nil {
+		return err
 	}
-	if err := s.settle(&eff); err != nil {
-		return eff, err
+	if err := s.settle(eff); err != nil {
+		return err
 	}
 	s.assertInvariants()
-	return eff, nil
+	return nil
+}
+
+// Withdraw abandons transaction id's blocked request: the request is
+// dequeued, its wait-for edges are shed, and the transaction returns to
+// the active state with its executed operations intact — the
+// cancellation path of a context-aware Do. Requests parked behind the
+// withdrawn one are retried before the call returns (the same rescan a
+// terminating transaction triggers), so a withdrawal can never strand a
+// fairness-gated follower.
+func (s *Scheduler) Withdraw(id TxnID) (Effects, error) {
+	var eff Effects
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.withdrawLocked(&eff, id)
+	s.drainRetired()
+	return eff, err
+}
+
+// WithdrawInto is Withdraw appending into a caller-owned, reusable
+// Effects buffer (reset on entry).
+func (s *Scheduler) WithdrawInto(eff *Effects, id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	err := s.withdrawLocked(eff, id)
+	s.drainRetired()
+	return err
+}
+
+func (s *Scheduler) withdrawLocked(eff *Effects, id TxnID) error {
+	t, err := s.txns.lookup(id)
+	if err != nil {
+		return err
+	}
+	if t.state != stBlocked || t.blocked == nil {
+		return ErrNotBlocked
+	}
+	r := t.blocked
+	if o, ok := s.store.get(r.obj); ok {
+		o.dequeueBlocked(t.id)
+		// Followers fairness-gated behind the withdrawn request must be
+		// rescanned, exactly as when a blocked requester terminates.
+		s.pendingRetry[o.id] = true
+	}
+	t.blocked = nil
+	s.retireRequest(r)
+	s.gk.g.RemoveWaitEdges(t.id)
+	t.state = stActive
+	if err := s.settle(eff); err != nil {
+		return err
+	}
+	s.assertInvariants()
+	return nil
 }
 
 // finalize terminates t: it removes the transaction's operations from
@@ -443,6 +586,7 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 			// object — without a rescan they would wait forever.
 			s.pendingRetry[o.id] = true
 		}
+		s.retireRequest(t.blocked)
 		t.blocked = nil
 	}
 
@@ -578,6 +722,10 @@ scan:
 		t.state = stActive
 		t.blocked = nil
 		o.dequeueBlocked(r.txn)
+		// Retire r now: if the retry re-blocks, tryExecute parks a
+		// fresh request (the graveyard keeps r's pointer unique until
+		// this call's queue snapshots are gone).
+		s.retireRequest(r)
 
 		dec, err := s.tryExecute(t, o, r.op, true, eff)
 		if err != nil {
@@ -614,6 +762,39 @@ func clearRequests(buf []*request) []*request {
 		buf[i] = nil
 	}
 	return buf[:0]
+}
+
+// newRequest takes a pooled request or allocates one. Only the free
+// list is consulted — requests retired during the current call sit in
+// the graveyard so their pointers stay unique while retryObject's queue
+// snapshots may alias them.
+func (s *Scheduler) newRequest(txn TxnID, obj ObjectID, op adt.Op, opid adt.OpID) *request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree[n-1] = nil
+		s.reqFree = s.reqFree[:n-1]
+		*r = request{txn: txn, obj: obj, op: op, opid: opid}
+		return r
+	}
+	return &request{txn: txn, obj: obj, op: op, opid: opid}
+}
+
+// retireRequest parks a request that left every queue in the graveyard;
+// drainRetired recycles it once the call's snapshots are gone.
+func (s *Scheduler) retireRequest(r *request) {
+	s.reqGrave = append(s.reqGrave, r)
+}
+
+// drainRetired moves graveyard requests to the free list. Called at the
+// end of every public mutating call, when no retry-scan snapshot can
+// alias them any longer.
+func (s *Scheduler) drainRetired() {
+	for i, r := range s.reqGrave {
+		*r = request{} // drop the op payload so the pool pins nothing
+		s.reqFree = append(s.reqFree, r)
+		s.reqGrave[i] = nil
+	}
+	s.reqGrave = s.reqGrave[:0]
 }
 
 // assertInvariants runs debug-only global checks.

@@ -1,74 +1,115 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adt"
 	"repro/internal/compat"
+	"repro/internal/delivery"
 )
 
-// ErrTxnAborted is returned by Handle methods after the scheduler has
-// aborted the transaction (deadlock or commit-dependency cycle). The
-// caller should begin a fresh transaction and retry.
-var ErrTxnAborted = errors.New("core: transaction aborted")
-
 // DB is the blocking, goroutine-friendly front end to a Scheduler: real
-// goroutines call Handle.Do and are parked until their operation
-// executes, exactly the shape of a multi-threaded transaction system.
-// The deterministic simulator talks to the Scheduler directly instead.
+// goroutines call Txn.Do and are parked until their operation executes,
+// exactly the shape of a multi-threaded transaction system. The
+// deterministic simulator talks to the Scheduler directly instead.
+//
+// DB implements Store; it shares the Effects→parked-goroutine routing
+// (internal/delivery) with the distributed front end, so both speak to
+// their schedulers through one delivery layer.
 type DB struct {
 	s *Scheduler
 
 	mu      sync.Mutex
+	hub     *delivery.Hub
 	nextTxn TxnID
 	handles map[TxnID]*Handle
+	closed  bool
 }
 
 // NewDB wraps options in a fresh scheduler and returns the blocking
 // front end.
 func NewDB(opts Options) *DB {
-	return &DB{s: NewScheduler(opts), handles: make(map[TxnID]*Handle)}
+	return &DB{s: NewScheduler(opts), hub: delivery.NewHub(), handles: make(map[TxnID]*Handle)}
 }
 
 // Scheduler exposes the underlying scheduler (for stats and state
 // inspection).
 func (db *DB) Scheduler() *Scheduler { return db.s }
 
-// Register forwards to Scheduler.Register.
+// Register forwards to Scheduler.Register. It fails with ErrClosed on a
+// closed store.
 func (db *DB) Register(id ObjectID, typ adt.Type, class compat.Classifier) error {
+	db.mu.Lock()
+	closed := db.closed
+	db.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
 	return db.s.Register(id, typ, class)
 }
 
-// waitMsg resolves a blocked Do call.
-type waitMsg struct {
-	ret     adt.Ret
-	aborted bool
-	reason  AbortReason
+// SetFactory installs a lazy object constructor on the underlying
+// scheduler; the first request against an unregistered object id calls
+// it. The workload harness uses this so both back ends are seeded the
+// same way.
+func (db *DB) SetFactory(f func(ObjectID) (adt.Type, compat.Classifier)) {
+	db.s.SetFactory(f)
 }
 
-// Handle is one transaction's session. A Handle must be used from a
-// single goroutine at a time (concurrent transactions use separate
-// handles).
+// Stats returns a snapshot of the protocol counters, taken under the
+// scheduler lock (globally consistent — every counter reflects the same
+// call prefix).
+func (db *DB) Stats() Stats { return db.s.StatsSnapshot() }
+
+// Close marks the store closed: Begin afterwards returns a transaction
+// failing with ErrClosed, Register fails, and Run refuses. Transactions
+// already begun are unaffected and run to completion. Idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	return nil
+}
+
+// Run executes fn inside a transaction with automatic retry of
+// retryable aborts; see RunStore.
+func (db *DB) Run(ctx context.Context, fn func(Txn) error) error {
+	return RunStore(ctx, db, fn)
+}
+
+// Handle states. Transitions happen under db.mu; reads are lock-free.
+const (
+	hActive int32 = iota
+	hPseudo
+	hCommitted
+	hAborted
+)
+
+// Handle is one transaction's session on a DB, implementing Txn. A
+// Handle must be driven by a single goroutine at a time (concurrent
+// transactions use separate handles).
 type Handle struct {
 	db *DB
 	id TxnID
 
-	mu        sync.Mutex
-	waitCh    chan waitMsg
-	dead      bool
-	reason    AbortReason
-	committed chan struct{} // closed at real commit
-	pseudo    bool
+	state  atomic.Int32
+	reason atomic.Int32  // AbortReason, stored before state becomes hAborted
+	done   chan struct{} // closed at the terminal state (real commit or abort)
 }
 
-// Begin starts a new transaction.
-func (db *DB) Begin() *Handle {
+// Begin starts a new transaction. On a closed store it returns a
+// transaction whose operations fail with ErrClosed.
+func (db *DB) Begin() Txn {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ClosedTxn(ErrClosed)
+	}
 	db.nextTxn++
-	h := &Handle{db: db, id: db.nextTxn, committed: make(chan struct{})}
+	h := &Handle{db: db, id: db.nextTxn, done: make(chan struct{})}
 	if err := db.s.Begin(h.id); err != nil {
 		// IDs are generated here, so this cannot collide.
 		panic(fmt.Sprintf("core: Begin: %v", err))
@@ -80,51 +121,100 @@ func (db *DB) Begin() *Handle {
 // ID returns the transaction id.
 func (h *Handle) ID() TxnID { return h.id }
 
-// deliver routes scheduler effects to waiting handles.
-func (db *DB) deliver(eff Effects) {
-	for _, g := range eff.Grants {
-		if h := db.handles[g.Txn]; h != nil && h.waitCh != nil {
-			h.waitCh <- waitMsg{ret: g.Ret}
-			h.waitCh = nil
-		}
+// Done returns a channel closed when the transaction reaches its
+// terminal state: the real commit has landed (for pseudo-committed
+// transactions, once every transaction it depends on has terminated) or
+// the transaction aborted.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err reports how the transaction ended: nil after a real commit (and
+// while the transaction is still in flight), a *ErrAborted after an
+// abort. Meaningful once Done's channel is closed.
+func (h *Handle) Err() error {
+	if h.state.Load() == hAborted {
+		return abortErr(h.id, AbortReason(h.reason.Load()))
 	}
-	for _, a := range eff.RetryAborts {
-		if h := db.handles[a.Txn]; h != nil && h.waitCh != nil {
-			h.waitCh <- waitMsg{aborted: true, reason: a.Reason}
-			h.waitCh = nil
-		}
-	}
+	return nil
+}
+
+// deliver routes scheduler effects: grants and retry-aborts to parked
+// goroutines through the shared delivery hub, cascaded real commits to
+// their handles. Caller holds db.mu.
+func (db *DB) deliver(eff *Effects) {
+	db.hub.Deliver(eff)
 	for _, id := range eff.Committed {
 		if h := db.handles[id]; h != nil {
-			close(h.committed)
-			delete(db.handles, id)
+			h.settle(hCommitted, ReasonNone)
 		}
 	}
 }
 
+// settle moves the handle to a terminal state, closes Done and drops
+// the scheduler's and the DB's bookkeeping. Caller holds db.mu.
+func (h *Handle) settle(state int32, reason AbortReason) {
+	h.reason.Store(int32(reason))
+	h.state.Store(state)
+	close(h.done)
+	delete(h.db.handles, h.id)
+	h.db.s.Forget(h.id)
+}
+
+// liveErr reports why the handle can no longer issue operations, or nil
+// while it is active. Caller holds db.mu.
+func (h *Handle) liveErr() error {
+	switch h.state.Load() {
+	case hActive:
+		return nil
+	case hAborted:
+		return abortErr(h.id, AbortReason(h.reason.Load()))
+	default:
+		return fmt.Errorf("%w (T%d)", ErrTxnDone, h.id)
+	}
+}
+
 // Do executes op against obj, blocking until the operation runs. It
-// returns ErrTxnAborted (wrapped with the reason) if the scheduler
-// aborts the transaction instead.
+// returns a *ErrAborted (matching ErrTxnAborted and the reason
+// sentinels under errors.Is) if the scheduler aborts the transaction
+// instead.
 func (h *Handle) Do(obj ObjectID, op adt.Op) (adt.Ret, error) {
+	return h.do(nil, obj, op)
+}
+
+// DoCtx is Do with cancellation: if ctx expires while the request is
+// blocked, the request is withdrawn from the scheduler queue —
+// transactions parked behind it are retried, so nothing strands — the
+// transaction stays active with its executed operations intact, and
+// ctx.Err() is returned. If the grant raced the cancellation, the
+// operation has executed and its result is returned instead.
+func (h *Handle) DoCtx(ctx context.Context, obj ObjectID, op adt.Op) (adt.Ret, error) {
+	if err := ctx.Err(); err != nil {
+		return adt.Ret{}, err
+	}
+	return h.do(ctx, obj, op)
+}
+
+// do runs the request; a nil ctx means no cancellation (the plain Do
+// path, which skips the select on the hot receive).
+func (h *Handle) do(ctx context.Context, obj ObjectID, op adt.Op) (adt.Ret, error) {
 	db := h.db
 	db.mu.Lock()
-	if h.dead {
+	if err := h.liveErr(); err != nil {
 		db.mu.Unlock()
-		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, h.reason)
+		return adt.Ret{}, err
 	}
-	dec, eff, err := db.s.Request(h.id, obj, op)
+	eff := db.hub.Effects()
+	dec, err := db.s.RequestInto(eff, h.id, obj, op)
 	if err != nil {
 		db.mu.Unlock()
 		return adt.Ret{}, err
 	}
-	var ch chan waitMsg
+	var ch chan delivery.Msg
 	if dec.Outcome == Blocked {
-		ch = make(chan waitMsg, 1)
-		h.waitCh = ch
+		ch = db.hub.Park(h.id)
 	}
 	db.deliver(eff)
 	if dec.Outcome == Aborted {
-		h.die(dec.Reason)
+		h.settle(hAborted, dec.Reason)
 	}
 	db.mu.Unlock()
 
@@ -132,81 +222,114 @@ func (h *Handle) Do(obj ObjectID, op adt.Op) (adt.Ret, error) {
 	case Executed:
 		return dec.Ret, nil
 	case Aborted:
-		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, dec.Reason)
+		return adt.Ret{}, abortErr(h.id, dec.Reason)
 	}
 
-	msg := <-ch
-	if msg.aborted {
+	var msg delivery.Msg
+	if ctx == nil {
+		msg = <-ch
+	} else {
+		select {
+		case msg = <-ch:
+		case <-ctx.Done():
+			db.mu.Lock()
+			if db.hub.Withdraw(h.id) {
+				// Still parked: the request is still queued at the
+				// scheduler — pull it out so it cannot gate anyone.
+				eff := db.hub.Effects()
+				err := db.s.WithdrawInto(eff, h.id)
+				if err == nil {
+					db.deliver(eff)
+				}
+				db.mu.Unlock()
+				if err != nil {
+					return adt.Ret{}, err
+				}
+				return adt.Ret{}, ctx.Err()
+			}
+			db.mu.Unlock()
+			// The resolution raced the cancellation: the message is in
+			// the buffer (delivery deletes-then-sends under db.mu).
+			// Honour it.
+			msg = <-ch
+		}
+	}
+	if msg.Aborted {
 		db.mu.Lock()
-		h.die(msg.reason)
+		h.settle(hAborted, msg.Reason)
 		db.mu.Unlock()
-		return adt.Ret{}, fmt.Errorf("%w (%s)", ErrTxnAborted, msg.reason)
+		return adt.Ret{}, abortErr(h.id, msg.Reason)
 	}
-	return msg.ret, nil
-}
-
-// die marks the handle dead. Caller holds db.mu.
-func (h *Handle) die(reason AbortReason) {
-	h.dead = true
-	h.reason = reason
-	delete(h.db.handles, h.id)
+	return msg.Ret, nil
 }
 
 // Commit completes the transaction. The returned status is
 // PseudoCommitted when the transaction still has commit dependencies:
-// its results are final from the caller's perspective, and
-// WaitCommitted (or the Committed channel) reports when the real commit
-// lands.
+// its results are final from the caller's perspective, and Done reports
+// when the real commit lands.
 func (h *Handle) Commit() (CommitStatus, error) {
 	db := h.db
 	db.mu.Lock()
-	if h.dead {
+	switch h.state.Load() {
+	case hActive:
+	case hPseudo:
 		db.mu.Unlock()
-		return 0, fmt.Errorf("%w (%s)", ErrTxnAborted, h.reason)
+		return PseudoCommitted, nil
+	case hCommitted:
+		db.mu.Unlock()
+		return Committed, nil
+	default:
+		db.mu.Unlock()
+		return 0, abortErr(h.id, AbortReason(h.reason.Load()))
 	}
-	status, eff, err := db.s.Commit(h.id)
+	eff := db.hub.Effects()
+	status, err := db.s.CommitInto(eff, h.id)
 	if err != nil {
 		db.mu.Unlock()
 		return 0, err
 	}
 	db.deliver(eff)
 	if status == Committed {
-		select {
-		case <-h.committed:
-		default:
-			close(h.committed)
-		}
-		delete(db.handles, h.id)
+		h.settle(hCommitted, ReasonNone)
 	} else {
-		h.pseudo = true
+		h.state.Store(hPseudo)
 	}
 	db.mu.Unlock()
 	return status, nil
 }
 
-// Abort rolls the transaction back.
+// CommitCtx is Commit guarded by ctx: if ctx is already done no commit
+// is attempted, ctx.Err() is returned, and the transaction remains
+// active — in particular, still abortable.
+func (h *Handle) CommitCtx(ctx context.Context) (CommitStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return h.Commit()
+}
+
+// Abort rolls the transaction back. Aborting an already-aborted
+// transaction is a no-op; committed (incl. pseudo-committed)
+// transactions refuse with ErrTxnDone.
 func (h *Handle) Abort() error {
 	db := h.db
 	db.mu.Lock()
-	if h.dead {
+	switch h.state.Load() {
+	case hActive:
+	case hAborted:
 		db.mu.Unlock()
 		return nil // already gone
+	default:
+		db.mu.Unlock()
+		return fmt.Errorf("%w: committed transactions cannot abort", ErrTxnDone)
 	}
-	eff, err := db.s.Abort(h.id)
-	if err != nil {
+	eff := db.hub.Effects()
+	if err := db.s.AbortInto(eff, h.id); err != nil {
 		db.mu.Unlock()
 		return err
 	}
 	db.deliver(eff)
-	h.die(ReasonUser)
+	h.settle(hAborted, ReasonUser)
 	db.mu.Unlock()
 	return nil
 }
-
-// Committed returns a channel closed when the transaction has really
-// committed (for pseudo-committed transactions this happens once every
-// transaction it depends on has terminated).
-func (h *Handle) Committed() <-chan struct{} { return h.committed }
-
-// WaitCommitted blocks until the real commit.
-func (h *Handle) WaitCommitted() { <-h.committed }

@@ -47,7 +47,7 @@ func TestHandleConcurrentPushes(t *testing.T) {
 		t.Fatalf("t2 commit = %v, want pseudo-committed", st)
 	}
 	select {
-	case <-t2.Committed():
+	case <-t2.Done():
 		t.Fatal("t2 must not really commit before t1 terminates")
 	default:
 	}
@@ -57,7 +57,7 @@ func TestHandleConcurrentPushes(t *testing.T) {
 	}
 
 	select {
-	case <-t2.Committed():
+	case <-t2.Done():
 	case <-time.After(time.Second):
 		t.Fatal("t2's real commit never landed")
 	}

@@ -1,0 +1,138 @@
+// Package delivery is the shared routing layer between a synchronous
+// scheduler and the goroutines parked on its decisions. Both blocking
+// front ends — core.DB locally and each dist site in the §6 cluster —
+// used to carry their own copy of this plumbing (a waitMsg struct, a
+// waiter map and a hand-rolled Effects loop); a Hub centralises it:
+//
+//	goroutine            Hub (one per lock domain)         scheduler
+//	---------            -------------------------         ---------
+//	Do ──────────────▶ Park(id) ── chan Msg
+//	   ◀── <-ch ─────── Deliver(eff) ◀────────────────── Effects{Grants,
+//	                                                        RetryAborts}
+//	ctx cancelled ───▶ Withdraw(id)  ─────────────────▶ Scheduler.Withdraw
+//
+// A Hub is deliberately lock-free: every front end already owns a mutex
+// that serialises its scheduler calls (core.DB's db.mu, a dist site's
+// site.mu), and every Hub method must be called with that same lock
+// held. The channels are buffered (capacity 1), so Deliver never blocks
+// on a slow waiter; the delete-then-send pair runs atomically under the
+// domain lock, which is what makes the cancellation race resolvable:
+// a context-cancelled waiter that finds itself withdrawn knows no
+// message is coming, and one that finds itself already resolved knows
+// the message is sitting in the buffer.
+//
+// The Hub also owns the domain's reusable Effects buffer (Effects()),
+// so a front end's steady-state scheduler conversation allocates
+// nothing for effect routing.
+package delivery
+
+import (
+	"repro/internal/adt"
+	"repro/internal/proto"
+)
+
+// Msg resolves a parked request: either the operation's return value or
+// the scheduler's abort verdict.
+type Msg struct {
+	Ret     adt.Ret
+	Aborted bool
+	Reason  proto.AbortReason
+}
+
+// Hub tracks the goroutines parked on one scheduler's decisions. All
+// methods must be called with the owning front end's lock held; see the
+// package comment.
+type Hub struct {
+	waiters map[proto.TxnID]chan Msg
+	eff     proto.Effects
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{waiters: make(map[proto.TxnID]chan Msg)}
+}
+
+// Effects resets and returns the hub's reusable Effects buffer for the
+// next scheduler call. The buffer is valid until the next Effects call
+// on this hub, which the lock discipline guarantees is after the
+// current call's results have been delivered.
+func (h *Hub) Effects() *proto.Effects {
+	h.eff.Reset()
+	return &h.eff
+}
+
+// Park registers id as parked and returns the buffered channel its
+// goroutine must receive on. A transaction parks on at most one request
+// at a time (the handle contract: one driving goroutine).
+func (h *Hub) Park(id proto.TxnID) chan Msg {
+	ch := make(chan Msg, 1)
+	h.waiters[id] = ch
+	return ch
+}
+
+// Withdraw removes id's parked entry without resolving it, reporting
+// whether it was still parked. A false return means the resolution
+// already happened: the message is in the channel buffer and the caller
+// must consume it instead.
+func (h *Hub) Withdraw(id proto.TxnID) bool {
+	if _, ok := h.waiters[id]; !ok {
+		return false
+	}
+	delete(h.waiters, id)
+	return true
+}
+
+// Fail resolves id's parked request with an abort verdict directly
+// (used when a coordinator aborts a parked transaction on its owner's
+// behalf), reporting whether it was still parked.
+func (h *Hub) Fail(id proto.TxnID, reason proto.AbortReason) bool {
+	ch, ok := h.waiters[id]
+	if !ok {
+		return false
+	}
+	delete(h.waiters, id)
+	ch <- Msg{Aborted: true, Reason: reason}
+	return true
+}
+
+// Deliver routes one scheduler call's effects to the parked goroutines:
+// grants resolve with the operation's return value, retry-aborts with
+// the abort verdict. Cascaded real commits (eff.Committed) are the
+// front end's business — they resolve transactions, not parked
+// requests — and are left to the caller.
+func (h *Hub) Deliver(eff *proto.Effects) {
+	for i := range eff.Grants {
+		g := &eff.Grants[i]
+		if ch, ok := h.waiters[g.Txn]; ok {
+			delete(h.waiters, g.Txn)
+			ch <- Msg{Ret: g.Ret}
+		}
+	}
+	for _, a := range eff.RetryAborts {
+		if ch, ok := h.waiters[a.Txn]; ok {
+			delete(h.waiters, a.Txn)
+			ch <- Msg{Aborted: true, Reason: a.Reason}
+		}
+	}
+}
+
+// Parked reports whether id currently has a parked request.
+func (h *Hub) Parked(id proto.TxnID) bool {
+	_, ok := h.waiters[id]
+	return ok
+}
+
+// Len returns the number of parked transactions.
+func (h *Hub) Len() int { return len(h.waiters) }
+
+// AppendIDs appends every parked transaction id to buf[:0] and returns
+// the result (a reused buffer makes the snapshot allocation-free). The
+// distributed layer's refreshParked uses this to re-mirror parked
+// transactions' edges.
+func (h *Hub) AppendIDs(buf []proto.TxnID) []proto.TxnID {
+	buf = buf[:0]
+	for id := range h.waiters {
+		buf = append(buf, id)
+	}
+	return buf
+}

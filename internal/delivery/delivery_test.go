@@ -1,0 +1,124 @@
+package delivery
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/proto"
+)
+
+func TestParkDeliverGrant(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(1)
+	if !h.Parked(1) || h.Len() != 1 {
+		t.Fatal("park not registered")
+	}
+	eff := h.Effects()
+	eff.Grants = append(eff.Grants, proto.Grant{Txn: 1, Ret: adt.Ret{Code: adt.Value, Val: 7}})
+	h.Deliver(eff)
+	if h.Parked(1) {
+		t.Fatal("grant must unpark")
+	}
+	msg := <-ch
+	if msg.Aborted || msg.Ret.Val != 7 {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestParkDeliverRetryAbort(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(2)
+	eff := h.Effects()
+	eff.RetryAborts = append(eff.RetryAborts, proto.RetryAbort{Txn: 2, Reason: proto.ReasonDeadlock})
+	h.Deliver(eff)
+	msg := <-ch
+	if !msg.Aborted || msg.Reason != proto.ReasonDeadlock {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestWithdrawBeatsDeliver(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(3)
+	if !h.Withdraw(3) {
+		t.Fatal("withdraw of parked txn must succeed")
+	}
+	if h.Withdraw(3) {
+		t.Fatal("second withdraw must report not-parked")
+	}
+	eff := h.Effects()
+	eff.Grants = append(eff.Grants, proto.Grant{Txn: 3})
+	h.Deliver(eff) // must not send to the withdrawn channel
+	select {
+	case msg := <-ch:
+		t.Fatalf("withdrawn waiter received %+v", msg)
+	default:
+	}
+}
+
+func TestDeliverBeatsWithdraw(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(4)
+	eff := h.Effects()
+	eff.Grants = append(eff.Grants, proto.Grant{Txn: 4, Ret: adt.Ret{Val: 9}})
+	h.Deliver(eff)
+	// The cancellation path: Withdraw fails, so the message must be
+	// sitting in the buffer.
+	if h.Withdraw(4) {
+		t.Fatal("withdraw after delivery must fail")
+	}
+	select {
+	case msg := <-ch:
+		if msg.Ret.Val != 9 {
+			t.Fatalf("msg = %+v", msg)
+		}
+	default:
+		t.Fatal("resolved message missing from buffer")
+	}
+}
+
+func TestFail(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(5)
+	if !h.Fail(5, proto.ReasonDeadlock) {
+		t.Fatal("fail of parked txn must succeed")
+	}
+	if h.Fail(5, proto.ReasonDeadlock) {
+		t.Fatal("double fail must report not-parked")
+	}
+	msg := <-ch
+	if !msg.Aborted || msg.Reason != proto.ReasonDeadlock {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestEffectsReuse(t *testing.T) {
+	h := NewHub()
+	eff := h.Effects()
+	eff.Grants = append(eff.Grants, proto.Grant{Txn: 1})
+	eff.Committed = append(eff.Committed, 1)
+	eff2 := h.Effects()
+	if eff2 != eff {
+		t.Fatal("Effects must return the hub's one reusable buffer")
+	}
+	if len(eff2.Grants) != 0 || len(eff2.Committed) != 0 || !eff2.Empty() {
+		t.Fatalf("Effects must reset the buffer, got %+v", eff2)
+	}
+}
+
+func TestAppendIDs(t *testing.T) {
+	h := NewHub()
+	h.Park(7)
+	h.Park(9)
+	ids := h.AppendIDs(nil)
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	seen := map[proto.TxnID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[7] || !seen[9] {
+		t.Fatalf("ids = %v", ids)
+	}
+}

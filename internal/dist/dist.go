@@ -8,8 +8,8 @@
 //
 // Commit is the paper's commit conversation: the coordinator
 // pseudo-commits-and-holds the transaction at every participant it
-// visited (core.Participant.CommitHold), then releases the real commit
-// everywhere once the transaction's global dependency set — its
+// visited (core.Participant.CommitHoldInto), then releases the real
+// commit everywhere once the transaction's global dependency set — its
 // out-degree in the mirrored union graph — drains to zero. Until then
 // the transaction is complete from the caller's perspective
 // (PseudoCommitted) and its operations remain visible to, and gate,
@@ -21,9 +21,16 @@
 // instead of serialising on one scheduler mutex. Independent
 // transactions never touch the coordinator (no dependency edges, no
 // mirror traffic), which is what makes the sharded path scale.
+//
+// Cluster implements core.Store and its transactions core.Txn, so
+// client code written against the Store interface runs unchanged on a
+// single-scheduler DB or on a cluster; each site routes its scheduler
+// effects to parked goroutines through the same delivery layer
+// (internal/delivery) the local front end uses.
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/core"
+	"repro/internal/delivery"
 	"repro/internal/depgraph"
 )
 
@@ -68,28 +76,23 @@ var (
 	// ErrBadSites is returned by New for a non-positive site count.
 	ErrBadSites = errors.New("dist: cluster needs at least one site")
 	// ErrTxnDone is returned for operations on a transaction that has
-	// already entered commit.
-	ErrTxnDone = errors.New("dist: transaction already committed")
+	// already entered commit. It aliases core.ErrTxnDone, so one
+	// errors.Is target covers both back ends.
+	ErrTxnDone = core.ErrTxnDone
 )
-
-// waitMsg resolves a blocked Do call at one site.
-type waitMsg struct {
-	ret     adt.Ret
-	aborted bool
-	reason  core.AbortReason
-}
 
 // site is one participant plus the delivery plumbing for its blocked
 // requests. Each site has its own mutex: operations against different
-// sites never contend, which is the whole point of sharding.
+// sites never contend, which is the whole point of sharding. The hub —
+// the shared Effects→parked-goroutine routing layer — replaces the
+// per-front-end waiter maps both this package and core.DB used to
+// carry; a transaction blocks at no more than one site at a time (Do is
+// synchronous per handle).
 type site struct {
-	id SiteID
-	mu sync.Mutex
-	p  core.Participant
-	// waiters maps a blocked transaction to the channel its Do call
-	// is parked on. A transaction blocks at no more than one site at
-	// a time (Do is synchronous per handle).
-	waiters map[core.TxnID]chan waitMsg
+	id  SiteID
+	mu  sync.Mutex
+	p   core.Participant
+	hub *delivery.Hub
 	// edgeBuf is the reusable OutEdgesAppend scratch for this site's
 	// mirror exports. Guarded by mu, like every export-and-observe
 	// pair.
@@ -106,28 +109,9 @@ func (s *site) edges(id core.TxnID) []depgraph.Edge {
 	return s.edgeBuf
 }
 
-// deliver routes one scheduler call's effects to parked Do calls.
-// Caller holds s.mu. Held transactions are never auto-committed by a
-// local scheduler, so eff.Committed is empty for cluster-managed
-// transactions; grants and retry-aborts are what matter here.
-func (s *site) deliver(eff core.Effects) {
-	for _, g := range eff.Grants {
-		if ch, ok := s.waiters[g.Txn]; ok {
-			delete(s.waiters, g.Txn)
-			ch <- waitMsg{ret: g.Ret}
-		}
-	}
-	for _, a := range eff.RetryAborts {
-		if ch, ok := s.waiters[a.Txn]; ok {
-			delete(s.waiters, a.Txn)
-			ch <- waitMsg{aborted: true, reason: a.Reason}
-		}
-	}
-}
-
 // Cluster is a set of participant sites under one commit coordinator.
 // It is safe for concurrent use; each transaction handle must be
-// driven by one goroutine at a time.
+// driven by one goroutine at a time. Cluster implements core.Store.
 type Cluster struct {
 	route  Router
 	obs    Observer
@@ -136,13 +120,20 @@ type Cluster struct {
 
 	nextID atomic.Uint64
 
-	// mu guards the coordinator state: the mirrored union graph and
-	// the live-transaction registry. Transactions with no dependency
-	// edges never take it after Begin.
+	// mu guards the coordinator state: the mirrored union graph, the
+	// live-transaction registry and the closed flag. Transactions with
+	// no dependency edges never take it after Begin.
 	mu     sync.Mutex
 	mirror *depgraph.Mirror
 	txns   map[core.TxnID]*Txn
+	closed bool
 }
+
+// Cluster is the distributed core.Store.
+var (
+	_ core.Store = (*Cluster)(nil)
+	_ core.Txn   = (*Txn)(nil)
+)
 
 // New builds a cluster of n in-process sites, each running its own
 // scheduler with the given options. route decides object placement
@@ -165,9 +156,9 @@ func New(n int, opts core.Options, route Router, obs Observer) (*Cluster, error)
 		sched := core.NewScheduler(opts)
 		c.scheds = append(c.scheds, sched)
 		c.sites = append(c.sites, &site{
-			id:      SiteID(i),
-			p:       sched,
-			waiters: make(map[core.TxnID]chan waitMsg),
+			id:  SiteID(i),
+			p:   sched,
+			hub: delivery.NewHub(),
 		})
 	}
 	return c, nil
@@ -184,8 +175,15 @@ func (c *Cluster) Site(id SiteID) *core.Scheduler { return c.scheds[id] }
 // SiteOf returns the site that owns the object.
 func (c *Cluster) SiteOf(id core.ObjectID) SiteID { return c.route(id) }
 
-// Register creates the object eagerly at its home site.
+// Register creates the object eagerly at its home site. It fails with
+// ErrClosed on a closed cluster.
 func (c *Cluster) Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return core.ErrClosed
+	}
 	return c.scheds[c.route(id)].Register(id, typ, class)
 }
 
@@ -198,23 +196,52 @@ func (c *Cluster) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)
 }
 
 // Begin starts a distributed transaction. The coordinator assigns the
-// id; sites learn about the transaction lazily on first touch.
-func (c *Cluster) Begin() *Txn {
+// id; sites learn about the transaction lazily on first touch. On a
+// closed cluster it returns a transaction failing with ErrClosed.
+func (c *Cluster) Begin() core.Txn {
 	t := &Txn{
-		c:         c,
-		id:        core.TxnID(c.nextID.Add(1)),
-		visited:   make(map[SiteID]bool),
-		committed: make(chan struct{}),
-		aborted:   make(chan struct{}),
+		c:       c,
+		id:      core.TxnID(c.nextID.Add(1)),
+		visited: make(map[SiteID]bool),
+		done:    make(chan struct{}),
 	}
 	t.state.Store(txActive)
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return core.ClosedTxn(core.ErrClosed)
+	}
 	c.txns[t.id] = t
 	c.mu.Unlock()
 	return t
 }
 
-// Stats aggregates every site's scheduler counters.
+// Run executes fn inside a transaction with automatic retry of
+// retryable aborts; see core.RunStore.
+func (c *Cluster) Run(ctx context.Context, fn func(core.Txn) error) error {
+	return core.RunStore(ctx, c, fn)
+}
+
+// Close marks the cluster closed: Begin afterwards returns a
+// transaction failing with ErrClosed, and Register fails. Transactions
+// already begun — including held pseudo-commits awaiting release — are
+// unaffected and run to completion. Idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats sums every site's scheduler counters. Each site's snapshot is
+// internally consistent (taken under that scheduler's lock), but the
+// sum is fuzzy across sites: concurrent transactions may land between
+// snapshots. Counters are per-site event counts, so a transaction
+// touching k sites contributes k to Commits (its real commit lands at
+// each visited participant), k to PseudoCommits when held, and its
+// aborts count once per site that undoes it; Executes/Blocks/Grants
+// and the edge counters are naturally per-site. Use SiteStats for one
+// site's exact view.
 func (c *Cluster) Stats() core.Stats {
 	var sum core.Stats
 	for _, s := range c.scheds {
@@ -232,6 +259,12 @@ func (c *Cluster) Stats() core.Stats {
 		sum.WaitForEdges += st.WaitForEdges
 	}
 	return sum
+}
+
+// SiteStats returns one site's counters, snapshot under that
+// scheduler's lock (exact, unlike the cluster-wide sum).
+func (c *Cluster) SiteStats(id SiteID) core.Stats {
+	return c.scheds[id].StatsSnapshot()
 }
 
 // filterLive drops edges to transactions the coordinator has already
@@ -257,9 +290,9 @@ func (c *Cluster) filterLive(edges []depgraph.Edge) []depgraph.Edge {
 // against the edge export they carry, or a slow writer could clobber
 // a fresher observe with stale edges (losing, say, a commit
 // dependency — the transaction would then never be released). The
-// site mutex is that serialisation: every OutEdgesOf-plus-Observe
-// pair runs under s.mu, here and in refreshParked, giving the lock
-// order site.mu -> Cluster.mu (never the reverse).
+// site mutex is that serialisation: every export-plus-Observe pair
+// runs under s.mu, here and in refreshParked, giving the lock order
+// site.mu -> Cluster.mu (never the reverse).
 func (c *Cluster) observe(t *Txn, sid SiteID) bool {
 	s := c.sites[sid]
 	s.mu.Lock()
@@ -279,6 +312,24 @@ func (c *Cluster) observe(t *Txn, sid SiteID) bool {
 	return cyc
 }
 
+// unobserve re-mirrors t's remaining out-edges at site sid after a
+// withdrawal shed its wait-for edges, so the union graph cannot hold a
+// stale wait-for edge that would close a phantom cycle. No cycle check:
+// removing edges cannot create one.
+func (c *Cluster) unobserve(t *Txn, sid SiteID) {
+	s := c.sites[sid]
+	s.mu.Lock()
+	if t.anyEdges.Load() {
+		edges := s.edges(t.id)
+		c.mu.Lock()
+		if _, ok := c.txns[t.id]; ok {
+			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
 // refreshParked re-mirrors the out-edges of every transaction still
 // parked at the site. A site-level retry (inside some other call's
 // settle) can shed a parked transaction's wait-for edges and re-block
@@ -289,8 +340,8 @@ func (c *Cluster) observe(t *Txn, sid SiteID) bool {
 // cross-site deadlock through a re-blocked edge would be invisible
 // to the union graph forever.
 //
-// Only transactions still parked (present in s.waiters, checked under
-// s.mu) are touched: once granted, the owner's own observe is the
+// Only transactions still parked (present in the site's hub, checked
+// under s.mu) are touched: once granted, the owner's own observe is the
 // single writer for the pair, and the s.mu serialisation above keeps
 // the two from interleaving stale reads with fresh writes.
 //
@@ -304,16 +355,15 @@ func (c *Cluster) observe(t *Txn, sid SiteID) bool {
 func (c *Cluster) refreshParked(s *site) {
 	for {
 		s.mu.Lock()
-		ids := make([]core.TxnID, 0, len(s.waiters))
-		for id := range s.waiters {
-			ids = append(ids, id)
-		}
+		// A per-call snapshot: the buffer escapes the site lock, so it
+		// cannot be site-owned scratch (concurrent refreshers would
+		// race); an empty hub — the fast path — allocates nothing.
+		ids := s.hub.AppendIDs(make([]core.TxnID, 0, s.hub.Len()))
 		s.mu.Unlock()
 		aborted := false
 		for _, id := range ids {
 			s.mu.Lock()
-			ch, parked := s.waiters[id]
-			if !parked {
+			if !s.hub.Parked(id) {
 				s.mu.Unlock()
 				continue // granted or aborted meanwhile; its owner observes
 			}
@@ -331,11 +381,11 @@ func (c *Cluster) refreshParked(s *site) {
 			if cycle {
 				// Local abort + wake the owner; it runs the global
 				// abort when it receives the message.
-				delete(s.waiters, id)
-				if eff, err := s.p.Abort(id); err == nil {
-					s.deliver(eff)
+				eff := s.hub.Effects()
+				if err := s.p.AbortInto(eff, id); err == nil {
+					s.hub.Deliver(eff)
 				}
-				ch <- waitMsg{aborted: true, reason: core.ReasonDeadlock}
+				s.hub.Fail(id, core.ReasonDeadlock)
 				aborted = true
 			}
 			s.mu.Unlock()
@@ -349,16 +399,18 @@ func (c *Cluster) refreshParked(s *site) {
 // abortEverywhere aborts t at every visited site (skipping skipSite,
 // where the local scheduler already finalised it), delivers the
 // resulting grants to parked calls, and finalises the transaction at
-// the coordinator. reason is for the observer.
-func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason string) {
+// the coordinator. reason is recorded on the transaction (Err);
+// detail is the human-readable form for the observer.
+func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReason, detail string) {
 	sids := t.visitedSorted()
 	for _, sid := range sids {
 		s := c.sites[sid]
 		s.mu.Lock()
-		delete(s.waiters, t.id)
+		s.hub.Withdraw(t.id)
 		if sid != skipSite {
-			if eff, err := s.p.Abort(t.id); err == nil {
-				s.deliver(eff)
+			eff := s.hub.Effects()
+			if err := s.p.AbortInto(eff, t.id); err == nil {
+				s.hub.Deliver(eff)
 			}
 			// ErrTxnTerminated here means a site-local retry abort
 			// beat us to it; the local state is already clean.
@@ -368,11 +420,12 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason string) {
 		c.refreshParked(s)
 	}
 	c.mu.Lock()
+	t.reason.Store(int32(reason))
 	t.state.Store(txAborted)
 	c.mu.Unlock()
-	close(t.aborted)
+	close(t.done)
 	if c.obs != nil {
-		c.obs.Aborted(t.id, reason)
+		c.obs.Aborted(t.id, detail)
 	}
 	c.finalizeGlobal([]core.TxnID{t.id})
 }
@@ -383,8 +436,9 @@ func (c *Cluster) releaseAt(t *Txn) {
 	for _, sid := range t.visitedSorted() {
 		s := c.sites[sid]
 		s.mu.Lock()
-		if eff, err := s.p.Release(t.id); err == nil {
-			s.deliver(eff)
+		eff := s.hub.Effects()
+		if err := s.p.ReleaseInto(eff, t.id); err == nil {
+			s.hub.Deliver(eff)
 		} else {
 			// Release can only fail if the coordinator's dependency
 			// accounting is wrong — surface loudly.
@@ -425,7 +479,7 @@ func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
 			c.mu.Lock()
 			dt.state.Store(txCommitted)
 			c.mu.Unlock()
-			close(dt.committed)
+			close(dt.done)
 			if c.obs != nil {
 				c.obs.Released(dt.id)
 			}

@@ -86,14 +86,15 @@ func TestCrossSitePseudoCommitAndRelease(t *testing.T) {
 		}
 	}
 	select {
-	case <-t2.Committed():
+	case <-t2.Done():
 		t.Fatal("T2 really committed while T1 still active")
 	default:
 	}
 	if st, err := t1.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("T1 commit = %v, %v", st, err)
 	}
-	if err := t2.WaitCommitted(); err != nil {
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
 		t.Fatal(err)
 	}
 	// The writes landed in the committed states at their home sites.
@@ -128,8 +129,9 @@ func TestCrossSiteCommitDepCycle(t *testing.T) {
 		t.Fatalf("expected coordinator abort, got %v", err)
 	}
 	// A is gone at every site; B sails through.
-	if err := a.WaitCommitted(); !errors.Is(err, core.ErrTxnAborted) {
-		t.Fatalf("WaitCommitted on aborted txn = %v", err)
+	<-a.Done()
+	if err := a.Err(); !errors.Is(err, core.ErrTxnAborted) {
+		t.Fatalf("Err on aborted txn = %v", err)
 	}
 	if st, err := b.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("B commit = %v, %v", st, err)
@@ -357,7 +359,8 @@ func TestBlockedGrantAcrossRelease(t *testing.T) {
 	if st, err := t1.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("T1 commit = %v, %v", st, err)
 	}
-	if err := t2.WaitCommitted(); err != nil {
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
 		t.Fatal(err)
 	}
 	ret := <-t3Res
@@ -414,7 +417,8 @@ func TestUserAbortEverywhere(t *testing.T) {
 	if st, err := a.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("a commit = %v %v", st, err)
 	}
-	if err := b.WaitCommitted(); err != nil {
+	<-b.Done()
+	if err := b.Err(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -446,7 +450,8 @@ func TestObserverEvents(t *testing.T) {
 	t2.Do(1, write(2))
 	t2.Commit() // held
 	t1.Commit() // releases t1 and cascades t2
-	if err := t2.WaitCommitted(); err != nil {
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
 		t.Fatal(err)
 	}
 	a, b := c.Begin(), c.Begin()
@@ -529,7 +534,9 @@ func TestClusterStressConsistency(t *testing.T) {
 	wg.Wait()
 	// Every promised commit must land.
 	handles.Range(func(k, _ any) bool {
-		if err := k.(*Txn).WaitCommitted(); err != nil {
+		h := k.(core.Txn)
+		<-h.Done()
+		if err := h.Err(); err != nil {
 			t.Error(err)
 		}
 		return true
@@ -586,5 +593,30 @@ func TestRunLoad(t *testing.T) {
 	}
 	if _, err := RunLoad(c, LoadConfig{}); err == nil {
 		t.Fatal("RunLoad without workload accepted")
+	}
+}
+
+// TestRunLoadOverDB drives the exact same harness against the
+// single-scheduler core.DB: one Store code path, either backend.
+func TestRunLoadOverDB(t *testing.T) {
+	db := core.NewDB(core.Options{})
+	res, err := RunLoad(db, LoadConfig{
+		Workload:      workload.ReadWrite{DBSize: 400, WriteProb: 0.3},
+		Workers:       8,
+		TxnsPerWorker: 40,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 8*40 {
+		t.Fatalf("commits = %d, want %d", res.Commits, 8*40)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("shards = %d, want 1 for a DB", res.Shards)
+	}
+	stats := db.Stats()
+	if stats.Commits == 0 || stats.Executes < res.Ops {
+		t.Fatalf("db stats inconsistent with load result: %+v vs %+v", stats, res)
 	}
 }

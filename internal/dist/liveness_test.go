@@ -77,12 +77,8 @@ func TestClusterHighContentionLiveness(t *testing.T) {
 	c.mu.Unlock()
 	for si := 0; si < sites; si++ {
 		c.sites[si].mu.Lock()
-		if n := len(c.sites[si].waiters); n > 0 {
-			ids := make([]core.TxnID, 0, n)
-			for id := range c.sites[si].waiters {
-				ids = append(ids, id)
-			}
-			fmt.Printf("site %d waiters: %v\n", si, ids)
+		if c.sites[si].hub.Len() > 0 {
+			fmt.Printf("site %d waiters: %v\n", si, c.sites[si].hub.AppendIDs(nil))
 		}
 		c.sites[si].mu.Unlock()
 	}

@@ -1,164 +1,24 @@
 package dist
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
-// LoadConfig parameterises a closed-loop multi-site load run: Workers
-// goroutines each submit TxnsPerWorker transactions drawn from the
-// workload generator, restarting aborted transactions with a fresh id
-// (the simulator's restart policy, minus think time).
-type LoadConfig struct {
-	// Workload draws transactions; its Factory is installed at every
-	// site (routing keeps each object at its home site).
-	Workload workload.Generator
-	// Workers is the number of concurrent submitting goroutines.
-	Workers int
-	// TxnsPerWorker is how many completions each worker drives.
-	TxnsPerWorker int
-	// MinLength/MaxLength bound the uniformly drawn transaction
-	// length (defaults 4..12, the paper's nominal bounds).
-	MinLength, MaxLength int
-	// Seed drives the per-worker RNGs.
-	Seed int64
-	// MaxRestarts caps restarts per logical transaction (safety
-	// valve; 0 means 1000). Restarts back off exponentially, the
-	// closed-loop stand-in for the simulator's think time.
-	MaxRestarts int
-}
+// The closed-loop load harness lives in internal/workload and drives
+// any core.Store; these aliases keep the historical dist entry point
+// (clusters were the harness's first backend) while guaranteeing both
+// back ends go through the same code path.
 
-// LoadResult summarises one load run.
-type LoadResult struct {
-	Shards    int
-	Commits   uint64 // logical transactions committed
-	Pseudo    uint64 // commits that were held (PseudoCommitted) first
-	Aborts    uint64 // aborted attempts (each restarted)
-	Ops       uint64 // operations executed, aborted attempts included
-	Elapsed   time.Duration
-	TxnPerSec float64
-}
+// LoadConfig parameterises a closed-loop load run; see
+// workload.LoadConfig.
+type LoadConfig = workload.LoadConfig
 
-func (r LoadResult) String() string {
-	return fmt.Sprintf("shards=%d commits=%d pseudo=%d aborts=%d ops=%d elapsed=%s txn/s=%.0f",
-		r.Shards, r.Commits, r.Pseudo, r.Aborts, r.Ops, r.Elapsed.Round(time.Millisecond), r.TxnPerSec)
-}
+// LoadResult summarises one load run; see workload.LoadResult.
+type LoadResult = workload.LoadResult
 
-// RunLoad drives the cluster with the configured closed-loop workload
-// and returns aggregate throughput. It is the multi-site counterpart
-// of the discrete-event simulator's terminal loop: real goroutines,
-// real contention, wall-clock time.
-func RunLoad(c *Cluster, cfg LoadConfig) (LoadResult, error) {
-	if cfg.Workload == nil {
-		return LoadResult{}, errors.New("dist: load needs a workload")
-	}
-	if cfg.Workers <= 0 || cfg.TxnsPerWorker <= 0 {
-		return LoadResult{}, errors.New("dist: load needs positive Workers and TxnsPerWorker")
-	}
-	minLen, maxLen := cfg.MinLength, cfg.MaxLength
-	if minLen <= 0 {
-		minLen = 4
-	}
-	if maxLen < minLen {
-		maxLen = minLen + 8
-	}
-	maxRestarts := cfg.MaxRestarts
-	if maxRestarts <= 0 {
-		maxRestarts = 1000
-	}
-	c.SetFactory(cfg.Workload.Factory())
-
-	var commits, pseudo, aborts, ops atomic.Uint64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
-			var held []*Txn
-			// Every pseudo-commit is a promise; make sure each one
-			// lands before the run is declared done (a stuck hold
-			// would hang here and be caught, not silently dropped).
-			defer func() {
-				for _, t := range held {
-					if err := t.WaitCommitted(); err != nil {
-						firstErr.CompareAndSwap(nil, err)
-					}
-				}
-			}()
-			for i := 0; i < cfg.TxnsPerWorker; i++ {
-				length := minLen + r.Intn(maxLen-minLen+1)
-				steps := cfg.Workload.NewTxn(r, length)
-			restart:
-				for attempt := 0; ; attempt++ {
-					if attempt > maxRestarts {
-						firstErr.CompareAndSwap(nil, fmt.Errorf("dist: transaction exceeded %d restarts", maxRestarts))
-						return
-					}
-					if attempt > 0 {
-						// Exponential backoff with jitter: an
-						// immediate replay of the same steps tends to
-						// re-collide with the same resident set.
-						shift := attempt
-						if shift > 6 {
-							shift = 6
-						}
-						time.Sleep(time.Duration(1+r.Intn(1<<shift)) * 25 * time.Microsecond)
-					}
-					t := c.Begin()
-					for _, st := range steps {
-						if _, err := t.Do(st.Object, st.Op); err != nil {
-							if errors.Is(err, core.ErrTxnAborted) {
-								aborts.Add(1)
-								continue restart
-							}
-							firstErr.CompareAndSwap(nil, err)
-							t.Abort() // don't leave live operations blocking other workers
-							return
-						}
-						ops.Add(1)
-					}
-					st, err := t.Commit()
-					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						t.Abort()
-						return
-					}
-					if st == core.PseudoCommitted {
-						pseudo.Add(1)
-						held = append(held, t)
-					}
-					commits.Add(1)
-					break
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return LoadResult{}, err
-	}
-	res := LoadResult{
-		Shards:  c.NumSites(),
-		Commits: commits.Load(),
-		Pseudo:  pseudo.Load(),
-		Aborts:  aborts.Load(),
-		Ops:     ops.Load(),
-		Elapsed: elapsed,
-	}
-	if sec := elapsed.Seconds(); sec > 0 {
-		res.TxnPerSec = float64(res.Commits) / sec
-	}
-	return res, nil
+// RunLoad drives any core.Store — a Cluster or a core.DB — with the
+// configured closed-loop workload; see workload.RunLoad.
+func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
+	return workload.RunLoad(st, cfg)
 }

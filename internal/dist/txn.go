@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/adt"
 	"repro/internal/core"
+	"repro/internal/delivery"
 )
 
 // Distributed transaction states. Writes happen under the cluster's
@@ -19,15 +21,17 @@ const (
 	txAborted
 )
 
-// Txn is a distributed transaction handle. Like core.Handle it must be
-// driven by one goroutine at a time; separate transactions are fully
-// concurrent. Operations route to the owning site's participant; the
-// coordinator only gets involved when a dependency edge appears.
+// Txn is a distributed transaction handle, implementing core.Txn. Like
+// core.Handle it must be driven by one goroutine at a time; separate
+// transactions are fully concurrent. Operations route to the owning
+// site's participant; the coordinator only gets involved when a
+// dependency edge appears.
 type Txn struct {
 	c  *Cluster
 	id core.TxnID
 
-	state atomic.Int32
+	state  atomic.Int32
+	reason atomic.Int32 // core.AbortReason, stored before state becomes txAborted
 
 	// visited marks sites where Begin has run. Owner-goroutine-only
 	// until the transaction pseudo-commits, after which the owner
@@ -40,13 +44,28 @@ type Txn struct {
 	// atomic.
 	anyEdges atomic.Bool
 
-	committed chan struct{} // closed when the real commit lands everywhere
-	aborted   chan struct{} // closed when the transaction aborts
+	done chan struct{} // closed at the terminal state (real commit everywhere, or abort)
 }
 
 // ID returns the coordinator-assigned transaction id (unique across
 // the cluster).
 func (t *Txn) ID() core.TxnID { return t.id }
+
+// Done returns a channel closed when the transaction reaches its
+// terminal state: the real commit has landed at every site (for held
+// pseudo-commits, once the global dependency set drained) or the
+// transaction aborted.
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// Err reports how the transaction ended: nil after the real commit
+// landed everywhere (and while still in flight), a *core.ErrAborted
+// after an abort. Meaningful once Done's channel is closed.
+func (t *Txn) Err() error {
+	if t.state.Load() == txAborted {
+		return &core.ErrAborted{Txn: t.id, Reason: core.AbortReason(t.reason.Load())}
+	}
+	return nil
+}
 
 // visitedSorted returns the visited sites in ascending order, for
 // deterministic multi-site conversations.
@@ -62,16 +81,36 @@ func (t *Txn) visitedSorted() []SiteID {
 // errState converts a non-active state into the caller-facing error.
 func (t *Txn) errState() error {
 	if t.state.Load() == txAborted {
-		return fmt.Errorf("%w (distributed transaction T%d)", core.ErrTxnAborted, t.id)
+		return &core.ErrAborted{Txn: t.id, Reason: core.AbortReason(t.reason.Load())}
 	}
 	return fmt.Errorf("%w (T%d)", ErrTxnDone, t.id)
 }
 
 // Do executes op against obj, blocking until the operation runs at the
-// object's home site. It returns an error wrapping core.ErrTxnAborted
-// if a site scheduler or the coordinator's union-graph cycle detection
+// object's home site. It returns a *core.ErrAborted (matching
+// core.ErrTxnAborted and the reason sentinels under errors.Is) if a
+// site scheduler or the coordinator's union-graph cycle detection
 // aborts the transaction instead.
 func (t *Txn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
+	return t.do(nil, obj, op)
+}
+
+// DoCtx is Do with cancellation: if ctx expires while the request is
+// blocked at the object's home site, the request is withdrawn from that
+// site's queue (followers parked behind it are retried), the
+// transaction's mirrored edges are refreshed so no stale wait-for edge
+// survives at the coordinator, the transaction stays active, and
+// ctx.Err() is returned. If the grant raced the cancellation, the
+// operation's result is returned instead.
+func (t *Txn) DoCtx(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, error) {
+	if err := ctx.Err(); err != nil {
+		return adt.Ret{}, err
+	}
+	return t.do(ctx, obj, op)
+}
+
+// do runs the request; a nil ctx means no cancellation.
+func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	if t.state.Load() != txActive {
 		return adt.Ret{}, t.errState()
 	}
@@ -89,17 +128,17 @@ func (t *Txn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	}
 
 	s.mu.Lock()
-	dec, eff, err := s.p.Request(t.id, obj, op)
+	eff := s.hub.Effects()
+	dec, err := s.p.RequestInto(eff, t.id, obj, op)
 	if err != nil {
 		s.mu.Unlock()
 		return adt.Ret{}, err
 	}
-	var ch chan waitMsg
+	var ch chan delivery.Msg
 	if dec.Outcome == core.Blocked {
-		ch = make(chan waitMsg, 1)
-		s.waiters[t.id] = ch
+		ch = s.hub.Park(t.id)
 	}
-	s.deliver(eff)
+	s.hub.Deliver(eff)
 	s.mu.Unlock()
 	// No refreshParked here: a clean Executed/Blocked request runs no
 	// settle, so no parked transaction's edges moved; the Aborted
@@ -109,37 +148,74 @@ func (t *Txn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	case core.Aborted:
 		// The site already finalised us locally; propagate the abort
 		// to every other visited site and the coordinator.
-		t.c.abortEverywhere(t, sid, dec.Reason.String())
-		return adt.Ret{}, fmt.Errorf("%w (%s at site %d)", core.ErrTxnAborted, dec.Reason, sid)
+		t.c.abortEverywhere(t, sid, dec.Reason, dec.Reason.String())
+		return adt.Ret{}, fmt.Errorf("site %d: %w", sid, &core.ErrAborted{Txn: t.id, Reason: dec.Reason})
 
 	case core.Blocked:
 		// Mirror the wait-for edges before parking: a cross-site
 		// deadlock closes in the union graph even though each site's
 		// local check passed (§6).
 		if t.c.observe(t, sid) {
-			t.c.abortEverywhere(t, noSite, "cross-site deadlock")
-			return adt.Ret{}, fmt.Errorf("%w (cross-site deadlock involving T%d)", core.ErrTxnAborted, t.id)
+			t.c.abortEverywhere(t, noSite, core.ReasonDeadlock, "cross-site deadlock")
+			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonDeadlock})
 		}
-		msg := <-ch
-		if msg.aborted {
-			t.c.abortEverywhere(t, sid, msg.reason.String())
-			return adt.Ret{}, fmt.Errorf("%w (%s at site %d)", core.ErrTxnAborted, msg.reason, sid)
+		var msg delivery.Msg
+		if ctx == nil {
+			msg = <-ch
+		} else {
+			select {
+			case msg = <-ch:
+			case <-ctx.Done():
+				if t.withdraw(s) {
+					return adt.Ret{}, ctx.Err()
+				}
+				// The resolution raced the cancellation: the message
+				// is in the buffer. Honour it.
+				msg = <-ch
+			}
+		}
+		if msg.Aborted {
+			t.c.abortEverywhere(t, sid, msg.Reason, msg.Reason.String())
+			return adt.Ret{}, fmt.Errorf("site %d: %w", sid, &core.ErrAborted{Txn: t.id, Reason: msg.Reason})
 		}
 		// Granted: the wait-for edges are gone and commit dependencies
 		// may have taken their place — re-mirror and re-check.
 		if t.c.observe(t, sid) {
-			t.c.abortEverywhere(t, noSite, "cross-site dependency cycle")
-			return adt.Ret{}, fmt.Errorf("%w (coordinator detected a cross-site dependency cycle involving T%d)", core.ErrTxnAborted, t.id)
+			t.c.abortEverywhere(t, noSite, core.ReasonCommitCycle, "cross-site dependency cycle")
+			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonCommitCycle})
 		}
-		return msg.ret, nil
+		return msg.Ret, nil
 
 	default: // Executed
 		if t.c.observe(t, sid) {
-			t.c.abortEverywhere(t, noSite, "cross-site dependency cycle")
-			return adt.Ret{}, fmt.Errorf("%w (coordinator detected a cross-site dependency cycle involving T%d)", core.ErrTxnAborted, t.id)
+			t.c.abortEverywhere(t, noSite, core.ReasonCommitCycle, "cross-site dependency cycle")
+			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonCommitCycle})
 		}
 		return dec.Ret, nil
 	}
+}
+
+// withdraw pulls t's blocked request out of site s on cancellation,
+// reporting whether it was still parked (false means the resolution is
+// already in the channel buffer). On success the site queue is
+// rescanned for followers, the mirror is refreshed, and the transaction
+// remains active.
+func (t *Txn) withdraw(s *site) bool {
+	s.mu.Lock()
+	if !s.hub.Withdraw(t.id) {
+		s.mu.Unlock()
+		return false
+	}
+	eff := s.hub.Effects()
+	if err := s.p.WithdrawInto(eff, t.id); err == nil {
+		s.hub.Deliver(eff)
+	}
+	s.mu.Unlock()
+	// Shed the stale wait-for edges from the union graph and re-mirror
+	// any parked transactions the withdrawal's retries re-blocked.
+	t.c.unobserve(t, s.id)
+	t.c.refreshParked(s)
+	return true
 }
 
 // noSite is the abortEverywhere sentinel for "no site has finalised
@@ -152,8 +228,8 @@ const noSite SiteID = -1
 // is empty the coordinator releases the real commit everywhere and
 // returns Committed. Otherwise it returns PseudoCommitted — complete
 // from the caller's perspective — and the coordinator releases it
-// automatically once the transactions it depends on terminate;
-// WaitCommitted observes that.
+// automatically once the transactions it depends on terminate; Done
+// observes that.
 func (t *Txn) Commit() (core.CommitStatus, error) {
 	switch t.state.Load() {
 	case txActive:
@@ -177,9 +253,10 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		for _, sid := range sids {
 			s := t.c.sites[sid]
 			s.mu.Lock()
-			st, eff, err := s.p.Commit(t.id)
+			eff := s.hub.Effects()
+			st, err := s.p.CommitInto(eff, t.id)
 			if err == nil {
-				s.deliver(eff)
+				s.hub.Deliver(eff)
 				s.p.Forget(t.id)
 			}
 			s.mu.Unlock()
@@ -194,7 +271,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		t.c.mu.Lock()
 		t.state.Store(txCommitted)
 		t.c.mu.Unlock()
-		close(t.committed)
+		close(t.done)
 		if t.c.obs != nil {
 			t.c.obs.Released(t.id)
 		}
@@ -212,9 +289,10 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	for _, sid := range sids {
 		s := c.sites[sid]
 		s.mu.Lock()
-		_, eff, err := s.p.CommitHold(t.id)
+		eff := s.hub.Effects()
+		_, err := s.p.CommitHoldInto(eff, t.id)
 		if err == nil {
-			s.deliver(eff)
+			s.hub.Deliver(eff)
 			edges := s.edges(t.id)
 			c.mu.Lock()
 			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
@@ -246,7 +324,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	t.c.mu.Lock()
 	t.state.Store(txCommitted)
 	t.c.mu.Unlock()
-	close(t.committed)
+	close(t.done)
 	if t.c.obs != nil {
 		t.c.obs.Released(t.id)
 	}
@@ -254,8 +332,19 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	return core.Committed, nil
 }
 
-// Abort rolls the transaction back at every site. Pseudo-committed
-// transactions cannot abort (they have promised to commit).
+// CommitCtx is Commit guarded by ctx: if ctx is already done no commit
+// conversation is started, ctx.Err() is returned, and the transaction
+// remains active — in particular, still abortable.
+func (t *Txn) CommitCtx(ctx context.Context) (core.CommitStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return t.Commit()
+}
+
+// Abort rolls the transaction back at every site. Aborting an
+// already-aborted transaction is a no-op; pseudo-committed transactions
+// cannot abort (they have promised to commit).
 func (t *Txn) Abort() error {
 	switch t.state.Load() {
 	case txActive:
@@ -264,22 +353,6 @@ func (t *Txn) Abort() error {
 	default:
 		return fmt.Errorf("%w: pseudo-committed transactions cannot abort", ErrTxnDone)
 	}
-	t.c.abortEverywhere(t, noSite, core.ReasonUser.String())
+	t.c.abortEverywhere(t, noSite, core.ReasonUser, core.ReasonUser.String())
 	return nil
-}
-
-// Committed returns a channel closed when the real commit has landed
-// at every site.
-func (t *Txn) Committed() <-chan struct{} { return t.committed }
-
-// WaitCommitted blocks until the transaction's real commit lands at
-// every site, or returns an error wrapping core.ErrTxnAborted if the
-// transaction aborted instead.
-func (t *Txn) WaitCommitted() error {
-	select {
-	case <-t.committed:
-		return nil
-	case <-t.aborted:
-		return fmt.Errorf("%w (T%d)", core.ErrTxnAborted, t.id)
-	}
 }

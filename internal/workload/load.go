@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+// LoadConfig parameterises a closed-loop load run against any
+// core.Store: Workers goroutines each submit TxnsPerWorker transactions
+// drawn from the workload generator, restarting aborted transactions
+// with a fresh id (the simulator's restart policy, minus think time).
+// The same harness drives a single-scheduler core.DB and a dist.Cluster
+// — the store is only ever touched through the Store/Txn interfaces.
+type LoadConfig struct {
+	// Workload draws transactions; its Factory is installed on the
+	// store (for a cluster, routing keeps each object at its home
+	// site).
+	Workload Generator
+	// Workers is the number of concurrent submitting goroutines.
+	Workers int
+	// TxnsPerWorker is how many completions each worker drives.
+	TxnsPerWorker int
+	// MinLength/MaxLength bound the uniformly drawn transaction
+	// length (defaults 4..12, the paper's nominal bounds).
+	MinLength, MaxLength int
+	// Seed drives the per-worker RNGs.
+	Seed int64
+	// MaxRestarts caps restarts per logical transaction (safety
+	// valve; 0 means 1000). Restarts back off exponentially, the
+	// closed-loop stand-in for the simulator's think time.
+	MaxRestarts int
+}
+
+// LoadResult summarises one load run.
+type LoadResult struct {
+	Shards    int
+	Commits   uint64 // logical transactions committed
+	Pseudo    uint64 // commits that were held (PseudoCommitted) first
+	Aborts    uint64 // aborted attempts (each restarted)
+	Ops       uint64 // operations executed, aborted attempts included
+	Elapsed   time.Duration
+	TxnPerSec float64
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf("shards=%d commits=%d pseudo=%d aborts=%d ops=%d elapsed=%s txn/s=%.0f",
+		r.Shards, r.Commits, r.Pseudo, r.Aborts, r.Ops, r.Elapsed.Round(time.Millisecond), r.TxnPerSec)
+}
+
+// factoryStore is the optional store capability the harness uses to
+// seed the database lazily; both core.DB and dist.Cluster provide it.
+type factoryStore interface {
+	SetFactory(func(core.ObjectID) (adt.Type, compat.Classifier))
+}
+
+// shardedStore is the optional capability reporting how many sites the
+// store shards across (for LoadResult.Shards; absent means 1).
+type shardedStore interface {
+	NumSites() int
+}
+
+// RunLoad drives the store with the configured closed-loop workload
+// and returns aggregate throughput. It is the multi-site counterpart
+// of the discrete-event simulator's terminal loop: real goroutines,
+// real contention, wall-clock time — against whichever Store backend
+// the caller passes.
+func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Workload == nil {
+		return LoadResult{}, errors.New("workload: load needs a workload")
+	}
+	if cfg.Workers <= 0 || cfg.TxnsPerWorker <= 0 {
+		return LoadResult{}, errors.New("workload: load needs positive Workers and TxnsPerWorker")
+	}
+	fs, ok := st.(factoryStore)
+	if !ok {
+		return LoadResult{}, fmt.Errorf("workload: store %T cannot install the workload's object factory", st)
+	}
+	minLen, maxLen := cfg.MinLength, cfg.MaxLength
+	if minLen <= 0 {
+		minLen = 4
+	}
+	if maxLen < minLen {
+		maxLen = minLen + 8
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = core.RunMaxAttempts
+	}
+	fs.SetFactory(cfg.Workload.Factory())
+
+	var commits, pseudo, aborts, ops atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var held []core.Txn
+			// Every pseudo-commit is a promise; make sure each one
+			// lands before the run is declared done (a stuck hold
+			// would hang here and be caught, not silently dropped).
+			defer func() {
+				for _, t := range held {
+					<-t.Done()
+					if err := t.Err(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+					}
+				}
+			}()
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				length := minLen + r.Intn(maxLen-minLen+1)
+				steps := cfg.Workload.NewTxn(r, length)
+			restart:
+				for attempt := 0; ; attempt++ {
+					if attempt > maxRestarts {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("workload: transaction exceeded %d restarts", maxRestarts))
+						return
+					}
+					if attempt > 0 {
+						// Exponential backoff with jitter (the policy
+						// Store.Run uses, shared constants): an
+						// immediate replay of the same steps tends to
+						// re-collide with the same resident set.
+						shift := attempt
+						if shift > core.RunBackoffShift {
+							shift = core.RunBackoffShift
+						}
+						time.Sleep(time.Duration(1+r.Intn(1<<shift)) * core.RunBackoffBase)
+					}
+					t := st.Begin()
+					for _, step := range steps {
+						if _, err := t.Do(step.Object, step.Op); err != nil {
+							if errors.Is(err, core.ErrTxnAborted) {
+								aborts.Add(1)
+								continue restart
+							}
+							firstErr.CompareAndSwap(nil, err)
+							t.Abort() // don't leave live operations blocking other workers
+							return
+						}
+						ops.Add(1)
+					}
+					status, err := t.Commit()
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						t.Abort()
+						return
+					}
+					if status == core.PseudoCommitted {
+						pseudo.Add(1)
+						held = append(held, t)
+					}
+					commits.Add(1)
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return LoadResult{}, err
+	}
+	shards := 1
+	if ss, ok := st.(shardedStore); ok {
+		shards = ss.NumSites()
+	}
+	res := LoadResult{
+		Shards:  shards,
+		Commits: commits.Load(),
+		Pseudo:  pseudo.Load(),
+		Aborts:  aborts.Load(),
+		Ops:     ops.Load(),
+		Elapsed: elapsed,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.TxnPerSec = float64(res.Commits) / sec
+	}
+	return res, nil
+}

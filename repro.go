@@ -8,34 +8,51 @@
 // The package re-exports the library's public surface; implementations
 // live under internal/ (see DESIGN.md for the system inventory).
 //
-// Quick start:
+// Quick start — transactions are written once against the Store/Txn
+// interfaces and run unchanged on a single-scheduler DB or a sharded /
+// distributed cluster (NewCluster); Store.Run restarts the function on
+// retryable aborts (deadlock, commit-dependency cycle) with backoff:
 //
 //	db := repro.NewDB(repro.Options{})
 //	db.Register(1, repro.Stack{}, repro.StackTable())
-//	t1, t2 := db.Begin(), db.Begin()
-//	t1.Do(1, repro.Push(4))
-//	t2.Do(1, repro.Push(2))      // runs immediately: push is recoverable
-//	t2.Commit()                  // pseudo-commits (depends on t1)
-//	t1.Commit()                  // t2's real commit cascades
+//	err := db.Run(ctx, func(t repro.Txn) error {
+//	    _, err := t.Do(1, repro.Push(4)) // recoverable: runs immediately
+//	    return err                       // nil -> Run commits (pseudo counts)
+//	})
+//
+// Abort outcomes are typed: errors.Is(err, repro.ErrTxnAborted)
+// matches every abort, ErrDeadlock / ErrConflictCycle the specific
+// reasons, and errors.As(err, *(**repro.ErrAborted)) exposes the victim
+// and reason. Blocking calls have context-aware variants (Txn.DoCtx
+// withdraws a parked request on cancellation; Txn.Done reports the
+// real commit of a pseudo-committed transaction).
 package repro
 
 import (
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// ---- Concurrency controller (internal/core) ----
+// ---- Concurrency controller (internal/core, internal/dist) ----
 
 // Core protocol types.
 type (
-	// DB is the blocking, goroutine-friendly transaction interface.
+	// Store is the transactional client API; DB and the cluster
+	// returned by NewCluster both implement it.
+	Store = core.Store
+	// Txn is one transaction's session on a Store.
+	Txn = core.Txn
+	// ErrAborted is the typed abort outcome (errors.As target).
+	ErrAborted = core.ErrAborted
+	// DB is the single-scheduler, goroutine-friendly Store.
 	DB = core.DB
-	// Handle is one transaction's session on a DB.
+	// Handle is one transaction's session on a DB (the concrete Txn).
 	Handle = core.Handle
 	// Scheduler is the deterministic event-style controller beneath DB.
 	Scheduler = core.Scheduler
@@ -66,14 +83,43 @@ type (
 
 // Protocol constants and constructors.
 var (
-	// NewDB builds the blocking front end.
+	// NewDB builds the single-scheduler blocking Store.
 	NewDB = core.NewDB
 	// NewScheduler builds the raw controller.
 	NewScheduler = core.NewScheduler
-	// ErrTxnAborted is returned once the scheduler has aborted a
-	// transaction (deadlock or commit-dependency cycle).
+	// RunStore is the retry loop behind Store.Run, usable with any
+	// Store implementation.
+	RunStore = core.RunStore
+	// ErrTxnAborted matches every abort outcome under errors.Is.
 	ErrTxnAborted = core.ErrTxnAborted
+	// ErrDeadlock matches aborts caused by a wait-for cycle.
+	ErrDeadlock = core.ErrDeadlock
+	// ErrConflictCycle matches aborts caused by a commit-dependency
+	// cycle.
+	ErrConflictCycle = core.ErrConflictCycle
+	// ErrClosed is returned by operations on a closed Store.
+	ErrClosed = core.ErrClosed
+	// ErrTxnDone is returned for operations on an already-committed
+	// transaction.
+	ErrTxnDone = core.ErrTxnDone
+	// ErrUnknownObject is returned by operations on an object id that
+	// was never registered (and that no factory constructs).
+	ErrUnknownObject = core.ErrUnknownObject
 )
+
+// NewCluster builds the §6 distributed / sharded Store: n sites, each
+// with an independent scheduler, objects partitioned by id modulo n,
+// cross-site dependencies mirrored at a commit coordinator. The full
+// distributed API (routers, observers, per-site inspection) lives in
+// internal/dist; this constructor covers the common case through the
+// same Store interface DB implements.
+func NewCluster(n int, opts Options) (Store, error) {
+	c, err := dist.New(n, opts, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
 
 // Predicate, recovery and status values.
 const (
