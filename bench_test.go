@@ -372,6 +372,47 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultToleranceNoCrash pins the cost of the crash-stop
+// machinery on the path that must not pay for it: single-site
+// commuting transactions on a plain cluster vs a fault-tolerant one.
+// The fault layer adds one wrapper mutex and redo-history recording
+// per call; the acceptance bar is staying within a few percent of
+// plain (the fast path takes no decision-log write and no prepare).
+func BenchmarkFaultToleranceNoCrash(b *testing.B) {
+	const objects = 64
+	for _, mode := range []string{"plain", "fault"} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := dist.NewWithConfig(dist.Config{Sites: 4, FaultTolerant: mode == "fault"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for id := core.ObjectID(1); id <= objects; id++ {
+				if err := c.Register(id, adt.Set{}, compat.SetTable()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				obj := core.ObjectID(1 + (next.Add(1)-1)%objects)
+				i := 0
+				for pb.Next() {
+					i++
+					t := c.Begin()
+					if _, err := t.Do(obj, repro.Insert(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := t.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkShardScalingContended is the same sweep under a sharded
 // read/write workload with 10% cross-site steps — dependency edges,
 // mirror traffic and held commits included, closer to a real mixed

@@ -10,9 +10,14 @@
 //	sccbench -list                         # available experiments
 //	sccbench -tables                       # Tables I–VIII and IX–X
 //	sccbench -shardscale                   # 1-shard vs N-shard throughput
+//	sccbench -chaos                        # crash-stop fault-tolerance cost + chaos run
 //
 // Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
 // Shard-scaling knobs: -shards, -workers, -txns, -cross.
+// Chaos knobs: -chaossites, -crashperiod, -restartdelay (plus the
+// shard-scaling workload knobs); the chaos run checks conservation
+// across the injected failures and reports the fault-tolerance
+// overhead on the no-crash path.
 //
 // Profiling: -cpuprofile / -memprofile write pprof files for any mode,
 // so perf work profiles the real workloads without editing code:
@@ -93,6 +98,97 @@ func runShardScale(shardList string, workers, txns, db int, cross float64, seed 
 	return nil
 }
 
+// runChaos measures crash-stop fault tolerance: the same sharded
+// conservation workload (all-push stacks) runs on a plain cluster, on
+// a fault-tolerant cluster with no failures (the no-crash overhead of
+// the decision log and prepare conversation, comparable against the
+// BENCH_*.json trajectory), and on a fault-tolerant cluster under a
+// periodic crash/restart schedule with conservation verified at the
+// end.
+func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPeriod, restartDelay time.Duration) error {
+	gen := workload.Sharded{
+		Inner: workload.Pushes{DBSize: db},
+		Sites: shardsN, CrossProb: cross,
+	}
+	lc := dist.LoadConfig{
+		Workload:      gen,
+		Workers:       workers,
+		TxnsPerWorker: txns,
+		Seed:          seed,
+		MaxRestarts:   100000,
+	}
+	fmt.Printf("chaos: %d sites, %d workers x %d txns, push db=%d, cross-site prob %.2f\n",
+		shardsN, workers, txns, db, cross)
+	fmt.Printf("%-22s %12s %10s %10s %12s %10s\n", "configuration", "txn/s", "held", "aborts", "elapsed", "crashes")
+
+	plain, err := dist.New(shardsN, core.Options{}, nil, nil)
+	if err != nil {
+		return err
+	}
+	plainRes, err := dist.RunLoad(plain, lc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s\n", "plain",
+		plainRes.TxnPerSec, plainRes.Pseudo, plainRes.Aborts, plainRes.Elapsed.Round(time.Millisecond), "-")
+
+	ft, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true})
+	if err != nil {
+		return err
+	}
+	ftRes, err := dist.RunLoad(ft, lc)
+	if err != nil {
+		return err
+	}
+	overhead := ""
+	if plainRes.TxnPerSec > 0 {
+		overhead = fmt.Sprintf("  (%.1f%% vs plain)", 100*(plainRes.TxnPerSec-ftRes.TxnPerSec)/plainRes.TxnPerSec)
+	}
+	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s%s\n", "fault-tolerant",
+		ftRes.TxnPerSec, ftRes.Pseudo, ftRes.Aborts, ftRes.Elapsed.Round(time.Millisecond), "-", overhead)
+
+	chaosCluster, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true})
+	if err != nil {
+		return err
+	}
+	chaosRes, err := workload.RunChaos(chaosCluster, workload.ChaosConfig{
+		Load:         lc,
+		CrashEvery:   crashPeriod,
+		RestartAfter: restartDelay,
+		Deadline:     10 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12.0f %10d %10d %12s %10d  (heldaborts=%d)\n", "fault-tolerant+chaos",
+		chaosRes.TxnPerSec, chaosRes.Pseudo, chaosRes.Aborts, chaosRes.Elapsed.Round(time.Millisecond),
+		chaosRes.Crashes, chaosRes.HeldAborts)
+
+	// Conservation across failures: every committed push — and nothing
+	// else — is in a committed stack.
+	var want, got uint64
+	for id := core.ObjectID(1); id <= core.ObjectID(db); id++ {
+		want += chaosRes.CommittedSteps[id]
+		st, err := chaosCluster.Site(chaosCluster.SiteOf(id)).CommittedState(id)
+		if err != nil {
+			if chaosRes.CommittedSteps[id] > 0 {
+				return fmt.Errorf("conservation violated at object %d: %d committed pushes but no committed state (%v)",
+					id, chaosRes.CommittedSteps[id], err)
+			}
+			continue // never touched, never materialised
+		}
+		depth := st.(*repro.StackState).Len()
+		got += uint64(depth)
+		if uint64(depth) != chaosRes.CommittedSteps[id] {
+			return fmt.Errorf("conservation violated at object %d: committed depth %d, promised pushes %d",
+				id, depth, chaosRes.CommittedSteps[id])
+		}
+	}
+	fmt.Printf("conservation: %d committed pushes == %d committed stack cells across %d crashes\n",
+		want, got, chaosRes.Crashes)
+	return nil
+}
+
 func main() {
 	var (
 		experiment  = flag.String("experiment", "", "experiment id (fig4..fig18, ablation-*)")
@@ -109,9 +205,14 @@ func main() {
 
 		shardScale = flag.Bool("shardscale", false, "run the 1-shard vs N-shard throughput comparison")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -shardscale")
-		workers    = flag.Int("workers", 16, "concurrent workers for -shardscale")
-		txns       = flag.Int("txns", 2000, "transactions per worker for -shardscale")
-		cross      = flag.Float64("cross", 0.1, "cross-site step probability for -shardscale")
+		workers    = flag.Int("workers", 16, "concurrent workers for -shardscale/-chaos")
+		txns       = flag.Int("txns", 2000, "transactions per worker for -shardscale/-chaos")
+		cross      = flag.Float64("cross", 0.1, "cross-site step probability for -shardscale/-chaos")
+
+		chaos        = flag.Bool("chaos", false, "measure crash-stop fault tolerance: plain vs fault-tolerant vs chaos (with conservation check)")
+		chaosSites   = flag.Int("chaossites", 4, "participant sites for -chaos")
+		crashPeriod  = flag.Duration("crashperiod", 10*time.Millisecond, "healthy interval before each injected crash for -chaos")
+		restartDelay = flag.Duration("restartdelay", 3*time.Millisecond, "downtime per injected crash for -chaos")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -175,6 +276,22 @@ func main() {
 			seedVal = 1
 		}
 		if err := runShardScale(*shards, *workers, *txns, dbSize, *cross, seedVal); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *chaos {
+		dbSize := *db
+		if dbSize == 0 {
+			dbSize = 1000
+		}
+		seedVal := *seed
+		if seedVal == 0 {
+			seedVal = 1
+		}
+		if err := runChaos(*chaosSites, *workers, *txns, dbSize, *cross, seedVal, *crashPeriod, *restartDelay); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/adt"
@@ -243,5 +244,65 @@ func TestRecoverablePathBoundedAllocs(t *testing.T) {
 	const bound = 4.0
 	if avg := testing.AllocsPerRun(500, pair); avg > bound {
 		t.Fatalf("recoverable pair allocates %.2f times, want <= %.0f", avg, bound)
+	}
+}
+
+// TestDBBlockedPathBoundedAllocs pins the DB-level blocked path: a
+// real goroutine parks on a conflicting Do and is granted by the
+// holder's commit. With the park channels pooled in the delivery hub
+// (receiver-side recycling), the cycle's only steady-state allocations
+// are the per-transaction fixtures Begin cannot avoid — two Handle
+// records and their two Done channels — so the bound is 4. Before the
+// pool, every park added a fifth (the one-shot buffered channel).
+func TestDBBlockedPathBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	db := NewDB(Options{})
+	if err := db.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	write := func(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+	read := adt.Op{Name: adt.PageRead}
+
+	// A long-lived worker drives the blocked side, so the measured
+	// closure never spawns goroutines or builds channels of its own.
+	reqCh := make(chan Txn)
+	resCh := make(chan error)
+	go func() {
+		for tb := range reqCh {
+			_, err := tb.Do(1, read)
+			resCh <- err
+		}
+	}()
+	defer close(reqCh)
+
+	i := 0
+	cycle := func() {
+		i++
+		ta, tb := db.Begin(), db.Begin()
+		if _, err := ta.Do(1, write(i)); err != nil {
+			t.Fatal(err)
+		}
+		reqCh <- tb
+		for db.Scheduler().TxnState(tb.ID()) != "blocked" {
+			runtime.Gosched()
+		}
+		if _, err := ta.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-resCh; err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tb.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	const bound = 4.0
+	if avg := testing.AllocsPerRun(500, cycle); avg > bound {
+		t.Fatalf("DB blocked cycle allocates %.2f times, want <= %.0f (park channel must come from the pool)", avg, bound)
 	}
 }

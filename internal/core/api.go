@@ -39,6 +39,13 @@ type Store interface {
 	// with ErrClosed. Transactions already in flight are unaffected and
 	// run to completion. Close is idempotent and never blocks.
 	Close() error
+	// CloseCtx is the draining close: it gates the store like Close,
+	// then waits until every transaction in flight at close time —
+	// including pseudo-commits awaiting their real commit — has reached
+	// its terminal state. A cancelled ctx stops the wait and returns
+	// ctx.Err() with the gate left in place (force-gate); the in-flight
+	// transactions still run to completion on their own.
+	CloseCtx(ctx context.Context) error
 }
 
 // Txn is one transaction's session, implemented by *Handle (DB) and

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+)
+
+// TestDBCloseCtxWaitsForInFlight: the draining close gates Begin
+// immediately but returns only after the in-flight transaction
+// terminates.
+func TestDBCloseCtxWaitsForInFlight(t *testing.T) {
+	db := NewDB(Options{})
+	if err := db.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	slow := db.Begin()
+	if _, err := slow.Do(1, adt.Op{Name: adt.PageWrite, Arg: 1, HasArg: true}); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- db.CloseCtx(context.Background()) }()
+	select {
+	case err := <-closed:
+		t.Fatalf("CloseCtx returned %v with a transaction in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Gated: new transactions fail, the in-flight one is unaffected.
+	if _, err := db.Begin().Do(1, adt.Op{Name: adt.PageRead}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Begin after CloseCtx = %v, want ErrClosed", err)
+	}
+	if st, err := slow.Commit(); err != nil || st != Committed {
+		t.Fatalf("slow commit = %v %v", st, err)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("CloseCtx after drain = %v", err)
+	}
+	// Idempotent once drained.
+	if err := db.CloseCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDBCloseCtxForceGates: a cancelled context stops the wait with
+// the gate left in place; the straggler still finishes on its own.
+func TestDBCloseCtxForceGates(t *testing.T) {
+	db := NewDB(Options{})
+	if err := db.Register(1, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	hung := db.Begin()
+	if _, err := hung.Do(1, adt.Op{Name: adt.PageWrite, Arg: 1, HasArg: true}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := db.CloseCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseCtx with hung transaction = %v, want deadline", err)
+	}
+	if tx := db.Begin(); !errors.Is(tx.Err(), ErrClosed) {
+		t.Fatalf("force-gated store accepted Begin: %v", tx.Err())
+	}
+	if st, err := hung.Commit(); err != nil || st != Committed {
+		t.Fatalf("hung commit = %v %v", st, err)
+	}
+	if err := db.CloseCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

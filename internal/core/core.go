@@ -93,6 +93,9 @@ const (
 	ReasonCommitCycle = proto.ReasonCommitCycle
 	// ReasonUser: the caller invoked Abort.
 	ReasonUser = proto.ReasonUser
+	// ReasonSiteFailed: a participant site holding the transaction's
+	// uncommitted operations crashed before the commit point.
+	ReasonSiteFailed = proto.ReasonSiteFailed
 )
 
 // Outcome is the immediate result of a Request.
@@ -208,6 +211,23 @@ type Stats struct {
 	CycleChecks    uint64
 	CommitDepEdges uint64
 	WaitForEdges   uint64
+}
+
+// Add accumulates o into s, field by field — the one place the
+// counter list is spelled out for summing (multi-site aggregation,
+// cross-incarnation accumulation).
+func (s *Stats) Add(o Stats) {
+	s.Executes += o.Executes
+	s.Blocks += o.Blocks
+	s.Grants += o.Grants
+	s.Aborts += o.Aborts
+	s.DeadlockAborts += o.DeadlockAborts
+	s.CycleAborts += o.CycleAborts
+	s.Commits += o.Commits
+	s.PseudoCommits += o.PseudoCommits
+	s.CycleChecks += o.CycleChecks
+	s.CommitDepEdges += o.CommitDepEdges
+	s.WaitForEdges += o.WaitForEdges
 }
 
 // Misuse errors.

@@ -21,6 +21,12 @@ var (
 	// commit-dependency cycle — the serializability guard tripping on a
 	// recoverable execution (local or cross-site).
 	ErrConflictCycle = errors.New("transaction aborted: commit-dependency cycle")
+	// ErrSiteFailed matches aborts caused by the crash of a participant
+	// site that held the transaction's uncommitted operations (the
+	// crash-stop fault model of internal/fault). Like deadlocks, these
+	// are artifacts of timing, not of the transaction itself, so they
+	// are retryable — a restart after the site recovers can succeed.
+	ErrSiteFailed = errors.New("transaction aborted: participant site failed")
 	// ErrClosed is returned by operations on a closed Store and by
 	// transactions begun after Close.
 	ErrClosed = errors.New("store is closed")
@@ -60,15 +66,18 @@ func (e *ErrAborted) Is(target error) bool {
 		return e.Reason == ReasonDeadlock
 	case ErrConflictCycle:
 		return e.Reason == ReasonCommitCycle
+	case ErrSiteFailed:
+		return e.Reason == ReasonSiteFailed
 	}
 	return false
 }
 
 // Retryable reports whether restarting the transaction can succeed:
 // true for scheduler-chosen victims (deadlock and commit-dependency
-// cycles are artifacts of the interleaving), false for user aborts.
+// cycles are artifacts of the interleaving) and for site failures (the
+// site may have recovered), false for user aborts.
 func (e *ErrAborted) Retryable() bool {
-	return e.Reason == ReasonDeadlock || e.Reason == ReasonCommitCycle
+	return e.Reason == ReasonDeadlock || e.Reason == ReasonCommitCycle || e.Reason == ReasonSiteFailed
 }
 
 // abortErr builds the typed abort error for a transaction.

@@ -41,6 +41,25 @@ func (st *objectStore) register(id ObjectID, typ adt.Type, class compat.Classifi
 	return nil
 }
 
+// registerSeeded creates the object eagerly with an explicit committed
+// state (cloned into both the base and the materialised state — the
+// log is empty at registration, so the two coincide).
+func (st *objectStore) registerSeeded(id ObjectID, typ adt.Type, class compat.Classifier, seed adt.State) error {
+	if _, ok := st.objects[id]; ok {
+		return ErrDuplicateObj
+	}
+	o, err := newObject(id, typ, class, st.recovery, st.predicate)
+	if err != nil {
+		return err
+	}
+	o.cur = seed.Clone()
+	if st.recovery == RecoveryIntentions {
+		o.base = seed.Clone()
+	}
+	st.objects[id] = o
+	return nil
+}
+
 // lookup returns the object, constructing it through the factory on
 // first touch.
 func (st *objectStore) lookup(id ObjectID) (*object, error) {

@@ -45,6 +45,11 @@ type Participant interface {
 	ReleaseInto(eff *Effects, id TxnID) error
 	// AbortInto aborts the transaction (active or blocked).
 	AbortInto(eff *Effects, id TxnID) error
+	// RevokeInto aborts a held pseudo-committed transaction — the
+	// coordinator taking back a hold after a participant crash made
+	// the commit impossible (presumed abort). It fails unless the
+	// transaction is pseudo-committed and held.
+	RevokeInto(eff *Effects, id TxnID, reason AbortReason) error
 	// WithdrawInto abandons the transaction's blocked request and
 	// returns it to the active state (context cancellation of a parked
 	// Do). Followers queued behind the request are retried.

@@ -515,6 +515,48 @@ func (s *Scheduler) abortLocked(eff *Effects, id TxnID) error {
 	return nil
 }
 
+// RevokeInto aborts a held, pseudo-committed transaction — the one
+// abort the protocol otherwise forbids. Pseudo-commit is a promise to
+// commit, but in the crash-stop fault model the promise is conditional
+// on every participant surviving to the commit point: when a site
+// crashes while holding a transaction's uncommitted operations, the
+// coordinator revokes the hold at the surviving sites (presumed abort
+// — the outcome was never logged). The transaction's operations are
+// undone exactly as in a normal abort; dependants with commit
+// dependencies on it may still commit (recoverability means aborts do
+// not cascade), and anything blocked behind it is retried.
+func (s *Scheduler) RevokeInto(eff *Effects, id TxnID, reason AbortReason) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff.Reset()
+	err := s.revokeLocked(eff, id, reason)
+	s.drainRetired()
+	return err
+}
+
+func (s *Scheduler) revokeLocked(eff *Effects, id TxnID, reason AbortReason) error {
+	t, err := s.txns.lookup(id)
+	if err != nil {
+		return err
+	}
+	if t.state != stPseudo || !t.held {
+		return fmt.Errorf("core: Revoke: T%d is %s, not a held pseudo-committed transaction", id, t.state)
+	}
+	// Re-arm finalize's abort path: the held pseudo-commit is being
+	// taken back, so the transaction is treated as active again for the
+	// duration of the undo.
+	t.state = stActive
+	t.held = false
+	if err := s.finalize(t, false, reason, eff); err != nil {
+		return err
+	}
+	if err := s.settle(eff); err != nil {
+		return err
+	}
+	s.assertInvariants()
+	return nil
+}
+
 // Withdraw abandons transaction id's blocked request: the request is
 // dequeued, its wait-for edges are shed, and the transaction returns to
 // the active state with its executed operations intact — the
@@ -868,6 +910,45 @@ func (s *Scheduler) OutEdgesOf(id TxnID) []depgraph.Edge {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gk.g.OutEdges(id)
+}
+
+// ObjectSnapshot is one object's committed state, as exported by
+// ExportCommitted — what a site's durable storage holds in the
+// crash-stop fault model.
+type ObjectSnapshot struct {
+	ID    ObjectID
+	State adt.State // a clone; the caller owns it
+}
+
+// ExportCommitted clones every materialised object's committed state:
+// the base state under intentions-list recovery, where uncommitted
+// operations live only in the (volatile) intentions log. The fault
+// layer uses this as the site's simulated disk image — capturing it at
+// crash time is equivalent to having forced each base state at commit
+// time, because commits are the only writes to the base. It is not
+// meaningful under undo-log recovery (uncommitted effects are folded
+// into the materialised state), which the fault layer rejects.
+func (s *Scheduler) ExportCommitted() []ObjectSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snaps := make([]ObjectSnapshot, 0, len(s.store.objects))
+	for id, o := range s.store.objects {
+		st := o.cur
+		if s.opts.Recovery == RecoveryIntentions {
+			st = o.base
+		}
+		snaps = append(snaps, ObjectSnapshot{ID: id, State: st.Clone()})
+	}
+	return snaps
+}
+
+// RegisterSeeded is Register with an explicit initial committed state
+// (cloned): the recovery path of the fault layer re-creates a restarted
+// site's objects from their durable snapshots.
+func (s *Scheduler) RegisterSeeded(id ObjectID, typ adt.Type, class compat.Classifier, st adt.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.registerSeeded(id, typ, class, st)
 }
 
 // OutEdgesAppend is OutEdgesOf with a caller-provided scratch buffer:

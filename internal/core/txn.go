@@ -27,6 +27,9 @@ type DB struct {
 	nextTxn TxnID
 	handles map[TxnID]*Handle
 	closed  bool
+	// drain, when non-nil, is closed once the handle table empties
+	// after Close — the CloseCtx waiters' signal.
+	drain chan struct{}
 }
 
 // NewDB wraps options in a fresh scheduler and returns the blocking
@@ -72,6 +75,31 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.mu.Unlock()
 	return nil
+}
+
+// CloseCtx is the draining close: it gates the store like Close, then
+// waits until every transaction in flight at close time has reached
+// its terminal state (real commit or abort). A cancelled ctx stops the
+// wait and returns ctx.Err() with the gate left in place; the
+// in-flight transactions still run to completion on their own.
+func (db *DB) CloseCtx(ctx context.Context) error {
+	db.mu.Lock()
+	db.closed = true
+	if len(db.handles) == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	if db.drain == nil {
+		db.drain = make(chan struct{})
+	}
+	drained := db.drain
+	db.mu.Unlock()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Run executes fn inside a transaction with automatic retry of
@@ -150,13 +178,19 @@ func (db *DB) deliver(eff *Effects) {
 }
 
 // settle moves the handle to a terminal state, closes Done and drops
-// the scheduler's and the DB's bookkeeping. Caller holds db.mu.
+// the scheduler's and the DB's bookkeeping; the last handle out after
+// Close signals any CloseCtx waiter. Caller holds db.mu.
 func (h *Handle) settle(state int32, reason AbortReason) {
 	h.reason.Store(int32(reason))
 	h.state.Store(state)
 	close(h.done)
-	delete(h.db.handles, h.id)
-	h.db.s.Forget(h.id)
+	db := h.db
+	delete(db.handles, h.id)
+	db.s.Forget(h.id)
+	if db.closed && db.drain != nil && len(db.handles) == 0 {
+		close(db.drain)
+		db.drain = nil
+	}
 }
 
 // liveErr reports why the handle can no longer issue operations, or nil
@@ -236,6 +270,9 @@ func (h *Handle) do(ctx context.Context, obj ObjectID, op adt.Op) (adt.Ret, erro
 			if db.hub.Withdraw(h.id) {
 				// Still parked: the request is still queued at the
 				// scheduler — pull it out so it cannot gate anyone.
+				// The channel is unmapped and no message was ever
+				// sent, so it goes straight back to the pool.
+				db.hub.Recycle(ch)
 				eff := db.hub.Effects()
 				err := db.s.WithdrawInto(eff, h.id)
 				if err == nil {
@@ -254,12 +291,16 @@ func (h *Handle) do(ctx context.Context, obj ObjectID, op adt.Op) (adt.Ret, erro
 			msg = <-ch
 		}
 	}
+	// Receiver-side recycling: the resolution has been consumed, so the
+	// drained channel can serve the next park.
+	db.mu.Lock()
+	db.hub.Recycle(ch)
 	if msg.Aborted {
-		db.mu.Lock()
 		h.settle(hAborted, msg.Reason)
 		db.mu.Unlock()
 		return adt.Ret{}, abortErr(h.id, msg.Reason)
 	}
+	db.mu.Unlock()
 	return msg.Ret, nil
 }
 

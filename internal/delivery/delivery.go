@@ -45,6 +45,12 @@ type Msg struct {
 type Hub struct {
 	waiters map[proto.TxnID]chan Msg
 	eff     proto.Effects
+	// chFree pools park channels. A channel returns to the pool via
+	// Recycle once its receiver is done with it — receiver-side
+	// recycling, because only the receiver knows the buffered message
+	// (if any) has been consumed. The pool's size is bounded by the
+	// peak number of concurrent parks in the domain.
+	chFree []chan Msg
 }
 
 // NewHub returns an empty hub.
@@ -63,11 +69,33 @@ func (h *Hub) Effects() *proto.Effects {
 
 // Park registers id as parked and returns the buffered channel its
 // goroutine must receive on. A transaction parks on at most one request
-// at a time (the handle contract: one driving goroutine).
+// at a time (the handle contract: one driving goroutine). Channels are
+// pooled: the receiver gives the channel back with Recycle when it is
+// done, so the steady-state blocked path allocates nothing here.
 func (h *Hub) Park(id proto.TxnID) chan Msg {
-	ch := make(chan Msg, 1)
+	var ch chan Msg
+	if n := len(h.chFree); n > 0 {
+		ch = h.chFree[n-1]
+		h.chFree[n-1] = nil
+		h.chFree = h.chFree[:n-1]
+	} else {
+		ch = make(chan Msg, 1)
+	}
 	h.waiters[id] = ch
 	return ch
+}
+
+// Recycle returns a park channel to the pool. The caller — the
+// goroutine that received on the channel — must call it under the
+// domain lock, after either consuming the resolution message or
+// winning a Withdraw race (in which case no message was ever sent:
+// the delete-then-send pair runs atomically under the same lock). A
+// channel that still has a buffered message is dropped instead of
+// pooled, as a safety net.
+func (h *Hub) Recycle(ch chan Msg) {
+	if len(ch) == 0 {
+		h.chFree = append(h.chFree, ch)
+	}
 }
 
 // Withdraw removes id's parked entry without resolving it, reporting
@@ -93,6 +121,21 @@ func (h *Hub) Fail(id proto.TxnID, reason proto.AbortReason) bool {
 	delete(h.waiters, id)
 	ch <- Msg{Aborted: true, Reason: reason}
 	return true
+}
+
+// FailAll resolves every parked request with an abort verdict and
+// returns how many waiters were woken. The fault layer uses it when a
+// site crashes: the volatile scheduler state the waiters were queued
+// in is gone, so every parked conversation at the site ends in the
+// given abort reason.
+func (h *Hub) FailAll(reason proto.AbortReason) int {
+	n := 0
+	for id, ch := range h.waiters {
+		delete(h.waiters, id)
+		ch <- Msg{Aborted: true, Reason: reason}
+		n++
+	}
+	return n
 }
 
 // Deliver routes one scheduler call's effects to the parked goroutines:

@@ -7,6 +7,55 @@ import (
 	"repro/internal/proto"
 )
 
+// TestParkChannelPooling: a recycled channel serves the next park
+// (receiver-side recycling keeps the blocked path allocation-free),
+// while a channel with an unconsumed buffered message is dropped
+// rather than pooled.
+func TestParkChannelPooling(t *testing.T) {
+	h := NewHub()
+	ch := h.Park(1)
+	eff := h.Effects()
+	eff.Grants = append(eff.Grants, proto.Grant{Txn: 1})
+	h.Deliver(eff)
+	<-ch // consumed: safe to recycle
+	h.Recycle(ch)
+	if got := h.Park(2); got != ch {
+		t.Fatal("recycled channel not reused by the next park")
+	}
+	// A channel whose message was never consumed must not re-enter the
+	// pool: the next parker would read a stale resolution.
+	h.Fail(2, proto.ReasonDeadlock)
+	h.Recycle(ch) // buffered message still inside
+	if got := h.Park(3); got == ch {
+		t.Fatal("channel with a buffered message re-entered the pool")
+	}
+}
+
+// TestFailAll wakes every parked waiter with the abort verdict — the
+// crash path: the scheduler state the waiters were queued in is gone.
+func TestFailAll(t *testing.T) {
+	h := NewHub()
+	chans := map[proto.TxnID]chan Msg{}
+	for id := proto.TxnID(1); id <= 3; id++ {
+		chans[id] = h.Park(id)
+	}
+	if n := h.FailAll(proto.ReasonSiteFailed); n != 3 {
+		t.Fatalf("FailAll woke %d waiters, want 3", n)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("waiters left after FailAll: %d", h.Len())
+	}
+	for id, ch := range chans {
+		msg := <-ch
+		if !msg.Aborted || msg.Reason != proto.ReasonSiteFailed {
+			t.Fatalf("T%d got %+v, want site-failed abort", id, msg)
+		}
+	}
+	if h.FailAll(proto.ReasonSiteFailed) != 0 {
+		t.Fatal("second FailAll woke someone")
+	}
+}
+
 func TestParkDeliverGrant(t *testing.T) {
 	h := NewHub()
 	ch := h.Park(1)

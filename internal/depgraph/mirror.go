@@ -28,6 +28,7 @@ type Mirror struct {
 	// for O(degree) node removal.
 	in          map[TxnID]map[TxnID]struct{}
 	cycleChecks uint64
+	observes    uint64
 
 	// seen and stack are reusable cycle-detection scratch.
 	seen  map[TxnID]bool
@@ -48,6 +49,7 @@ func NewMirror() *Mirror {
 // other transactions are ignored). Passing an empty or nil slice
 // clears the site's contribution for the transaction.
 func (m *Mirror) Observe(site int, from TxnID, edges []Edge) {
+	m.observes++
 	// Drop the site's previous contribution.
 	for to, sites := range m.out[from] {
 		if _, ok := sites[site]; ok {
@@ -85,6 +87,31 @@ func (m *Mirror) Observe(site int, from TxnID, edges []Edge) {
 	}
 	if len(m.out[from]) == 0 {
 		delete(m.out, from)
+	}
+}
+
+// DropSite deletes every edge the given site contributed, for every
+// transaction — the crash-stop purge: a crashed site's volatile
+// dependency state is gone, so its reports must leave the union graph.
+// Edges another site also reported for the same (from, to) pair
+// survive; pairs only the crashed site reported disappear.
+func (m *Mirror) DropSite(site int) {
+	for from, tos := range m.out {
+		for to, sites := range tos {
+			if _, ok := sites[site]; ok {
+				delete(sites, site)
+				if len(sites) == 0 {
+					delete(tos, to)
+					delete(m.in[to], from)
+					if len(m.in[to]) == 0 {
+						delete(m.in, to)
+					}
+				}
+			}
+		}
+		if len(tos) == 0 {
+			delete(m.out, from)
+		}
 	}
 }
 
@@ -172,6 +199,11 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 
 // CycleChecks returns the number of cycle-detection invocations so far.
 func (m *Mirror) CycleChecks() uint64 { return m.cycleChecks }
+
+// Observes returns the number of Observe calls so far — the mirror
+// update count the batching tests pin (one update per touched site per
+// conversation step).
+func (m *Mirror) Observes() uint64 { return m.observes }
 
 // Edges returns the union's materialised edges, one per (from, to)
 // pair (CommitDep dominates WaitFor when sites disagree), sorted by

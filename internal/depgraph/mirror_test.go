@@ -106,3 +106,34 @@ func TestMirrorIgnoresForeignAndSelfEdges(t *testing.T) {
 		t.Fatalf("foreign/self edges ingested: %v", m.Edges())
 	}
 }
+
+// TestMirrorDropSite: the crash-stop purge removes exactly one site's
+// contribution — edges another site also reported survive, and the
+// structure stays consistent for removal and cycle detection.
+func TestMirrorDropSite(t *testing.T) {
+	m := NewMirror()
+	m.Observe(0, 1, []Edge{edge(1, 2, WaitFor), edge(1, 3, CommitDep)})
+	m.Observe(1, 1, []Edge{edge(1, 2, CommitDep)}) // second site confirms 1->2
+	m.Observe(1, 4, []Edge{edge(4, 1, WaitFor)})
+
+	m.DropSite(0)
+	if got := m.OutDegree(1); got != 1 {
+		t.Fatalf("out-degree after drop = %d, want 1 (site 1's 1->2 survives)", got)
+	}
+	if got := m.Edges(); !reflect.DeepEqual(got, []Edge{edge(1, 2, CommitDep), edge(4, 1, WaitFor)}) {
+		t.Fatalf("edges after drop = %v", got)
+	}
+	// The dropped site's edge to 3 is gone: removing 3 reports no
+	// dependants.
+	if deps := m.RemoveTxn(3); len(deps) != 0 {
+		t.Fatalf("phantom dependants %v after DropSite", deps)
+	}
+	// Dropping the remaining site empties the mirror.
+	m.DropSite(1)
+	if got := m.Edges(); len(got) != 0 {
+		t.Fatalf("edges after dropping every site = %v", got)
+	}
+	if m.HasCycleFrom(1) {
+		t.Fatal("empty mirror reports a cycle")
+	}
+}

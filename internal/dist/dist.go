@@ -41,6 +41,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/delivery"
 	"repro/internal/depgraph"
+	"repro/internal/fault"
+)
+
+// SiteBackend is what a cluster needs from a site beyond the
+// Participant protocol: registration-time setup and the inspection
+// surface tests and tools use. Both the plain *core.Scheduler (a site
+// assumed immortal) and *fault.Crashable (a crash-stop site) implement
+// it.
+type SiteBackend interface {
+	core.Participant
+	Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error
+	SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier))
+	StatsSnapshot() core.Stats
+	ObjectState(id core.ObjectID) (adt.State, error)
+	CommittedState(id core.ObjectID) (adt.State, error)
+	TxnState(id core.TxnID) string
+	OutDegree(id core.TxnID) int
+	OutEdgesOf(id core.TxnID) []depgraph.Edge
+}
+
+var (
+	_ SiteBackend = (*core.Scheduler)(nil)
+	_ SiteBackend = (*fault.Crashable)(nil)
 )
 
 // SiteID identifies one participant site, 0..NumSites-1.
@@ -75,6 +98,9 @@ type Observer interface {
 var (
 	// ErrBadSites is returned by New for a non-positive site count.
 	ErrBadSites = errors.New("dist: cluster needs at least one site")
+	// ErrNotFaultTolerant is returned by Crash/Restart on a cluster
+	// built without Config.FaultTolerant.
+	ErrNotFaultTolerant = errors.New("dist: cluster is not fault-tolerant")
 	// ErrTxnDone is returned for operations on a transaction that has
 	// already entered commit. It aliases core.ErrTxnDone, so one
 	// errors.Is target covers both back ends.
@@ -91,12 +117,25 @@ var (
 type site struct {
 	id  SiteID
 	mu  sync.Mutex
-	p   core.Participant
+	p   SiteBackend
+	cr  *fault.Crashable // non-nil on a fault-tolerant cluster (p == cr)
 	hub *delivery.Hub
+	// txns registers every live transaction that has begun at this
+	// site, guarded by mu. The crash handler uses it to find the
+	// transactions a site failure dooms; entries leave when the
+	// transaction is forgotten at the site.
+	txns map[core.TxnID]*Txn
 	// edgeBuf is the reusable OutEdgesAppend scratch for this site's
 	// mirror exports. Guarded by mu, like every export-and-observe
 	// pair.
 	edgeBuf []depgraph.Edge
+}
+
+// forget drops the transaction's bookkeeping at the site: the
+// participant's record and the site registry entry. Caller holds s.mu.
+func (s *site) forget(id core.TxnID) {
+	s.p.Forget(id)
+	delete(s.txns, id)
 }
 
 // edges exports id's current out-edges into the site's reusable
@@ -113,10 +152,15 @@ func (s *site) edges(id core.TxnID) []depgraph.Edge {
 // It is safe for concurrent use; each transaction handle must be
 // driven by one goroutine at a time. Cluster implements core.Store.
 type Cluster struct {
-	route  Router
-	obs    Observer
-	sites  []*site
-	scheds []*core.Scheduler // concrete schedulers, for Register/Site
+	route Router
+	obs   Observer
+	sites []*site
+
+	// faulty marks a fault-tolerant cluster (crash-stop sites wrapped
+	// in fault.Crashable, commit decisions forced to flog before any
+	// release). flog is nil on a plain cluster.
+	faulty bool
+	flog   fault.Log
 
 	nextID atomic.Uint64
 
@@ -127,6 +171,13 @@ type Cluster struct {
 	mirror *depgraph.Mirror
 	txns   map[core.TxnID]*Txn
 	closed bool
+	// drain, when non-nil, is closed once the registry empties after
+	// Close — the CloseCtx waiters' signal.
+	drain chan struct{}
+	// holdBatches counts commit conversations that mirrored their hold
+	// exports in one coordinator critical section (the batching the
+	// counting-observer test pins, together with mirror.Observes).
+	holdBatches uint64
 }
 
 // Cluster is the distributed core.Store.
@@ -135,42 +186,90 @@ var (
 	_ core.Txn   = (*Txn)(nil)
 )
 
+// Config parameterises NewWithConfig, the constructor that covers the
+// fault-tolerant variants New cannot express.
+type Config struct {
+	// Sites is the number of participant sites (required, positive).
+	Sites int
+	// Opts configures every site's scheduler.
+	Opts core.Options
+	// Route decides object placement (nil means RouteByModulo(Sites)).
+	Route Router
+	// Obs optionally observes coordinator events.
+	Obs Observer
+	// FaultTolerant wraps every site in a fault.Crashable: sites can
+	// Crash and Restart, the coordinator forces commit decisions to the
+	// decision log before releasing, and transactions touching a
+	// crashed site abort with ReasonSiteFailed instead of wedging.
+	FaultTolerant bool
+	// Log is the coordinator's decision log; nil means a fresh
+	// fault.NewMemLog(). Ignored unless FaultTolerant.
+	Log fault.Log
+}
+
 // New builds a cluster of n in-process sites, each running its own
 // scheduler with the given options. route decides object placement
 // (nil means RouteByModulo(n)); obs optionally observes coordinator
-// events.
+// events. Sites are assumed immortal; NewWithConfig builds the
+// crash-stop fault-tolerant variant.
 func New(n int, opts core.Options, route Router, obs Observer) (*Cluster, error) {
-	if n <= 0 {
+	return NewWithConfig(Config{Sites: n, Opts: opts, Route: route, Obs: obs})
+}
+
+// NewWithConfig builds a cluster from a Config; see New for the plain
+// case and Config.FaultTolerant for the crash-stop one.
+func NewWithConfig(cfg Config) (*Cluster, error) {
+	if cfg.Sites <= 0 {
 		return nil, ErrBadSites
 	}
+	route := cfg.Route
 	if route == nil {
-		route = RouteByModulo(n)
+		route = RouteByModulo(cfg.Sites)
 	}
 	c := &Cluster{
 		route:  route,
-		obs:    obs,
+		obs:    cfg.Obs,
+		faulty: cfg.FaultTolerant,
 		mirror: depgraph.NewMirror(),
 		txns:   make(map[core.TxnID]*Txn),
 	}
-	for i := 0; i < n; i++ {
-		sched := core.NewScheduler(opts)
-		c.scheds = append(c.scheds, sched)
-		c.sites = append(c.sites, &site{
-			id:  SiteID(i),
-			p:   sched,
-			hub: delivery.NewHub(),
-		})
+	if cfg.FaultTolerant {
+		c.flog = cfg.Log
+		if c.flog == nil {
+			c.flog = fault.NewMemLog()
+		}
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		s := &site{
+			id:   SiteID(i),
+			hub:  delivery.NewHub(),
+			txns: make(map[core.TxnID]*Txn),
+		}
+		if cfg.FaultTolerant {
+			cr, err := fault.New(cfg.Opts, c.flog)
+			if err != nil {
+				return nil, err
+			}
+			s.cr, s.p = cr, cr
+		} else {
+			s.p = core.NewScheduler(cfg.Opts)
+		}
+		c.sites = append(c.sites, s)
 	}
 	return c, nil
 }
 
+// DecisionLog returns the coordinator's decision log (nil on a plain
+// cluster).
+func (c *Cluster) DecisionLog() fault.Log { return c.flog }
+
 // NumSites returns the number of participant sites.
 func (c *Cluster) NumSites() int { return len(c.sites) }
 
-// Site exposes one site's scheduler for registration-time setup and
+// Site exposes one site's backend for registration-time setup and
 // state inspection (object states are site-local; route objects with
 // the cluster's router).
-func (c *Cluster) Site(id SiteID) *core.Scheduler { return c.scheds[id] }
+func (c *Cluster) Site(id SiteID) SiteBackend { return c.sites[id].p }
 
 // SiteOf returns the site that owns the object.
 func (c *Cluster) SiteOf(id core.ObjectID) SiteID { return c.route(id) }
@@ -184,14 +283,14 @@ func (c *Cluster) Register(id core.ObjectID, typ adt.Type, class compat.Classifi
 	if closed {
 		return core.ErrClosed
 	}
-	return c.scheds[c.route(id)].Register(id, typ, class)
+	return c.sites[c.route(id)].p.Register(id, typ, class)
 }
 
 // SetFactory installs a lazy object constructor at every site. Routing
 // guarantees an object only ever materialises at its home site.
 func (c *Cluster) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)) {
-	for _, s := range c.scheds {
-		s.SetFactory(f)
+	for _, s := range c.sites {
+		s.p.SetFactory(f)
 	}
 }
 
@@ -233,6 +332,41 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
+// CloseCtx is the draining close: it gates the cluster like Close,
+// then waits until every transaction in flight at close time —
+// including held pseudo-commits awaiting release — has reached its
+// terminal state. A cancelled ctx stops the wait and returns ctx.Err()
+// with the gate left in place (force-gate); the in-flight transactions
+// still run to completion on their own.
+func (c *Cluster) CloseCtx(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	if len(c.txns) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.drain == nil {
+		c.drain = make(chan struct{})
+	}
+	drained := c.drain
+	c.mu.Unlock()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// notifyDrained closes the drain channel if a CloseCtx is waiting and
+// the registry has emptied. Caller holds c.mu.
+func (c *Cluster) notifyDrained() {
+	if c.closed && c.drain != nil && len(c.txns) == 0 {
+		close(c.drain)
+		c.drain = nil
+	}
+}
+
 // Stats sums every site's scheduler counters. Each site's snapshot is
 // internally consistent (taken under that scheduler's lock), but the
 // sum is fuzzy across sites: concurrent transactions may land between
@@ -244,19 +378,8 @@ func (c *Cluster) Close() error {
 // site's exact view.
 func (c *Cluster) Stats() core.Stats {
 	var sum core.Stats
-	for _, s := range c.scheds {
-		st := s.StatsSnapshot()
-		sum.Executes += st.Executes
-		sum.Blocks += st.Blocks
-		sum.Grants += st.Grants
-		sum.Aborts += st.Aborts
-		sum.DeadlockAborts += st.DeadlockAborts
-		sum.CycleAborts += st.CycleAborts
-		sum.Commits += st.Commits
-		sum.PseudoCommits += st.PseudoCommits
-		sum.CycleChecks += st.CycleChecks
-		sum.CommitDepEdges += st.CommitDepEdges
-		sum.WaitForEdges += st.WaitForEdges
+	for _, s := range c.sites {
+		sum.Add(s.p.StatsSnapshot())
 	}
 	return sum
 }
@@ -264,7 +387,20 @@ func (c *Cluster) Stats() core.Stats {
 // SiteStats returns one site's counters, snapshot under that
 // scheduler's lock (exact, unlike the cluster-wide sum).
 func (c *Cluster) SiteStats(id SiteID) core.Stats {
-	return c.scheds[id].StatsSnapshot()
+	return c.sites[id].p.StatsSnapshot()
+}
+
+// logCommit forces the transaction's commit decision to the decision
+// log (a no-op on a plain cluster). The write must succeed before any
+// participant is released; a failed force would break the recovery
+// promise, so it is surfaced loudly. Caller holds c.mu.
+func (c *Cluster) logCommit(id core.TxnID) {
+	if c.flog == nil {
+		return
+	}
+	if err := c.flog.Record(id, fault.OutcomeCommit); err != nil {
+		panic(fmt.Sprintf("dist: decision log commit of T%d: %v", id, err))
+	}
 }
 
 // filterLive drops edges to transactions the coordinator has already
@@ -401,6 +537,12 @@ func (c *Cluster) refreshParked(s *site) {
 // resulting grants to parked calls, and finalises the transaction at
 // the coordinator. reason is recorded on the transaction (Err);
 // detail is the human-readable form for the observer.
+//
+// The abort is failure-tolerant: a down site is skipped (its volatile
+// state — the only state an unlogged transaction has there — died with
+// it), and a site where the transaction is already held mid-commit is
+// revoked instead (the hold's promise is void once the conversation
+// cannot complete).
 func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReason, detail string) {
 	sids := t.visitedSorted()
 	for _, sid := range sids {
@@ -411,11 +553,22 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 			eff := s.hub.Effects()
 			if err := s.p.AbortInto(eff, t.id); err == nil {
 				s.hub.Deliver(eff)
+			} else if !errors.Is(err, fault.ErrSiteDown) {
+				// ErrTxnTerminated here usually means a site-local
+				// retry abort beat us to it and the local state is
+				// already clean — but it is also what a held
+				// pseudo-commit answers (a partial commit conversation
+				// being unwound after a site failure); those must be
+				// revoked, or their operations would gate the site
+				// forever. RevokeInto refuses anything not held, so
+				// trying it after a refused abort is safe.
+				eff = s.hub.Effects()
+				if err := s.p.RevokeInto(eff, t.id, reason); err == nil {
+					s.hub.Deliver(eff)
+				}
 			}
-			// ErrTxnTerminated here means a site-local retry abort
-			// beat us to it; the local state is already clean.
 		}
-		s.p.Forget(t.id)
+		s.forget(t.id)
 		s.mu.Unlock()
 		c.refreshParked(s)
 	}
@@ -431,7 +584,10 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 }
 
 // releaseAt lands the real commit at every site t visited and
-// delivers the unblocked grants.
+// delivers the unblocked grants. A down site is skipped: the commit
+// decision is in the log and the site's prepared record survives the
+// crash, so recovery redoes the transaction there (presumed abort's
+// counterpart — logged outcomes are re-released).
 func (c *Cluster) releaseAt(t *Txn) {
 	for _, sid := range t.visitedSorted() {
 		s := c.sites[sid]
@@ -439,13 +595,17 @@ func (c *Cluster) releaseAt(t *Txn) {
 		eff := s.hub.Effects()
 		if err := s.p.ReleaseInto(eff, t.id); err == nil {
 			s.hub.Deliver(eff)
-		} else {
-			// Release can only fail if the coordinator's dependency
+		} else if !c.siteFailure(err) {
+			// On a fault-tolerant cluster, ErrSiteDown means the site
+			// crashed mid-release and ErrUnknownTxn that it crashed and
+			// already recovered — either way the logged commit is (or
+			// was) redone from the prepared record. Anywhere else a
+			// release failure means the coordinator's dependency
 			// accounting is wrong — surface loudly.
 			s.mu.Unlock()
 			panic(fmt.Sprintf("dist: release of T%d at site %d: %v", t.id, sid, err))
 		}
-		s.p.Forget(t.id)
+		s.forget(t.id)
 		s.mu.Unlock()
 		c.refreshParked(s)
 	}
@@ -466,11 +626,16 @@ func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
 				dt := c.txns[d]
 				if dt != nil && dt.state.Load() == txPseudo && c.mirror.OutDegree(d) == 0 {
 					dt.state.Store(txReleasing)
+					// The commit point: force the decision before any
+					// participant is released, so a crash mid-release
+					// can always be redone from the prepared records.
+					c.logCommit(dt.id)
 					ready = append(ready, dt)
 				}
 			}
 			delete(c.txns, id)
 		}
+		c.notifyDrained()
 		c.mu.Unlock()
 
 		ids = ids[:0]
@@ -486,4 +651,150 @@ func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
 			ids = append(ids, dt.id)
 		}
 	}
+}
+
+// ---- Crash-stop fault handling (Config.FaultTolerant clusters) ----
+
+// SiteDown reports whether the site is currently crashed (always false
+// on a plain cluster).
+func (c *Cluster) SiteDown(id SiteID) bool {
+	s := c.sites[id]
+	return s.cr != nil && s.cr.Down()
+}
+
+// Crash fails the site: its scheduler's volatile state is dropped
+// atomically, subsequent calls against it return fault.ErrSiteDown,
+// every request parked at it is woken with a ReasonSiteFailed verdict,
+// the site's contribution to the mirrored union graph is purged, and
+// every in-flight transaction that touched the site is doomed — active
+// and blocked ones abort with ErrSiteFailed when their owner next
+// drives them (or immediately, if parked here), held pseudo-commits
+// whose outcome was never logged are revoked at the surviving sites
+// (presumed abort). Held transactions whose commit is already logged
+// are untouched: their release skips the down site and recovery redoes
+// them there.
+func (c *Cluster) Crash(id SiteID) error {
+	s := c.sites[id]
+	s.mu.Lock()
+	if s.cr == nil {
+		s.mu.Unlock()
+		return ErrNotFaultTolerant
+	}
+	if err := s.cr.Crash(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	touched := make([]*Txn, 0, len(s.txns))
+	for _, t := range s.txns {
+		touched = append(touched, t)
+	}
+	clear(s.txns)
+	// Wake everyone parked at the dead site with the failure verdict;
+	// their owners run the global abort.
+	s.hub.FailAll(core.ReasonSiteFailed)
+	s.mu.Unlock()
+
+	c.mu.Lock()
+	c.mirror.DropSite(int(id))
+	var revoke []*Txn
+	for _, t := range touched {
+		t.doomed.Store(true)
+		// Only an unlogged held transaction can still be revoked; a
+		// txReleasing one passed its commit point (decision logged) and
+		// must land everywhere, crash or not.
+		if t.state.CompareAndSwap(txPseudo, txRevoking) {
+			revoke = append(revoke, t)
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range revoke {
+		c.revokeEverywhere(t, id)
+	}
+	return nil
+}
+
+// revokeEverywhere unwinds a held pseudo-committed transaction after
+// the crash of site crashed: the hold is revoked at every surviving
+// visited site, the transaction ends aborted with ReasonSiteFailed,
+// and its mirror node is removed (possibly cascading releases of
+// transactions that depended on it — recoverability means this abort
+// does not cascade into them).
+func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID) {
+	for _, sid := range t.visitedSorted() {
+		s := c.sites[sid]
+		s.mu.Lock()
+		if sid != crashed {
+			eff := s.hub.Effects()
+			if err := s.p.RevokeInto(eff, t.id, core.ReasonSiteFailed); err == nil {
+				s.hub.Deliver(eff)
+			}
+			// fault.ErrSiteDown: another site crashed too; its volatile
+			// hold died with it and its prepared record will be
+			// presumed aborted at restart.
+		}
+		s.forget(t.id)
+		s.mu.Unlock()
+		c.refreshParked(s)
+	}
+	c.mu.Lock()
+	t.reason.Store(int32(core.ReasonSiteFailed))
+	t.state.Store(txAborted)
+	c.mu.Unlock()
+	close(t.done)
+	if c.obs != nil {
+		c.obs.Aborted(t.id, core.ReasonSiteFailed.String())
+	}
+	c.finalizeGlobal([]core.TxnID{t.id})
+}
+
+// Restart brings a crashed site back: a fresh scheduler is seeded from
+// the site's durable committed snapshots, prepared (in-doubt)
+// transactions are resolved against the decision log — logged commits
+// are redone into the committed state, the rest presumed aborted — and
+// the site starts accepting transactions again (re-registration). The
+// recovered site then re-exports its dependency edges into the
+// coordinator's mirror; a freshly recovered site holds no live
+// transactions, so today this re-export is empty, but the walk keeps
+// re-registration correct if recovery ever reinstates holds.
+func (c *Cluster) Restart(id SiteID) (fault.RecoveryReport, error) {
+	s := c.sites[id]
+	s.mu.Lock()
+	if s.cr == nil {
+		s.mu.Unlock()
+		return fault.RecoveryReport{}, ErrNotFaultTolerant
+	}
+	rep, err := s.cr.Restart()
+	if err != nil {
+		s.mu.Unlock()
+		return rep, err
+	}
+	// Rebuild the mirror's view of this site from the recovered
+	// participant's own exports.
+	for txid := range s.txns {
+		edges := s.edges(txid)
+		c.mu.Lock()
+		if t, ok := c.txns[txid]; ok {
+			if len(edges) > 0 {
+				t.anyEdges.Store(true)
+			}
+			c.mirror.Observe(int(id), txid, c.filterLive(edges))
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// CrashSite and RestartSite are the int-typed adapters the workload
+// chaos harness drives (it speaks core.Store plus these, without
+// importing dist).
+
+// CrashSite is Crash with an untyped site index.
+func (c *Cluster) CrashSite(site int) error { return c.Crash(SiteID(site)) }
+
+// RestartSite is Restart with an untyped site index, discarding the
+// recovery report.
+func (c *Cluster) RestartSite(site int) error {
+	_, err := c.Restart(SiteID(site))
+	return err
 }

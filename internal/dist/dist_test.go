@@ -150,7 +150,7 @@ func TestCrossSiteCommitDepCycle(t *testing.T) {
 // waitLocalState polls until the transaction reaches the given local
 // state at the site (the scheduler is deterministic but the handle's
 // goroutine parks asynchronously).
-func waitLocalState(t *testing.T, s *core.Scheduler, id core.TxnID, state string) {
+func waitLocalState(t *testing.T, s SiteBackend, id core.TxnID, state string) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {

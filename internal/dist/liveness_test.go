@@ -56,12 +56,12 @@ func TestClusterHighContentionLiveness(t *testing.T) {
 	for id, tx := range c.txns {
 		var local string
 		for si := 0; si < sites; si++ {
-			st := c.scheds[si].TxnState(id)
+			st := c.sites[si].p.TxnState(id)
 			if st == "unknown" {
 				continue
 			}
-			local += fmt.Sprintf(" s%d:%s:deg%d", si, st, c.scheds[si].OutDegree(id))
-			for _, e := range c.scheds[si].OutEdgesOf(id) {
+			local += fmt.Sprintf(" s%d:%s:deg%d", si, st, c.sites[si].p.OutDegree(id))
+			for _, e := range c.sites[si].p.OutEdgesOf(id) {
 				local += fmt.Sprintf("[%v]", e)
 			}
 		}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -9,6 +10,8 @@ import (
 	"repro/internal/adt"
 	"repro/internal/core"
 	"repro/internal/delivery"
+	"repro/internal/depgraph"
+	"repro/internal/fault"
 )
 
 // Distributed transaction states. Writes happen under the cluster's
@@ -19,6 +22,11 @@ const (
 	txReleasing
 	txCommitted
 	txAborted
+	// txRevoking: a held pseudo-commit being unwound after a site
+	// crash (Cluster.Crash moved it out of txPseudo under the
+	// coordinator lock, so finalizeGlobal cannot select it for
+	// release concurrently).
+	txRevoking
 )
 
 // Txn is a distributed transaction handle, implementing core.Txn. Like
@@ -43,6 +51,11 @@ type Txn struct {
 	// observes and by refreshParked (a foreign goroutine), hence
 	// atomic.
 	anyEdges atomic.Bool
+	// doomed is set by the crash handler when a site holding this
+	// transaction's operations fails before the commit point: the
+	// owner aborts with ReasonSiteFailed at its next step. Set by a
+	// foreign goroutine (Cluster.Crash), hence atomic.
+	doomed atomic.Bool
 
 	done chan struct{} // closed at the terminal state (real commit everywhere, or abort)
 }
@@ -109,10 +122,40 @@ func (t *Txn) DoCtx(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret,
 	return t.do(ctx, obj, op)
 }
 
+// failSite aborts the transaction everywhere after a participant
+// failure and returns the typed error. sid names the site the failure
+// surfaced at (a down site, or one that restarted and no longer knows
+// the transaction); pass noSite when the failed participant is not
+// identifiable from this call — a doomed transaction learns only that
+// some site it touched crashed.
+func (t *Txn) failSite(sid SiteID) (adt.Ret, error) {
+	t.c.abortEverywhere(t, noSite, core.ReasonSiteFailed, core.ReasonSiteFailed.String())
+	err := &core.ErrAborted{Txn: t.id, Reason: core.ReasonSiteFailed}
+	if sid == noSite {
+		return adt.Ret{}, fmt.Errorf("participant crash: %w", err)
+	}
+	return adt.Ret{}, fmt.Errorf("site %d: %w", sid, err)
+}
+
+// siteFailure classifies an error from a participant call as a
+// crash-stop failure: the site is down, or it restarted and lost the
+// transaction's volatile state (fresh incarnations answer
+// ErrUnknownTxn). Only fault-tolerant clusters map these to aborts;
+// on a plain cluster they would be bugs and must surface.
+func (c *Cluster) siteFailure(err error) bool {
+	return c.faulty && (errors.Is(err, fault.ErrSiteDown) || errors.Is(err, core.ErrUnknownTxn))
+}
+
 // do runs the request; a nil ctx means no cancellation.
 func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	if t.state.Load() != txActive {
 		return adt.Ret{}, t.errState()
+	}
+	if t.doomed.Load() {
+		// A site holding our operations crashed; finish the abort the
+		// crash handler started. The current op's home site is not the
+		// one that failed, so no site is named.
+		return t.failSite(noSite)
 	}
 	sid := t.c.route(obj)
 	s := t.c.sites[sid]
@@ -120,8 +163,14 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 	if !t.visited[sid] {
 		s.mu.Lock()
 		err := s.p.Begin(t.id)
+		if err == nil {
+			s.txns[t.id] = t
+		}
 		s.mu.Unlock()
 		if err != nil {
+			if t.c.siteFailure(err) {
+				return t.failSite(sid)
+			}
 			return adt.Ret{}, err
 		}
 		t.visited[sid] = true
@@ -132,6 +181,9 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 	dec, err := s.p.RequestInto(eff, t.id, obj, op)
 	if err != nil {
 		s.mu.Unlock()
+		if t.c.siteFailure(err) {
+			return t.failSite(sid)
+		}
 		return adt.Ret{}, err
 	}
 	var ch chan delivery.Msg
@@ -156,6 +208,13 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		// deadlock closes in the union graph even though each site's
 		// local check passed (§6).
 		if t.c.observe(t, sid) {
+			// Unpark before recycling: a channel may only re-enter the
+			// pool once no id maps to it (Recycle drops it if a grant
+			// raced us and the resolution is sitting in the buffer).
+			s.mu.Lock()
+			s.hub.Withdraw(t.id)
+			s.hub.Recycle(ch)
+			s.mu.Unlock()
 			t.c.abortEverywhere(t, noSite, core.ReasonDeadlock, "cross-site deadlock")
 			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonDeadlock})
 		}
@@ -166,7 +225,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 			select {
 			case msg = <-ch:
 			case <-ctx.Done():
-				if t.withdraw(s) {
+				if t.withdraw(s, ch) {
 					return adt.Ret{}, ctx.Err()
 				}
 				// The resolution raced the cancellation: the message
@@ -174,6 +233,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 				msg = <-ch
 			}
 		}
+		t.recycle(s, ch)
 		if msg.Aborted {
 			t.c.abortEverywhere(t, sid, msg.Reason, msg.Reason.String())
 			return adt.Ret{}, fmt.Errorf("site %d: %w", sid, &core.ErrAborted{Txn: t.id, Reason: msg.Reason})
@@ -195,17 +255,28 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 	}
 }
 
+// recycle returns a drained park channel to the site's pool
+// (receiver-side recycling: only this goroutine knows the buffered
+// message, if any, has been consumed).
+func (t *Txn) recycle(s *site, ch chan delivery.Msg) {
+	s.mu.Lock()
+	s.hub.Recycle(ch)
+	s.mu.Unlock()
+}
+
 // withdraw pulls t's blocked request out of site s on cancellation,
 // reporting whether it was still parked (false means the resolution is
-// already in the channel buffer). On success the site queue is
-// rescanned for followers, the mirror is refreshed, and the transaction
-// remains active.
-func (t *Txn) withdraw(s *site) bool {
+// already in the channel buffer). On success the park channel is
+// recycled (no message can arrive once the hub entry is gone), the
+// site queue is rescanned for followers, the mirror is refreshed, and
+// the transaction remains active.
+func (t *Txn) withdraw(s *site, ch chan delivery.Msg) bool {
 	s.mu.Lock()
 	if !s.hub.Withdraw(t.id) {
 		s.mu.Unlock()
 		return false
 	}
+	s.hub.Recycle(ch)
 	eff := s.hub.Effects()
 	if err := s.p.WithdrawInto(eff, t.id); err == nil {
 		s.hub.Deliver(eff)
@@ -240,52 +311,73 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	default:
 		return 0, t.errState()
 	}
+	if t.doomed.Load() {
+		// A site holding our operations crashed before the commit
+		// point; the promise cannot be kept.
+		_, err := t.failSite(noSite)
+		return 0, err
+	}
 
 	sids := t.visitedSorted()
+	c := t.c
 
 	// Fast path: a transaction that never grew a dependency edge has a
 	// provably empty global dependency set (edges only arise from its
 	// own requests, and every request left zero), so each site can
 	// commit directly — no hold phase, no coordinator conversation.
 	// This is the path perfectly partitioned traffic takes, and it is
-	// what makes sharded throughput scale.
-	if !t.anyEdges.Load() {
+	// what makes sharded throughput scale. On a fault-tolerant cluster
+	// only single-site transactions qualify: a direct multi-site commit
+	// has no prepare records, so a crash between the per-site commits
+	// would break atomicity — multi-site transactions go through the
+	// hold conversation even when edge-free.
+	if !t.anyEdges.Load() && (!c.faulty || len(sids) <= 1) {
 		for _, sid := range sids {
-			s := t.c.sites[sid]
+			s := c.sites[sid]
 			s.mu.Lock()
 			eff := s.hub.Effects()
 			st, err := s.p.CommitInto(eff, t.id)
 			if err == nil {
 				s.hub.Deliver(eff)
-				s.p.Forget(t.id)
+				s.forget(t.id)
 			}
 			s.mu.Unlock()
 			if err != nil {
+				if c.siteFailure(err) {
+					_, ferr := t.failSite(sid)
+					return 0, ferr
+				}
 				return 0, fmt.Errorf("dist: commit of T%d at site %d: %w", t.id, sid, err)
 			}
 			if st != core.Committed {
 				panic(fmt.Sprintf("dist: edge-free T%d pseudo-committed at site %d", t.id, sid))
 			}
-			t.c.refreshParked(s)
+			c.refreshParked(s)
 		}
-		t.c.mu.Lock()
+		c.mu.Lock()
 		t.state.Store(txCommitted)
-		t.c.mu.Unlock()
+		c.mu.Unlock()
 		close(t.done)
-		if t.c.obs != nil {
-			t.c.obs.Released(t.id)
+		if c.obs != nil {
+			c.obs.Released(t.id)
 		}
 		// Others may have mirrored commit dependencies on us; drain them.
-		t.c.finalizeGlobal([]core.TxnID{t.id})
+		c.finalizeGlobal([]core.TxnID{t.id})
 		return core.Committed, nil
 	}
 
-	// Hold at every site, folding the dependency-edge export into the
-	// same critical section (one site round per participant): the
-	// mirror ends up holding per-site truth as of the hold, and each
-	// export-and-observe runs under the site mutex (see
-	// Cluster.observe for the ordering argument).
-	c := t.c
+	// Hold at every site, copying the dependency-edge export out of the
+	// same critical section (one site round per participant). The
+	// exports are then mirrored in a single coordinator critical
+	// section below — one mirror update per touched site, one
+	// coordinator lock round per conversation — instead of re-locking
+	// the coordinator once per site. Batching is safe because the
+	// committing owner is the only writer for its (site, txn) mirror
+	// pairs (it is not parked, so refreshParked never touches it), and
+	// staleness against concurrent global finalisations is handled by
+	// filterLive at observe time, exactly as on the per-site path.
+	var batch []depgraph.Edge
+	var counts []int
 	for _, sid := range sids {
 		s := c.sites[sid]
 		s.mu.Lock()
@@ -294,41 +386,67 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		if err == nil {
 			s.hub.Deliver(eff)
 			edges := s.edges(t.id)
-			c.mu.Lock()
-			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
-			c.mu.Unlock()
+			batch = append(batch, edges...)
+			counts = append(counts, len(edges))
 		}
 		s.mu.Unlock()
 		if err != nil {
+			if c.siteFailure(err) {
+				_, ferr := t.failSite(sid)
+				return 0, ferr
+			}
 			return 0, fmt.Errorf("dist: commit-hold of T%d at site %d: %w", t.id, sid, err)
 		}
 	}
 
-	// Sum the global dependency set over the mirrored union graph.
+	// One coordinator critical section: mirror every site's export, sum
+	// the global dependency set, and decide. The doomed re-check runs
+	// under the same lock the crash handler dooms under, so a crash
+	// during the hold phase cannot slip past the commit point.
 	c.mu.Lock()
+	if t.doomed.Load() {
+		c.mu.Unlock()
+		_, err := t.failSite(noSite)
+		return 0, err
+	}
+	off := 0
+	for i, sid := range sids {
+		edges := batch[off : off+counts[i]]
+		off += counts[i]
+		if len(edges) > 0 {
+			t.anyEdges.Store(true)
+		}
+		c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
+	}
+	c.holdBatches++
 	gdeps := c.mirror.OutDegree(t.id)
 	if gdeps > 0 {
 		t.state.Store(txPseudo)
+	} else {
+		// The commit point: force the decision before releasing anyone
+		// (txReleasing also bars the crash handler from revoking).
+		t.state.Store(txReleasing)
+		c.logCommit(t.id)
 	}
 	c.mu.Unlock()
 
 	if gdeps > 0 {
-		if t.c.obs != nil {
-			t.c.obs.Held(t.id, gdeps)
+		if c.obs != nil {
+			c.obs.Held(t.id, gdeps)
 		}
 		return core.PseudoCommitted, nil
 	}
 
 	// Global dependency set empty: land the real commit everywhere.
-	t.c.releaseAt(t)
-	t.c.mu.Lock()
+	c.releaseAt(t)
+	c.mu.Lock()
 	t.state.Store(txCommitted)
-	t.c.mu.Unlock()
+	c.mu.Unlock()
 	close(t.done)
-	if t.c.obs != nil {
-		t.c.obs.Released(t.id)
+	if c.obs != nil {
+		c.obs.Released(t.id)
 	}
-	t.c.finalizeGlobal([]core.TxnID{t.id})
+	c.finalizeGlobal([]core.TxnID{t.id})
 	return core.Committed, nil
 }
 

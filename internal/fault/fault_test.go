@@ -1,0 +1,319 @@
+package fault
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+func push(v int) adt.Op  { return adt.Op{Name: adt.StackPush, Arg: v, HasArg: true} }
+func write(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+
+// newSite builds an up crashable site with a stack object 1 and a page
+// object 2.
+func newSite(t *testing.T, log Log) *Crashable {
+	t.Helper()
+	c, err := New(core.Options{}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(1, adt.Stack{}, compat.StackTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(2, adt.Page{}, compat.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// doOp executes one operation, failing the test unless it executes
+// immediately.
+func doOp(t *testing.T, c *Crashable, id core.TxnID, obj core.ObjectID, op adt.Op) {
+	t.Helper()
+	var eff core.Effects
+	dec, err := c.RequestInto(&eff, id, obj, op)
+	if err != nil || dec.Outcome != core.Executed {
+		t.Fatalf("T%d op on %d: %v %v", id, obj, dec, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	log := NewMemLog()
+	if _, err := New(core.Options{Recovery: core.RecoveryUndo}, log); err == nil {
+		t.Fatal("undo-log recovery accepted")
+	}
+	if _, err := New(core.Options{StateDependent: true}, log); err == nil {
+		t.Fatal("state-dependent refinement accepted")
+	}
+	if _, err := New(core.Options{}, nil); err == nil {
+		t.Fatal("nil decision log accepted")
+	}
+}
+
+// TestCrashDropsVolatileKeepsCommitted: a crash loses active
+// transactions and uncommitted operations; committed state survives
+// the restart.
+func TestCrashDropsVolatileKeepsCommitted(t *testing.T) {
+	c := newSite(t, NewMemLog())
+	var eff core.Effects
+	// T1 commits a write; T2 leaves an uncommitted one.
+	if err := c.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 1, 2, write(10))
+	if st, err := c.CommitInto(&eff, 1); err != nil || st != core.Committed {
+		t.Fatalf("commit: %v %v", st, err)
+	}
+	c.Forget(1)
+	if err := c.Begin(2); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 2, 2, write(20))
+
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Down() {
+		t.Fatal("site not down after Crash")
+	}
+	if err := c.Begin(3); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("Begin on down site = %v, want ErrSiteDown", err)
+	}
+	if _, err := c.RequestInto(&eff, 2, 2, write(21)); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("Request on down site = %v, want ErrSiteDown", err)
+	}
+	if err := c.Crash(); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("double Crash = %v, want ErrSiteDown", err)
+	}
+
+	rep, err := c.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Redone) != 0 || len(rep.PresumedAborted) != 0 {
+		t.Fatalf("unexpected recovery report %+v", rep)
+	}
+	st, err := c.CommittedState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(*adt.PageState); got.V != 10 {
+		t.Fatalf("committed page after restart = %d, want 10 (T2's uncommitted 20 must be gone)", got.V)
+	}
+	// The restarted site has no memory of T2.
+	if got := c.TxnState(2); got != "unknown" {
+		t.Fatalf("T2 after restart = %s, want unknown", got)
+	}
+}
+
+// TestPresumedAbortOfUnloggedHold: a prepared (held) transaction whose
+// outcome never reached the decision log is aborted at restart and its
+// effects discarded.
+func TestPresumedAbortOfUnloggedHold(t *testing.T) {
+	c := newSite(t, NewMemLog())
+	var eff core.Effects
+	if err := c.Begin(7); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 7, 1, push(41))
+	if _, err := c.CommitHoldInto(&eff, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PreparedIDs(); !slices.Equal(got, []core.TxnID{7}) {
+		t.Fatalf("prepared = %v", got)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rep.PresumedAborted, []core.TxnID{7}) || len(rep.Redone) != 0 {
+		t.Fatalf("recovery report %+v, want T7 presumed aborted", rep)
+	}
+	st, _ := c.CommittedState(1)
+	if st.(*adt.StackState).Len() != 0 {
+		t.Fatalf("presumed-aborted push survived: %v", st)
+	}
+	if got := c.PreparedIDs(); len(got) != 0 {
+		t.Fatalf("prepared records survived recovery: %v", got)
+	}
+}
+
+// TestLoggedHoldRedone: a prepared transaction with a logged commit is
+// replayed into the committed state at restart — the re-release half
+// of presumed abort.
+func TestLoggedHoldRedone(t *testing.T) {
+	log := NewMemLog()
+	c := newSite(t, log)
+	var eff core.Effects
+	if err := c.Begin(9); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 9, 1, push(5))
+	doOp(t, c, 9, 2, write(55))
+	if _, err := c.CommitHoldInto(&eff, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Record(9, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rep.Redone, []core.TxnID{9}) || len(rep.PresumedAborted) != 0 {
+		t.Fatalf("recovery report %+v, want T9 redone", rep)
+	}
+	st, _ := c.CommittedState(1)
+	if got := st.(*adt.StackState).Values(); !slices.Equal(got, []int{5}) {
+		t.Fatalf("redone stack = %v, want [5]", got)
+	}
+	pg, _ := c.CommittedState(2)
+	if got := pg.(*adt.PageState); got.V != 55 {
+		t.Fatalf("redone page = %d, want 55", got.V)
+	}
+}
+
+// TestRedoPreservesInterleavedOrder: two logged-commit holds with
+// interleaved pushes on one stack replay in the original site-local
+// order, including operations that arrived as grants.
+func TestRedoPreservesInterleavedOrder(t *testing.T) {
+	log := NewMemLog()
+	c := newSite(t, log)
+	var eff core.Effects
+	for _, id := range []core.TxnID{1, 2} {
+		if err := c.Begin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doOp(t, c, 1, 1, push(10)) // T1 first
+	doOp(t, c, 2, 1, push(20)) // then T2, recoverable after T1
+	if _, err := c.CommitHoldInto(&eff, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CommitHoldInto(&eff, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []core.TxnID{1, 2} {
+		if err := log.Record(id, OutcomeCommit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rep.Redone, []core.TxnID{1, 2}) {
+		t.Fatalf("redone = %v", rep.Redone)
+	}
+	st, _ := c.CommittedState(1)
+	if got := st.(*adt.StackState).Values(); !slices.Equal(got, []int{10, 20}) {
+		t.Fatalf("redone stack = %v, want [10 20] (original order)", got)
+	}
+}
+
+// TestRevokeDropsPrepared: revoking a held transaction (coordinator
+// abort after another site's crash) undoes it and discards the
+// prepared record, so a later crash+restart has nothing in doubt.
+func TestRevokeDropsPrepared(t *testing.T) {
+	c := newSite(t, NewMemLog())
+	var eff core.Effects
+	if err := c.Begin(3); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 3, 1, push(1))
+	if _, err := c.CommitHoldInto(&eff, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RevokeInto(&eff, 3, core.ReasonSiteFailed); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PreparedIDs(); len(got) != 0 {
+		t.Fatalf("prepared after revoke = %v", got)
+	}
+	st, _ := c.ObjectState(1)
+	if st.(*adt.StackState).Len() != 0 {
+		t.Fatalf("revoked push survived: %v", st)
+	}
+	// Revoking a non-held transaction is refused.
+	if err := c.Begin(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RevokeInto(&eff, 4, core.ReasonSiteFailed); err == nil {
+		t.Fatal("revoke of an active transaction accepted")
+	}
+}
+
+// TestFactoryObjectsRebuilt: lazily constructed objects are part of
+// the durable image too.
+func TestFactoryObjectsRebuilt(t *testing.T) {
+	c, err := New(core.Options{}, NewMemLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := compat.PageTable()
+	c.SetFactory(func(core.ObjectID) (adt.Type, compat.Classifier) { return adt.Page{}, table })
+	var eff core.Effects
+	if err := c.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 1, 42, write(4))
+	if st, err := c.CommitInto(&eff, 1); err != nil || st != core.Committed {
+		t.Fatalf("commit: %v %v", st, err)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.CommittedState(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(*adt.PageState); got.V != 4 {
+		t.Fatalf("factory object after restart = %d, want 4", got.V)
+	}
+}
+
+// TestStatsSurviveCrash: counters accumulate across incarnations.
+func TestStatsSurviveCrash(t *testing.T) {
+	c := newSite(t, NewMemLog())
+	var eff core.Effects
+	if err := c.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	doOp(t, c, 1, 2, write(1))
+	if _, err := c.CommitInto(&eff, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := c.StatsSnapshot()
+	if before.Executes != 1 || before.Commits != 1 {
+		t.Fatalf("pre-crash stats %+v", before)
+	}
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.StatsSnapshot()
+	if after.Executes < before.Executes || after.Commits < before.Commits {
+		t.Fatalf("stats went backwards across restart: %+v -> %+v", before, after)
+	}
+	if c.Incarnation() != 1 {
+		t.Fatalf("incarnation = %d, want 1", c.Incarnation())
+	}
+}

@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Outcome is a logged commit-conversation decision.
+type Outcome uint8
+
+// Outcomes. The zero value means "no decision recorded", which under
+// presumed abort reads as abort.
+const (
+	// OutcomeCommit: the coordinator reached the transaction's commit
+	// point (its global dependency set drained) and promised the real
+	// commit to every participant.
+	OutcomeCommit Outcome = iota + 1
+	// OutcomeAbort: the coordinator decided abort. Presumed abort makes
+	// recording this optional — recovery treats an absent outcome as
+	// abort — but an explicit record lets tools distinguish "decided
+	// abort" from "never decided".
+	OutcomeAbort
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeAbort:
+		return "abort"
+	}
+	return "undecided"
+}
+
+// Log is the coordinator's decision log — the one durable structure
+// the presumed-abort commit conversation needs. Record must be forced
+// (durable when it returns): the coordinator writes OutcomeCommit at
+// the commit point, before releasing any participant, so that a
+// participant crash after the write can always be redone. Recovery
+// reads with Lookup: a prepared transaction with no logged outcome is
+// presumed aborted.
+//
+// Implementations must be safe for concurrent use: the coordinator
+// records under its own lock, but restarted sites look up outcomes
+// from their recovery path.
+type Log interface {
+	// Record durably notes the transaction's outcome. Re-recording the
+	// same outcome is idempotent; changing a recorded outcome is a
+	// protocol violation and implementations may reject or ignore it.
+	Record(id core.TxnID, o Outcome) error
+	// Lookup returns the recorded outcome, if any.
+	Lookup(id core.TxnID) (Outcome, bool)
+	// Len returns the number of recorded decisions (for tests and
+	// introspection).
+	Len() int
+}
+
+// MemLog is the in-memory Log: "durable" for the lifetime of the
+// process, which is exactly the durability the simulated crash-stop
+// model needs — Crashable sites lose their volatile state on Crash,
+// the coordinator (and its log) stays up.
+type MemLog struct {
+	mu sync.RWMutex
+	m  map[core.TxnID]Outcome
+}
+
+// NewMemLog returns an empty in-memory decision log.
+func NewMemLog() *MemLog {
+	return &MemLog{m: make(map[core.TxnID]Outcome)}
+}
+
+// Record implements Log.
+func (l *MemLog) Record(id core.TxnID, o Outcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.m[id]; ok && prev != o {
+		return fmt.Errorf("fault: decision log: T%d already %s, refusing %s", id, prev, o)
+	}
+	l.m[id] = o
+	return nil
+}
+
+// Lookup implements Log.
+func (l *MemLog) Lookup(id core.TxnID) (Outcome, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	o, ok := l.m[id]
+	return o, ok
+}
+
+// Len implements Log.
+func (l *MemLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.m)
+}
+
+// FileLog is the file-backed Log: an append-only text file ("C <id>"
+// or "A <id>" per line) with an in-memory index for lookups. Opening
+// an existing file replays it, so a coordinator process restart keeps
+// its decisions — the optional durability step beyond MemLog. Record
+// appends and, when Sync is set, fsyncs before returning (a forced
+// write in the 2PC sense; leave it off for tests and benchmarks).
+//
+// Replay follows the WAL rule for torn tails: records must parse
+// exactly and end with a newline; the first record that does not —
+// a write torn by a crash — ends the replay, and the file is
+// truncated there so later appends cannot fuse with the fragment. A
+// torn fragment is never interpreted (a truncated "C 1234\n" must not
+// resurrect as a commit of T1).
+type FileLog struct {
+	mu   sync.Mutex
+	m    map[core.TxnID]Outcome
+	f    *os.File
+	sync bool
+}
+
+// parseLogLine strictly parses one record line (without its
+// terminating newline): 'C' or 'A', one space, a full decimal id.
+func parseLogLine(line string) (core.TxnID, Outcome, bool) {
+	if len(line) < 3 || line[1] != ' ' {
+		return 0, 0, false
+	}
+	var o Outcome
+	switch line[0] {
+	case 'C':
+		o = OutcomeCommit
+	case 'A':
+		o = OutcomeAbort
+	default:
+		return 0, 0, false
+	}
+	id, err := strconv.ParseUint(line[2:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return core.TxnID(id), o, true
+}
+
+// OpenFileLog opens (creating if necessary) the decision log at path,
+// replaying any existing records and truncating a torn tail. sync
+// selects forced appends.
+func OpenFileLog(path string, sync bool) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &FileLog{m: make(map[core.TxnID]Outcome), f: f, sync: sync}
+	r := bufio.NewReader(f)
+	var good int64 // offset just past the last fully valid record
+	for {
+		line, err := r.ReadString('\n')
+		if err == nil {
+			if id, o, ok := parseLogLine(line[:len(line)-1]); ok {
+				l.m[id] = o
+				good += int64(len(line))
+				continue
+			}
+			// A malformed interior line: everything from here on is
+			// untrustworthy (single sequential writer — only a torn
+			// tail is expected). Stop and truncate.
+		} else if err != io.EOF {
+			f.Close()
+			return nil, err
+		}
+		break // unterminated tail, malformed line, or clean EOF
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Record implements Log.
+func (l *FileLog) Record(id core.TxnID, o Outcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.m[id]; ok {
+		if prev != o {
+			return fmt.Errorf("fault: decision log: T%d already %s, refusing %s", id, prev, o)
+		}
+		return nil
+	}
+	kind := "C"
+	if o == OutcomeAbort {
+		kind = "A"
+	}
+	if _, err := fmt.Fprintf(l.f, "%s %d\n", kind, uint64(id)); err != nil {
+		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.m[id] = o
+	return nil
+}
+
+// Lookup implements Log.
+func (l *FileLog) Lookup(id core.TxnID) (Outcome, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o, ok := l.m[id]
+	return o, ok
+}
+
+// Len implements Log.
+func (l *FileLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// Close closes the underlying file.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

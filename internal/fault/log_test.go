@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemLog(t *testing.T) {
+	l := NewMemLog()
+	if _, ok := l.Lookup(1); ok {
+		t.Fatal("empty log found an outcome")
+	}
+	if err := l.Record(1, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(1, OutcomeCommit); err != nil {
+		t.Fatalf("idempotent re-record refused: %v", err)
+	}
+	if err := l.Record(1, OutcomeAbort); err == nil {
+		t.Fatal("outcome flip accepted")
+	}
+	if o, ok := l.Lookup(1); !ok || o != OutcomeCommit {
+		t.Fatalf("lookup = %v %v", o, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+// TestFileLogReplay: records survive a close/reopen (the coordinator
+// restart story), and conflicting re-records are refused.
+func TestFileLogReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(3, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(4, OutcomeAbort); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(3, OutcomeAbort); err == nil {
+		t.Fatal("outcome flip accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if o, ok := l2.Lookup(3); !ok || o != OutcomeCommit {
+		t.Fatalf("replayed T3 = %v %v, want commit", o, ok)
+	}
+	if o, ok := l2.Lookup(4); !ok || o != OutcomeAbort {
+		t.Fatalf("replayed T4 = %v %v, want abort", o, ok)
+	}
+	if _, ok := l2.Lookup(5); ok {
+		t.Fatal("phantom outcome")
+	}
+	if err := l2.Record(6, OutcomeCommit); err != nil {
+		t.Fatalf("forced append: %v", err)
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l2.Len())
+	}
+}
+
+// TestFileLogTornTail: a record torn by a crash mid-write is never
+// interpreted (a truncated commit must not resurrect as a commit of a
+// shorter id) and is truncated on open, so later appends cannot fuse
+// with the fragment.
+func TestFileLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	// "C 7\n" is intact; "C 1234\n" was torn to "C 1".
+	if err := os.WriteFile(path, []byte("C 7\nC 1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := l.Lookup(7); !ok || o != OutcomeCommit {
+		t.Fatalf("intact record lost: %v %v", o, ok)
+	}
+	if _, ok := l.Lookup(1); ok {
+		t.Fatal("torn 'C 1234' tail resurrected as a commit of T1")
+	}
+	if _, ok := l.Lookup(1234); ok {
+		t.Fatal("torn record replayed")
+	}
+	// The tail was truncated: a fresh append starts on its own line.
+	if err := l.Record(345, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "C 7\nC 345\n" {
+		t.Fatalf("log after torn-tail append = %q, want %q", raw, "C 7\nC 345\n")
+	}
+	l2, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if o, ok := l2.Lookup(345); !ok || o != OutcomeCommit {
+		t.Fatalf("T345 lost across reopen: %v %v", o, ok)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l2.Len())
+	}
+}

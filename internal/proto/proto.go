@@ -37,6 +37,10 @@ const (
 	ReasonCommitCycle
 	// ReasonUser: the caller invoked Abort.
 	ReasonUser
+	// ReasonSiteFailed: a participant site holding the transaction's
+	// uncommitted operations crashed, so the transaction cannot reach
+	// its commit point (crash-stop fault model, internal/fault).
+	ReasonSiteFailed
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +52,8 @@ func (r AbortReason) String() string {
 		return "commit-dependency cycle"
 	case ReasonUser:
 		return "user abort"
+	case ReasonSiteFailed:
+		return "participant site failed"
 	}
 	return "none"
 }

@@ -37,22 +37,37 @@ type LoadConfig struct {
 	// valve; 0 means 1000). Restarts back off exponentially, the
 	// closed-loop stand-in for the simulator's think time.
 	MaxRestarts int
+	// RetryHeldAborts tolerates crash-stop failures of held
+	// pseudo-commits: a held transaction that ends in a retryable abort
+	// (a participant crash revoked it before its commit point) is
+	// re-run as a fresh attempt instead of failing the load, and a
+	// commit-conversation abort retries like a Do-time abort. Logical
+	// commits are then counted when the real commit lands, not at
+	// promise time. The chaos harness sets this; a no-failure load
+	// behaves identically either way.
+	RetryHeldAborts bool
+	// OnCommitted, if set, is called once per logical transaction whose
+	// commit promise was honoured, with the steps it executed — the
+	// chaos harness's conservation accounting. Called from worker
+	// goroutines; must be safe for concurrent use.
+	OnCommitted func(steps []Step)
 }
 
 // LoadResult summarises one load run.
 type LoadResult struct {
-	Shards    int
-	Commits   uint64 // logical transactions committed
-	Pseudo    uint64 // commits that were held (PseudoCommitted) first
-	Aborts    uint64 // aborted attempts (each restarted)
-	Ops       uint64 // operations executed, aborted attempts included
-	Elapsed   time.Duration
-	TxnPerSec float64
+	Shards     int
+	Commits    uint64 // logical transactions committed
+	Pseudo     uint64 // commits that were held (PseudoCommitted) first
+	Aborts     uint64 // aborted attempts (each restarted)
+	HeldAborts uint64 // held pseudo-commits revoked by a site crash (each re-run)
+	Ops        uint64 // operations executed, aborted attempts included
+	Elapsed    time.Duration
+	TxnPerSec  float64
 }
 
 func (r LoadResult) String() string {
-	return fmt.Sprintf("shards=%d commits=%d pseudo=%d aborts=%d ops=%d elapsed=%s txn/s=%.0f",
-		r.Shards, r.Commits, r.Pseudo, r.Aborts, r.Ops, r.Elapsed.Round(time.Millisecond), r.TxnPerSec)
+	return fmt.Sprintf("shards=%d commits=%d pseudo=%d aborts=%d heldaborts=%d ops=%d elapsed=%s txn/s=%.0f",
+		r.Shards, r.Commits, r.Pseudo, r.Aborts, r.HeldAborts, r.Ops, r.Elapsed.Round(time.Millisecond), r.TxnPerSec)
 }
 
 // factoryStore is the optional store capability the harness uses to
@@ -96,7 +111,7 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 	}
 	fs.SetFactory(cfg.Workload.Factory())
 
-	var commits, pseudo, aborts, ops atomic.Uint64
+	var commits, pseudo, aborts, heldAborts, ops atomic.Uint64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -105,32 +120,27 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
-			var held []core.Txn
-			// Every pseudo-commit is a promise; make sure each one
-			// lands before the run is declared done (a stuck hold
-			// would hang here and be caught, not silently dropped).
-			defer func() {
-				for _, t := range held {
-					<-t.Done()
-					if err := t.Err(); err != nil {
-						firstErr.CompareAndSwap(nil, err)
-					}
+			fail := func(err error) { firstErr.CompareAndSwap(nil, err) }
+			committed := func(steps []Step) {
+				commits.Add(1)
+				if cfg.OnCommitted != nil {
+					cfg.OnCommitted(steps)
 				}
-			}()
-			for i := 0; i < cfg.TxnsPerWorker; i++ {
-				length := minLen + r.Intn(maxLen-minLen+1)
-				steps := cfg.Workload.NewTxn(r, length)
+			}
+			// runOnce drives the logical transaction until it commits
+			// (really, returning nil, or pseudo, returning the handle)
+			// with exponential jittered backoff between attempts (the
+			// policy Store.Run uses, shared constants): an immediate
+			// replay of the same steps tends to re-collide with the
+			// same resident set. ok is false on a fatal error.
+			runOnce := func(steps []Step) (heldTxn core.Txn, ok bool) {
 			restart:
 				for attempt := 0; ; attempt++ {
 					if attempt > maxRestarts {
-						firstErr.CompareAndSwap(nil, fmt.Errorf("workload: transaction exceeded %d restarts", maxRestarts))
-						return
+						fail(fmt.Errorf("workload: transaction exceeded %d restarts", maxRestarts))
+						return nil, false
 					}
 					if attempt > 0 {
-						// Exponential backoff with jitter (the policy
-						// Store.Run uses, shared constants): an
-						// immediate replay of the same steps tends to
-						// re-collide with the same resident set.
 						shift := attempt
 						if shift > core.RunBackoffShift {
 							shift = core.RunBackoffShift
@@ -144,25 +154,100 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 								aborts.Add(1)
 								continue restart
 							}
-							firstErr.CompareAndSwap(nil, err)
+							fail(err)
 							t.Abort() // don't leave live operations blocking other workers
-							return
+							return nil, false
 						}
 						ops.Add(1)
 					}
 					status, err := t.Commit()
 					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
+						// Under chaos a commit conversation can die with
+						// the site it is talking to; that is a retryable
+						// abort like any other.
+						var ab *core.ErrAborted
+						if cfg.RetryHeldAborts && errors.As(err, &ab) && ab.Retryable() {
+							aborts.Add(1)
+							continue restart
+						}
+						fail(err)
 						t.Abort()
-						return
+						return nil, false
 					}
 					if status == core.PseudoCommitted {
 						pseudo.Add(1)
-						held = append(held, t)
+						return t, true
 					}
-					commits.Add(1)
-					break
+					return nil, true
 				}
+			}
+
+			// Every pseudo-commit is a promise: each must land before
+			// the run is declared done. Under RetryHeldAborts a revoked
+			// promise (site crash) re-runs the logical transaction;
+			// otherwise any held failure is fatal. A stuck hold hangs
+			// here and is caught by the caller's watchdog, not silently
+			// dropped.
+			type heldRec struct {
+				t     core.Txn
+				steps []Step
+			}
+			var held []heldRec
+			// Quiescence on every exit path, fatal errors included: no
+			// worker returns while a pseudo-commit it owns is still in
+			// flight, so a caller never observes the store mutating
+			// after RunLoad. Fatal paths abort their active txn first,
+			// so every held dependency terminates and Done closes.
+			defer func() {
+				for _, h := range held {
+					<-h.t.Done()
+				}
+			}()
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				length := minLen + r.Intn(maxLen-minLen+1)
+				steps := cfg.Workload.NewTxn(r, length)
+				t, ok := runOnce(steps)
+				if !ok {
+					return
+				}
+				if t == nil {
+					committed(steps)
+				} else if cfg.RetryHeldAborts {
+					held = append(held, heldRec{t: t, steps: steps})
+				} else {
+					// Promise-time counting, the historical contract:
+					// the drain below only verifies the promise.
+					committed(steps)
+					held = append(held, heldRec{t: t})
+				}
+			}
+			for len(held) > 0 {
+				h := held[len(held)-1]
+				held = held[:len(held)-1]
+				<-h.t.Done()
+				err := h.t.Err()
+				if err == nil {
+					if cfg.RetryHeldAborts {
+						committed(h.steps)
+					}
+					continue
+				}
+				var ab *core.ErrAborted
+				if cfg.RetryHeldAborts && errors.As(err, &ab) && ab.Retryable() {
+					heldAborts.Add(1)
+					t, ok := runOnce(h.steps)
+					if !ok {
+						return
+					}
+					if t == nil {
+						committed(h.steps)
+					} else {
+						held = append(held, heldRec{t: t, steps: h.steps})
+					}
+					continue
+				}
+				fail(err)
+				return
 			}
 		}(w)
 	}
@@ -177,12 +262,13 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 		shards = ss.NumSites()
 	}
 	res := LoadResult{
-		Shards:  shards,
-		Commits: commits.Load(),
-		Pseudo:  pseudo.Load(),
-		Aborts:  aborts.Load(),
-		Ops:     ops.Load(),
-		Elapsed: elapsed,
+		Shards:     shards,
+		Commits:    commits.Load(),
+		Pseudo:     pseudo.Load(),
+		Aborts:     aborts.Load(),
+		HeldAborts: heldAborts.Load(),
+		Ops:        ops.Load(),
+		Elapsed:    elapsed,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.TxnPerSec = float64(res.Commits) / sec

@@ -180,6 +180,43 @@ func (w Sharded) NewTxn(r *rand.Rand, length int) []Step {
 	return steps
 }
 
+// Pushes is the conservation workload for the fault-tolerance tests:
+// every object is a stack and every operation a push, so after any
+// run — crashes included — each object's committed depth must equal
+// exactly the number of push steps of transactions whose commit
+// promise was honoured (ChaosResult.CommittedSteps). Push/push pairs
+// are recoverable, not commuting, so the workload exercises commit
+// dependencies, holds and the decision log, not just the fast path.
+type Pushes struct {
+	DBSize int
+}
+
+// Name implements Generator.
+func (w Pushes) Name() string { return "pushes(conservation)" }
+
+// Size implements Generator.
+func (w Pushes) Size() int { return w.DBSize }
+
+// Factory implements Generator.
+func (w Pushes) Factory() func(core.ObjectID) (adt.Type, compat.Classifier) {
+	table := compat.StackTable()
+	return func(core.ObjectID) (adt.Type, compat.Classifier) {
+		return adt.Stack{}, table
+	}
+}
+
+// NewTxn implements Generator.
+func (w Pushes) NewTxn(r *rand.Rand, length int) []Step {
+	steps := make([]Step, length)
+	for i := range steps {
+		steps[i] = Step{
+			Object: core.ObjectID(1 + r.Intn(w.DBSize)),
+			Op:     adt.Op{Name: adt.StackPush, Arg: r.Intn(1 << 20), HasArg: true},
+		}
+	}
+	return steps
+}
+
 // Mix is a database of the paper's concrete types — stacks, sets and
 // tables in equal proportion (object id mod 3) — with operations drawn
 // uniformly from each type's repertoire and parameters from a small

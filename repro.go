@@ -97,6 +97,9 @@ var (
 	// ErrConflictCycle matches aborts caused by a commit-dependency
 	// cycle.
 	ErrConflictCycle = core.ErrConflictCycle
+	// ErrSiteFailed matches aborts caused by a participant site crash
+	// (fault-tolerant clusters only; retryable).
+	ErrSiteFailed = core.ErrSiteFailed
 	// ErrClosed is returned by operations on a closed Store.
 	ErrClosed = core.ErrClosed
 	// ErrTxnDone is returned for operations on an already-committed
@@ -115,6 +118,36 @@ var (
 // same Store interface DB implements.
 func NewCluster(n int, opts Options) (Store, error) {
 	c, err := dist.New(n, opts, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FaultStore is a Store whose participant sites live under the
+// crash-stop fault model: sites can be crashed (dropping all volatile
+// scheduler state) and restarted (recovering held commits against the
+// coordinator's presumed-abort decision log). Transactions that lose a
+// participant abort with ErrSiteFailed — retryable, like deadlocks.
+type FaultStore interface {
+	Store
+	// NumSites returns the number of participant sites.
+	NumSites() int
+	// CrashSite fails one site: parked requests are woken with the
+	// failure verdict, in-flight transactions that touched it abort
+	// with ErrSiteFailed, unlogged held commits are presumed aborted.
+	CrashSite(site int) error
+	// RestartSite recovers the site: committed state is rebuilt from
+	// its durable image and prepared transactions with a logged commit
+	// are redone; the rest are presumed aborted.
+	RestartSite(site int) error
+}
+
+// NewFaultTolerantCluster is NewCluster under the crash-stop fault
+// model (internal/fault): every site is crashable and the coordinator
+// runs a presumed-abort decision log. See DESIGN.md, "Failure model".
+func NewFaultTolerantCluster(n int, opts Options) (FaultStore, error) {
+	c, err := dist.NewWithConfig(dist.Config{Sites: n, Opts: opts, FaultTolerant: true})
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +184,10 @@ type (
 	Set = adt.Set
 	// KTable is the keyed table of §3.2.4.
 	KTable = adt.KTable
+	// PageState is a Page's concrete state (inspection).
+	PageState = adt.PageState
+	// StackState is a Stack's concrete state (inspection).
+	StackState = adt.StackState
 )
 
 // Operation constructors for the built-in types.
