@@ -154,6 +154,7 @@ func (s *site) edges(id core.TxnID) []depgraph.Edge {
 type Cluster struct {
 	route Router
 	obs   Observer
+	hook  StepHook
 	sites []*site
 
 	// faulty marks a fault-tolerant cluster (crash-stop sites wrapped
@@ -178,6 +179,12 @@ type Cluster struct {
 	// exports in one coordinator critical section (the batching the
 	// counting-observer test pins, together with mirror.Observes).
 	holdBatches uint64
+	// relAcks tracks, per logged commit decision, the participants
+	// whose release (or restart-time redo) has not yet been confirmed.
+	// Created at the commit point under mu; once the set drains the
+	// decision is truncated from the log — presumed abort never needs
+	// it again. Nil on a plain cluster.
+	relAcks map[core.TxnID]map[SiteID]struct{}
 }
 
 // Cluster is the distributed core.Store.
@@ -205,6 +212,10 @@ type Config struct {
 	// Log is the coordinator's decision log; nil means a fresh
 	// fault.NewMemLog(). Ignored unless FaultTolerant.
 	Log fault.Log
+	// StepHook, when non-nil, is fired at every named protocol-step
+	// boundary of commit conversations (see StepHook); nil is the
+	// zero-overhead passthrough.
+	StepHook StepHook
 }
 
 // New builds a cluster of n in-process sites, each running its own
@@ -229,6 +240,7 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		route:  route,
 		obs:    cfg.Obs,
+		hook:   cfg.StepHook,
 		faulty: cfg.FaultTolerant,
 		mirror: depgraph.NewMirror(),
 		txns:   make(map[core.TxnID]*Txn),
@@ -238,6 +250,7 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		if c.flog == nil {
 			c.flog = fault.NewMemLog()
 		}
+		c.relAcks = make(map[core.TxnID]map[SiteID]struct{})
 	}
 	for i := 0; i < cfg.Sites; i++ {
 		s := &site{
@@ -393,13 +406,46 @@ func (c *Cluster) SiteStats(id SiteID) core.Stats {
 // logCommit forces the transaction's commit decision to the decision
 // log (a no-op on a plain cluster). The write must succeed before any
 // participant is released; a failed force would break the recovery
-// promise, so it is surfaced loudly. Caller holds c.mu.
-func (c *Cluster) logCommit(id core.TxnID) {
+// promise, so it is surfaced loudly. The release-ack set is opened in
+// the same critical section: once every participant confirms the real
+// commit (release, or redo at restart) the decision is truncated.
+// Caller holds c.mu.
+func (c *Cluster) logCommit(t *Txn) {
 	if c.flog == nil {
 		return
 	}
-	if err := c.flog.Record(id, fault.OutcomeCommit); err != nil {
-		panic(fmt.Sprintf("dist: decision log commit of T%d: %v", id, err))
+	if err := c.flog.Record(t.id, fault.OutcomeCommit); err != nil {
+		panic(fmt.Sprintf("dist: decision log commit of T%d: %v", t.id, err))
+	}
+	pending := make(map[SiteID]struct{}, len(t.visited))
+	for sid := range t.visited {
+		pending[sid] = struct{}{}
+	}
+	c.relAcks[t.id] = pending
+}
+
+// ackRelease confirms that one participant has made the logged commit
+// durable in its base state (released it, or redone it during restart
+// recovery). When the last participant acks, the decision leaves the
+// log: every prepared record for the transaction is resolved, so
+// presumed abort can never need it again. Truncation is best-effort —
+// a failed prune costs log space, not correctness.
+func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
+	if c.flog == nil {
+		return
+	}
+	c.mu.Lock()
+	pending := c.relAcks[id]
+	if pending != nil {
+		delete(pending, sid)
+	}
+	done := pending != nil && len(pending) == 0
+	if done {
+		delete(c.relAcks, id)
+	}
+	c.mu.Unlock()
+	if done {
+		_ = c.flog.Truncate(id)
 	}
 }
 
@@ -587,13 +633,16 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 // delivers the unblocked grants. A down site is skipped: the commit
 // decision is in the log and the site's prepared record survives the
 // crash, so recovery redoes the transaction there (presumed abort's
-// counterpart — logged outcomes are re-released).
+// counterpart — logged outcomes are re-released); its release ack
+// arrives when its restart redoes the commit.
 func (c *Cluster) releaseAt(t *Txn) {
 	for _, sid := range t.visitedSorted() {
+		c.step(DuringReleaseCascade, t.id, sid)
 		s := c.sites[sid]
 		s.mu.Lock()
 		eff := s.hub.Effects()
-		if err := s.p.ReleaseInto(eff, t.id); err == nil {
+		err := s.p.ReleaseInto(eff, t.id)
+		if err == nil {
 			s.hub.Deliver(eff)
 		} else if !c.siteFailure(err) {
 			// On a fault-tolerant cluster, ErrSiteDown means the site
@@ -607,6 +656,9 @@ func (c *Cluster) releaseAt(t *Txn) {
 		}
 		s.forget(t.id)
 		s.mu.Unlock()
+		if err == nil {
+			c.ackRelease(t.id, sid)
+		}
 		c.refreshParked(s)
 	}
 }
@@ -629,7 +681,7 @@ func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
 					// The commit point: force the decision before any
 					// participant is released, so a crash mid-release
 					// can always be redone from the prepared records.
-					c.logCommit(dt.id)
+					c.logCommit(dt)
 					ready = append(ready, dt)
 				}
 			}
@@ -640,6 +692,7 @@ func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
 
 		ids = ids[:0]
 		for _, dt := range ready {
+			c.step(AfterDecisionBeforeRelease, dt.id, noSite)
 			c.releaseAt(dt)
 			c.mu.Lock()
 			dt.state.Store(txCommitted)
@@ -782,6 +835,12 @@ func (c *Cluster) Restart(id SiteID) (fault.RecoveryReport, error) {
 		c.mu.Unlock()
 	}
 	s.mu.Unlock()
+	// A redo is this site's release ack: the logged commit is now in
+	// its durable base, so the decision can be truncated once every
+	// other participant has confirmed too.
+	for _, txid := range rep.Redone {
+		c.ackRelease(txid, id)
+	}
 	return rep, nil
 }
 

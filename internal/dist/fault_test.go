@@ -258,10 +258,35 @@ func TestBeginAtDownSite(t *testing.T) {
 // TestMultiSiteEdgeFreeCommitUsesHolds: on a fault-tolerant cluster a
 // multi-site transaction goes through the prepare conversation even
 // when edge-free (a direct per-site commit would not be atomic under
-// crashes), and its commit is logged; a single-site transaction keeps
-// the fast path (no log entry).
+// crashes), and its commit is logged at the commit point — observed at
+// the AfterDecisionBeforeRelease step boundary, because once every
+// participant releases, the release-ack protocol truncates the
+// decision. A single-site transaction keeps the fast path (no log
+// entry, no conversation steps).
 func TestMultiSiteEdgeFreeCommitUsesHolds(t *testing.T) {
-	c := newFaultCluster(t, 2, 4)
+	type logged struct {
+		o  fault.Outcome
+		ok bool
+	}
+	atDecision := make(map[core.TxnID]logged)
+	var c *Cluster
+	cfg := Config{Sites: 2, FaultTolerant: true}
+	cfg.StepHook = func(step Step, id core.TxnID, _ SiteID) {
+		if step == AfterDecisionBeforeRelease {
+			o, ok := c.flog.Lookup(id)
+			atDecision[id] = logged{o: o, ok: ok}
+		}
+	}
+	var err error
+	c, err = NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := core.ObjectID(1); id <= 4; id++ {
+		if err := c.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
 	tx := c.Begin()
 	if _, err := tx.Do(1, write(1)); err != nil { // site 1
 		t.Fatal(err)
@@ -272,8 +297,16 @@ func TestMultiSiteEdgeFreeCommitUsesHolds(t *testing.T) {
 	if st, err := tx.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("commit = %v %v", st, err)
 	}
-	if o, ok := c.flog.Lookup(tx.ID()); !ok || o != fault.OutcomeCommit {
-		t.Fatalf("multi-site commit not logged: %v %v", o, ok)
+	if got := atDecision[tx.ID()]; !got.ok || got.o != fault.OutcomeCommit {
+		t.Fatalf("decision log at AfterDecisionBeforeRelease = %v %v, want commit", got.o, got.ok)
+	}
+	// Both participants released, so the release-ack protocol pruned
+	// the decision: presumed abort never needs it again.
+	if _, ok := c.flog.Lookup(tx.ID()); ok {
+		t.Fatal("fully released commit decision was not truncated")
+	}
+	if n := c.flog.Len(); n != 0 {
+		t.Fatalf("decision log holds %d entries after full release, want 0", n)
 	}
 	single := c.Begin()
 	if _, err := single.Do(2, write(3)); err != nil {
@@ -282,8 +315,8 @@ func TestMultiSiteEdgeFreeCommitUsesHolds(t *testing.T) {
 	if st, err := single.Commit(); err != nil || st != core.Committed {
 		t.Fatalf("single-site commit = %v %v", st, err)
 	}
-	if _, ok := c.flog.Lookup(single.ID()); ok {
-		t.Fatal("single-site fast-path commit was logged")
+	if _, ok := atDecision[single.ID()]; ok {
+		t.Fatal("single-site fast-path commit ran conversation steps")
 	}
 }
 

@@ -379,6 +379,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	var batch []depgraph.Edge
 	var counts []int
 	for _, sid := range sids {
+		c.step(BeforeCommitHold, t.id, sid)
 		s := c.sites[sid]
 		s.mu.Lock()
 		eff := s.hub.Effects()
@@ -397,7 +398,9 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			return 0, fmt.Errorf("dist: commit-hold of T%d at site %d: %w", t.id, sid, err)
 		}
+		c.step(AfterPrepareForce, t.id, sid)
 	}
+	c.step(BeforeDecisionForce, t.id, noSite)
 
 	// One coordinator critical section: mirror every site's export, sum
 	// the global dependency set, and decide. The doomed re-check runs
@@ -426,7 +429,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		// The commit point: force the decision before releasing anyone
 		// (txReleasing also bars the crash handler from revoking).
 		t.state.Store(txReleasing)
-		c.logCommit(t.id)
+		c.logCommit(t)
 	}
 	c.mu.Unlock()
 
@@ -438,6 +441,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	}
 
 	// Global dependency set empty: land the real commit everywhere.
+	c.step(AfterDecisionBeforeRelease, t.id, noSite)
 	c.releaseAt(t)
 	c.mu.Lock()
 	t.state.Store(txCommitted)

@@ -1,0 +1,415 @@
+package distsim
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/dist"
+	"repro/internal/fault"
+)
+
+// startCommit begins the commit conversation: the edge-free
+// single-site fast path commits directly at its home site; everything
+// else runs the hold conversation over every visited site in ascending
+// order, exactly like the fault-tolerant wall-clock cluster (a direct
+// multi-site commit would not be atomic under crashes).
+func (e *Engine) startCommit(p *sproc) {
+	p.commitStart = e.tl.Now()
+	e.phExec.Add(e.tl.Now() - p.attemptStart)
+	if !p.anyEdges && len(p.visited) == 1 {
+		p.state = spHolding
+		p.decideTime = p.commitStart
+		sid := p.visited[0]
+		e.tracef("commit T%d site=%d (direct)", p.txn, sid)
+		at := e.sendToSite(sid, e.lat())
+		e.tl.Schedule(at, ev{kind: evCommitArrive, p: p, txn: p.txn, site: sid})
+		return
+	}
+	p.state = spHolding
+	p.holdK = 0
+	p.holdEdges = p.holdEdges[:0]
+	e.tracef("hold-start T%d sites=%v", p.txn, p.visited)
+	e.sendHold(p)
+}
+
+// sendHold fires the BeforeCommitHold boundary for the next
+// participant and sends the prepare. A step-scheduled crash can unwind
+// the attempt synchronously; the txn-id recheck catches that.
+func (e *Engine) sendHold(p *sproc) {
+	sid := p.visited[p.holdK]
+	id := p.txn
+	e.stepFired(dist.BeforeCommitHold, p, sid)
+	if p.txn != id {
+		return // the crash at this boundary doomed the conversation
+	}
+	at := e.sendToSite(sid, e.lat())
+	e.tl.Schedule(at, ev{kind: evHoldArrive, p: p, txn: p.txn, site: sid, k: p.holdK})
+}
+
+// commitArrive lands the direct single-site commit.
+func (e *Engine) commitArrive(p *sproc, sid int) {
+	s := e.sites[sid]
+	if s.down() {
+		e.abortAttempt(p, core.ReasonSiteFailed, -1)
+		return
+	}
+	var eff core.Effects
+	st, err := s.cr.CommitInto(&eff, p.txn)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownTxn) {
+			// The site crashed and recovered while the commit flew:
+			// the transaction's volatile state died with it.
+			e.abortAttempt(p, core.ReasonSiteFailed, -1)
+			return
+		}
+		panic(fmt.Sprintf("distsim: direct commit T%d at site %d: %v", p.txn, sid, err))
+	}
+	if st != core.Committed {
+		panic(fmt.Sprintf("distsim: edge-free T%d pseudo-committed at site %d", p.txn, sid))
+	}
+	s.cr.Forget(p.txn)
+	e.processEffects(s, &eff)
+	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
+	e.tl.Schedule(at, ev{kind: evCommitReply, p: p, txn: p.txn})
+}
+
+// holdArrive processes the prepare at participant k: the real
+// CommitHoldInto forces the prepare record, the AfterPrepareForce
+// boundary fires, and the reply carries the site's dependency-edge
+// export back to the coordinator.
+func (e *Engine) holdArrive(p *sproc, sid int) {
+	s := e.sites[sid]
+	if s.down() {
+		// The message reached a dead site: no reply will come. The
+		// crash that took the site down has already unwound every
+		// transaction that visited it — reaching here means the crash
+		// happened after this attempt died and a new attempt reused
+		// the proc, which the staleness guard rejects; keep the
+		// defensive abort for safety.
+		e.abortAttempt(p, core.ReasonSiteFailed, -1)
+		return
+	}
+	var eff core.Effects
+	if _, err := s.cr.CommitHoldInto(&eff, p.txn); err != nil {
+		panic(fmt.Sprintf("distsim: commit-hold T%d at site %d: %v", p.txn, sid, err))
+	}
+	s.prepTime[p.txn] = e.tl.Now()
+	e.tracef("hold T%d site=%d (prepare forced)", p.txn, sid)
+	e.processEffects(s, &eff)
+	id := p.txn
+	e.stepFired(dist.AfterPrepareForce, p, sid)
+	if p.txn != id {
+		return // crash at the boundary unwound the conversation
+	}
+	edges := s.cr.OutEdgesAppend(p.txn, nil)
+	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
+	e.tl.Schedule(at, ev{kind: evHoldReply, p: p, txn: p.txn, site: sid, edges: edges})
+}
+
+// holdReply collects one participant's prepare ack at the coordinator:
+// either the conversation moves to the next site, or — all sites
+// holding — the BeforeDecisionForce boundary fires and the coordinator
+// decides.
+func (e *Engine) holdReply(p *sproc, edges []depgraph.Edge) {
+	p.holdEdges = append(p.holdEdges, edges)
+	p.holdK++
+	if p.holdK < len(p.visited) {
+		e.sendHold(p)
+		return
+	}
+	id := p.txn
+	e.stepFired(dist.BeforeDecisionForce, p, -1)
+	if p.txn != id {
+		return // pre-decision crash: prepared records will be presumed aborted
+	}
+	// The decision critical section: mirror every site's export, read
+	// the global dependency set, decide.
+	gdeps := 0
+	for i, sid := range p.visited {
+		live := e.filterLive(p.holdEdges[i])
+		if len(live) > 0 {
+			p.anyEdges = true
+		}
+		e.mirror.Observe(sid, p.txn, live)
+	}
+	gdeps = e.mirror.OutDegree(p.txn)
+	if gdeps > 0 {
+		p.state = spHeld
+		p.heldAt = e.tl.Now()
+		e.held++
+		e.heldSet++
+		e.convoy.Add(e.heldSet)
+		e.phHold.Add(e.tl.Now() - p.commitStart)
+		e.tracef("held T%d gdeps=%d depth=%d", p.txn, gdeps, e.heldSet)
+		e.freeTerminal(p)
+		return
+	}
+	e.phHold.Add(e.tl.Now() - p.commitStart)
+	e.decideCommit(p)
+}
+
+// decideCommit is the commit point: the decision is forced to the log
+// (and the release-ack set opened) before any participant is released,
+// the AfterDecisionBeforeRelease boundary fires, and the release
+// fan-out starts.
+func (e *Engine) decideCommit(p *sproc) {
+	if err := e.flog.Record(p.txn, fault.OutcomeCommit); err != nil {
+		panic(fmt.Sprintf("distsim: decision log commit of T%d: %v", p.txn, err))
+	}
+	if n := e.flog.Len(); n > e.logHighWater {
+		e.logHighWater = n
+	}
+	pending := make(map[int]struct{}, len(p.visited))
+	for _, sid := range p.visited {
+		pending[sid] = struct{}{}
+	}
+	e.relAcks[p.txn] = pending
+	if p.state == spHeld {
+		e.heldSet--
+		e.phHeldWait.Add(e.tl.Now() - p.heldAt)
+	}
+	p.state = spReleasing
+	p.decideTime = e.tl.Now()
+	e.tracef("decide T%d commit", p.txn)
+	e.stepFired(dist.AfterDecisionBeforeRelease, p, -1)
+	// A crash at the boundary cannot unwind a releasing transaction —
+	// its decision is logged; releases skip the down site and recovery
+	// redoes them.
+	p.relK = 0
+	e.sendRelease(p)
+}
+
+// sendRelease fires the DuringReleaseCascade boundary for the next
+// participant and sends the release (the real commit).
+func (e *Engine) sendRelease(p *sproc) {
+	sid := p.visited[p.relK]
+	e.stepFired(dist.DuringReleaseCascade, p, sid)
+	at := e.sendToSite(sid, e.lat())
+	e.tl.Schedule(at, ev{kind: evRelArrive, p: p, txn: p.txn, site: sid, k: p.relK})
+}
+
+// relArrive lands the real commit at participant k, or skips a down
+// site (recovery will redo it from the prepared record — the decision
+// is logged).
+func (e *Engine) relArrive(p *sproc, sid int) {
+	s := e.sites[sid]
+	if s.down() {
+		e.tracef("release T%d site=%d skipped (down, redo at restart)", p.txn, sid)
+		at := e.sendFromSite(s, e.lat())
+		e.tl.Schedule(at, ev{kind: evRelReply, p: p, txn: p.txn, site: sid})
+		return
+	}
+	var eff core.Effects
+	if err := s.cr.ReleaseInto(&eff, p.txn); err != nil {
+		if errors.Is(err, core.ErrUnknownTxn) {
+			// Crashed and already recovered: the restart redid the
+			// commit from the prepared record and acked it.
+			e.tracef("release T%d site=%d already redone", p.txn, sid)
+		} else {
+			panic(fmt.Sprintf("distsim: release T%d at site %d: %v", p.txn, sid, err))
+		}
+	} else {
+		delete(s.prepTime, p.txn)
+		s.cr.Forget(p.txn)
+		e.ack(p.txn, sid)
+		e.tracef("release T%d site=%d", p.txn, sid)
+		e.processEffects(s, &eff)
+	}
+	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
+	e.tl.Schedule(at, ev{kind: evRelReply, p: p, txn: p.txn, site: sid})
+}
+
+// relReply advances the release fan-out; after the last ack the real
+// commit has landed everywhere that is up.
+func (e *Engine) relReply(p *sproc) {
+	p.relK++
+	if p.relK < len(p.visited) {
+		e.sendRelease(p)
+		return
+	}
+	e.realCommit(p)
+}
+
+// realCommit finishes a logical transaction: its promise was honoured
+// at every (live) site, conservation counts its steps, and its mirror
+// node leaves the union graph — possibly releasing dependants.
+func (e *Engine) realCommit(p *sproc) {
+	id := p.txn
+	e.realCommits++
+	e.respReal.Add(e.tl.Now() - p.submitted)
+	e.phRelease.Add(e.tl.Now() - p.decideTime)
+	for _, st := range p.steps {
+		e.committedSteps[st.Object]++
+	}
+	e.tracef("committed T%d", id)
+	if !p.freed {
+		e.freeTerminal(p)
+	}
+	delete(e.procs, id)
+	p.txn = 0
+	e.finalize(id)
+	if !e.inWindow && e.realCommits >= e.cfg.Warmup {
+		e.openWindow()
+	}
+}
+
+// freeTerminal completes the transaction from its terminal's
+// perspective (§4.3: pseudo-commit is completion) and schedules the
+// terminal's next submission after a think time.
+func (e *Engine) freeTerminal(p *sproc) {
+	p.freed = true
+	e.pseudoCompl++
+	e.respPseudo.Add(e.tl.Now() - p.submitted)
+	if p.terminal >= 0 {
+		e.tl.Schedule(e.think(), ev{kind: evSubmit, terminal: p.terminal})
+	}
+}
+
+// ack confirms one participant's durable copy of a logged commit; the
+// last ack truncates the decision.
+func (e *Engine) ack(id core.TxnID, sid int) {
+	pending := e.relAcks[id]
+	if pending == nil {
+		return
+	}
+	delete(pending, sid)
+	if len(pending) == 0 {
+		delete(e.relAcks, id)
+		if err := e.flog.Truncate(id); err == nil {
+			e.tracef("truncate T%d", id)
+		}
+	}
+}
+
+// stepFired counts a protocol-step boundary and fires any crash the
+// schedule placed on it. site -1 (a coordinator-level step) defaults
+// the victim to the transaction's first participant.
+func (e *Engine) stepFired(step dist.Step, p *sproc, site int) {
+	e.stepCount[step]++
+	e.tracef("step %s T%d site=%d n=%d", step, p.txn, site, e.stepCount[step])
+	for i := range e.cfg.Crashes {
+		cp := &e.cfg.Crashes[i]
+		if e.crashFired[i] || cp.Step != step || e.stepCount[step] != cp.Occurrence {
+			continue
+		}
+		e.crashFired[i] = true
+		victim := cp.Site
+		if victim < 0 {
+			victim = site
+			if victim < 0 {
+				victim = p.visited[0]
+			}
+		}
+		e.crash(victim, cp.RestartAfter)
+	}
+}
+
+// crash fails a site at the current virtual instant: volatile state is
+// dropped (the real fault.Crashable.Crash), its union-graph
+// contribution is purged, and every live transaction that touched it
+// is unwound — active, blocked and mid-conversation attempts abort
+// (and retry); unlogged holds are revoked at the surviving sites and
+// their logical transactions re-run detached; releasing transactions
+// are past their commit point and proceed, skipping the dead site.
+func (e *Engine) crash(sid int, restartAfter float64) {
+	s := e.sites[sid]
+	if s.down() {
+		return
+	}
+	if err := s.cr.Crash(); err != nil {
+		panic(fmt.Sprintf("distsim: crash site %d: %v", sid, err))
+	}
+	e.crashes++
+	e.tracef("crash site=%d", sid)
+	e.mirror.DropSite(sid)
+	clear(s.parked)
+	ids := make([]core.TxnID, 0, len(e.procs))
+	for id, p := range e.procs {
+		if p.visitedHas(sid) {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		p := e.procs[id]
+		if p == nil || p.txn != id {
+			continue // an earlier iteration's cascade already handled it
+		}
+		p.doomed = true
+		switch p.state {
+		case spReleasing:
+			// Past the commit point: the logged decision lands
+			// everywhere, crash or not.
+		case spHeld:
+			e.revokeHeld(p, sid)
+		default: // spActive, spBlocked, spHolding
+			e.abortAttempt(p, core.ReasonSiteFailed, -1)
+		}
+	}
+	if restartAfter > 0 {
+		e.tl.Schedule(e.tl.Now()+restartAfter, ev{kind: evRestart, site: sid})
+	}
+}
+
+// revokeHeld unwinds an unlogged held pseudo-commit after a crash:
+// the hold is revoked at every surviving site (presumed abort's
+// coordinator half), and the logical transaction re-runs detached —
+// its terminal already moved on at pseudo-commit time.
+func (e *Engine) revokeHeld(p *sproc, crashed int) {
+	id := p.txn
+	e.heldSet--
+	e.heldAborts++
+	for _, sid := range p.visited {
+		if sid == crashed {
+			continue
+		}
+		s := e.sites[sid]
+		if s.down() {
+			continue
+		}
+		var eff core.Effects
+		if err := s.cr.RevokeInto(&eff, id, core.ReasonSiteFailed); err == nil {
+			delete(s.prepTime, id)
+			s.cr.Forget(id)
+			e.processEffects(s, &eff)
+		}
+	}
+	e.tracef("revoke T%d (site %d failed)", id, crashed)
+	delete(e.procs, id)
+	p.txn = 0
+	p.state = spWaitRetry
+	p.attempts++
+	e.finalize(id)
+	e.tl.Schedule(e.tl.Now()+e.backoff(p.attempts), ev{kind: evResubmit, p: p})
+}
+
+// restartSite recovers a crashed site: the real presumed-abort
+// recovery runs (redo logged commits, discard the rest), redone
+// transactions ack their release, and in-doubt windows close.
+func (e *Engine) restartSite(s *simSite) {
+	rep, err := s.cr.Restart()
+	if err != nil {
+		panic(fmt.Sprintf("distsim: restart site %d: %v", s.idx, err))
+	}
+	e.restarts++
+	now := e.tl.Now()
+	for _, id := range rep.Redone {
+		if t0, ok := s.prepTime[id]; ok {
+			e.inDoubt.Add(now - t0)
+			delete(s.prepTime, id)
+		}
+		e.ack(id, s.idx)
+	}
+	for _, id := range rep.PresumedAborted {
+		if t0, ok := s.prepTime[id]; ok {
+			e.inDoubt.Add(now - t0)
+			delete(s.prepTime, id)
+		}
+	}
+	e.redone += len(rep.Redone)
+	e.presumed += len(rep.PresumedAborted)
+	e.tracef("restart site=%d redone=%v presumed=%v", s.idx, rep.Redone, rep.PresumedAborted)
+}

@@ -1,0 +1,642 @@
+package distsim
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// sprocState tracks where a logical transaction's current attempt is.
+type sprocState uint8
+
+const (
+	spActive    sprocState = iota // issuing requests
+	spBlocked                     // a request is parked at a site
+	spHolding                     // commit conversation in flight (hold phase or direct commit)
+	spHeld                        // pseudo-committed-and-held, waiting for the global dependency set
+	spReleasing                   // decision logged, releases fanning out
+	spWaitRetry                   // aborted, waiting out the restart backoff
+)
+
+// sproc is one logical transaction: it survives aborts (the attempt
+// resubmits with a fresh txn id) and, for revoked holds, survives the
+// revocation as a detached re-run.
+type sproc struct {
+	txn      core.TxnID // current attempt's id; 0 between attempts
+	terminal int
+	steps    []workload.Step
+	idx      int
+	visited  []int // ascending site ids where Begin has run
+	anyEdges bool
+	doomed   bool
+	freed    bool // terminal released (pseudo completion counted)
+	state    sprocState
+
+	blockedSite  int
+	attempts     int
+	submitted    float64 // first submission (survives restarts)
+	attemptStart float64
+	commitStart  float64
+	decideTime   float64 // decision time (or startCommit for the direct path)
+	heldAt       float64
+
+	holdK     int
+	relK      int
+	holdEdges [][]depgraph.Edge // per visited site, captured at hold time
+}
+
+func (p *sproc) visitedHas(sid int) bool {
+	for _, v := range p.visited {
+		if v == sid {
+			return true
+		}
+	}
+	return false
+}
+
+// simSite is one participant: the real crash-stop scheduler plus the
+// model's per-site channel state.
+type simSite struct {
+	idx int
+	cr  *fault.Crashable
+	// toCoord/fromCoord hold the earliest next delivery time per
+	// direction: channels are FIFO (a later send never overtakes an
+	// earlier one), which is what keeps stale edge reports from
+	// clobbering fresh ones at the mirror.
+	toCoord, fromCoord float64
+	// parked maps transactions blocked at this site.
+	parked map[core.TxnID]*sproc
+	// prepTime records when each prepared (in-doubt) record was forced
+	// — durable bookkeeping, surviving crashes, for the in-doubt
+	// window metric.
+	prepTime map[core.TxnID]float64
+}
+
+func (s *simSite) down() bool { return s.cr.Down() }
+
+// evKind discriminates simulator events.
+type evKind uint8
+
+const (
+	evSubmit       evKind = iota // a terminal submits a new logical transaction
+	evResubmit                   // an aborted/revoked logical transaction retries
+	evReqArrive                  // an operation request reaches its home site
+	evOpDone                     // an executed operation's reply reached the terminal
+	evObserve                    // an edge report reaches the coordinator's mirror
+	evCommitArrive               // a direct (edge-free single-site) commit reaches the site
+	evCommitReply                // ... and its reply reaches the coordinator
+	evHoldArrive                 // a commit-hold (prepare) reaches participant k
+	evHoldReply                  // ... and its reply reaches the coordinator
+	evRelArrive                  // a release reaches participant k
+	evRelReply                   // ... and its ack reaches the coordinator
+	evRestart                    // a crashed site restarts and recovers
+)
+
+// ev is one scheduled event. txn stamps the attempt the event belongs
+// to: if the proc has moved on (aborted and resubmitted) the event is
+// stale and dropped — the message died with the attempt.
+type ev struct {
+	kind     evKind
+	p        *sproc
+	txn      core.TxnID
+	site     int
+	k        int
+	terminal int
+	edges    []depgraph.Edge // evObserve payload, captured at send time
+}
+
+// Engine runs one deterministic multi-site simulation.
+type Engine struct {
+	cfg   Config
+	src   workload.Source
+	rng   *rand.Rand
+	tl    sim.Timeline[ev]
+	sites []*simSite
+
+	mirror  *depgraph.Mirror
+	flog    fault.Log
+	relAcks map[core.TxnID]map[int]struct{}
+
+	procs   map[core.TxnID]*sproc
+	nextTxn core.TxnID
+
+	stepCount  [dist.NumSteps]int
+	crashFired []bool
+
+	// Counters (whole run; the window is a delta).
+	realCommits, pseudoCompl, aborts, heldAborts int
+	held, crashes, restarts                      int
+	redone, presumed                             int
+	heldSet                                      int
+	logHighWater                                 int
+
+	inWindow                                       bool
+	windowStart                                    float64
+	baseReal, basePseudo, baseAborts, baseHeldAbrt int
+
+	convoy                                metrics.Hist
+	inDoubt                               metrics.Window
+	phExec, phHold, phHeldWait, phRelease metrics.Window
+	respPseudo, respReal                  metrics.Window
+	committedSteps                        map[core.ObjectID]uint64
+
+	traceHash uint64
+	traceLen  int
+	trace     []string
+}
+
+// NewEngine builds an engine for the configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	flog := cfg.Log
+	if flog == nil {
+		flog = fault.NewMemLog()
+	}
+	e := &Engine{
+		cfg:            cfg,
+		src:            workload.Source{Gen: cfg.Workload, MinLen: cfg.MinLength, MaxLen: cfg.MaxLength},
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		mirror:         depgraph.NewMirror(),
+		flog:           flog,
+		relAcks:        make(map[core.TxnID]map[int]struct{}),
+		procs:          make(map[core.TxnID]*sproc),
+		crashFired:     make([]bool, len(cfg.Crashes)),
+		committedSteps: make(map[core.ObjectID]uint64),
+		traceHash:      fnvOffset,
+	}
+	opts := core.Options{Predicate: cfg.Predicate, Recovery: core.RecoveryIntentions}
+	factory := cfg.Workload.Factory()
+	for i := 0; i < cfg.Sites; i++ {
+		cr, err := fault.New(opts, flog)
+		if err != nil {
+			return nil, err
+		}
+		cr.SetFactory(factory)
+		e.sites = append(e.sites, &simSite{
+			idx:      i,
+			cr:       cr,
+			parked:   make(map[core.TxnID]*sproc),
+			prepTime: make(map[core.TxnID]float64),
+		})
+	}
+	return e, nil
+}
+
+// Site exposes one participant's crash-stop backend (tests and
+// conservation checks; call after Run, when every site is up).
+func (e *Engine) Site(i int) *fault.Crashable { return e.sites[i].cr }
+
+// route maps an object to its home site (dist.RouteByModulo's rule).
+func (e *Engine) route(id core.ObjectID) int {
+	return int(uint64(id) % uint64(e.cfg.Sites))
+}
+
+// lat draws one message latency.
+func (e *Engine) lat() float64 {
+	if e.cfg.MsgJitter == 0 {
+		return e.cfg.MsgTime
+	}
+	return e.cfg.MsgTime * (1 + e.cfg.MsgJitter*(2*e.rng.Float64()-1))
+}
+
+// think draws a terminal think time.
+func (e *Engine) think() float64 {
+	if e.cfg.ThinkTime == 0 {
+		return e.tl.Now()
+	}
+	return e.tl.Now() + e.rng.ExpFloat64()*e.cfg.ThinkTime
+}
+
+// backoff draws the restart delay for the n-th attempt: doubling from
+// RestartDelay, capped at 64x, with a uniform [0.5,1.5) jitter factor
+// so deterministic re-collisions don't lockstep.
+func (e *Engine) backoff(attempts int) float64 {
+	shift := attempts - 1
+	if shift > 6 {
+		shift = 6
+	}
+	return e.cfg.RestartDelay * float64(uint(1)<<uint(shift)) * (0.5 + e.rng.Float64())
+}
+
+// sendToSite reserves a FIFO delivery slot on the coordinator→site
+// channel and returns the arrival time.
+func (e *Engine) sendToSite(sid int, delay float64) float64 {
+	s := e.sites[sid]
+	at := e.tl.Now() + delay
+	if at < s.fromCoord {
+		at = s.fromCoord
+	}
+	s.fromCoord = at
+	return at
+}
+
+// sendFromSite is the site→coordinator direction.
+func (e *Engine) sendFromSite(s *simSite, delay float64) float64 {
+	at := e.tl.Now() + delay
+	if at < s.toCoord {
+		at = s.toCoord
+	}
+	s.toCoord = at
+	return at
+}
+
+// Run simulates until Warmup+Completions logical transactions have
+// really committed, then restarts any still-down site (resolving its
+// in-doubt records) and returns the measurements.
+func (e *Engine) Run() (Result, error) {
+	target := e.cfg.Warmup + e.cfg.Completions
+	if e.cfg.Warmup == 0 {
+		e.openWindow()
+	}
+	for t := 0; t < e.cfg.Terminals; t++ {
+		e.tl.Schedule(e.think(), ev{kind: evSubmit, terminal: t})
+	}
+	guard := e.cfg.maxEvents()
+	for steps := 0; e.realCommits < target; steps++ {
+		if steps >= guard {
+			return Result{}, fmt.Errorf("distsim: event guard tripped after %d events (%d/%d real commits) — likely stall", steps, e.realCommits, target)
+		}
+		event, ok := e.tl.Next()
+		if !ok {
+			return Result{}, fmt.Errorf("distsim: event queue drained at %d/%d real commits", e.realCommits, target)
+		}
+		e.dispatch(event)
+	}
+	// Bring every site back up so final committed states are fully
+	// recovered (redo or presumed abort) before anyone inspects them.
+	for _, s := range e.sites {
+		if s.down() {
+			e.restartSite(s)
+		}
+	}
+	return e.result(), nil
+}
+
+// openWindow starts the measurement window.
+func (e *Engine) openWindow() {
+	e.inWindow = true
+	e.windowStart = e.tl.Now()
+	e.baseReal = e.realCommits
+	e.basePseudo = e.pseudoCompl
+	e.baseAborts = e.aborts
+	e.baseHeldAbrt = e.heldAborts
+}
+
+// result assembles the Result.
+func (e *Engine) result() Result {
+	var st core.Stats
+	for _, s := range e.sites {
+		st.Add(s.cr.StatsSnapshot())
+	}
+	return Result{
+		Sites:             e.cfg.Sites,
+		SimTime:           e.tl.Now() - e.windowStart,
+		RealCommits:       e.realCommits - e.baseReal,
+		PseudoCompletions: e.pseudoCompl - e.basePseudo,
+		Aborts:            e.aborts - e.baseAborts,
+		HeldAborts:        e.heldAborts - e.baseHeldAbrt,
+		Held:              e.held,
+		Crashes:           e.crashes,
+		Restarts:          e.restarts,
+		Redone:            e.redone,
+		PresumedAborted:   e.presumed,
+		ConvoyDepth:       e.convoy,
+		InDoubt:           e.inDoubt,
+		PhaseExec:         e.phExec,
+		PhaseHold:         e.phHold,
+		PhaseHeldWait:     e.phHeldWait,
+		PhaseRelease:      e.phRelease,
+		RespPseudo:        e.respPseudo,
+		RespReal:          e.respReal,
+		LogHighWater:      e.logHighWater,
+		CommittedSteps:    e.committedSteps,
+		TraceHash:         e.traceHash,
+		TraceLen:          e.traceLen,
+		Trace:             e.trace,
+		Stats:             st,
+	}
+}
+
+// stale reports whether the event's attempt has died (aborted and
+// resubmitted, or completed) since the message was sent.
+func stale(event ev) bool {
+	return event.p == nil || event.p.txn != event.txn || event.txn == 0
+}
+
+// dispatch routes one event.
+func (e *Engine) dispatch(event ev) {
+	switch event.kind {
+	case evSubmit:
+		e.submit(event.terminal)
+	case evResubmit:
+		if event.p.state == spWaitRetry {
+			e.startAttempt(event.p)
+		}
+	case evReqArrive:
+		if !stale(event) {
+			e.reqArrive(event.p, event.site)
+		}
+	case evOpDone:
+		if !stale(event) && event.p.state == spActive {
+			e.issue(event.p)
+		}
+	case evObserve:
+		e.observeArrive(event)
+	case evCommitArrive:
+		if !stale(event) {
+			e.commitArrive(event.p, event.site)
+		}
+	case evCommitReply:
+		if !stale(event) {
+			e.realCommit(event.p)
+		}
+	case evHoldArrive:
+		if !stale(event) {
+			e.holdArrive(event.p, event.site)
+		}
+	case evHoldReply:
+		if !stale(event) {
+			e.holdReply(event.p, event.edges)
+		}
+	case evRelArrive:
+		if !stale(event) {
+			e.relArrive(event.p, event.site)
+		}
+	case evRelReply:
+		if !stale(event) {
+			e.relReply(event.p)
+		}
+	case evRestart:
+		s := e.sites[event.site]
+		if s.down() {
+			e.restartSite(s)
+		}
+	}
+}
+
+// submit draws a fresh logical transaction for the terminal.
+func (e *Engine) submit(terminal int) {
+	p := &sproc{
+		terminal:  terminal,
+		steps:     e.src.Draw(e.rng),
+		submitted: e.tl.Now(),
+	}
+	e.startAttempt(p)
+}
+
+// startAttempt begins one attempt of the logical transaction under a
+// fresh txn id.
+func (e *Engine) startAttempt(p *sproc) {
+	e.nextTxn++
+	p.txn = e.nextTxn
+	p.idx = 0
+	p.visited = p.visited[:0]
+	p.anyEdges = false
+	p.doomed = false
+	p.state = spActive
+	p.holdK, p.relK = 0, 0
+	p.holdEdges = p.holdEdges[:0]
+	p.attemptStart = e.tl.Now()
+	e.procs[p.txn] = p
+	e.tracef("submit T%d term=%d len=%d attempt=%d", p.txn, p.terminal, len(p.steps), p.attempts)
+	e.issue(p)
+}
+
+// issue sends the transaction's next operation to its home site, or
+// starts the commit conversation when none remain.
+func (e *Engine) issue(p *sproc) {
+	if p.idx >= len(p.steps) {
+		e.startCommit(p)
+		return
+	}
+	sid := e.route(p.steps[p.idx].Object)
+	at := e.sendToSite(sid, e.lat())
+	e.tl.Schedule(at, ev{kind: evReqArrive, p: p, txn: p.txn, site: sid})
+}
+
+// reqArrive processes an operation request at its home site.
+func (e *Engine) reqArrive(p *sproc, sid int) {
+	s := e.sites[sid]
+	if s.down() {
+		e.tracef("req T%d site=%d -> site down", p.txn, sid)
+		e.abortAttempt(p, core.ReasonSiteFailed, -1)
+		return
+	}
+	step := p.steps[p.idx]
+	if !p.visitedHas(sid) {
+		if err := s.cr.Begin(p.txn); err != nil {
+			panic(fmt.Sprintf("distsim: Begin T%d at site %d: %v", p.txn, sid, err))
+		}
+		p.visited = append(p.visited, sid)
+		slices.Sort(p.visited)
+	}
+	var eff core.Effects
+	dec, err := s.cr.RequestInto(&eff, p.txn, step.Object, step.Op)
+	if err != nil {
+		panic(fmt.Sprintf("distsim: Request T%d obj %d at site %d: %v", p.txn, step.Object, sid, err))
+	}
+	switch dec.Outcome {
+	case core.Executed:
+		p.idx++
+		e.tracef("req T%d site=%d obj=%d op=%s -> executed", p.txn, sid, step.Object, step.Op.Name)
+		e.afterExec(p, s)
+	case core.Blocked:
+		p.state = spBlocked
+		p.blockedSite = sid
+		s.parked[p.txn] = p
+		e.tracef("req T%d site=%d obj=%d op=%s -> blocked", p.txn, sid, step.Object, step.Op.Name)
+		e.scheduleObserve(p, s)
+	case core.Aborted:
+		e.tracef("req T%d site=%d obj=%d -> aborted (%s)", p.txn, sid, step.Object, dec.Reason)
+		e.abortAttempt(p, dec.Reason, sid)
+	}
+	e.processEffects(s, &eff)
+}
+
+// afterExec handles a freshly executed operation: report edges to the
+// coordinator if the transaction has any, and send the reply that lets
+// the terminal issue the next step.
+func (e *Engine) afterExec(p *sproc, s *simSite) {
+	e.scheduleObserve(p, s)
+	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
+	e.tl.Schedule(at, ev{kind: evOpDone, p: p, txn: p.txn})
+}
+
+// scheduleObserve captures the transaction's current out-edges at the
+// site and sends them to the coordinator's mirror. Transactions that
+// never had an edge skip the report entirely (the fast path that keeps
+// partitioned traffic off the coordinator).
+func (e *Engine) scheduleObserve(p *sproc, s *simSite) {
+	edges := s.cr.OutEdgesAppend(p.txn, nil)
+	if len(edges) > 0 {
+		p.anyEdges = true
+	}
+	if !p.anyEdges {
+		return
+	}
+	at := e.sendFromSite(s, e.lat())
+	e.tl.Schedule(at, ev{kind: evObserve, p: p, txn: p.txn, site: s.idx, edges: edges})
+}
+
+// observeArrive ingests an edge report at the coordinator and runs the
+// union-graph cycle check — the §6 detection of cross-site deadlocks
+// and commit-dependency cycles.
+func (e *Engine) observeArrive(event ev) {
+	if stale(event) {
+		return
+	}
+	p := event.p
+	if p.state != spActive && p.state != spBlocked {
+		// The attempt entered its commit conversation; the hold phase
+		// re-exports every site's edges itself.
+		return
+	}
+	e.mirror.Observe(event.site, event.txn, e.filterLive(event.edges))
+	if e.mirror.HasCycleFrom(event.txn) {
+		reason := core.ReasonCommitCycle
+		if p.state == spBlocked {
+			reason = core.ReasonDeadlock
+		}
+		e.tracef("cycle T%d (%s)", p.txn, reason)
+		e.abortAttempt(p, reason, -1)
+	}
+}
+
+// filterLive drops edges to transactions the coordinator has already
+// finalised, exactly as the wall-clock coordinator does.
+func (e *Engine) filterLive(edges []depgraph.Edge) []depgraph.Edge {
+	live := edges[:0]
+	for _, ed := range edges {
+		if _, ok := e.procs[ed.To]; ok {
+			live = append(live, ed)
+		}
+	}
+	return live
+}
+
+// processEffects folds one scheduler call's downstream effects into
+// the model: grants resume blocked transactions (with a service+reply
+// latency), retry aborts unwind them, and — because queue movement can
+// re-block parked transactions behind different holders — every
+// transaction still parked at the site re-reports its edges, the
+// simulator's refreshParked.
+func (e *Engine) processEffects(s *simSite, eff *core.Effects) {
+	if eff.Empty() {
+		return
+	}
+	for i := range eff.Grants {
+		g := &eff.Grants[i]
+		q := e.procs[g.Txn]
+		if q == nil || q.state != spBlocked || q.blockedSite != s.idx {
+			continue
+		}
+		delete(s.parked, q.txn)
+		q.state = spActive
+		q.idx++
+		e.tracef("grant T%d site=%d obj=%d", q.txn, s.idx, g.Object)
+		e.afterExec(q, s)
+	}
+	var retries []core.RetryAbort
+	if len(eff.RetryAborts) > 0 {
+		retries = append(retries, eff.RetryAborts...)
+	}
+	for _, id := range eff.Committed {
+		// Sites under a coordinator never cascade real commits on
+		// their own (holds are excluded); surface it if one appears.
+		e.tracef("unexpected site-local commit T%d at site %d", id, s.idx)
+	}
+	for _, ra := range retries {
+		q := e.procs[ra.Txn]
+		if q == nil || q.state != spBlocked {
+			continue
+		}
+		delete(s.parked, q.txn)
+		e.tracef("retry-abort T%d site=%d (%s)", q.txn, s.idx, ra.Reason)
+		e.abortAttempt(q, ra.Reason, s.idx)
+	}
+	e.refreshParked(s)
+}
+
+// refreshParked re-reports the edges of every transaction still parked
+// at the site, in ascending id order.
+func (e *Engine) refreshParked(s *simSite) {
+	if len(s.parked) == 0 {
+		return
+	}
+	ids := make([]core.TxnID, 0, len(s.parked))
+	for id := range s.parked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if q, ok := s.parked[id]; ok && q.txn == id {
+			e.scheduleObserve(q, s)
+		}
+	}
+}
+
+// abortAttempt unwinds the current attempt everywhere (skipping
+// skipSite, where the local scheduler already finalised it, and any
+// down site, whose volatile state died with it), removes the mirror
+// node — cascading releases of transactions that depended on it — and
+// schedules the logical transaction's resubmission after a backoff.
+func (e *Engine) abortAttempt(p *sproc, reason core.AbortReason, skipSite int) {
+	id := p.txn
+	if p.state == spBlocked {
+		delete(e.sites[p.blockedSite].parked, id)
+	}
+	for _, sid := range p.visited {
+		if sid == skipSite {
+			continue
+		}
+		s := e.sites[sid]
+		if s.down() {
+			continue
+		}
+		var eff core.Effects
+		if err := s.cr.AbortInto(&eff, id); err == nil {
+			s.cr.Forget(id)
+			e.processEffects(s, &eff)
+		} else {
+			// A held pseudo-commit (partial conversation being
+			// unwound) answers ErrTxnTerminated; revoke it instead.
+			var eff2 core.Effects
+			if err2 := s.cr.RevokeInto(&eff2, id, reason); err2 == nil {
+				delete(s.prepTime, id)
+				s.cr.Forget(id)
+				e.processEffects(s, &eff2)
+			}
+		}
+	}
+	delete(e.procs, id)
+	e.aborts++
+	e.tracef("abort T%d (%s)", id, reason)
+	p.txn = 0
+	p.state = spWaitRetry
+	p.attempts++
+	e.finalize(id)
+	e.tl.Schedule(e.tl.Now()+e.backoff(p.attempts), ev{kind: evResubmit, p: p})
+}
+
+// finalize removes a globally terminated transaction from the mirror
+// and cascades: held transactions whose global dependency set drained
+// reach their commit decision and start releasing.
+func (e *Engine) finalize(id core.TxnID) {
+	for _, d := range e.mirror.RemoveTxn(id) {
+		q := e.procs[d]
+		if q != nil && q.state == spHeld && e.mirror.OutDegree(d) == 0 {
+			e.decideCommit(q)
+		}
+	}
+}

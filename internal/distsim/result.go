@@ -1,0 +1,111 @@
+package distsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Result is what one deterministic multi-site run measured. The
+// windowed counters (SimTime, RealCommits, PseudoCompletions, Aborts,
+// HeldAborts) cover the measurement window (after Warmup real
+// commits); the structural counters (Held, Crashes, Redone,
+// PresumedAborted) and the distributions cover the whole run — a crash
+// scenario's recovery counts must not disappear into the warm-up.
+type Result struct {
+	Sites int
+
+	// SimTime is the virtual seconds the measurement window lasted.
+	SimTime float64
+	// RealCommits counts logical transactions whose real commit landed
+	// (at every visited site) inside the window — the conservation
+	// currency, and the convoy study's honest throughput.
+	RealCommits int
+	// PseudoCompletions counts terminal-level completions inside the
+	// window: a transaction is complete for its terminal at
+	// pseudo-commit (§4.3), which is what makes convoys possible —
+	// terminals submit new work while holds pile up.
+	PseudoCompletions int
+	// Aborts counts aborted attempts (each resubmitted).
+	Aborts int
+	// HeldAborts counts held pseudo-commits revoked by a site crash
+	// before their commit point (each logical transaction re-run).
+	HeldAborts int
+
+	// Held counts commit conversations that ended held (whole run).
+	Held int
+	// Crashes / Restarts count injected failures (whole run; restarts
+	// include the end-of-run recovery of still-down sites).
+	Crashes, Restarts int
+	// Redone / PresumedAborted count prepared records resolved by
+	// restart recovery (whole run).
+	Redone, PresumedAborted int
+
+	// ConvoyDepth samples the held-set size at each hold — the joining
+	// transaction included, so the first hold of an idle cluster
+	// records depth 1. Its max is the convoy depth the wall-clock
+	// harness can only guess at.
+	ConvoyDepth metrics.Hist
+	// InDoubt measures prepare-to-resolution windows of prepared
+	// records that lived through a crash (resolved by restart
+	// recovery).
+	InDoubt metrics.Window
+	// Per-phase latency breakdown of the transaction lifecycle:
+	// execution (first submit-side issue to conversation start), the
+	// hold conversation (start to decision-or-held), the held wait
+	// (held to decision), and the release fan-out (decision to real
+	// commit everywhere).
+	PhaseExec, PhaseHold, PhaseHeldWait, PhaseRelease metrics.Window
+	// RespPseudo / RespReal are terminal-perceived and
+	// promise-honoured response times (submission to pseudo-commit /
+	// to real commit), whole run.
+	RespPseudo, RespReal metrics.Window
+
+	// LogHighWater is the decision log's peak live size — with
+	// release-ack truncation it tracks in-flight holds, not history.
+	LogHighWater int
+	// CommittedSteps counts, per object, the operations of logical
+	// transactions whose real commit landed — the expected side of a
+	// conservation check against the final committed states.
+	CommittedSteps map[core.ObjectID]uint64
+
+	// TraceHash is the 64-bit FNV-1a hash of every trace line — the
+	// bit-identity fingerprint two same-seed runs must share.
+	TraceHash uint64
+	// TraceLen is the number of trace lines hashed.
+	TraceLen int
+	// Trace holds the lines themselves when Config.RecordTrace is set.
+	Trace []string
+
+	// Stats sums every site's scheduler counters across incarnations.
+	Stats core.Stats
+}
+
+// RealThroughput returns real commits per virtual second in the
+// window.
+func (r Result) RealThroughput() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.RealCommits) / r.SimTime
+}
+
+// PseudoThroughput returns terminal completions per virtual second in
+// the window.
+func (r Result) PseudoThroughput() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.PseudoCompletions) / r.SimTime
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"sites=%d simtime=%.3f real=%d (%.1f/s) pseudo=%d (%.1f/s) aborts=%d heldaborts=%d held=%d crashes=%d redone=%d presumed=%d convoy[%s] logpeak=%d trace=%016x",
+		r.Sites, r.SimTime, r.RealCommits, r.RealThroughput(),
+		r.PseudoCompletions, r.PseudoThroughput(), r.Aborts, r.HeldAborts,
+		r.Held, r.Crashes, r.Redone, r.PresumedAborted,
+		r.ConvoyDepth.String(), r.LogHighWater, r.TraceHash)
+}

@@ -1,0 +1,145 @@
+package distsim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenRedoTrace pins the CrashRedo scenario's full event trace:
+// the crash at AfterDecisionBeforeRelease, the skipped release, the
+// restart and the redo must replay line-for-line identically. Run with
+// UPDATE_GOLDEN=1 to regenerate after an intentional model change.
+func TestGoldenRedoTrace(t *testing.T) {
+	cfg := CrashRedo(11)
+	cfg.RecordTrace = true
+	res := run(t, cfg)
+	got := strings.Join(res.Trace, "\n") + "\n"
+
+	// Structural checks first, so a stale golden file cannot mask a
+	// scenario that stopped exercising redo recovery.
+	if res.Redone == 0 {
+		t.Fatal("redo scenario redid nothing")
+	}
+	if !strings.Contains(got, "step AfterDecisionBeforeRelease") {
+		t.Fatal("trace has no AfterDecisionBeforeRelease boundary")
+	}
+	if !strings.Contains(got, "crash site=") || !strings.Contains(got, "redone=[") {
+		t.Fatal("trace is missing the crash or the recovery record")
+	}
+	if !strings.Contains(got, "skipped (down, redo at restart)") {
+		t.Fatal("trace is missing the skipped release that forces the redo")
+	}
+
+	path := filepath.Join("testdata", "crash_redo_seed11.trace")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace updated: %d lines", len(res.Trace))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden trace missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("trace diverges at line %d:\n got: %s\nwant: %s", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace length changed: got %d lines, want %d", len(gotLines), len(wantLines))
+}
+
+// TestConvoyCollapse reproduces the ROADMAP hold-convoy collapse
+// deterministically: under the all-recoverable 40%-cross-site
+// workload, terminals freed at pseudo-commit pile holds on faster than
+// release cascades drain them, so the held set grows into the hundreds
+// and real-commit throughput sits well below the terminal-perceived
+// rate. The asserted floor is the fixed baseline a future bounded-hold
+// policy must beat.
+func TestConvoyCollapse(t *testing.T) {
+	res := run(t, Convoy(42))
+	if res.Held == 0 {
+		t.Fatal("no conversation was held — not the convoy regime")
+	}
+	if res.ConvoyDepth.Max() < 100 {
+		t.Fatalf("max convoy depth = %d, want >= 100 (collapse not reproduced)", res.ConvoyDepth.Max())
+	}
+	if rt, pt := res.RealThroughput(), res.PseudoThroughput(); rt >= 0.8*pt {
+		t.Fatalf("real throughput %.1f/s vs pseudo %.1f/s — no collapse gap", rt, pt)
+	}
+	if res.PhaseHeldWait.Mean() < 10*res.PhaseRelease.Mean() {
+		t.Fatalf("held wait (%.3fs mean) should dwarf the release round (%.3fs mean) in a convoy",
+			res.PhaseHeldWait.Mean(), res.PhaseRelease.Mean())
+	}
+	// The whole point: the collapse is reproducible bit-for-bit.
+	again := run(t, Convoy(42))
+	if again.TraceHash != res.TraceHash {
+		t.Fatalf("convoy scenario not deterministic: %016x vs %016x", res.TraceHash, again.TraceHash)
+	}
+	if again.ConvoyDepth.Max() != res.ConvoyDepth.Max() || again.RealCommits != res.RealCommits {
+		t.Fatal("convoy metrics differ across same-seed runs")
+	}
+}
+
+// TestSweepScale: one latency×cross sweep cell at simulated scale —
+// 200 sites, far beyond what the wall-clock harness can host — runs to
+// completion deterministically.
+func TestSweepScale(t *testing.T) {
+	cfg := SweepPoint(200, 100, 0.01, 0.2, 5)
+	cfg.Completions = 300
+	cfg.Warmup = 30
+	res := run(t, cfg)
+	if res.Sites != 200 {
+		t.Fatalf("sites = %d", res.Sites)
+	}
+	if res.RealCommits != 300 {
+		t.Fatalf("real commits = %d, want 300", res.RealCommits)
+	}
+	again := run(t, cfg)
+	if again.TraceHash != res.TraceHash {
+		t.Fatal("scale run not deterministic")
+	}
+}
+
+// TestSeedMatrix is the CI determinism matrix: every checked-in
+// scenario runs twice per seed and must hash identically; across
+// seeds, hashes must differ.
+func TestSeedMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is the long determinism sweep")
+	}
+	type mk struct {
+		name string
+		mk   func(int64) Config
+	}
+	scenarios := []mk{
+		{"small", small},
+		{"redo", CrashRedo},
+		{"presume", CrashPresume},
+	}
+	for _, sc := range scenarios {
+		seen := map[uint64]int64{}
+		for _, seed := range []int64{1, 2, 3} {
+			a := run(t, sc.mk(seed))
+			b := run(t, sc.mk(seed))
+			if a.TraceHash != b.TraceHash {
+				t.Errorf("%s seed %d: non-deterministic (%016x vs %016x)", sc.name, seed, a.TraceHash, b.TraceHash)
+			}
+			if prev, ok := seen[a.TraceHash]; ok {
+				t.Errorf("%s: seeds %d and %d collide on %016x", sc.name, prev, seed, a.TraceHash)
+			}
+			seen[a.TraceHash] = seed
+		}
+	}
+}

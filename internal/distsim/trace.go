@@ -1,0 +1,30 @@
+package distsim
+
+import "fmt"
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit constants.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// tracef appends one trace line: the line is always folded into the
+// run's FNV-1a hash (the determinism fingerprint) and kept verbatim
+// only when Config.RecordTrace asks for it. Times are printed with
+// fixed precision so the byte stream — and therefore the hash — is a
+// pure function of the event sequence.
+func (e *Engine) tracef(format string, args ...any) {
+	line := fmt.Sprintf("t=%.6f ", e.tl.Now()) + fmt.Sprintf(format, args...)
+	h := e.traceHash
+	for i := 0; i < len(line); i++ {
+		h ^= uint64(line[i])
+		h *= fnvPrime
+	}
+	h ^= '\n'
+	h *= fnvPrime
+	e.traceHash = h
+	e.traceLen++
+	if e.cfg.RecordTrace {
+		e.trace = append(e.trace, line)
+	}
+}

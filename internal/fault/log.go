@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"sync"
 
@@ -57,8 +58,16 @@ type Log interface {
 	Record(id core.TxnID, o Outcome) error
 	// Lookup returns the recorded outcome, if any.
 	Lookup(id core.TxnID) (Outcome, bool)
-	// Len returns the number of recorded decisions (for tests and
-	// introspection).
+	// Truncate prunes the transaction's decision. The coordinator calls
+	// it once every participant has released (or redone, at restart)
+	// the logged commit: presumed abort never needs the entry again —
+	// no prepared record for the transaction survives anywhere, and an
+	// absent outcome already reads as abort — so a long-running cluster
+	// keeps its log bounded by the number of in-flight holds, not by
+	// history. Truncating an absent id is a no-op.
+	Truncate(id core.TxnID) error
+	// Len returns the number of live (recorded, untruncated) decisions
+	// (for tests and introspection).
 	Len() int
 }
 
@@ -95,6 +104,14 @@ func (l *MemLog) Lookup(id core.TxnID) (Outcome, bool) {
 	return o, ok
 }
 
+// Truncate implements Log.
+func (l *MemLog) Truncate(id core.TxnID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.m, id)
+	return nil
+}
+
 // Len implements Log.
 func (l *MemLog) Len() int {
 	l.mu.RLock()
@@ -102,12 +119,20 @@ func (l *MemLog) Len() int {
 	return len(l.m)
 }
 
-// FileLog is the file-backed Log: an append-only text file ("C <id>"
-// or "A <id>" per line) with an in-memory index for lookups. Opening
-// an existing file replays it, so a coordinator process restart keeps
-// its decisions — the optional durability step beyond MemLog. Record
-// appends and, when Sync is set, fsyncs before returning (a forced
-// write in the 2PC sense; leave it off for tests and benchmarks).
+// FileLog is the file-backed Log: an append-only text file ("C <id>",
+// "A <id>" or a "T <id>" truncation tombstone per line) with an
+// in-memory index for lookups. Opening an existing file replays it, so
+// a coordinator process restart keeps its decisions — the optional
+// durability step beyond MemLog. Record and Truncate append and, when
+// Sync is set, fsync before returning (a forced write in the 2PC
+// sense; leave it off for tests and benchmarks).
+//
+// Truncation compacts: once tombstoned records outnumber live ones by
+// compactSlack, the live set is rewritten to a temp file that is
+// renamed over the log, so a long-running cluster's log file is
+// bounded by its in-flight holds, not its history. The rename is the
+// atomic switch; a crash between writing the temp file and the rename
+// leaves the old log, which replays to the same live set.
 //
 // Replay follows the WAL rule for torn tails: records must parse
 // exactly and end with a newline; the first record that does not —
@@ -119,21 +144,28 @@ type FileLog struct {
 	mu   sync.Mutex
 	m    map[core.TxnID]Outcome
 	f    *os.File
+	path string
 	sync bool
+	// dead counts file lines that no longer contribute to the live set
+	// (tombstones plus the records they killed); compaction triggers
+	// when it overtakes the live count by compactSlack.
+	dead int
 }
 
+// compactSlack is how many dead lines a FileLog tolerates beyond the
+// live count before compacting — large enough that compaction cost
+// amortises, small enough that the file stays within a constant factor
+// of the live set.
+const compactSlack = 256
+
 // parseLogLine strictly parses one record line (without its
-// terminating newline): 'C' or 'A', one space, a full decimal id.
-func parseLogLine(line string) (core.TxnID, Outcome, bool) {
+// terminating newline): 'C', 'A' or 'T', one space, a full decimal id.
+func parseLogLine(line string) (core.TxnID, byte, bool) {
 	if len(line) < 3 || line[1] != ' ' {
 		return 0, 0, false
 	}
-	var o Outcome
 	switch line[0] {
-	case 'C':
-		o = OutcomeCommit
-	case 'A':
-		o = OutcomeAbort
+	case 'C', 'A', 'T':
 	default:
 		return 0, 0, false
 	}
@@ -141,7 +173,7 @@ func parseLogLine(line string) (core.TxnID, Outcome, bool) {
 	if err != nil {
 		return 0, 0, false
 	}
-	return core.TxnID(id), o, true
+	return core.TxnID(id), line[0], true
 }
 
 // OpenFileLog opens (creating if necessary) the decision log at path,
@@ -152,14 +184,23 @@ func OpenFileLog(path string, sync bool) (*FileLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &FileLog{m: make(map[core.TxnID]Outcome), f: f, sync: sync}
+	l := &FileLog{m: make(map[core.TxnID]Outcome), f: f, path: path, sync: sync}
 	r := bufio.NewReader(f)
 	var good int64 // offset just past the last fully valid record
+	var lines int
 	for {
 		line, err := r.ReadString('\n')
 		if err == nil {
-			if id, o, ok := parseLogLine(line[:len(line)-1]); ok {
-				l.m[id] = o
+			if id, kind, ok := parseLogLine(line[:len(line)-1]); ok {
+				switch kind {
+				case 'C':
+					l.m[id] = OutcomeCommit
+				case 'A':
+					l.m[id] = OutcomeAbort
+				case 'T':
+					delete(l.m, id)
+				}
+				lines++
 				good += int64(len(line))
 				continue
 			}
@@ -180,6 +221,7 @@ func OpenFileLog(path string, sync bool) (*FileLog, error) {
 		f.Close()
 		return nil, err
 	}
+	l.dead = lines - len(l.m)
 	return l, nil
 }
 
@@ -215,6 +257,81 @@ func (l *FileLog) Lookup(id core.TxnID) (Outcome, bool) {
 	defer l.mu.Unlock()
 	o, ok := l.m[id]
 	return o, ok
+}
+
+// Truncate implements Log: a "T <id>" tombstone is appended (so replay
+// reaches the same live set) and the record leaves the index; when the
+// dead lines outnumber the live ones by compactSlack, the file is
+// compacted to the live set alone.
+func (l *FileLog) Truncate(id core.TxnID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.m[id]; !ok {
+		return nil
+	}
+	if _, err := fmt.Fprintf(l.f, "T %d\n", uint64(id)); err != nil {
+		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	delete(l.m, id)
+	l.dead += 2 // the tombstone plus the record it killed
+	if l.dead > len(l.m)+compactSlack {
+		return l.compact()
+	}
+	return nil
+}
+
+// compact rewrites the live set to a temp file and renames it over the
+// log. Caller holds l.mu.
+func (l *FileLog) compact() error {
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	ids := make([]core.TxnID, 0, len(l.m))
+	for id := range l.m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	w := bufio.NewWriter(tmp)
+	for _, id := range ids {
+		kind := "C"
+		if l.m[id] == OutcomeAbort {
+			kind = "A"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", kind, uint64(id)); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if l.sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The temp handle now names the log file (the rename moved the
+	// inode under it, positioned at end-of-file) — keep writing
+	// through it instead of a close-and-reopen, whose failure would
+	// leave the log appending to the unlinked old inode while Record
+	// keeps reporting success.
+	l.f.Close()
+	l.f = tmp
+	l.dead = 0
+	return nil
 }
 
 // Len implements Log.

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Hist is a small non-negative-integer histogram with dense buckets up
+// to a cap — the shape the multi-site simulator's hold-convoy depth
+// measurements need. The zero value (no cap) buckets every value seen.
+type Hist struct {
+	// Counts[v] is how many samples had value v (grown on demand up to
+	// Cap; larger values land in Over).
+	Counts []uint64
+	// Cap bounds the dense buckets; 0 means unbounded.
+	Cap int
+	// Over counts samples beyond Cap.
+	Over uint64
+
+	n   uint64
+	sum float64
+	max int
+}
+
+// Add records one sample (negative values clamp to 0).
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if h.Cap > 0 && v > h.Cap {
+		h.Over++
+		return
+	}
+	for len(h.Counts) <= v {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[v]++
+}
+
+// N returns the sample count.
+func (h *Hist) N() uint64 { return h.n }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest sample seen (0 when empty).
+func (h *Hist) Max() int { return h.max }
+
+// Quantile returns the smallest value v such that at least q (0..1) of
+// the samples are <= v, computed over the dense buckets (overflowed
+// samples count as > Cap and report Max).
+func (h *Hist) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
+	var cum uint64
+	for v, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%d p95=%d max=%d",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.max)
+}
+
+// Buckets renders the non-zero buckets as "v:count v:count …" — the
+// full histogram for reports and traces.
+func (h *Hist) Buckets() string {
+	var b strings.Builder
+	for v, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", v, c)
+	}
+	if h.Over > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, ">%d:%d", h.Cap, h.Over)
+	}
+	return b.String()
+}
+
+// Window summarises non-negative float samples — count, mean, max —
+// for latency-style measurements (per-phase conversation latencies,
+// in-doubt window lengths).
+type Window struct {
+	n   uint64
+	sum float64
+	max float64
+}
+
+// Add records one sample.
+func (w *Window) Add(x float64) {
+	w.n++
+	w.sum += x
+	if x > w.max {
+		w.max = x
+	}
+}
+
+// N returns the sample count.
+func (w *Window) N() uint64 { return w.n }
+
+// Sum returns the sample total.
+func (w *Window) Sum() float64 { return w.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// Max returns the largest sample (0 when empty).
+func (w *Window) Max() float64 { return w.max }
+
+// String renders a compact summary.
+func (w *Window) String() string {
+	return fmt.Sprintf("n=%d mean=%.6f max=%.6f", w.n, w.Mean(), w.max)
+}

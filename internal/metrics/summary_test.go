@@ -1,0 +1,55 @@
+package metrics
+
+import "testing"
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 1, 1, 2, 2, 2, 9} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Max() != 9 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got, want := h.Mean(), 17.0/7; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %d, want 2", got)
+	}
+	if got := h.Counts[2]; got != 3 {
+		t.Fatalf("Counts[2] = %d", got)
+	}
+	if h.Buckets() != "0:1 1:2 2:3 9:1" {
+		t.Fatalf("buckets = %q", h.Buckets())
+	}
+}
+
+func TestHistCap(t *testing.T) {
+	h := Hist{Cap: 4}
+	h.Add(3)
+	h.Add(100)
+	if h.Over != 1 {
+		t.Fatalf("over = %d", h.Over)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d (overflow must still track the true max)", h.Max())
+	}
+	if len(h.Counts) > 5 {
+		t.Fatalf("dense buckets grew past the cap: %d", len(h.Counts))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var w Window
+	if w.Mean() != 0 || w.Max() != 0 {
+		t.Fatal("empty window not zero")
+	}
+	w.Add(1.0)
+	w.Add(3.0)
+	if w.N() != 2 || w.Mean() != 2.0 || w.Max() != 3.0 || w.Sum() != 4.0 {
+		t.Fatalf("window = %s", w.String())
+	}
+}

@@ -35,12 +35,11 @@ type proc struct {
 // Engine runs one simulation to completion.
 type Engine struct {
 	cfg   Config
+	src   workload.Source
 	rng   *rand.Rand
 	sched *core.Scheduler
 
-	now      float64
-	events   eventHeap
-	eventSeq uint64
+	tl Timeline[*event]
 
 	readyQ []*proc
 	active int // admitted, not yet completed transactions
@@ -76,6 +75,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:   cfg,
+		src:   workload.Source{Gen: cfg.Workload, MinLen: cfg.MinLength, MaxLen: cfg.MaxLength},
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		sched: core.NewScheduler(core.Options{Predicate: cfg.Predicate, Unfair: cfg.Unfair, Recovery: cfg.Recovery}),
 		procs: make(map[core.TxnID]*proc),
@@ -127,15 +127,15 @@ func (e *Engine) Run() (metrics.Run, error) {
 // think draws an exponential terminal think time.
 func (e *Engine) think() float64 {
 	if e.cfg.ThinkTime == 0 {
-		return e.now
+		return e.tl.Now()
 	}
-	return e.now + e.rng.ExpFloat64()*e.cfg.ThinkTime
+	return e.tl.Now() + e.rng.ExpFloat64()*e.cfg.ThinkTime
 }
 
 // openWindow starts the measurement window.
 func (e *Engine) openWindow() {
 	e.inWindow = true
-	e.windowStart = e.now
+	e.windowStart = e.tl.Now()
 	e.baseStats = e.sched.StatsSnapshot()
 	e.baseRestarts = e.restarts
 	e.baseAbortOps = e.abortOps
@@ -145,7 +145,7 @@ func (e *Engine) openWindow() {
 func (e *Engine) window() metrics.Run {
 	st := e.sched.StatsSnapshot()
 	return metrics.Run{
-		SimTime:       e.now - e.windowStart,
+		SimTime:       e.tl.Now() - e.windowStart,
 		Completed:     e.windowCompl,
 		TotalResponse: e.windowResp,
 		Blocks:        int(st.Blocks - e.baseStats.Blocks),
@@ -157,11 +157,10 @@ func (e *Engine) window() metrics.Run {
 
 // arrive handles a terminal submitting a new transaction.
 func (e *Engine) arrive(terminal int) {
-	length := e.cfg.MinLength + e.rng.Intn(e.cfg.MaxLength-e.cfg.MinLength+1)
 	p := &proc{
 		terminal:  terminal,
-		steps:     e.cfg.Workload.NewTxn(e.rng, length),
-		submitted: e.now,
+		steps:     e.src.Draw(e.rng),
+		submitted: e.tl.Now(),
 		phase:     phReady,
 	}
 	e.readyQ = append(e.readyQ, p)
@@ -216,12 +215,12 @@ func (e *Engine) issueNext(p *proc) {
 func (e *Engine) startResources(p *proc) {
 	p.phase = phResource
 	if e.cfg.ResourceUnits == 0 {
-		e.schedule(e.now+e.cfg.StepTime, &event{kind: evOpDone, proc: p})
+		e.schedule(e.tl.Now()+e.cfg.StepTime, &event{kind: evOpDone, proc: p})
 		return
 	}
 	if e.freeCPUs > 0 {
 		e.freeCPUs--
-		e.schedule(e.now+e.cfg.CPUTime, &event{kind: evCPUDone, proc: p})
+		e.schedule(e.tl.Now()+e.cfg.CPUTime, &event{kind: evCPUDone, proc: p})
 	} else {
 		e.cpuQ = append(e.cpuQ, p)
 	}
@@ -232,7 +231,7 @@ func (e *Engine) cpuDone(p *proc) {
 	if len(e.cpuQ) > 0 {
 		next := e.cpuQ[0]
 		e.cpuQ = e.cpuQ[1:]
-		e.schedule(e.now+e.cfg.CPUTime, &event{kind: evCPUDone, proc: next})
+		e.schedule(e.tl.Now()+e.cfg.CPUTime, &event{kind: evCPUDone, proc: next})
 	} else {
 		e.freeCPUs++
 	}
@@ -241,7 +240,7 @@ func (e *Engine) cpuDone(p *proc) {
 	d := e.rng.Intn(len(e.diskBusy))
 	if !e.diskBusy[d] {
 		e.diskBusy[d] = true
-		e.schedule(e.now+e.cfg.IOTime, &event{kind: evDiskDone, proc: p, disk: d})
+		e.schedule(e.tl.Now()+e.cfg.IOTime, &event{kind: evDiskDone, proc: p, disk: d})
 	} else {
 		e.diskQ[d] = append(e.diskQ[d], p)
 	}
@@ -252,7 +251,7 @@ func (e *Engine) diskDone(p *proc, d int) {
 	if len(e.diskQ[d]) > 0 {
 		next := e.diskQ[d][0]
 		e.diskQ[d] = e.diskQ[d][1:]
-		e.schedule(e.now+e.cfg.IOTime, &event{kind: evDiskDone, proc: next, disk: d})
+		e.schedule(e.tl.Now()+e.cfg.IOTime, &event{kind: evDiskDone, proc: next, disk: d})
 	} else {
 		e.diskBusy[d] = false
 	}
@@ -291,7 +290,7 @@ func (e *Engine) finish(p *proc) {
 // MPL slot.
 func (e *Engine) complete(p *proc) {
 	e.completions++
-	resp := e.now - p.submitted
+	resp := e.tl.Now() - p.submitted
 	e.sumResponse += resp
 	if e.inWindow {
 		e.windowCompl++
@@ -321,8 +320,7 @@ func (e *Engine) restartAborted(p *proc) {
 	p.txn = 0
 	p.phase = phReady
 	if e.cfg.FakeRestarts {
-		length := e.cfg.MinLength + e.rng.Intn(e.cfg.MaxLength-e.cfg.MinLength+1)
-		p.steps = e.cfg.Workload.NewTxn(e.rng, length)
+		p.steps = e.src.Draw(e.rng)
 	}
 	e.readyQ = append(e.readyQ, p)
 	e.admit()
@@ -360,7 +358,7 @@ func (e *Engine) applyEffects(eff core.Effects) {
 }
 
 // Now returns the current simulated time (tests).
-func (e *Engine) Now() float64 { return e.now }
+func (e *Engine) Now() float64 { return e.tl.Now() }
 
 // Scheduler exposes the controller (tests).
 func (e *Engine) Scheduler() *core.Scheduler { return e.sched }

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind discriminates simulator events.
 type eventKind uint8
 
@@ -17,56 +15,25 @@ const (
 	evDiskDone
 )
 
-// event is one scheduled simulator event. Ties on time break on seq so
-// runs are deterministic.
+// event is one scheduled simulator event. Firing order is the shared
+// Timeline's (time, sequence) order, so runs are deterministic.
 type event struct {
-	at       float64
-	seq      uint64
 	kind     eventKind
 	terminal int   // evArrive
 	proc     *proc // evOpDone, evCPUDone, evDiskDone
 	disk     int   // evDiskDone
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-// Push implements heap.Interface.
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-// Pop implements heap.Interface.
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// schedule pushes a new event.
+// schedule pushes a new event onto the timeline.
 func (e *Engine) schedule(at float64, ev *event) {
-	e.eventSeq++
-	ev.at = at
-	ev.seq = e.eventSeq
-	heap.Push(&e.events, ev)
+	e.tl.Schedule(at, ev)
 }
 
 // nextEvent pops the earliest event, advancing the clock.
 func (e *Engine) nextEvent() *event {
-	if e.events.Len() == 0 {
+	ev, ok := e.tl.Next()
+	if !ok {
 		return nil
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
 	return ev
 }

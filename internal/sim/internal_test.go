@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"testing"
 	"testing/quick"
 
@@ -40,32 +39,36 @@ func TestEventHeapOrdering(t *testing.T) {
 // times, and equal times pop in insertion order.
 func TestEventHeapQuick(t *testing.T) {
 	f := func(times []uint16) bool {
-		e := &Engine{}
+		var tl Timeline[int]
 		for i, raw := range times {
-			e.schedule(float64(raw%50), &event{kind: evArrive, terminal: i})
+			tl.Schedule(float64(raw%50), i)
 		}
-		lastT, lastSeq := -1.0, uint64(0)
+		lastT := -1.0
+		lastIdxAtT := -1
 		for {
-			ev := e.nextEvent()
-			if ev == nil {
+			i, ok := tl.Next()
+			if !ok {
 				break
 			}
-			if ev.at < lastT {
+			at := tl.Now()
+			if at < lastT {
 				return false
 			}
-			if ev.at == lastT && ev.seq < lastSeq {
-				return false
+			if at == lastT {
+				// Same-time events pop in insertion order, which for
+				// this schedule means ascending payload index.
+				if i < lastIdxAtT {
+					return false
+				}
 			}
-			lastT, lastSeq = ev.at, ev.seq
+			lastT, lastIdxAtT = at, i
 		}
-		return true
+		return tl.Len() == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 }
-
-var _ heap.Interface = (*eventHeap)(nil)
 
 // TestResourcePath walks one transaction through the CPU/disk pipeline
 // and checks the service times add up: with one resource unit and no

@@ -1,0 +1,98 @@
+package sim
+
+// Timeline is the deterministic virtual clock and event queue the
+// discrete-event simulators share: the single-site engine in this
+// package and the multi-site cluster simulator (internal/distsim) both
+// schedule onto one. Events fire in (time, insertion-sequence) order —
+// ties break on the order Schedule was called — so a run is a pure
+// function of its seed: same seed, bit-identical event sequence, no
+// wall clock anywhere.
+//
+// The zero value is ready to use. Timeline is not safe for concurrent
+// use; a simulation is one goroutine by construction.
+type Timeline[E any] struct {
+	now  float64
+	seq  uint64
+	heap []timed[E]
+}
+
+// timed is one scheduled entry.
+type timed[E any] struct {
+	at  float64
+	seq uint64
+	ev  E
+}
+
+// Now returns the current virtual time: the timestamp of the most
+// recently popped event (0 before the first pop).
+func (t *Timeline[E]) Now() float64 { return t.now }
+
+// Len returns the number of pending events.
+func (t *Timeline[E]) Len() int { return len(t.heap) }
+
+// Schedule enqueues ev to fire at virtual time at. Scheduling in the
+// past is not checked; the queue simply fires it next (callers that
+// care schedule at >= Now()).
+func (t *Timeline[E]) Schedule(at float64, ev E) {
+	t.seq++
+	t.heap = append(t.heap, timed[E]{at: at, seq: t.seq, ev: ev})
+	t.up(len(t.heap) - 1)
+}
+
+// Next pops the earliest event and advances the clock to its time.
+// ok is false when the queue is empty (the clock does not move).
+func (t *Timeline[E]) Next() (ev E, ok bool) {
+	if len(t.heap) == 0 {
+		return ev, false
+	}
+	top := t.heap[0]
+	last := len(t.heap) - 1
+	t.heap[0] = t.heap[last]
+	t.heap[last] = timed[E]{} // release the event for GC
+	t.heap = t.heap[:last]
+	if last > 0 {
+		t.down(0)
+	}
+	t.now = top.at
+	return top.ev, true
+}
+
+// less orders entries by (at, seq).
+func (t *Timeline[E]) less(i, j int) bool {
+	if t.heap[i].at != t.heap[j].at {
+		return t.heap[i].at < t.heap[j].at
+	}
+	return t.heap[i].seq < t.heap[j].seq
+}
+
+// up restores the heap property from index i towards the root.
+func (t *Timeline[E]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from index i towards the leaves.
+func (t *Timeline[E]) down(i int) {
+	n := len(t.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && t.less(right, left) {
+			least = right
+		}
+		if !t.less(least, i) {
+			return
+		}
+		t.heap[i], t.heap[least] = t.heap[least], t.heap[i]
+		i = least
+	}
+}

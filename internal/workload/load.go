@@ -110,6 +110,7 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 		maxRestarts = core.RunMaxAttempts
 	}
 	fs.SetFactory(cfg.Workload.Factory())
+	src := Source{Gen: cfg.Workload, MinLen: minLen, MaxLen: maxLen}
 
 	var commits, pseudo, aborts, heldAborts, ops atomic.Uint64
 	var firstErr atomic.Value
@@ -204,8 +205,7 @@ func RunLoad(st core.Store, cfg LoadConfig) (LoadResult, error) {
 				}
 			}()
 			for i := 0; i < cfg.TxnsPerWorker; i++ {
-				length := minLen + r.Intn(maxLen-minLen+1)
-				steps := cfg.Workload.NewTxn(r, length)
+				steps := src.Draw(r)
 				t, ok := runOnce(steps)
 				if !ok {
 					return

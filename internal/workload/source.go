@@ -1,0 +1,23 @@
+package workload
+
+import "math/rand"
+
+// Source couples a Generator with the uniform transaction-length draw
+// every driver shares — the single-site discrete-event engine
+// (internal/sim), the multi-site simulator (internal/distsim) and the
+// wall-clock load harness all submit transactions through one of these,
+// so "draw a transaction" means the same thing (and consumes the RNG
+// identically) everywhere.
+type Source struct {
+	Gen Generator
+	// MinLen/MaxLen bound the uniformly distributed transaction length
+	// (the paper's nominal 4..12).
+	MinLen, MaxLen int
+}
+
+// Draw produces one transaction: a uniform length in [MinLen, MaxLen]
+// followed by the generator's step draw, in that RNG order.
+func (s Source) Draw(r *rand.Rand) []Step {
+	length := s.MinLen + r.Intn(s.MaxLen-s.MinLen+1)
+	return s.Gen.NewTxn(r, length)
+}
