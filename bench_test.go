@@ -456,6 +456,147 @@ func BenchmarkShardScalingContended(b *testing.B) {
 	}
 }
 
+// ---- Coordinator benchmarks (the many-core lock split) ----
+
+// BenchmarkCoordinatorEdgeFree measures the sharded-registry fast path
+// under parallel load: single-site commuting transactions on an 8-site
+// cluster, one private object per worker, so the only shared state a
+// round trip touches is its registry shard (Begin/finalize) — never the
+// mirror, never the decision-log domain. Run with -cpu 1,2,4 for the
+// GOMAXPROCS scaling matrix; with the old single Cluster.mu every
+// Begin/finalize serialised here.
+func BenchmarkCoordinatorEdgeFree(b *testing.B) {
+	const objects = 64
+	c, err := dist.New(8, core.Options{}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := core.ObjectID(1); id <= objects; id++ {
+		if err := c.Register(id, adt.Set{}, compat.SetTable()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		obj := core.ObjectID(1 + (next.Add(1)-1)%objects)
+		i := 0
+		for pb.Next() {
+			i++
+			t := c.Begin()
+			if _, err := t.Do(obj, repro.Insert(i)); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := t.Commit(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCoordinatorConversation measures the full coordinated path
+// through the decide pipeline: per iteration one writer pseudo-commits
+// over a one-edge commit dependency, is held, and is released when its
+// predecessor commits. Each parallel worker runs its own object, so
+// concurrent conversations are independent — exactly the traffic the
+// flat-combining wave coalesces into batched mirror observes and (on
+// the fault variant) grouped decision-log forces.
+func BenchmarkCoordinatorConversation(b *testing.B) {
+	for _, mode := range []string{"plain", "fault"} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := dist.NewWithConfig(dist.Config{Sites: 4, FaultTolerant: mode == "fault"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const objects = 64
+			for id := core.ObjectID(1); id <= objects; id++ {
+				if err := c.Register(id, adt.Stack{}, compat.StackTable()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				obj := core.ObjectID(1 + (next.Add(1)-1)%objects)
+				i := 0
+				for pb.Next() {
+					i += 2
+					t1, t2 := c.Begin(), c.Begin()
+					if _, err := t1.Do(obj, repro.Push(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					// Distinct pushes: recoverable, not commuting — T2
+					// executes at once with a commit dependency on T1.
+					if _, err := t2.Do(obj, repro.Push(i+1)); err != nil {
+						b.Error(err)
+						return
+					}
+					if st, err := t2.Commit(); err != nil || st != core.PseudoCommitted {
+						b.Errorf("T2 commit = %v %v", st, err)
+						return
+					}
+					if st, err := t1.Commit(); err != nil || st != core.Committed {
+						b.Errorf("T1 commit = %v %v", st, err)
+						return
+					}
+					<-t2.Done()
+					if err := t2.Err(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCoordinatorHotKey is the contended sweep under zipfian key
+// popularity (workload.Sharded.Skew): each home partition funnels most
+// of its traffic onto its hot key, so dependency edges, holds and the
+// decide pipeline dominate instead of the edge-free fast path. skew=0
+// is the uniform-routing control.
+func BenchmarkCoordinatorHotKey(b *testing.B) {
+	for _, skew := range []float64{0, 1.5} {
+		b.Run(fmt.Sprintf("skew=%g", skew), func(b *testing.B) {
+			c, err := dist.New(8, core.Options{}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.Sharded{
+				Inner: workload.ReadWrite{DBSize: 512, WriteProb: 0.3},
+				Sites: 8, CrossProb: 0.1, Skew: skew,
+			}
+			c.SetFactory(gen.Factory())
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					steps := gen.NewTxn(r, 8)
+				restart:
+					t := c.Begin()
+					for _, st := range steps {
+						if _, err := t.Do(st.Object, st.Op); err != nil {
+							if errors.Is(err, core.ErrTxnAborted) {
+								goto restart // retry, as the simulator does
+							}
+							b.Error(err)
+							return
+						}
+					}
+					if _, err := t.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkSimulatorEventRate measures raw simulator speed (events are
 // dominated by operation steps) in simulated completions per wall
 // second.

@@ -13,7 +13,9 @@
 //	sccbench -chaos                        # crash-stop fault-tolerance cost + chaos run
 //
 // Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
-// Shard-scaling knobs: -shards, -workers, -txns, -cross.
+// Shard-scaling knobs: -shards, -workers, -txns, -cross, -skew (zipfian
+// hot keys) and -maxprocs (repeat the sweep at each GOMAXPROCS — the
+// coordinator scaling matrix).
 // Chaos knobs: -chaossites, -crashperiod, -restartdelay (plus the
 // shard-scaling workload knobs); the chaos run checks conservation
 // across the injected failures and reports the fault-tolerance
@@ -49,51 +51,76 @@ import (
 	"repro/internal/workload"
 )
 
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(flagName, list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s list: %w", flagName, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("bad %s list: counts must be positive, got %d", flagName, n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // runShardScale sweeps cluster sizes over a sharded read/write
 // workload and prints a throughput table: the §6 cluster doubling as a
 // local sharding layer, 1 shard being the single-scheduler baseline.
-func runShardScale(shardList string, workers, txns, db int, cross float64, seed int64) error {
-	var counts []int
-	for _, f := range strings.Split(shardList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return fmt.Errorf("bad -shards list: %w", err)
-		}
-		if n <= 0 {
-			return fmt.Errorf("bad -shards list: counts must be positive, got %d", n)
-		}
-		counts = append(counts, n)
+// A non-empty maxprocsList repeats the sweep at each GOMAXPROCS value —
+// the coordinator lock-split scaling matrix docs/PERF.md describes —
+// and skew > 1 routes each partition's traffic zipfian-hot.
+func runShardScale(shardList, maxprocsList string, workers, txns, db int, cross, skew float64, seed int64) error {
+	counts, err := parseIntList("-shards", shardList)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("shard scaling: %d workers x %d txns, read/write db=%d, cross-site prob %.2f\n",
-		workers, txns, db, cross)
-	fmt.Printf("%-8s %12s %12s %10s %10s %12s\n", "shards", "txn/s", "ops", "held", "aborts", "elapsed")
-	var baseline float64
-	for _, n := range counts {
-		c, err := dist.New(n, core.Options{}, dist.RouteByModulo(n), nil)
-		if err != nil {
+	procs := []int{runtime.GOMAXPROCS(0)}
+	if maxprocsList != "" {
+		if procs, err = parseIntList("-maxprocs", maxprocsList); err != nil {
 			return err
 		}
-		res, err := dist.RunLoad(c, dist.LoadConfig{
-			Workload: workload.Sharded{
-				Inner: workload.ReadWrite{DBSize: db, WriteProb: 0.3},
-				Sites: n, CrossProb: cross,
-			},
-			Workers:       workers,
-			TxnsPerWorker: txns,
-			Seed:          seed,
-		})
-		if err != nil {
-			return err
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("shard scaling: %d workers x %d txns, read/write db=%d, cross-site prob %.2f, skew %g\n",
+		workers, txns, db, cross, skew)
+	for _, p := range procs {
+		if maxprocsList != "" {
+			runtime.GOMAXPROCS(p)
+			fmt.Printf("GOMAXPROCS=%d\n", p)
 		}
-		speedup := ""
-		if n == 1 {
-			baseline = res.TxnPerSec
-		} else if baseline > 0 {
-			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", res.TxnPerSec/baseline)
+		fmt.Printf("%-8s %12s %12s %10s %10s %12s\n", "shards", "txn/s", "ops", "held", "aborts", "elapsed")
+		var baseline float64
+		for _, n := range counts {
+			c, err := dist.New(n, core.Options{}, dist.RouteByModulo(n), nil)
+			if err != nil {
+				return err
+			}
+			res, err := dist.RunLoad(c, dist.LoadConfig{
+				Workload: workload.Sharded{
+					Inner: workload.ReadWrite{DBSize: db, WriteProb: 0.3},
+					Sites: n, CrossProb: cross, Skew: skew,
+				},
+				Workers:       workers,
+				TxnsPerWorker: txns,
+				Seed:          seed,
+			})
+			if err != nil {
+				return err
+			}
+			speedup := ""
+			if n == 1 {
+				baseline = res.TxnPerSec
+			} else if baseline > 0 {
+				speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", res.TxnPerSec/baseline)
+			}
+			fmt.Printf("%-8d %12.0f %12d %10d %10d %12s%s\n",
+				n, res.TxnPerSec, res.Ops, res.Pseudo, res.Aborts,
+				res.Elapsed.Round(time.Millisecond), speedup)
 		}
-		fmt.Printf("%-8d %12.0f %12d %10d %10d %12s%s\n",
-			n, res.TxnPerSec, res.Ops, res.Pseudo, res.Aborts,
-			res.Elapsed.Round(time.Millisecond), speedup)
 	}
 	return nil
 }
@@ -208,6 +235,8 @@ func main() {
 		workers    = flag.Int("workers", 16, "concurrent workers for -shardscale/-chaos")
 		txns       = flag.Int("txns", 2000, "transactions per worker for -shardscale/-chaos")
 		cross      = flag.Float64("cross", 0.1, "cross-site step probability for -shardscale/-chaos")
+		skew       = flag.Float64("skew", 0, "zipfian key-popularity exponent for -shardscale (>1 enables hot keys)")
+		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS values to repeat the -shardscale sweep at (empty: current)")
 
 		chaos        = flag.Bool("chaos", false, "measure crash-stop fault tolerance: plain vs fault-tolerant vs chaos (with conservation check)")
 		chaosSites   = flag.Int("chaossites", 4, "participant sites for -chaos")
@@ -275,7 +304,7 @@ func main() {
 		if seedVal == 0 {
 			seedVal = 1
 		}
-		if err := runShardScale(*shards, *workers, *txns, dbSize, *cross, seedVal); err != nil {
+		if err := runShardScale(*shards, *maxprocs, *workers, *txns, dbSize, *cross, *skew, seedVal); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -31,6 +31,33 @@ func TestHasCycleFromZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMirrorChurnZeroAllocs pins the interned mirror's steady state:
+// observe/cycle-check/remove churn over pooled nodes and the
+// epoch-stamped DFS never touches the heap (the map-of-maps mirror
+// allocated inner maps on every Observe).
+func TestMirrorChurnZeroAllocs(t *testing.T) {
+	m := NewMirror()
+	var next TxnID = 1
+	cycle := func() {
+		next += 2
+		from, to := next, next+1
+		m.Observe(0, from, []Edge{{From: from, To: to, Kind: CommitDep}})
+		if m.HasCycleFrom(from) {
+			t.Fatal("phantom cycle")
+		}
+		// Remove the source first: the target then has no dependants,
+		// so neither removal allocates a dependant list.
+		m.RemoveTxn(from)
+		m.RemoveTxn(to)
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("mirror churn allocates %.2f times per cycle, want 0", avg)
+	}
+}
+
 // TestNodeChurnZeroAllocs pins the node pool: a steady-state
 // add/remove cycle reuses pooled nodes and scratch.
 func TestNodeChurnZeroAllocs(t *testing.T) {

@@ -18,30 +18,169 @@ import (
 // the same transaction, so the mirror can be rebuilt incrementally
 // from per-site truth as coordination messages arrive.
 //
+// Internally transactions are interned into dense node ids, adjacency
+// is a slice of (target, site, kind) entries per node, and each site
+// keeps a reverse index of the nodes it has contributed edges for —
+// so DropSite walks only the transactions the crashed site touched
+// (O(their edges)) instead of every edge of every transaction, and
+// cycle detection stamps nodes with a per-call epoch instead of
+// building a visited map (the Graph scratch idiom). Steady-state
+// Observe/RemoveTxn/HasCycleFrom over pooled nodes allocate nothing.
+//
 // Mirror is not safe for concurrent use; the distributed coordinator
 // serialises access.
 type Mirror struct {
-	// out[from][to][site] records that site reported an edge
-	// from -> to of the given kind.
-	out map[TxnID]map[TxnID]map[int]EdgeKind
-	// in[to] is the set of sources with at least one edge to `to`,
-	// for O(degree) node removal.
-	in          map[TxnID]map[TxnID]struct{}
+	// idOf interns transaction ids into dense node indices; nodes
+	// holds the node bodies, recycled through free.
+	idOf  map[TxnID]int32
+	nodes []mnode
+	free  []int32
+
+	// bySite[site].froms counts, per source node, the edges that site
+	// currently contributes — the reverse index DropSite walks.
+	bySite map[int]*siteIndex
+
 	cycleChecks uint64
 	observes    uint64
 
-	// seen and stack are reusable cycle-detection scratch.
-	seen  map[TxnID]bool
-	stack []TxnID
+	// epoch stamps visited nodes per HasCycleFrom call; stack is the
+	// reusable DFS work list; degScratch backs the distinct-target
+	// recount in Observe.
+	epoch uint64
+	stack []int32
+}
+
+// medge is one site's contribution of a from -> to edge: out-adjacency
+// entries live in the source node's out slice.
+type medge struct {
+	to   int32
+	site int32
+	kind EdgeKind
+}
+
+// mnode is one interned transaction. A free node has txn == 0 and
+// empty containers; the maps are retained across reuse so steady-state
+// churn allocates nothing.
+type mnode struct {
+	txn TxnID
+	out []medge
+	// pairCnt counts contributions per distinct target, so the global
+	// dependency set size (distinct targets) and the in-index stay
+	// O(1) per edge mutation. len(pairCnt) is the out-degree.
+	pairCnt map[int32]int32
+	// in is the set of source nodes with at least one edge to this
+	// node, for O(degree) removal.
+	in map[int32]struct{}
+	// visited is the epoch stamp of the last traversal that reached
+	// this node.
+	visited uint64
+}
+
+// siteIndex is one site's reverse index: which source nodes it has
+// contributed edges for, and how many edges per source.
+type siteIndex struct {
+	froms map[int32]int32
 }
 
 // NewMirror returns an empty mirror.
 func NewMirror() *Mirror {
 	return &Mirror{
-		out:  make(map[TxnID]map[TxnID]map[int]EdgeKind),
-		in:   make(map[TxnID]map[TxnID]struct{}),
-		seen: make(map[TxnID]bool),
+		idOf:   make(map[TxnID]int32),
+		bySite: make(map[int]*siteIndex),
 	}
+}
+
+// intern returns the node index for t, allocating (or recycling) a
+// node if t is new.
+func (m *Mirror) intern(t TxnID) int32 {
+	if idx, ok := m.idOf[t]; ok {
+		return idx
+	}
+	var idx int32
+	if n := len(m.free); n > 0 {
+		idx = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		m.nodes = append(m.nodes, mnode{
+			pairCnt: make(map[int32]int32),
+			in:      make(map[int32]struct{}),
+		})
+		idx = int32(len(m.nodes) - 1)
+	}
+	m.nodes[idx].txn = t
+	m.idOf[t] = idx
+	return idx
+}
+
+// lookup returns t's node index, or -1.
+func (m *Mirror) lookup(t TxnID) int32 {
+	if idx, ok := m.idOf[t]; ok {
+		return idx
+	}
+	return -1
+}
+
+// siteIdx returns (creating if needed) the reverse index for site.
+func (m *Mirror) siteIdx(site int) *siteIndex {
+	si := m.bySite[site]
+	if si == nil {
+		si = &siteIndex{froms: make(map[int32]int32)}
+		m.bySite[site] = si
+	}
+	return si
+}
+
+// addEdge ingests one contribution from -> to for site, keeping the
+// pair count, in-index and site reverse index consistent.
+func (m *Mirror) addEdge(from, to int32, site int32, kind EdgeKind) {
+	nf := &m.nodes[from]
+	nf.out = append(nf.out, medge{to: to, site: site, kind: kind})
+	nf.pairCnt[to]++
+	if nf.pairCnt[to] == 1 {
+		m.nodes[to].in[from] = struct{}{}
+	}
+	m.siteIdx(int(site)).froms[from]++
+}
+
+// dropPair decrements the (from, to) pair count after one contribution
+// was removed, clearing the in-index entry when the last site's copy
+// goes.
+func (m *Mirror) dropPair(from, to int32) {
+	nf := &m.nodes[from]
+	if c := nf.pairCnt[to] - 1; c > 0 {
+		nf.pairCnt[to] = c
+	} else {
+		delete(nf.pairCnt, to)
+		delete(m.nodes[to].in, from)
+	}
+}
+
+// dropSiteRef decrements site's reverse-index count for from.
+func (m *Mirror) dropSiteRef(site int32, from int32) {
+	si := m.bySite[int(site)]
+	if si == nil {
+		return
+	}
+	if c := si.froms[from] - 1; c > 0 {
+		si.froms[from] = c
+	} else {
+		delete(si.froms, from)
+	}
+}
+
+// maybeFree releases a node that has no edges in either direction —
+// the interning stays bounded by transactions with live mirror state,
+// not by history. RemoveTxn frees unconditionally; Observe and
+// DropSite call this for nodes they may have emptied.
+func (m *Mirror) maybeFree(idx int32) {
+	n := &m.nodes[idx]
+	if n.txn == 0 || len(n.out) != 0 || len(n.in) != 0 {
+		return
+	}
+	delete(m.idOf, n.txn)
+	n.txn = 0
+	n.out = n.out[:0]
+	m.free = append(m.free, idx)
 }
 
 // Observe replaces site's out-edge set for transaction from with the
@@ -50,69 +189,77 @@ func NewMirror() *Mirror {
 // clears the site's contribution for the transaction.
 func (m *Mirror) Observe(site int, from TxnID, edges []Edge) {
 	m.observes++
-	// Drop the site's previous contribution.
-	for to, sites := range m.out[from] {
-		if _, ok := sites[site]; ok {
-			delete(sites, site)
-			if len(sites) == 0 {
-				delete(m.out[from], to)
-				delete(m.in[to], from)
-				if len(m.in[to]) == 0 {
-					delete(m.in, to)
-				}
+	fi := m.lookup(from)
+	if fi < 0 {
+		// Nothing recorded for from yet: empty reports stay free.
+		has := false
+		for _, e := range edges {
+			if e.From == from && e.To != from {
+				has = true
+				break
 			}
 		}
+		if !has {
+			return
+		}
+		fi = m.intern(from)
 	}
+	// Drop the site's previous contribution: swap-delete the site's
+	// entries out of the adjacency slice.
+	s32 := int32(site)
+	out := m.nodes[fi].out
+	for i := 0; i < len(out); {
+		if out[i].site == s32 {
+			to := out[i].to
+			out[i] = out[len(out)-1]
+			out = out[:len(out)-1]
+			m.dropPair(fi, to)
+			m.dropSiteRef(s32, fi)
+			m.maybeFree(to)
+			continue
+		}
+		i++
+	}
+	m.nodes[fi].out = out
 	for _, e := range edges {
 		if e.From != from || e.To == from {
 			continue
 		}
-		tos := m.out[from]
-		if tos == nil {
-			tos = make(map[TxnID]map[int]EdgeKind)
-			m.out[from] = tos
-		}
-		sites := tos[e.To]
-		if sites == nil {
-			sites = make(map[int]EdgeKind)
-			tos[e.To] = sites
-		}
-		sites[site] = e.Kind
-		ins := m.in[e.To]
-		if ins == nil {
-			ins = make(map[TxnID]struct{})
-			m.in[e.To] = ins
-		}
-		ins[from] = struct{}{}
+		m.addEdge(fi, m.intern(e.To), s32, e.Kind)
 	}
-	if len(m.out[from]) == 0 {
-		delete(m.out, from)
-	}
+	m.maybeFree(fi)
 }
 
 // DropSite deletes every edge the given site contributed, for every
 // transaction — the crash-stop purge: a crashed site's volatile
 // dependency state is gone, so its reports must leave the union graph.
 // Edges another site also reported for the same (from, to) pair
-// survive; pairs only the crashed site reported disappear.
+// survive; pairs only the crashed site reported disappear. The
+// reverse index makes this O(edges of the transactions the site
+// touched), independent of the rest of the mirror.
 func (m *Mirror) DropSite(site int) {
-	for from, tos := range m.out {
-		for to, sites := range tos {
-			if _, ok := sites[site]; ok {
-				delete(sites, site)
-				if len(sites) == 0 {
-					delete(tos, to)
-					delete(m.in[to], from)
-					if len(m.in[to]) == 0 {
-						delete(m.in, to)
-					}
-				}
-			}
-		}
-		if len(tos) == 0 {
-			delete(m.out, from)
-		}
+	si := m.bySite[site]
+	if si == nil {
+		return
 	}
+	s32 := int32(site)
+	for fi := range si.froms {
+		out := m.nodes[fi].out
+		for i := 0; i < len(out); {
+			if out[i].site == s32 {
+				to := out[i].to
+				out[i] = out[len(out)-1]
+				out = out[:len(out)-1]
+				m.dropPair(fi, to)
+				m.maybeFree(to)
+				continue
+			}
+			i++
+		}
+		m.nodes[fi].out = out
+		m.maybeFree(fi)
+	}
+	clear(si.froms)
 }
 
 // RemoveTxn deletes every edge touching t, from every site (the
@@ -121,24 +268,46 @@ func (m *Mirror) DropSite(site int) {
 // depending on or waiting for t — so the coordinator can re-examine
 // them for release.
 func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
-	dependants := make([]TxnID, 0, len(m.in[t]))
-	for src := range m.in[t] {
-		dependants = append(dependants, src)
-		if tos := m.out[src]; tos != nil {
-			delete(tos, t)
-			if len(tos) == 0 {
-				delete(m.out, src)
+	ti := m.lookup(t)
+	if ti < 0 {
+		return nil
+	}
+	n := &m.nodes[ti]
+	dependants := make([]TxnID, 0, len(n.in))
+	for src := range n.in {
+		dependants = append(dependants, m.nodes[src].txn)
+		// Strip every site's src -> t contribution.
+		out := m.nodes[src].out
+		for i := 0; i < len(out); {
+			if out[i].to == ti {
+				m.dropSiteRef(out[i].site, src)
+				out[i] = out[len(out)-1]
+				out = out[:len(out)-1]
+				continue
 			}
+			i++
+		}
+		m.nodes[src].out = out
+		delete(m.nodes[src].pairCnt, ti)
+		m.maybeFree(src)
+	}
+	clear(n.in)
+	for _, e := range n.out {
+		m.dropSiteRef(e.site, ti)
+		to := e.to
+		if c := n.pairCnt[to] - 1; c > 0 {
+			n.pairCnt[to] = c
+		} else {
+			delete(n.pairCnt, to)
+			delete(m.nodes[to].in, ti)
+			m.maybeFree(to)
 		}
 	}
-	delete(m.in, t)
-	for to := range m.out[t] {
-		delete(m.in[to], t)
-		if len(m.in[to]) == 0 {
-			delete(m.in, to)
-		}
-	}
-	delete(m.out, t)
+	n.out = n.out[:0]
+	clear(n.pairCnt)
+	delete(m.idOf, t)
+	n.txn = 0
+	m.free = append(m.free, ti)
 	slices.Sort(dependants)
 	return dependants
 }
@@ -147,46 +316,60 @@ func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
 // across all sites. This is the size of the transaction's global
 // dependency set: zero means the coordinator may release it.
 func (m *Mirror) OutDegree(t TxnID) int {
-	return len(m.out[t])
+	ti := m.lookup(t)
+	if ti < 0 {
+		return 0
+	}
+	return len(m.nodes[ti].pairCnt)
+}
+
+// Has reports whether t currently has any mirrored state (an edge in
+// either direction). The coordinator's finalisation fast path skips
+// the mirror entirely for transactions that never grew one.
+func (m *Mirror) Has(t TxnID) bool {
+	_, ok := m.idOf[t]
+	return ok
 }
 
 // HasCycleFrom reports whether t can reach itself over the union of
 // every site's edges. As with Graph.HasCycleFrom, any new cycle must
 // pass through the transaction whose edges were just observed, so the
 // targeted search is equivalent to a full acyclicity check after each
-// ingest.
+// ingest. Epoch stamps and the mirror-owned stack make steady-state
+// checks allocation-free.
 func (m *Mirror) HasCycleFrom(t TxnID) bool {
 	m.cycleChecks++
-	start := m.out[t]
-	if len(start) == 0 {
+	ti := m.lookup(t)
+	if ti < 0 || len(m.nodes[ti].out) == 0 {
 		return false
 	}
-	clear(m.seen)
-	seen := m.seen
-	seen[t] = true
+	m.epoch++
+	epoch := m.epoch
+	m.nodes[ti].visited = epoch
 	stack := m.stack[:0]
-	for to := range start {
-		stack = append(stack, to)
+	for _, e := range m.nodes[ti].out {
+		stack = append(stack, e.to)
 	}
 	found := false
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if cur == t {
+		if cur == ti {
 			found = true
 			break
 		}
-		if seen[cur] {
+		cn := &m.nodes[cur]
+		if cn.visited == epoch {
 			continue
 		}
-		seen[cur] = true
-		for to := range m.out[cur] {
-			if to == t {
+		cn.visited = epoch
+		for _, e := range cn.out {
+			if e.to == ti {
 				found = true
 				break
 			}
-			if !seen[to] {
-				stack = append(stack, to)
+			if m.nodes[e.to].visited != epoch {
+				stack = append(stack, e.to)
 			}
 		}
 		if found {
@@ -210,16 +393,20 @@ func (m *Mirror) Observes() uint64 { return m.observes }
 // source then target — for tests and inspection tools.
 func (m *Mirror) Edges() []Edge {
 	var out []Edge
-	for from, tos := range m.out {
-		for to, sites := range tos {
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		if n.txn == 0 {
+			continue
+		}
+		for to := range n.pairCnt {
 			kind := WaitFor
-			for _, k := range sites {
-				if k == CommitDep {
+			for _, e := range n.out {
+				if e.to == to && e.kind == CommitDep {
 					kind = CommitDep
 					break
 				}
 			}
-			out = append(out, Edge{From: from, To: to, Kind: kind})
+			out = append(out, Edge{From: n.txn, To: m.nodes[to].txn, Kind: kind})
 		}
 	}
 	slices.SortFunc(out, func(a, b Edge) int {

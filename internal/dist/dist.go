@@ -165,26 +165,48 @@ type Cluster struct {
 
 	nextID atomic.Uint64
 
-	// mu guards the coordinator state: the mirrored union graph, the
-	// live-transaction registry and the closed flag. Transactions with
-	// no dependency edges never take it after Begin.
+	// closed gates Begin and Register; atomic so neither takes a lock.
+	closed atomic.Bool
+
+	// The coordinator state is split into independently locked domains
+	// so the paths that need one never serialise on the others:
+	//
+	//   reg     — the sharded live-transaction registry (per-shard
+	//             locks). Begin and the edge-free finalisation fast
+	//             path touch only this.
+	//   mu      — the union-graph domain: the mirror and its batching
+	//             counter. Taken only by transactions that actually
+	//             have dependency edges (and by crash/restart).
+	//   pipe    — the conversation pipeline combining concurrent
+	//             decision rounds into decideWave calls.
+	//   logMu   — the decision-log ack domain (relAcks).
+	//   closeMu — the draining-close domain (drain).
+	//
+	// Lock order: site.mu -> mu -> {registry shard, logMu}, and
+	// closeMu alone. pipe.mu is never held across another lock.
+	reg registry
+
 	mu     sync.Mutex
 	mirror *depgraph.Mirror
-	txns   map[core.TxnID]*Txn
-	closed bool
-	// drain, when non-nil, is closed once the registry empties after
-	// Close — the CloseCtx waiters' signal.
-	drain chan struct{}
 	// holdBatches counts commit conversations that mirrored their hold
 	// exports in one coordinator critical section (the batching the
 	// counting-observer test pins, together with mirror.Observes).
 	holdBatches uint64
-	// relAcks tracks, per logged commit decision, the participants
-	// whose release (or restart-time redo) has not yet been confirmed.
-	// Created at the commit point under mu; once the set drains the
-	// decision is truncated from the log — presumed abort never needs
-	// it again. Nil on a plain cluster.
+
+	pipe pipeline
+
+	// logMu guards relAcks: per logged commit decision, the
+	// participants whose release (or restart-time redo) has not yet
+	// been confirmed. Opened at the commit point; once the set drains
+	// the decision is truncated from the log — presumed abort never
+	// needs it again. Nil map on a plain cluster.
+	logMu   sync.Mutex
 	relAcks map[core.TxnID]map[SiteID]struct{}
+
+	// closeMu guards drain: when non-nil, closed once the registry
+	// empties after Close — the CloseCtx waiters' signal.
+	closeMu sync.Mutex
+	drain   chan struct{}
 }
 
 // Cluster is the distributed core.Store.
@@ -243,8 +265,8 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		hook:   cfg.StepHook,
 		faulty: cfg.FaultTolerant,
 		mirror: depgraph.NewMirror(),
-		txns:   make(map[core.TxnID]*Txn),
 	}
+	c.reg.init()
 	if cfg.FaultTolerant {
 		c.flog = cfg.Log
 		if c.flog == nil {
@@ -290,10 +312,7 @@ func (c *Cluster) SiteOf(id core.ObjectID) SiteID { return c.route(id) }
 // Register creates the object eagerly at its home site. It fails with
 // ErrClosed on a closed cluster.
 func (c *Cluster) Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed.Load() {
 		return core.ErrClosed
 	}
 	return c.sites[c.route(id)].p.Register(id, typ, class)
@@ -310,21 +329,28 @@ func (c *Cluster) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)
 // Begin starts a distributed transaction. The coordinator assigns the
 // id; sites learn about the transaction lazily on first touch. On a
 // closed cluster it returns a transaction failing with ErrClosed.
+//
+// Begin touches only the transaction's registry shard — no global
+// coordinator lock — so concurrent Begins on independent transactions
+// scale with cores.
 func (c *Cluster) Begin() core.Txn {
-	t := &Txn{
-		c:       c,
-		id:      core.TxnID(c.nextID.Add(1)),
-		visited: make(map[SiteID]bool),
-		done:    make(chan struct{}),
-	}
-	t.state.Store(txActive)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return core.ClosedTxn(core.ErrClosed)
 	}
-	c.txns[t.id] = t
-	c.mu.Unlock()
+	t := &Txn{
+		c:    c,
+		id:   core.TxnID(c.nextID.Add(1)),
+		done: make(chan struct{}),
+	}
+	t.state.Store(txActive)
+	c.reg.add(t)
+	if c.closed.Load() {
+		// Close raced the registration: withdraw so the draining close
+		// does not wait on a transaction that never ran.
+		c.reg.unregister(t.id)
+		c.maybeDrained()
+		return core.ClosedTxn(core.ErrClosed)
+	}
 	return t
 }
 
@@ -339,9 +365,7 @@ func (c *Cluster) Run(ctx context.Context, fn func(core.Txn) error) error {
 // already begun — including held pseudo-commits awaiting release — are
 // unaffected and run to completion. Idempotent.
 func (c *Cluster) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
+	c.closed.Store(true)
 	return nil
 }
 
@@ -352,17 +376,17 @@ func (c *Cluster) Close() error {
 // with the gate left in place (force-gate); the in-flight transactions
 // still run to completion on their own.
 func (c *Cluster) CloseCtx(ctx context.Context) error {
-	c.mu.Lock()
-	c.closed = true
-	if len(c.txns) == 0 {
-		c.mu.Unlock()
+	c.closed.Store(true)
+	c.closeMu.Lock()
+	if c.reg.count() == 0 {
+		c.closeMu.Unlock()
 		return nil
 	}
 	if c.drain == nil {
 		c.drain = make(chan struct{})
 	}
 	drained := c.drain
-	c.mu.Unlock()
+	c.closeMu.Unlock()
 	select {
 	case <-drained:
 		return nil
@@ -371,13 +395,20 @@ func (c *Cluster) CloseCtx(ctx context.Context) error {
 	}
 }
 
-// notifyDrained closes the drain channel if a CloseCtx is waiting and
-// the registry has emptied. Caller holds c.mu.
-func (c *Cluster) notifyDrained() {
-	if c.closed && c.drain != nil && len(c.txns) == 0 {
+// maybeDrained closes the drain channel if a CloseCtx is waiting and
+// the registry has emptied. Callers invoke it after unregistering a
+// transaction, outside every other lock; the re-check under closeMu
+// pairs with CloseCtx's count-then-wait so the signal cannot be lost.
+func (c *Cluster) maybeDrained() {
+	if !c.closed.Load() || c.reg.count() != 0 {
+		return
+	}
+	c.closeMu.Lock()
+	if c.drain != nil && c.reg.count() == 0 {
 		close(c.drain)
 		c.drain = nil
 	}
+	c.closeMu.Unlock()
 }
 
 // Stats sums every site's scheduler counters. Each site's snapshot is
@@ -403,38 +434,19 @@ func (c *Cluster) SiteStats(id SiteID) core.Stats {
 	return c.sites[id].p.StatsSnapshot()
 }
 
-// logCommit forces the transaction's commit decision to the decision
-// log (a no-op on a plain cluster). The write must succeed before any
-// participant is released; a failed force would break the recovery
-// promise, so it is surfaced loudly. The release-ack set is opened in
-// the same critical section: once every participant confirms the real
-// commit (release, or redo at restart) the decision is truncated.
-// Caller holds c.mu.
-func (c *Cluster) logCommit(t *Txn) {
-	if c.flog == nil {
-		return
-	}
-	if err := c.flog.Record(t.id, fault.OutcomeCommit); err != nil {
-		panic(fmt.Sprintf("dist: decision log commit of T%d: %v", t.id, err))
-	}
-	pending := make(map[SiteID]struct{}, len(t.visited))
-	for sid := range t.visited {
-		pending[sid] = struct{}{}
-	}
-	c.relAcks[t.id] = pending
-}
-
 // ackRelease confirms that one participant has made the logged commit
 // durable in its base state (released it, or redone it during restart
 // recovery). When the last participant acks, the decision leaves the
 // log: every prepared record for the transaction is resolved, so
 // presumed abort can never need it again. Truncation is best-effort —
-// a failed prune costs log space, not correctness.
+// a failed prune costs log space, not correctness. Acks live in their
+// own lock domain (logMu): release cascades never serialise on the
+// union graph for bookkeeping.
 func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 	if c.flog == nil {
 		return
 	}
-	c.mu.Lock()
+	c.logMu.Lock()
 	pending := c.relAcks[id]
 	if pending != nil {
 		delete(pending, sid)
@@ -443,7 +455,7 @@ func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 	if done {
 		delete(c.relAcks, id)
 	}
-	c.mu.Unlock()
+	c.logMu.Unlock()
 	if done {
 		_ = c.flog.Truncate(id)
 	}
@@ -451,14 +463,17 @@ func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 
 // filterLive drops edges to transactions the coordinator has already
 // finalised: their mirror nodes are gone, and re-adding a stale edge
-// would hold the source's dependency set open forever. Filters in
-// place (the site's reusable export buffer is ours until the site
-// mutex is released, and the mirror copies what it keeps). Caller
-// holds c.mu.
+// would hold the source's dependency set open forever. Each kept
+// target is simultaneously marked as mirrored (registry.markMirror's
+// shard critical section), which is what lets its finalisation decide
+// — without the union-graph lock — whether mirror cleanup is needed.
+// Filters in place (the site's reusable export buffer is ours until
+// the site mutex is released, and the mirror copies what it keeps).
+// Caller holds c.mu.
 func (c *Cluster) filterLive(edges []depgraph.Edge) []depgraph.Edge {
 	live := edges[:0]
 	for _, e := range edges {
-		if _, ok := c.txns[e.To]; ok {
+		if c.reg.markMirror(e.To) != nil {
 			live = append(live, e)
 		}
 	}
@@ -504,7 +519,7 @@ func (c *Cluster) unobserve(t *Txn, sid SiteID) {
 	if t.anyEdges.Load() {
 		edges := s.edges(t.id)
 		c.mu.Lock()
-		if _, ok := c.txns[t.id]; ok {
+		if c.reg.get(t.id) != nil {
 			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
 		}
 		c.mu.Unlock()
@@ -552,7 +567,7 @@ func (c *Cluster) refreshParked(s *site) {
 			edges := s.edges(id)
 			cycle := false
 			c.mu.Lock()
-			if t, ok := c.txns[id]; ok {
+			if t := c.reg.get(id); t != nil {
 				if len(edges) > 0 {
 					t.anyEdges.Store(true)
 				}
@@ -618,15 +633,13 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 		s.mu.Unlock()
 		c.refreshParked(s)
 	}
-	c.mu.Lock()
 	t.reason.Store(int32(reason))
 	t.state.Store(txAborted)
-	c.mu.Unlock()
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Aborted(t.id, detail)
 	}
-	c.finalizeGlobal([]core.TxnID{t.id})
+	c.finalizeTxn(t)
 }
 
 // releaseAt lands the real commit at every site t visited and
@@ -663,46 +676,68 @@ func (c *Cluster) releaseAt(t *Txn) {
 	}
 }
 
-// finalizeGlobal removes globally terminated transactions from the
-// mirror and cascades: any held transaction whose global dependency
-// set drains is released at its sites, which may in turn drain
-// others. Site-level finalisation always precedes mirror removal, so
-// by the time a dependant is selected here its local out-degrees are
-// already zero and Release cannot fail.
-func (c *Cluster) finalizeGlobal(ids []core.TxnID) {
+// finalizeTxn finalises one globally terminated transaction: it leaves
+// the registry (its shard only), and — only if it ever grew union-graph
+// state — its mirror node is removed with the release cascade run. A
+// transaction that never had a dependency edge in either direction
+// (the sharded fast path) skips the union-graph domain entirely: after
+// Begin it never takes the coordinator mutex at all.
+//
+// The unregister-then-remove order is load-bearing: unregister reads
+// the mirrored mark inside the registry shard's critical section, and
+// any concurrent filterLive that saw the transaction alive set that
+// mark under the same shard lock while holding c.mu — so either the
+// mark is visible here (and cascade's RemoveTxn, serialised after the
+// observer by c.mu, cleans the edge) or the observer saw the
+// unregister and dropped the edge. No stale edge survives either way.
+func (c *Cluster) finalizeTxn(t *Txn) {
+	_, mirrored := c.reg.unregister(t.id)
+	c.maybeDrained()
+	if mirrored {
+		c.cascade([]core.TxnID{t.id})
+	}
+}
+
+// cascade removes globally terminated transactions from the mirror
+// and cascades: any held transaction whose global dependency set
+// drains is released at its sites, which may in turn drain others.
+// Site-level finalisation always precedes mirror removal, so by the
+// time a dependant is selected here its local out-degrees are already
+// zero and Release cannot fail. Each round's commit decisions are
+// forced as one group before any of its releases start.
+func (c *Cluster) cascade(ids []core.TxnID) {
 	for len(ids) > 0 {
-		c.mu.Lock()
 		var ready []*Txn
+		c.mu.Lock()
 		for _, id := range ids {
 			for _, d := range c.mirror.RemoveTxn(id) {
-				dt := c.txns[d]
+				dt := c.reg.get(d)
 				if dt != nil && dt.state.Load() == txPseudo && c.mirror.OutDegree(d) == 0 {
+					// The commit point: the grouped force below must
+					// land before any participant is released, so a
+					// crash mid-release can always be redone from the
+					// prepared records.
 					dt.state.Store(txReleasing)
-					// The commit point: force the decision before any
-					// participant is released, so a crash mid-release
-					// can always be redone from the prepared records.
-					c.logCommit(dt)
 					ready = append(ready, dt)
 				}
 			}
-			delete(c.txns, id)
 		}
-		c.notifyDrained()
+		c.logCommitBatch(ready)
 		c.mu.Unlock()
 
 		ids = ids[:0]
 		for _, dt := range ready {
 			c.step(AfterDecisionBeforeRelease, dt.id, noSite)
 			c.releaseAt(dt)
-			c.mu.Lock()
 			dt.state.Store(txCommitted)
-			c.mu.Unlock()
 			close(dt.done)
 			if c.obs != nil {
 				c.obs.Released(dt.id)
 			}
+			c.reg.unregister(dt.id)
 			ids = append(ids, dt.id)
 		}
+		c.maybeDrained()
 	}
 }
 
@@ -789,15 +824,13 @@ func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID) {
 		s.mu.Unlock()
 		c.refreshParked(s)
 	}
-	c.mu.Lock()
 	t.reason.Store(int32(core.ReasonSiteFailed))
 	t.state.Store(txAborted)
-	c.mu.Unlock()
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Aborted(t.id, core.ReasonSiteFailed.String())
 	}
-	c.finalizeGlobal([]core.TxnID{t.id})
+	c.finalizeTxn(t)
 }
 
 // Restart brings a crashed site back: a fresh scheduler is seeded from
@@ -826,7 +859,7 @@ func (c *Cluster) Restart(id SiteID) (fault.RecoveryReport, error) {
 	for txid := range s.txns {
 		edges := s.edges(txid)
 		c.mu.Lock()
-		if t, ok := c.txns[txid]; ok {
+		if t := c.reg.get(txid); t != nil {
 			if len(edges) > 0 {
 				t.anyEdges.Store(true)
 			}

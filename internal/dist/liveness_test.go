@@ -51,9 +51,11 @@ func TestClusterHighContentionLiveness(t *testing.T) {
 
 	// Stalled: dump the coordinator and per-site view of every live
 	// transaction before failing, so the deadlock shape is visible.
-	c.mu.Lock()
-	fmt.Printf("=== stalled: %d live txns ===\n", len(c.txns))
-	for id, tx := range c.txns {
+	var live []*Txn
+	c.reg.forEach(func(tx *Txn) { live = append(live, tx) })
+	fmt.Printf("=== stalled: %d live txns ===\n", len(live))
+	for _, tx := range live {
+		id := tx.id
 		var local string
 		for si := 0; si < sites; si++ {
 			st := c.sites[si].p.TxnState(id)
@@ -65,16 +67,18 @@ func TestClusterHighContentionLiveness(t *testing.T) {
 				local += fmt.Sprintf("[%v]", e)
 			}
 		}
+		c.mu.Lock()
 		var medges []depgraph.Edge
 		for _, e := range c.mirror.Edges() {
 			if e.From == id {
 				medges = append(medges, e)
 			}
 		}
+		deg := c.mirror.OutDegree(id)
+		c.mu.Unlock()
 		fmt.Printf("T%d coordState=%d mirrorOutDeg=%d mirrorEdges=%v local:%s\n",
-			id, tx.state.Load(), c.mirror.OutDegree(id), medges, local)
+			id, tx.state.Load(), deg, medges, local)
 	}
-	c.mu.Unlock()
 	for si := 0; si < sites; si++ {
 		c.sites[si].mu.Lock()
 		if c.sites[si].hub.Len() > 0 {

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/fault"
+)
+
+// decideReq is one commit conversation's decision round: the hold
+// phase's per-site edge exports, and — filled in by the wave that
+// processes it — the decision (global dependency count, or a doomed
+// verdict from a mid-conversation site crash).
+type decideReq struct {
+	t      *Txn
+	sids   []SiteID
+	batch  []depgraph.Edge // per-site exports, concatenated
+	counts []int           // batch[off:off+counts[i]] belongs to sids[i]
+
+	gdeps  int
+	doomed bool
+
+	done chan struct{} // closed once the wave has decided this request
+}
+
+// pipeline coalesces concurrent commit conversations' decision rounds
+// (flat combining): whichever owner goroutine finds the pipeline idle
+// becomes the combiner and decides everything queued behind it in one
+// coordinator critical section with one grouped decision-log force,
+// instead of each conversation taking the coordinator mutex and
+// fsyncing its own decision. Under convoy load the mutex is acquired
+// once per wave and the log forced once per wave; at low concurrency a
+// wave is a single request and the path degenerates to the old one
+// (same lock round, same force) with no added latency.
+type pipeline struct {
+	mu      sync.Mutex
+	pending []*decideReq
+	// combining marks an active combiner; submitters that see it just
+	// enqueue and wait, their request is part of someone's wave.
+	combining bool
+}
+
+// decide runs t's decision round through the pipeline and returns the
+// global dependency count, or doomed if a site crash voided the
+// conversation. The caller's hold phase is complete: batch/counts are
+// the per-site exports copied out under the site mutexes.
+func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []int) (gdeps int, doomed bool) {
+	req := &decideReq{t: t, sids: sids, batch: batch, counts: counts, done: make(chan struct{})}
+	p := &c.pipe
+	p.mu.Lock()
+	p.pending = append(p.pending, req)
+	if p.combining {
+		p.mu.Unlock()
+		<-req.done
+		return req.gdeps, req.doomed
+	}
+	p.combining = true
+	for {
+		wave := p.pending
+		p.pending = nil
+		p.mu.Unlock()
+		c.decideWave(wave)
+		p.mu.Lock()
+		if len(p.pending) == 0 {
+			p.combining = false
+			p.mu.Unlock()
+			return req.gdeps, req.doomed
+		}
+	}
+}
+
+// decideWave decides a wave of conversations in one coordinator
+// critical section: every request's exports are mirrored (one mirror
+// update per touched site — the per-conversation batching the counting
+// tests pin — and one holdBatches round per conversation), each global
+// dependency set is summed, and every conversation that reached its
+// commit point is forced to the decision log as one group before
+// anyone is released. The doomed re-check runs under the same mutex
+// the crash handler dooms under, so a crash during the hold phase
+// cannot slip past the commit point.
+func (c *Cluster) decideWave(wave []*decideReq) {
+	var releasing []*Txn
+	c.mu.Lock()
+	for _, r := range wave {
+		t := r.t
+		if t.doomed.Load() {
+			r.doomed = true
+			continue
+		}
+		off := 0
+		for i, sid := range r.sids {
+			edges := r.batch[off : off+r.counts[i]]
+			off += r.counts[i]
+			if len(edges) > 0 {
+				t.anyEdges.Store(true)
+			}
+			c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
+		}
+		c.holdBatches++
+		r.gdeps = c.mirror.OutDegree(t.id)
+		if r.gdeps > 0 {
+			t.state.Store(txPseudo)
+		} else {
+			// The commit point: the decision must be durable before any
+			// participant is released (txReleasing also bars the crash
+			// handler from revoking). The force itself is grouped below.
+			t.state.Store(txReleasing)
+			releasing = append(releasing, t)
+		}
+	}
+	c.logCommitBatch(releasing)
+	c.mu.Unlock()
+	for _, r := range wave {
+		close(r.done)
+	}
+}
+
+// logCommitBatch forces the commit decisions of a wave to the decision
+// log (a no-op on a plain cluster) — one grouped force when the log
+// supports it, per-id records otherwise — and opens each transaction's
+// release-ack set. The write must succeed before any participant is
+// released; a failed force would break the recovery promise, so it is
+// surfaced loudly. Caller holds c.mu; the ack table lives in its own
+// lock domain (lock order c.mu -> logMu).
+func (c *Cluster) logCommitBatch(txns []*Txn) {
+	if c.flog == nil || len(txns) == 0 {
+		return
+	}
+	if br, ok := c.flog.(fault.BatchRecorder); ok {
+		ids := make([]core.TxnID, len(txns))
+		for i, t := range txns {
+			ids[i] = t.id
+		}
+		if err := br.RecordBatch(ids, fault.OutcomeCommit); err != nil {
+			panic(fmt.Sprintf("dist: decision log commit batch %v: %v", ids, err))
+		}
+	} else {
+		for _, t := range txns {
+			if err := c.flog.Record(t.id, fault.OutcomeCommit); err != nil {
+				panic(fmt.Sprintf("dist: decision log commit of T%d: %v", t.id, err))
+			}
+		}
+	}
+	c.logMu.Lock()
+	for _, t := range txns {
+		pending := make(map[SiteID]struct{}, len(t.visited))
+		for _, sid := range t.visited {
+			pending[sid] = struct{}{}
+		}
+		c.relAcks[t.id] = pending
+	}
+	c.logMu.Unlock()
+}

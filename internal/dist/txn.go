@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/adt"
@@ -41,16 +40,23 @@ type Txn struct {
 	state  atomic.Int32
 	reason atomic.Int32 // core.AbortReason, stored before state becomes txAborted
 
-	// visited marks sites where Begin has run. Owner-goroutine-only
-	// until the transaction pseudo-commits, after which the owner
-	// mutates nothing.
-	visited map[SiteID]bool
+	// visited lists the sites where Begin has run, in ascending order
+	// (conversations iterate it directly, so multi-site rounds stay
+	// deterministic). Owner-goroutine-only until the transaction
+	// pseudo-commits, after which the owner mutates nothing.
+	visited []SiteID
 	// anyEdges is set once the transaction has ever had a dependency
 	// edge at any site; while false, commits take the edge-free fast
 	// path and never touch the coordinator. Set by the owner's own
 	// observes and by refreshParked (a foreign goroutine), hence
 	// atomic.
 	anyEdges atomic.Bool
+	// inMirror is set by filterLive — under the transaction's registry
+	// shard lock — when an edge to this transaction enters the union
+	// graph. Together with anyEdges it tells finalisation whether the
+	// mirror holds state to clean up; false on both is what lets the
+	// edge-free fast path finalise without the coordinator mutex.
+	inMirror atomic.Bool
 	// doomed is set by the crash handler when a site holding this
 	// transaction's operations fails before the commit point: the
 	// owner aborts with ReasonSiteFailed at its next step. Set by a
@@ -81,14 +87,27 @@ func (t *Txn) Err() error {
 }
 
 // visitedSorted returns the visited sites in ascending order, for
-// deterministic multi-site conversations.
-func (t *Txn) visitedSorted() []SiteID {
-	sids := make([]SiteID, 0, len(t.visited))
-	for sid := range t.visited {
-		sids = append(sids, sid)
+// deterministic multi-site conversations. The slice is the
+// transaction's own (kept sorted by visit); callers must not mutate.
+func (t *Txn) visitedSorted() []SiteID { return t.visited }
+
+// visitedHas reports whether Begin has run at sid. Linear scan: a
+// transaction touches a handful of sites.
+func (t *Txn) visitedHas(sid SiteID) bool {
+	for _, s := range t.visited {
+		if s == sid {
+			return true
+		}
 	}
-	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
-	return sids
+	return false
+}
+
+// visit records sid as visited, keeping the slice sorted.
+func (t *Txn) visit(sid SiteID) {
+	t.visited = append(t.visited, sid)
+	for i := len(t.visited) - 1; i > 0 && t.visited[i-1] > t.visited[i]; i-- {
+		t.visited[i-1], t.visited[i] = t.visited[i], t.visited[i-1]
+	}
 }
 
 // errState converts a non-active state into the caller-facing error.
@@ -160,7 +179,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 	sid := t.c.route(obj)
 	s := t.c.sites[sid]
 
-	if !t.visited[sid] {
+	if !t.visitedHas(sid) {
 		s.mu.Lock()
 		err := s.p.Begin(t.id)
 		if err == nil {
@@ -173,7 +192,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 			}
 			return adt.Ret{}, err
 		}
-		t.visited[sid] = true
+		t.visit(sid)
 	}
 
 	s.mu.Lock()
@@ -324,11 +343,14 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// Fast path: a transaction that never grew a dependency edge has a
 	// provably empty global dependency set (edges only arise from its
 	// own requests, and every request left zero), so each site can
-	// commit directly — no hold phase, no coordinator conversation.
-	// This is the path perfectly partitioned traffic takes, and it is
-	// what makes sharded throughput scale. On a fault-tolerant cluster
-	// only single-site transactions qualify: a direct multi-site commit
-	// has no prepare records, so a crash between the per-site commits
+	// commit directly — no hold phase, no coordinator conversation,
+	// and (unless someone mirrored a commit dependency on us) no
+	// coordinator lock of any kind after Begin: finalisation leaves
+	// the sharded registry and stops. This is the path perfectly
+	// partitioned traffic takes, and it is what makes sharded
+	// throughput scale with cores. On a fault-tolerant cluster only
+	// single-site transactions qualify: a direct multi-site commit has
+	// no prepare records, so a crash between the per-site commits
 	// would break atomicity — multi-site transactions go through the
 	// hold conversation even when edge-free.
 	if !t.anyEdges.Load() && (!c.faulty || len(sids) <= 1) {
@@ -354,28 +376,27 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			c.refreshParked(s)
 		}
-		c.mu.Lock()
 		t.state.Store(txCommitted)
-		c.mu.Unlock()
 		close(t.done)
 		if c.obs != nil {
 			c.obs.Released(t.id)
 		}
 		// Others may have mirrored commit dependencies on us; drain them.
-		c.finalizeGlobal([]core.TxnID{t.id})
+		c.finalizeTxn(t)
 		return core.Committed, nil
 	}
 
 	// Hold at every site, copying the dependency-edge export out of the
 	// same critical section (one site round per participant). The
-	// exports are then mirrored in a single coordinator critical
-	// section below — one mirror update per touched site, one
-	// coordinator lock round per conversation — instead of re-locking
-	// the coordinator once per site. Batching is safe because the
-	// committing owner is the only writer for its (site, txn) mirror
-	// pairs (it is not parked, so refreshParked never touches it), and
-	// staleness against concurrent global finalisations is handled by
-	// filterLive at observe time, exactly as on the per-site path.
+	// exports are then mirrored through the conversation pipeline —
+	// one mirror update per touched site, one coordinator lock round
+	// per conversation WAVE (concurrent conversations share a round) —
+	// instead of re-locking the coordinator once per site. Batching is
+	// safe because the committing owner is the only writer for its
+	// (site, txn) mirror pairs (it is not parked, so refreshParked
+	// never touches it), and staleness against concurrent global
+	// finalisations is handled by filterLive at observe time, exactly
+	// as on the per-site path.
 	var batch []depgraph.Edge
 	var counts []int
 	for _, sid := range sids {
@@ -402,36 +423,19 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	}
 	c.step(BeforeDecisionForce, t.id, noSite)
 
-	// One coordinator critical section: mirror every site's export, sum
-	// the global dependency set, and decide. The doomed re-check runs
-	// under the same lock the crash handler dooms under, so a crash
-	// during the hold phase cannot slip past the commit point.
-	c.mu.Lock()
-	if t.doomed.Load() {
-		c.mu.Unlock()
+	// The decision round runs through the conversation pipeline: one
+	// coordinator critical section mirrors every site's export, sums
+	// the global dependency set and decides — for this conversation
+	// and every concurrent one queued in the same wave, with their
+	// commit decisions forced to the log as one group. The doomed
+	// re-check runs under the same lock the crash handler dooms under,
+	// so a crash during the hold phase cannot slip past the commit
+	// point.
+	gdeps, doomed := c.decide(t, sids, batch, counts)
+	if doomed {
 		_, err := t.failSite(noSite)
 		return 0, err
 	}
-	off := 0
-	for i, sid := range sids {
-		edges := batch[off : off+counts[i]]
-		off += counts[i]
-		if len(edges) > 0 {
-			t.anyEdges.Store(true)
-		}
-		c.mirror.Observe(int(sid), t.id, c.filterLive(edges))
-	}
-	c.holdBatches++
-	gdeps := c.mirror.OutDegree(t.id)
-	if gdeps > 0 {
-		t.state.Store(txPseudo)
-	} else {
-		// The commit point: force the decision before releasing anyone
-		// (txReleasing also bars the crash handler from revoking).
-		t.state.Store(txReleasing)
-		c.logCommit(t)
-	}
-	c.mu.Unlock()
 
 	if gdeps > 0 {
 		if c.obs != nil {
@@ -443,14 +447,12 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// Global dependency set empty: land the real commit everywhere.
 	c.step(AfterDecisionBeforeRelease, t.id, noSite)
 	c.releaseAt(t)
-	c.mu.Lock()
 	t.state.Store(txCommitted)
-	c.mu.Unlock()
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Released(t.id)
 	}
-	c.finalizeGlobal([]core.TxnID{t.id})
+	c.finalizeTxn(t)
 	return core.Committed, nil
 }
 

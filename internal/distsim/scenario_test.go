@@ -92,6 +92,44 @@ func TestConvoyCollapse(t *testing.T) {
 	}
 }
 
+// TestConvoyBaseline42 pins the Convoy baseline run bit-for-bit. The
+// constants below were recorded before the coordinator rewrite (the
+// interned mirror, the sharded registry and the batched commit
+// conversation), so this test is the proof that the many-core work
+// changed no observable protocol behaviour: the seed-42 event trace
+// hashes identically, and the convoy depth and real/pseudo throughput
+// gap — the fixed baseline a future bounded-hold policy must beat —
+// are exactly what they were. An intentional model change must update
+// the constants in the same commit that explains it.
+func TestConvoyBaseline42(t *testing.T) {
+	const (
+		baseHash   = uint64(0x71872824acbf006c)
+		baseDepth  = 237
+		baseReal   = 400
+		basePseudo = 604
+		baseHeld   = 684
+		baseGap    = 36.4693 - 24.1519 // pseudo - real throughput, txn/s
+	)
+	res := run(t, Convoy(42))
+	if res.TraceHash != baseHash {
+		t.Fatalf("Convoy(42) trace hash = %016x, want %016x (event trace no longer bit-identical to the checked-in baseline)",
+			res.TraceHash, baseHash)
+	}
+	if got := res.ConvoyDepth.Max(); got != baseDepth {
+		t.Errorf("max convoy depth = %d, want %d", got, baseDepth)
+	}
+	if res.RealCommits != baseReal || res.PseudoCompletions != basePseudo {
+		t.Errorf("commits = %d real / %d pseudo, want %d / %d",
+			res.RealCommits, res.PseudoCompletions, baseReal, basePseudo)
+	}
+	if res.Held != baseHeld {
+		t.Errorf("held conversations = %d, want %d", res.Held, baseHeld)
+	}
+	if gap := res.PseudoThroughput() - res.RealThroughput(); gap > baseGap+0.01 {
+		t.Errorf("pseudo-real throughput gap = %.4f txn/s, baseline %.4f — convoy got worse", gap, baseGap)
+	}
+}
+
 // TestSweepScale: one latency×cross sweep cell at simulated scale —
 // 200 sites, far beyond what the wall-clock harness can host — runs to
 // completion deterministically.

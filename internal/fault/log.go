@@ -71,6 +71,22 @@ type Log interface {
 	Len() int
 }
 
+// BatchRecorder is the optional group-commit extension of Log: one
+// durability round — a single append and a single force — covers a
+// whole wave of decisions. The coordinator's conversation pipeline
+// decides batches of concurrent commits in one critical section and
+// forces them with one RecordBatch instead of one fsync per
+// transaction; callers fall back to per-id Record when a Log does not
+// implement it.
+//
+// RecordBatch is all-or-nothing with respect to validation: if any id
+// already carries a conflicting outcome the whole batch is rejected
+// and no id is recorded. Re-recording the same outcome for some ids of
+// the batch is idempotent, as with Record.
+type BatchRecorder interface {
+	RecordBatch(ids []core.TxnID, o Outcome) error
+}
+
 // MemLog is the in-memory Log: "durable" for the lifetime of the
 // process, which is exactly the durability the simulated crash-stop
 // model needs — Crashable sites lose their volatile state on Crash,
@@ -93,6 +109,22 @@ func (l *MemLog) Record(id core.TxnID, o Outcome) error {
 		return fmt.Errorf("fault: decision log: T%d already %s, refusing %s", id, prev, o)
 	}
 	l.m[id] = o
+	return nil
+}
+
+// RecordBatch implements BatchRecorder: one lock round for the whole
+// wave, validated before any id is applied.
+func (l *MemLog) RecordBatch(ids []core.TxnID, o Outcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, id := range ids {
+		if prev, ok := l.m[id]; ok && prev != o {
+			return fmt.Errorf("fault: decision log: T%d already %s, refusing %s", id, prev, o)
+		}
+	}
+	for _, id := range ids {
+		l.m[id] = o
+	}
 	return nil
 }
 
@@ -151,6 +183,12 @@ type FileLog struct {
 	// when it overtakes the live count by compactSlack.
 	dead int
 }
+
+// Both logs support grouped forces.
+var (
+	_ BatchRecorder = (*MemLog)(nil)
+	_ BatchRecorder = (*FileLog)(nil)
+)
 
 // compactSlack is how many dead lines a FileLog tolerates beyond the
 // live count before compacting — large enough that compaction cost
@@ -248,6 +286,49 @@ func (l *FileLog) Record(id core.TxnID, o Outcome) error {
 		}
 	}
 	l.m[id] = o
+	return nil
+}
+
+// RecordBatch implements BatchRecorder: the whole wave is validated,
+// appended as one write and forced with one Sync — the group-commit
+// amortisation the conversation pipeline exists for.
+func (l *FileLog) RecordBatch(ids []core.TxnID, o Outcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fresh := ids[:0:0]
+	for _, id := range ids {
+		if prev, ok := l.m[id]; ok {
+			if prev != o {
+				return fmt.Errorf("fault: decision log: T%d already %s, refusing %s", id, prev, o)
+			}
+			continue // idempotent re-record: no new line needed
+		}
+		fresh = append(fresh, id)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	kind := byte('C')
+	if o == OutcomeAbort {
+		kind = 'A'
+	}
+	buf := make([]byte, 0, 12*len(fresh))
+	for _, id := range fresh {
+		buf = append(buf, kind, ' ')
+		buf = strconv.AppendUint(buf, uint64(id), 10)
+		buf = append(buf, '\n')
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	for _, id := range fresh {
+		l.m[id] = o
+	}
 	return nil
 }
 

@@ -192,6 +192,87 @@ func TestFileLogTruncateReplay(t *testing.T) {
 	}
 }
 
+// TestMemLogRecordBatch: one RecordBatch round equals the per-id
+// Records, re-recording the same outcome is idempotent, and a single
+// conflicting id rejects the whole wave without applying any of it.
+func TestMemLogRecordBatch(t *testing.T) {
+	l := NewMemLog()
+	if err := l.RecordBatch(nil, OutcomeCommit); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := l.RecordBatch([]core.TxnID{1, 2, 3}, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	for id := core.TxnID(1); id <= 3; id++ {
+		if o, ok := l.Lookup(id); !ok || o != OutcomeCommit {
+			t.Fatalf("T%d = %v %v, want commit", id, o, ok)
+		}
+	}
+	// Idempotent overlap: {2,3,4} with the same outcome is fine.
+	if err := l.RecordBatch([]core.TxnID{2, 3, 4}, OutcomeCommit); err != nil {
+		t.Fatalf("idempotent overlap refused: %v", err)
+	}
+	// All-or-nothing: T3 is already a commit, so an abort wave naming it
+	// must leave T5 unrecorded too.
+	if err := l.RecordBatch([]core.TxnID{5, 3}, OutcomeAbort); err == nil {
+		t.Fatal("conflicting batch accepted")
+	}
+	if _, ok := l.Lookup(5); ok {
+		t.Fatal("rejected batch partially applied (T5 recorded)")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+}
+
+// TestFileLogRecordBatch: a batched force is one durability round that
+// survives replay, with the same all-or-nothing validation as MemLog.
+func TestFileLogRecordBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordBatch([]core.TxnID{7, 8, 9}, OutcomeCommit); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordBatch([]core.TxnID{10, 7}, OutcomeAbort); err == nil {
+		t.Fatal("conflicting batch accepted")
+	}
+	if _, ok := l.Lookup(10); ok {
+		t.Fatal("rejected batch partially applied (T10 recorded)")
+	}
+	if err := l.RecordBatch(nil, OutcomeCommit); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for id := core.TxnID(7); id <= 9; id++ {
+		if o, ok := l2.Lookup(id); !ok || o != OutcomeCommit {
+			t.Fatalf("replayed T%d = %v %v, want commit", id, o, ok)
+		}
+	}
+	if _, ok := l2.Lookup(10); ok {
+		t.Fatal("rejected batch resurrected by replay")
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("replayed len = %d, want 3", l2.Len())
+	}
+	// Batched records truncate like plain ones.
+	if err := l2.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("len after truncate = %d, want 2", l2.Len())
+	}
+}
+
 // TestFileLogCompaction is the boundedness proof for long chaos runs:
 // record-and-truncate far more decisions than compactSlack and check
 // the file size stays bounded by the live set plus the slack, instead

@@ -135,10 +135,22 @@ type Sharded struct {
 	// CrossProb is the per-step probability of a cross-partition
 	// access.
 	CrossProb float64
+	// Skew is the zipfian exponent s of per-partition key popularity
+	// (math/rand.NewZipf). When > 1, each re-homed step draws its
+	// object from a zipfian over the home partition's keys — rank 0,
+	// the partition's lowest id, is the hot key — so multi-site
+	// benchmarks cover hot-key contention, not just uniform routing.
+	// Values <= 1 (including the zero value) keep the original uniform
+	// re-homing and consume the RNG identically, preserving the
+	// checked-in deterministic baselines.
+	Skew float64
 }
 
 // Name implements Generator.
 func (w Sharded) Name() string {
+	if w.Skew > 1 {
+		return fmt.Sprintf("sharded(%s,sites=%d,cross=%.2f,skew=%.2f)", w.Inner.Name(), w.Sites, w.CrossProb, w.Skew)
+	}
 	return fmt.Sprintf("sharded(%s,sites=%d,cross=%.2f)", w.Inner.Name(), w.Sites, w.CrossProb)
 }
 
@@ -163,9 +175,23 @@ func (w Sharded) NewTxn(r *rand.Rand, length int) []Step {
 	}
 	home := r.Intn(w.Sites)
 	size := w.Inner.Size()
+	// The home partition is {id : id ≡ home (mod Sites), 1 <= id <= size};
+	// its lowest member is the partition's rank-0 (hot) key under skew.
+	base := home
+	if base == 0 {
+		base = w.Sites
+	}
+	var zipf *rand.Zipf
+	if count := (size-base)/w.Sites + 1; w.Skew > 1 && count > 1 {
+		zipf = rand.NewZipf(r, w.Skew, 1, uint64(count-1))
+	}
 	for i := range steps {
 		if w.CrossProb > 0 && r.Float64() < w.CrossProb {
 			continue // this step stays wherever the inner draw put it
+		}
+		if zipf != nil {
+			steps[i].Object = core.ObjectID(base + w.Sites*int(zipf.Uint64()))
+			continue
 		}
 		id := int(steps[i].Object)
 		id = id - id%w.Sites + home

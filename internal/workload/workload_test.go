@@ -204,3 +204,57 @@ func TestShardedGenerator(t *testing.T) {
 		t.Errorf("factory type = %T", typ)
 	}
 }
+
+// TestShardedSkew: Skew > 1 concentrates each partition's traffic on
+// its hot keys without breaking partitioning, and Skew <= 1 is
+// bit-identical to the unskewed draw (same RNG consumption), so
+// checked-in deterministic baselines are unaffected.
+func TestShardedSkew(t *testing.T) {
+	const sites, size = 4, 100
+	w := Sharded{Inner: ReadWrite{DBSize: size, WriteProb: 0.5}, Sites: sites, Skew: 2.0}
+	r := rand.New(rand.NewSource(7))
+	freq := map[core.ObjectID]int{}
+	total := 0
+	for i := 0; i < 500; i++ {
+		steps := w.NewTxn(r, 8)
+		home := steps[0].Object % sites
+		for _, s := range steps {
+			if s.Object < 1 || int(s.Object) > size {
+				t.Fatalf("object %d out of range", s.Object)
+			}
+			if s.Object%sites != home {
+				t.Fatalf("skewed txn spans partitions without CrossProb: %v", steps)
+			}
+			freq[s.Object]++
+			total++
+		}
+	}
+	// Each partition's rank-0 key is its lowest id: 1, 2, 3 and 4
+	// (home 0's partition starts at Sites). Under uniform routing those
+	// four of 100 keys would see ~4% of the traffic; zipf s=2 puts the
+	// bulk of each partition's draws on its hot key.
+	hot := freq[1] + freq[2] + freq[3] + freq[4]
+	if hot < total/3 {
+		t.Errorf("hot keys got %d/%d draws (%.1f%%), want skewed concentration >= 33%%",
+			hot, total, 100*float64(hot)/float64(total))
+	}
+	if w.Name() != "sharded(read-write(p_w=0.50),sites=4,cross=0.00,skew=2.00)" {
+		t.Errorf("Name = %q", w.Name())
+	}
+
+	// Sub-threshold skew is the uniform path, same RNG stream.
+	a := Sharded{Inner: ReadWrite{DBSize: size, WriteProb: 0.5}, Sites: sites}
+	b := Sharded{Inner: ReadWrite{DBSize: size, WriteProb: 0.5}, Sites: sites, Skew: 0.99}
+	ra, rb := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		sa, sb := a.NewTxn(ra, 6), b.NewTxn(rb, 6)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("Skew<=1 diverged from unskewed draw at txn %d step %d: %v vs %v", i, j, sa[j], sb[j])
+			}
+		}
+	}
+	if a.Name() != b.Name() {
+		t.Errorf("Skew<=1 changed the name: %q vs %q", a.Name(), b.Name())
+	}
+}
