@@ -28,6 +28,7 @@ import (
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/distsim"
 	"repro/internal/experiments"
 	"repro/internal/workload"
 )
@@ -600,6 +601,37 @@ func BenchmarkCoordinatorHotKey(b *testing.B) {
 // BenchmarkSimulatorEventRate measures raw simulator speed (events are
 // dominated by operation steps) in simulated completions per wall
 // second.
+// BenchmarkConvoySim runs the seed-42 hold-convoy scenario through the
+// multi-site simulator, policy off (the unbounded baseline) and under
+// each bounded-hold policy. Virtual work tracks real work here: the
+// baseline simulates the full 237-deep convoy and its drain, so the
+// policy variants' lower op times are the release-machinery savings
+// themselves, deterministically reproducible.
+func BenchmarkConvoySim(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy dist.HoldPolicy
+	}{
+		{"off", nil},
+		{"depth=16", dist.DepthBound{Max: 16}},
+		{"eager", dist.EagerRelease{}},
+		{"admit=32-16", &dist.Admission{High: 32, Low: 16}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := distsim.NewEngine(distsim.ConvoyPolicy(42, tc.policy))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimulatorEventRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := repro.DefaultSimConfig(repro.ReadWriteWorkload{DBSize: 1000, WriteProb: 0.3}, 50, 1)

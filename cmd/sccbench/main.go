@@ -11,6 +11,8 @@
 //	sccbench -tables                       # Tables I–VIII and IX–X
 //	sccbench -shardscale                   # 1-shard vs N-shard throughput
 //	sccbench -chaos                        # crash-stop fault-tolerance cost + chaos run
+//	sccbench -convoy                       # hold-convoy overload: policy off vs bounded-hold
+//	sccbench -convoy -policy eager         # one policy against the unbounded baseline
 //
 // Scale knobs: -completions, -warmup, -runs, -seed, -db, -terminals.
 // Shard-scaling knobs: -shards, -workers, -txns, -cross, -skew (zipfian
@@ -20,6 +22,12 @@
 // shard-scaling workload knobs); the chaos run checks conservation
 // across the injected failures and reports the fault-tolerance
 // overhead on the no-crash path.
+// Convoy knobs: -convoysites and -policy (plus -workers, -txns, -db,
+// -cross, which default to the overload regime: all-push workload,
+// small database, 40% cross-site); the clock stops only after every
+// pseudo-commit promise is honoured, so txn/s is honest real-commit
+// throughput, drain included. -policy also installs a bounded-hold
+// policy on the -chaos clusters.
 //
 // Profiling: -cpuprofile / -memprofile write pprof files for any mode,
 // so perf work profiles the real workloads without editing code:
@@ -125,6 +133,74 @@ func runShardScale(shardList, maxprocsList string, workers, txns, db int, cross,
 	return nil
 }
 
+// runConvoy reproduces the hold-convoy overload under the wall clock
+// and measures what a bounded-hold policy buys back. The workload is
+// the Convoy scenario's shape — every operation a recoverable stack
+// push, heavy cross-site traffic, a small hot database — driven with
+// RetryHeldAborts, so shed holds are resubmitted like any retryable
+// abort and a logical transaction counts only when its real commit
+// lands. The clock stops after the last promise is honoured: the
+// unbounded baseline pays its whole convoy drain inside the elapsed
+// time, which is exactly the cost the policies exist to remove.
+func runConvoy(sitesN, workers, txns, db int, cross float64, seed int64, holdOpen time.Duration, pol dist.HoldPolicy) error {
+	policies := []dist.HoldPolicy{nil}
+	if pol != nil {
+		policies = append(policies, pol)
+	} else {
+		policies = append(policies,
+			dist.DepthBound{Max: 16},
+			dist.EagerRelease{},
+			&dist.Admission{High: 32, Low: 16},
+		)
+	}
+	gen := workload.Sharded{
+		Inner: workload.Pushes{DBSize: db},
+		Sites: sitesN, CrossProb: cross,
+	}
+	fmt.Printf("convoy overload: %d sites, %d workers x %d txns, push db=%d, cross-site prob %.2f, hold-open %s\n",
+		sitesN, workers, txns, db, cross, holdOpen)
+	fmt.Println("(txn/s counts real commits with every promise drained before the clock stops)")
+	fmt.Printf("%-14s %10s %10s %10s %10s %12s %12s\n",
+		"policy", "txn/s", "held", "heldpeak", "aborts", "shed", "elapsed")
+	var baseline float64
+	for _, p := range policies {
+		c, err := dist.NewWithConfig(dist.Config{Sites: sitesN, Policy: p})
+		if err != nil {
+			return err
+		}
+		res, err := dist.RunLoad(c, dist.LoadConfig{
+			Workload:        gen,
+			Workers:         workers,
+			TxnsPerWorker:   txns,
+			Seed:            seed,
+			MaxRestarts:     100000,
+			RetryHeldAborts: true,
+			HoldOpen:        holdOpen,
+		})
+		if err != nil {
+			return err
+		}
+		ps := c.PolicyStats()
+		name, note := "off", ""
+		if p != nil {
+			name = p.Name()
+		}
+		if p == nil {
+			baseline = res.TxnPerSec
+		} else if baseline > 0 {
+			note = fmt.Sprintf("  (%.2fx vs off)", res.TxnPerSec/baseline)
+		}
+		shed := fmt.Sprintf("%d/%d", ps.TailAborts, ps.AdmissionRejects)
+		if ps.EagerReleased > 0 {
+			shed = fmt.Sprintf("eager %d/%d", ps.EagerRounds, ps.EagerReleased)
+		}
+		fmt.Printf("%-14s %10.0f %10d %10d %10d %12s %12s%s\n",
+			name, res.TxnPerSec, res.Pseudo, ps.HeldPeak, res.Aborts, shed,
+			res.Elapsed.Round(time.Millisecond), note)
+	}
+	return nil
+}
+
 // runChaos measures crash-stop fault tolerance: the same sharded
 // conservation workload (all-push stacks) runs on a plain cluster, on
 // a fault-tolerant cluster with no failures (the no-crash overhead of
@@ -132,7 +208,7 @@ func runShardScale(shardList, maxprocsList string, workers, txns, db int, cross,
 // BENCH_*.json trajectory), and on a fault-tolerant cluster under a
 // periodic crash/restart schedule with conservation verified at the
 // end.
-func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPeriod, restartDelay time.Duration) error {
+func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPeriod, restartDelay time.Duration, pol dist.HoldPolicy) error {
 	gen := workload.Sharded{
 		Inner: workload.Pushes{DBSize: db},
 		Sites: shardsN, CrossProb: cross,
@@ -146,9 +222,12 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	}
 	fmt.Printf("chaos: %d sites, %d workers x %d txns, push db=%d, cross-site prob %.2f\n",
 		shardsN, workers, txns, db, cross)
+	if pol != nil {
+		fmt.Printf("bounded-hold policy %s installed on every cluster\n", pol.Name())
+	}
 	fmt.Printf("%-22s %12s %10s %10s %12s %10s\n", "configuration", "txn/s", "held", "aborts", "elapsed", "crashes")
 
-	plain, err := dist.New(shardsN, core.Options{}, nil, nil)
+	plain, err := dist.NewWithConfig(dist.Config{Sites: shardsN, Policy: pol})
 	if err != nil {
 		return err
 	}
@@ -159,7 +238,7 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s\n", "plain",
 		plainRes.TxnPerSec, plainRes.Pseudo, plainRes.Aborts, plainRes.Elapsed.Round(time.Millisecond), "-")
 
-	ft, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true})
+	ft, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true, Policy: pol})
 	if err != nil {
 		return err
 	}
@@ -174,7 +253,7 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s%s\n", "fault-tolerant",
 		ftRes.TxnPerSec, ftRes.Pseudo, ftRes.Aborts, ftRes.Elapsed.Round(time.Millisecond), "-", overhead)
 
-	chaosCluster, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true})
+	chaosCluster, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true, Policy: pol})
 	if err != nil {
 		return err
 	}
@@ -243,6 +322,11 @@ func main() {
 		crashPeriod  = flag.Duration("crashperiod", 10*time.Millisecond, "healthy interval before each injected crash for -chaos")
 		restartDelay = flag.Duration("restartdelay", 3*time.Millisecond, "downtime per injected crash for -chaos")
 
+		convoy      = flag.Bool("convoy", false, "run the hold-convoy overload: bounded-hold policies vs the unbounded baseline")
+		convoySites = flag.Int("convoysites", 8, "participant sites for -convoy")
+		holdOpen    = flag.Duration("holdopen", 300*time.Microsecond, "per-transaction open window before commit for -convoy (the overlap that forms the convoy)")
+		policyStr   = flag.String("policy", "", "bounded-hold policy for -convoy/-chaos: off, depth=N, eager, admit=N, admit=H/L (empty with -convoy compares off, depth=16, eager, admit=32/16)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -252,6 +336,14 @@ func main() {
 		benchNote = flag.String("note", "", "free-form note embedded in the -benchjson report")
 	)
 	flag.Parse()
+
+	pol, err := dist.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+		os.Exit(2)
+	}
+	flagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 
 	if *benchjson {
 		if *beforeTxt == "" || *afterTxt == "" {
@@ -320,7 +412,36 @@ func main() {
 		if seedVal == 0 {
 			seedVal = 1
 		}
-		if err := runChaos(*chaosSites, *workers, *txns, dbSize, *cross, seedVal, *crashPeriod, *restartDelay); err != nil {
+		if err := runChaos(*chaosSites, *workers, *txns, dbSize, *cross, seedVal, *crashPeriod, *restartDelay, pol); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *convoy {
+		// The overload regime's defaults differ from the shard-scaling
+		// ones: a small all-push database, heavy cross-site traffic and
+		// a load short enough that the baseline's convoy drain is
+		// painful but not interminable. Explicit flags still win.
+		dbSize, crossVal, txnsVal, workersVal := *db, *cross, *txns, *workers
+		if dbSize == 0 {
+			dbSize = 64
+		}
+		if !flagSet["cross"] {
+			crossVal = 0.4
+		}
+		if !flagSet["txns"] {
+			txnsVal = 60
+		}
+		if !flagSet["workers"] {
+			workersVal = 24
+		}
+		seedVal := *seed
+		if seedVal == 0 {
+			seedVal = 1
+		}
+		if err := runConvoy(*convoySites, workersVal, txnsVal, dbSize, crossVal, seedVal, *holdOpen, pol); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
 			os.Exit(1)
 		}

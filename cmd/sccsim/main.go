@@ -17,6 +17,8 @@
 //
 //	sccsim -sites 8 -terminals 32 -model pushes -cross 0.4    # convoy regime
 //	sccsim -scenario convoy                                   # the checked-in collapse baseline
+//	sccsim -scenario convoy -policy eager                     # bounded-hold policy vs the baseline
+//	sccsim -scenario convoy -policy depth=16                  # shed the convoy tail past depth 16
 //	sccsim -sites 2 -model pushes -cross 0.5 -completions 40 -warmup 0 \
 //	    -crash-at AfterDecisionBeforeRelease -restart-after 0.5 -trace
 //	sccsim -sites 200 -terminals 100 -model pushes -cross 0.2 -latency 0.01
@@ -69,6 +71,7 @@ func main() {
 		restartAfter = flag.Float64("restart-after", 0.5, "virtual downtime before the crashed site restarts (<= 0: stays down until the run ends)")
 		trace        = flag.Bool("trace", false, "print the full replayable event trace (multi-site)")
 		scenario     = flag.String("scenario", "", "run a checked-in scenario: convoy, redo, presume")
+		policy       = flag.String("policy", "", "bounded-hold policy: off, depth=N, eager, admit=N, admit=H/L (multi-site)")
 		sweepLat     = flag.String("sweep-latency", "", "comma-separated latencies: sweep message latency x cross-site probability")
 		sweepCross   = flag.String("sweep-cross", "", "comma-separated cross probabilities for the sweep (default 0,0.2,0.4)")
 	)
@@ -78,7 +81,7 @@ func main() {
 		multiSite(*model, *db, *terminals, *writeProb, *pc, *pr, *predicate,
 			*completions, *warmup, *seed, *sites, *cross, *latency, *jitter,
 			*siteTime, *think, *crashAt, *crashNth, *crashSite, *restartAfter,
-			*trace, *scenario, *sweepLat, *sweepCross)
+			*trace, *scenario, *policy, *sweepLat, *sweepCross)
 		return
 	}
 
@@ -122,7 +125,12 @@ func multiSite(model string, db, terminals int, writeProb float64, pc, pr int,
 	predicate string, completions, warmup int, seed int64,
 	sites int, cross, latency, jitter, siteTime, think float64,
 	crashAt string, crashNth, crashSite int, restartAfter float64,
-	trace bool, scenario, sweepLat, sweepCross string) {
+	trace bool, scenario, policy, sweepLat, sweepCross string) {
+
+	pol, err := dist.ParsePolicy(policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var cfg distsim.Config
 	switch scenario {
@@ -158,6 +166,7 @@ func multiSite(model string, db, terminals int, writeProb float64, pc, pr int,
 		})
 	}
 	cfg.RecordTrace = trace
+	cfg.Policy = pol
 
 	if sweepCross != "" && sweepLat == "" {
 		fatalf("-sweep-cross needs -sweep-latency (the sweep is a latency x cross grid)")
@@ -182,6 +191,7 @@ func multiSite(model string, db, terminals int, writeProb float64, pc, pr int,
 			fmt.Printf("%10.4f", lat)
 			for _, cr := range crosses {
 				c := distsim.SweepPoint(cfg.Sites, cfg.Terminals, lat, cr, seed)
+				c.Policy = pol
 				res := runSim(c)
 				fmt.Printf(" %6.1f/%6.1f d=%-4d", res.RealThroughput(), res.PseudoThroughput(), res.ConvoyDepth.Max())
 			}
@@ -203,6 +213,11 @@ func multiSite(model string, db, terminals int, writeProb float64, pc, pr int,
 	fmt.Printf("  pseudo-throughput  %.1f txn/s (%d terminal completions)\n", res.PseudoThroughput(), res.PseudoCompletions)
 	fmt.Printf("  aborts             %d (+%d revoked holds)\n", res.Aborts, res.HeldAborts)
 	fmt.Printf("  held               %d conversations; convoy depth %s\n", res.Held, res.ConvoyDepth.String())
+	fmt.Printf("  held-wait p99      %.4f s; time-to-drain %.3f s\n", res.HeldWaitP99, res.TimeToDrain)
+	if res.Policy != "" {
+		fmt.Printf("  policy             %s: shed %d tail + %d admission; eager released %d in %d rounds\n",
+			res.Policy, res.TailAborts, res.AdmissionRejects, res.EagerReleased, res.EagerRounds)
+	}
 	fmt.Printf("  phase latency      exec %s\n", res.PhaseExec.String())
 	fmt.Printf("                     hold %s\n", res.PhaseHold.String())
 	fmt.Printf("                     held-wait %s\n", res.PhaseHeldWait.String())

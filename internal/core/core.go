@@ -96,6 +96,9 @@ const (
 	// ReasonSiteFailed: a participant site holding the transaction's
 	// uncommitted operations crashed before the commit point.
 	ReasonSiteFailed = proto.ReasonSiteFailed
+	// ReasonShed: the coordinator's hold policy revoked the hold as
+	// overload control (bounded-hold release policies; retryable).
+	ReasonShed = proto.ReasonShed
 )
 
 // Outcome is the immediate result of a Request.

@@ -27,6 +27,11 @@ var (
 	// are artifacts of timing, not of the transaction itself, so they
 	// are retryable — a restart after the site recovers can succeed.
 	ErrSiteFailed = errors.New("transaction aborted: participant site failed")
+	// ErrHoldShed matches aborts whose reason is the coordinator's hold
+	// policy shedding an overloaded hold (the bounded-hold release
+	// policies of internal/dist). Like deadlocks, a shed is an artifact
+	// of the instantaneous convoy, not of the transaction — retryable.
+	ErrHoldShed = errors.New("transaction aborted: shed by hold policy")
 	// ErrClosed is returned by operations on a closed Store and by
 	// transactions begun after Close.
 	ErrClosed = errors.New("store is closed")
@@ -68,16 +73,23 @@ func (e *ErrAborted) Is(target error) bool {
 		return e.Reason == ReasonCommitCycle
 	case ErrSiteFailed:
 		return e.Reason == ReasonSiteFailed
+	case ErrHoldShed:
+		return e.Reason == ReasonShed
 	}
 	return false
 }
 
 // Retryable reports whether restarting the transaction can succeed:
 // true for scheduler-chosen victims (deadlock and commit-dependency
-// cycles are artifacts of the interleaving) and for site failures (the
-// site may have recovered), false for user aborts.
+// cycles are artifacts of the interleaving), for site failures (the
+// site may have recovered), and for policy sheds (the convoy may have
+// drained); false for user aborts.
 func (e *ErrAborted) Retryable() bool {
-	return e.Reason == ReasonDeadlock || e.Reason == ReasonCommitCycle || e.Reason == ReasonSiteFailed
+	switch e.Reason {
+	case ReasonDeadlock, ReasonCommitCycle, ReasonSiteFailed, ReasonShed:
+		return true
+	}
+	return false
 }
 
 // abortErr builds the typed abort error for a transaction.

@@ -74,6 +74,10 @@ type mnode struct {
 	// visited is the epoch stamp of the last traversal that reached
 	// this node.
 	visited uint64
+	// depth memoises LongestChainFrom within one call (valid while
+	// visited holds that call's epoch; 0 marks a node still on the DFS
+	// path).
+	depth uint32
 }
 
 // siteIndex is one site's reverse index: which source nodes it has
@@ -378,6 +382,47 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 	}
 	m.stack = stack[:0]
 	return found
+}
+
+// LongestChainFrom returns the length, in transactions, of the longest
+// dependency chain starting at t over the union of every site's edges:
+// t itself plus the longest chain below any of its targets. A
+// transaction with no mirrored out-edges chains at depth 1; an unknown
+// transaction at 0. This is the commit-dependency chain a hold would
+// join — the quantity a depth-bounded hold policy compares against its
+// threshold — so it deliberately walks through every live target,
+// held or still active: an active dependency will itself hold or
+// terminate, and either way the chain below it gates this release.
+func (m *Mirror) LongestChainFrom(t TxnID) int {
+	ti := m.lookup(t)
+	if ti < 0 {
+		return 0
+	}
+	m.epoch++
+	return int(m.chainDepth(ti, m.epoch))
+}
+
+// chainDepth computes the memoised longest-path depth of one node. The
+// union graph is acyclic by protocol invariant (every ingest runs
+// HasCycleFrom and aborts the closer), so the recursion terminates; a
+// back edge that somehow slipped past is still safe — a node on the
+// current DFS path carries the 0 sentinel and contributes no depth
+// instead of recursing forever.
+func (m *Mirror) chainDepth(idx int32, epoch uint64) uint32 {
+	n := &m.nodes[idx]
+	if n.visited == epoch {
+		return n.depth
+	}
+	n.visited = epoch
+	n.depth = 0
+	var best uint32
+	for _, e := range n.out {
+		if d := m.chainDepth(e.to, epoch); d > best {
+			best = d
+		}
+	}
+	n.depth = best + 1
+	return n.depth
 }
 
 // CycleChecks returns the number of cycle-detection invocations so far.

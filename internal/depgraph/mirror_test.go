@@ -137,3 +137,41 @@ func TestMirrorDropSite(t *testing.T) {
 		t.Fatal("empty mirror reports a cycle")
 	}
 }
+
+// TestMirrorLongestChain: the hold-policy depth oracle. Leaves count
+// 1, chains count their length, a diamond counts its longest side, and
+// the memo survives neither RemoveTxn nor a new Observe (each call
+// re-walks under a fresh epoch).
+func TestMirrorLongestChain(t *testing.T) {
+	m := NewMirror()
+	if d := m.LongestChainFrom(9); d != 0 {
+		t.Fatalf("unknown txn depth = %d, want 0", d)
+	}
+	// Chain 4 -> 3 -> 2 -> 1.
+	m.Observe(0, 2, []Edge{edge(2, 1, CommitDep)})
+	m.Observe(0, 3, []Edge{edge(3, 2, CommitDep)})
+	m.Observe(1, 4, []Edge{edge(4, 3, CommitDep)})
+	if d := m.LongestChainFrom(1); d != 1 {
+		t.Fatalf("leaf depth = %d, want 1", d)
+	}
+	if d := m.LongestChainFrom(4); d != 4 {
+		t.Fatalf("chain head depth = %d, want 4", d)
+	}
+	if d := m.LongestChainFrom(3); d != 3 {
+		t.Fatalf("mid-chain depth = %d, want 3", d)
+	}
+	// A diamond 5 -> {4, 2}: the long side through 4 wins.
+	m.Observe(1, 5, []Edge{edge(5, 4, CommitDep), edge(5, 2, CommitDep)})
+	if d := m.LongestChainFrom(5); d != 5 {
+		t.Fatalf("diamond depth = %d, want 5 (longest side)", d)
+	}
+	// Releasing the chain's base shortens every path through it.
+	m.RemoveTxn(1)
+	m.Observe(0, 2, nil) // 2's report drains with its dependency
+	if d := m.LongestChainFrom(4); d != 3 {
+		t.Fatalf("depth after base release = %d, want 3", d)
+	}
+	if d := m.LongestChainFrom(5); d != 4 {
+		t.Fatalf("diamond depth after base release = %d, want 4", d)
+	}
+}

@@ -183,7 +183,8 @@ type Cluster struct {
 	//   closeMu — the draining-close domain (drain).
 	//
 	// Lock order: site.mu -> mu -> {registry shard, logMu}, and
-	// closeMu alone. pipe.mu is never held across another lock.
+	// closeMu, eagerMu alone. pipe.mu is never held across another
+	// lock.
 	reg registry
 
 	mu     sync.Mutex
@@ -192,6 +193,22 @@ type Cluster struct {
 	// exports in one coordinator critical section (the batching the
 	// counting-observer test pins, together with mirror.Observes).
 	holdBatches uint64
+	// policy, when non-nil, is the bounded-hold release policy (a Fresh
+	// clone of Config.Policy). Consulted in decideWave, under mu.
+	policy HoldPolicy
+	// heldCount tracks the live held set and pstats the policy's
+	// decision counters; both under mu (every held-set transition — the
+	// decideWave hold branch, cascade's ready selection, Crash's revoke
+	// CAS — already runs there).
+	heldCount int
+	pstats    PolicyStats
+	// eagerMu guards eagerQueue/eagerBusy, the hand-off that keeps at
+	// most one eager-subtree cascade running at a time (see
+	// cascadeEager). Held only around the queue state, never across
+	// another lock or a release.
+	eagerMu    sync.Mutex
+	eagerQueue []core.TxnID
+	eagerBusy  bool
 
 	pipe pipeline
 
@@ -238,6 +255,10 @@ type Config struct {
 	// boundary of commit conversations (see StepHook); nil is the
 	// zero-overhead passthrough.
 	StepHook StepHook
+	// Policy, when non-nil, bounds the hold convoy (see HoldPolicy).
+	// The cluster uses a Fresh clone, so one value can configure many
+	// clusters. Nil preserves the paper's unbounded hold behaviour.
+	Policy HoldPolicy
 }
 
 // New builds a cluster of n in-process sites, each running its own
@@ -265,6 +286,9 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		hook:   cfg.StepHook,
 		faulty: cfg.FaultTolerant,
 		mirror: depgraph.NewMirror(),
+	}
+	if cfg.Policy != nil {
+		c.policy = cfg.Policy.Fresh()
 	}
 	c.reg.init()
 	if cfg.FaultTolerant {
@@ -704,8 +728,14 @@ func (c *Cluster) finalizeTxn(t *Txn) {
 // Site-level finalisation always precedes mirror removal, so by the
 // time a dependant is selected here its local out-degrees are already
 // zero and Release cannot fail. Each round's commit decisions are
-// forced as one group before any of its releases start.
+// forced as one group before any of its releases start. Under an
+// eager-subtree policy the whole drained subtree is computed in one
+// critical section instead of one round per chain level.
 func (c *Cluster) cascade(ids []core.TxnID) {
+	if c.policy != nil && c.policy.EagerSubtree() {
+		c.cascadeEager(ids)
+		return
+	}
 	for len(ids) > 0 {
 		var ready []*Txn
 		c.mu.Lock()
@@ -718,6 +748,7 @@ func (c *Cluster) cascade(ids []core.TxnID) {
 					// crash mid-release can always be redone from the
 					// prepared records.
 					dt.state.Store(txReleasing)
+					c.heldCount--
 					ready = append(ready, dt)
 				}
 			}
@@ -739,6 +770,105 @@ func (c *Cluster) cascade(ids []core.TxnID) {
 		}
 		c.maybeDrained()
 	}
+}
+
+// cascadeEager is the eager-subtree variant of cascade: the transitive
+// closure of drained held transactions is computed in ONE coordinator
+// critical section with ONE grouped decision-log force, by treating
+// each newly decided transaction as terminated for the rest of the
+// walk. A chain of depth k that the hop-at-a-time cascade would drain
+// over k lock rounds and k log forces is decided here in one round.
+//
+// The ready list comes out in topological order (a dependant is
+// selected only after every subtree transaction it depends on was
+// removed), and releases run in that order, so each transaction's local
+// out-degrees at its sites have drained by the time its own release
+// lands — the same invariant the round-based cascade maintains across
+// rounds. Edges mirrored onto a ready transaction while its releases
+// land are cleaned by the follow-up loop iteration (each released id is
+// re-queued), which also drains any dependants those late edges held.
+//
+// At most one eager cascade runs at a time. Unlike the round-based
+// variant — which removes a transaction from the mirror only after its
+// release landed, so concurrent cascades compose — the eager variant
+// removes at decide time; two interleaved cascades could then release a
+// dependant at a shared site ahead of its predecessor's release (the
+// local scheduler would still hold the edge and Release would fail).
+// A single owner keeps decide order equal to release-landing order per
+// site, which is what the simulator's FIFO channels provide by
+// construction. Exclusion is a queue hand-off rather than a lock held
+// across the releases: a cascade arriving while one runs — from another
+// goroutine, or re-entrantly from this one (a step hook crashing a site
+// mid-release ends in Crash -> finalizeTxn -> cascade) — appends its
+// batch and returns, and the owner's drain loop picks it up.
+func (c *Cluster) cascadeEager(ids []core.TxnID) {
+	c.eagerMu.Lock()
+	c.eagerQueue = append(c.eagerQueue, ids...)
+	if c.eagerBusy {
+		c.eagerMu.Unlock()
+		return
+	}
+	c.eagerBusy = true
+	for len(c.eagerQueue) > 0 {
+		batch := c.eagerQueue
+		c.eagerQueue = nil
+		c.eagerMu.Unlock()
+		c.eagerBatch(batch)
+		c.eagerMu.Lock()
+	}
+	c.eagerBusy = false
+	c.eagerMu.Unlock()
+}
+
+// eagerBatch decides and releases the transitive drained subtree of one
+// batch of terminated transactions (see cascadeEager for the exclusion
+// protocol that serialises calls).
+func (c *Cluster) eagerBatch(ids []core.TxnID) {
+	queue := append([]core.TxnID(nil), ids...)
+	for len(queue) > 0 {
+		var ready []*Txn
+		c.mu.Lock()
+		for qi := 0; qi < len(queue); qi++ {
+			for _, d := range c.mirror.RemoveTxn(queue[qi]) {
+				dt := c.reg.get(d)
+				if dt != nil && dt.state.Load() == txPseudo && c.mirror.OutDegree(d) == 0 {
+					dt.state.Store(txReleasing)
+					c.heldCount--
+					ready = append(ready, dt)
+					queue = append(queue, d)
+				}
+			}
+		}
+		c.logCommitBatch(ready)
+		if len(ready) > 0 {
+			c.pstats.EagerRounds++
+			c.pstats.EagerReleased += len(ready)
+		}
+		c.mu.Unlock()
+
+		queue = queue[:0]
+		for _, dt := range ready {
+			c.step(AfterDecisionBeforeRelease, dt.id, noSite)
+			c.releaseAt(dt)
+			dt.state.Store(txCommitted)
+			close(dt.done)
+			if c.obs != nil {
+				c.obs.Released(dt.id)
+			}
+			c.reg.unregister(dt.id)
+			queue = append(queue, dt.id)
+		}
+		c.maybeDrained()
+	}
+}
+
+// PolicyStats snapshots the hold policy's decision counters and the
+// held set's high-water mark (HeldPeak is maintained policy or not;
+// the other counters stay zero without one).
+func (c *Cluster) PolicyStats() PolicyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pstats
 }
 
 // ---- Crash-stop fault handling (Config.FaultTolerant clusters) ----
@@ -791,29 +921,34 @@ func (c *Cluster) Crash(id SiteID) error {
 		// txReleasing one passed its commit point (decision logged) and
 		// must land everywhere, crash or not.
 		if t.state.CompareAndSwap(txPseudo, txRevoking) {
+			c.heldCount--
 			revoke = append(revoke, t)
 		}
 	}
 	c.mu.Unlock()
 	for _, t := range revoke {
-		c.revokeEverywhere(t, id)
+		c.revokeEverywhere(t, id, core.ReasonSiteFailed)
 	}
 	return nil
 }
 
-// revokeEverywhere unwinds a held pseudo-committed transaction after
-// the crash of site crashed: the hold is revoked at every surviving
-// visited site, the transaction ends aborted with ReasonSiteFailed,
-// and its mirror node is removed (possibly cascading releases of
-// transactions that depended on it — recoverability means this abort
-// does not cascade into them).
-func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID) {
+// revokeEverywhere unwinds a held pseudo-committed transaction: the
+// hold is revoked at every surviving visited site, the transaction ends
+// aborted with reason, and its mirror node is removed (possibly
+// cascading releases of transactions that depended on it —
+// recoverability means this abort does not cascade into them). Two
+// callers: the crash handler (skip the crashed site, ReasonSiteFailed)
+// and the hold policy's shed path (no site to skip, ReasonShed). The
+// caller has already moved the transaction out of txPseudo under the
+// coordinator lock, so the release cascade cannot select it
+// concurrently.
+func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID, reason core.AbortReason) {
 	for _, sid := range t.visitedSorted() {
 		s := c.sites[sid]
 		s.mu.Lock()
 		if sid != crashed {
 			eff := s.hub.Effects()
-			if err := s.p.RevokeInto(eff, t.id, core.ReasonSiteFailed); err == nil {
+			if err := s.p.RevokeInto(eff, t.id, reason); err == nil {
 				s.hub.Deliver(eff)
 			}
 			// fault.ErrSiteDown: another site crashed too; its volatile
@@ -824,11 +959,11 @@ func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID) {
 		s.mu.Unlock()
 		c.refreshParked(s)
 	}
-	t.reason.Store(int32(core.ReasonSiteFailed))
+	t.reason.Store(int32(reason))
 	t.state.Store(txAborted)
 	close(t.done)
 	if c.obs != nil {
-		c.obs.Aborted(t.id, core.ReasonSiteFailed.String())
+		c.obs.Aborted(t.id, reason.String())
 	}
 	c.finalizeTxn(t)
 }

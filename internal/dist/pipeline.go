@@ -21,6 +21,10 @@ type decideReq struct {
 
 	gdeps  int
 	doomed bool
+	// shed: the hold policy refused to hold the conversation; the
+	// owner revokes it everywhere and returns a retryable ReasonShed
+	// abort. The wave already moved the transaction to txRevoking.
+	shed bool
 
 	done chan struct{} // closed once the wave has decided this request
 }
@@ -46,7 +50,7 @@ type pipeline struct {
 // global dependency count, or doomed if a site crash voided the
 // conversation. The caller's hold phase is complete: batch/counts are
 // the per-site exports copied out under the site mutexes.
-func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []int) (gdeps int, doomed bool) {
+func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []int) (gdeps int, doomed, shed bool) {
 	req := &decideReq{t: t, sids: sids, batch: batch, counts: counts, done: make(chan struct{})}
 	p := &c.pipe
 	p.mu.Lock()
@@ -54,7 +58,7 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 	if p.combining {
 		p.mu.Unlock()
 		<-req.done
-		return req.gdeps, req.doomed
+		return req.gdeps, req.doomed, req.shed
 	}
 	p.combining = true
 	for {
@@ -66,7 +70,7 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 		if len(p.pending) == 0 {
 			p.combining = false
 			p.mu.Unlock()
-			return req.gdeps, req.doomed
+			return req.gdeps, req.doomed, req.shed
 		}
 	}
 }
@@ -101,7 +105,29 @@ func (c *Cluster) decideWave(wave []*decideReq) {
 		c.holdBatches++
 		r.gdeps = c.mirror.OutDegree(t.id)
 		if r.gdeps > 0 {
+			if c.policy != nil {
+				depth := c.mirror.LongestChainFrom(t.id)
+				switch c.policy.AdmitHold(r.gdeps, depth, c.heldCount) {
+				case ShedTail:
+					c.pstats.TailAborts++
+					r.shed = true
+				case ShedAdmission:
+					c.pstats.AdmissionRejects++
+					r.shed = true
+				}
+				if r.shed {
+					// txRevoking bars the crash handler and the release
+					// cascade; the owner runs the revocation (outside
+					// this critical section — it takes site mutexes).
+					t.state.Store(txRevoking)
+					continue
+				}
+			}
 			t.state.Store(txPseudo)
+			c.heldCount++
+			if c.heldCount > c.pstats.HeldPeak {
+				c.pstats.HeldPeak = c.heldCount
+			}
 		} else {
 			// The commit point: the decision must be durable before any
 			// participant is released (txReleasing also bars the crash

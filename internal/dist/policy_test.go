@@ -1,0 +1,487 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestParsePolicy(t *testing.T) {
+	valid := []struct {
+		in   string
+		want string // Name() of the parsed policy; "" for nil
+	}{
+		{"", ""},
+		{"off", ""},
+		{"eager", "eager"},
+		{"depth=2", "depth=2"},
+		{"depth=16", "depth=16"},
+		{"admit=32", "admit=32/16"},
+		{"admit=40/10", "admit=40/10"},
+	}
+	for _, tc := range valid {
+		p, err := ParsePolicy(tc.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q) = %v", tc.in, err)
+			continue
+		}
+		got := ""
+		if p != nil {
+			got = p.Name()
+		}
+		if got != tc.want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", tc.in, got, tc.want)
+		}
+		// Names round-trip (except the admit=N sugar, covered above).
+		if p != nil {
+			rt, err := ParsePolicy(p.Name())
+			if err != nil || rt.Name() != p.Name() {
+				t.Errorf("ParsePolicy(%q) does not round-trip: %v, %v", p.Name(), rt, err)
+			}
+		}
+	}
+	invalid := []string{
+		"depth=", "depth=x", "depth=1", "depth=-4",
+		"admit=", "admit=x", "admit=0", "admit=1", "admit=-8",
+		"admit=5/5", "admit=5/0", "admit=5/9", "admit=a/b",
+		"bogus", "eager=2",
+	}
+	for _, in := range invalid {
+		if p, err := ParsePolicy(in); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted: %v", in, p)
+		}
+	}
+}
+
+func TestDepthBoundVerdict(t *testing.T) {
+	p := DepthBound{Max: 4}
+	if v := p.AdmitHold(1, 2, 100); v != Hold {
+		t.Errorf("depth 2 under bound 4: %v, want Hold", v)
+	}
+	if v := p.AdmitHold(1, 4, 100); v != Hold {
+		t.Errorf("depth 4 at bound 4: %v, want Hold", v)
+	}
+	if v := p.AdmitHold(1, 5, 0); v != ShedTail {
+		t.Errorf("depth 5 over bound 4: %v, want ShedTail", v)
+	}
+	if p.EagerSubtree() {
+		t.Error("DepthBound reports eager subtree release")
+	}
+}
+
+func TestAdmissionHysteresis(t *testing.T) {
+	p := &Admission{High: 4, Low: 2}
+	// Gate open below High.
+	for held := 0; held < 4; held++ {
+		if v := p.AdmitHold(1, 2, held); v != Hold {
+			t.Fatalf("held=%d with open gate: %v, want Hold", held, v)
+		}
+	}
+	// held >= High closes the gate.
+	if v := p.AdmitHold(1, 2, 4); v != ShedAdmission {
+		t.Fatalf("held=4 at High=4: %v, want ShedAdmission", v)
+	}
+	// Closed gate sheds anywhere above Low — including below High.
+	if v := p.AdmitHold(1, 2, 3); v != ShedAdmission {
+		t.Fatalf("held=3 with closed gate: %v, want ShedAdmission (hysteresis)", v)
+	}
+	// Draining to Low reopens it.
+	if v := p.AdmitHold(1, 2, 2); v != Hold {
+		t.Fatalf("held=2 at Low=2: %v, want Hold (gate reopens)", v)
+	}
+	// Fresh clears the gate but keeps the thresholds.
+	p.AdmitHold(1, 2, 9) // close it again
+	f := p.Fresh().(*Admission)
+	if f.High != 4 || f.Low != 2 {
+		t.Fatalf("Fresh lost thresholds: %+v", f)
+	}
+	if v := f.AdmitHold(1, 2, 3); v != Hold {
+		t.Fatalf("fresh gate should be open at held=3: %v", v)
+	}
+	if v := p.AdmitHold(1, 2, 3); v != ShedAdmission {
+		t.Fatalf("original gate should still be closed at held=3: %v", v)
+	}
+}
+
+// newPolicyPageCluster builds an n-site page cluster with the policy
+// installed.
+func newPolicyPageCluster(t *testing.T, n, objects int, p HoldPolicy) *Cluster {
+	t.Helper()
+	c, err := NewWithConfig(Config{Sites: n, Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := core.ObjectID(1); id <= core.ObjectID(objects); id++ {
+		if err := c.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestDepthBoundShedsTail builds the convoy tail by hand: with
+// Max=2, the transaction that would sit at chain depth 3 is shed at
+// commit with a retryable ReasonShed abort, while the depth-2 hold
+// under it survives and releases normally.
+func TestDepthBoundShedsTail(t *testing.T) {
+	c := newPolicyPageCluster(t, 3, 6, DepthBound{Max: 2})
+	t1, t2, t3 := c.Begin(), c.Begin(), c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(1, write(20)); err != nil { // dep T2->T1
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(2, write(22)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t2.Commit(); err != nil || st != core.PseudoCommitted {
+		t.Fatalf("T2 commit = %v, %v; want pseudo-committed (depth 2 admissible)", st, err)
+	}
+	if _, err := t3.Do(2, write(30)); err != nil { // dep T3->T2: depth 3
+		t.Fatal(err)
+	}
+	if _, err := t3.Do(3, write(33)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := t3.Commit()
+	if !errors.Is(err, core.ErrHoldShed) {
+		t.Fatalf("T3 commit = %v, want ErrHoldShed (depth 3 over bound 2)", err)
+	}
+	var ab *core.ErrAborted
+	if !errors.As(err, &ab) || !ab.Retryable() {
+		t.Fatalf("shed abort not retryable: %v", err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("T1 commit = %v, %v", st, err)
+	}
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The shed left no trace in committed state: obj 2 holds T2's
+	// write, not T3's.
+	for id, want := range map[core.ObjectID]string{1: "page{20}", 2: "page{22}"} {
+		s, err := c.Site(c.SiteOf(id)).CommittedState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(s); got != want {
+			t.Fatalf("object %d committed state = %s, want %s", id, got, want)
+		}
+	}
+	ps := c.PolicyStats()
+	if ps.TailAborts != 1 || ps.AdmissionRejects != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 tail abort", ps)
+	}
+	if ps.HeldPeak != 1 {
+		t.Fatalf("held peak = %d, want 1 (only T2 was ever held)", ps.HeldPeak)
+	}
+}
+
+// TestAdmissionShedsOverCapacity: with High=2, the third would-be hold
+// is refused while the first two are admitted, and the refusal is the
+// retryable shed abort a client can simply resubmit after the convoy
+// drains.
+func TestAdmissionShedsOverCapacity(t *testing.T) {
+	c := newPolicyPageCluster(t, 3, 8, &Admission{High: 2, Low: 1})
+	t1 := c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Two admissible holds on T1.
+	held := []core.Txn{}
+	for i, obj := range []core.ObjectID{2, 3} {
+		tx := c.Begin()
+		if _, err := tx.Do(1, write(100+i)); err != nil { // dep -> T1
+			t.Fatal(err)
+		}
+		if _, err := tx.Do(obj, write(200+i)); err != nil {
+			t.Fatal(err)
+		}
+		if st, err := tx.Commit(); err != nil || st != core.PseudoCommitted {
+			t.Fatalf("hold %d commit = %v, %v", i, st, err)
+		}
+		held = append(held, tx)
+	}
+	// The gate is at capacity: the next hold is shed.
+	t4 := c.Begin()
+	if _, err := t4.Do(1, write(400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t4.Do(5, write(404)); err != nil { // site 2: keep T4 cross-site
+		t.Fatal(err)
+	}
+	if _, err := t4.Commit(); !errors.Is(err, core.ErrHoldShed) {
+		t.Fatalf("T4 commit over capacity = %v, want ErrHoldShed", err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("T1 commit = %v, %v", st, err)
+	}
+	for _, tx := range held {
+		<-tx.Done()
+		if err := tx.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := c.PolicyStats()
+	if ps.AdmissionRejects != 1 || ps.TailAborts != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 admission reject", ps)
+	}
+	if ps.HeldPeak != 2 {
+		t.Fatalf("held peak = %d, want 2", ps.HeldPeak)
+	}
+}
+
+// TestEagerReleaseBatchesSubtree: under the eager policy a two-deep
+// held chain drains in ONE coordinator round when its root commits,
+// instead of one cascade hop per level.
+func TestEagerReleaseBatchesSubtree(t *testing.T) {
+	c := newPolicyPageCluster(t, 3, 6, EagerRelease{})
+	t1, t2, t3 := c.Begin(), c.Begin(), c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(1, write(20)); err != nil { // T2 -> T1
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(2, write(22)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t2.Commit(); err != nil || st != core.PseudoCommitted {
+		t.Fatalf("T2 commit = %v, %v", st, err)
+	}
+	if _, err := t3.Do(2, write(30)); err != nil { // T3 -> T2
+		t.Fatal(err)
+	}
+	if _, err := t3.Do(3, write(33)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t3.Commit(); err != nil || st != core.PseudoCommitted {
+		t.Fatalf("T3 commit = %v, %v (eager policy never sheds)", st, err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("T1 commit = %v, %v", st, err)
+	}
+	<-t2.Done()
+	<-t3.Done()
+	if err := t2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ps := c.PolicyStats()
+	if ps.EagerRounds != 1 || ps.EagerReleased != 2 {
+		t.Fatalf("stats = %+v, want the whole T2,T3 subtree released in 1 round", ps)
+	}
+	// Release order respected the chain: the committed states are the
+	// topmost writes.
+	for id, want := range map[core.ObjectID]string{1: "page{20}", 2: "page{30}", 3: "page{33}"} {
+		s, err := c.Site(c.SiteOf(id)).CommittedState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(s); got != want {
+			t.Fatalf("object %d committed state = %s, want %s", id, got, want)
+		}
+	}
+}
+
+// orderObserver flags any transaction reported Aborted after it was
+// reported Released — the wall-clock form of "never abort a
+// really-committed transaction".
+type orderObserver struct {
+	mu       sync.Mutex
+	released map[core.TxnID]bool
+	bad      atomic.Int64
+}
+
+func (o *orderObserver) Held(core.TxnID, int) {}
+func (o *orderObserver) Released(t core.TxnID) {
+	o.mu.Lock()
+	o.released[t] = true
+	o.mu.Unlock()
+}
+func (o *orderObserver) Aborted(t core.TxnID, _ string) {
+	o.mu.Lock()
+	if o.released[t] {
+		o.bad.Add(1)
+	}
+	o.mu.Unlock()
+}
+
+// TestPolicyClusterConservation hammers a policy-bearing cluster with
+// concurrent stack pushers that retry shed aborts, then checks global
+// conservation: every push promised by a successful commit is in a
+// committed stack, every shed one is not. Run under -race this is also
+// the policy paths' data-race test.
+func TestPolicyClusterConservation(t *testing.T) {
+	policies := []HoldPolicy{
+		DepthBound{Max: 3},
+		EagerRelease{},
+		&Admission{High: 6, Low: 3},
+	}
+	for _, p := range policies {
+		t.Run(p.Name(), func(t *testing.T) {
+			const (
+				sites   = 3
+				objects = 12
+				workers = 6
+				txns    = 30
+			)
+			obs := &orderObserver{released: make(map[core.TxnID]bool)}
+			c, err := NewWithConfig(Config{Sites: sites, Obs: obs, Policy: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := core.ObjectID(1); id <= objects; id++ {
+				if err := c.Register(id, adt.Stack{}, compat.StackTable()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var pushed [objects + 1]atomic.Int64
+			var sheds, aborts atomic.Int64
+			var wg sync.WaitGroup
+			var handles sync.Map // core.Txn -> struct{}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < txns; i++ {
+						// Retry the logical transaction until its commit
+						// promise lands: sheds are retryable by design.
+						for attempt := 0; ; attempt++ {
+							if attempt > 1000 {
+								t.Error("logical transaction starved after 1000 attempts")
+								return
+							}
+							tx := c.Begin()
+							n := 1 + (w+i)%3
+							var objs []core.ObjectID
+							ok := true
+							for k := 0; k < n; k++ {
+								obj := core.ObjectID(1 + (w*31+i*17+k*7)%objects)
+								if _, err := tx.Do(obj, push(w*1000+i)); err != nil {
+									if !errors.Is(err, core.ErrTxnAborted) {
+										t.Error(err)
+									}
+									aborts.Add(1)
+									ok = false
+									break
+								}
+								objs = append(objs, obj)
+							}
+							if !ok {
+								continue
+							}
+							// Keep the transaction open briefly so workers
+							// overlap: that is what forms the commit
+							// dependencies (and therefore holds) the policy
+							// exists to manage.
+							time.Sleep(time.Millisecond)
+							if _, err := tx.Commit(); err != nil {
+								if errors.Is(err, core.ErrHoldShed) {
+									sheds.Add(1)
+									continue
+								}
+								var ab *core.ErrAborted
+								if errors.As(err, &ab) && ab.Retryable() {
+									aborts.Add(1)
+									continue
+								}
+								t.Error(err)
+								return
+							}
+							for _, obj := range objs {
+								pushed[obj].Add(1)
+							}
+							handles.Store(tx, struct{}{})
+							break
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			handles.Range(func(k, _ any) bool {
+				h := k.(core.Txn)
+				<-h.Done()
+				if err := h.Err(); err != nil {
+					t.Error(err)
+				}
+				return true
+			})
+			total := int64(0)
+			for id := core.ObjectID(1); id <= objects; id++ {
+				s, err := c.Site(c.SiteOf(id)).CommittedState(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				depth := int64(s.(*adt.StackState).Len())
+				if got := pushed[id].Load(); got != depth {
+					t.Errorf("object %d: committed depth %d, promised pushes %d", id, depth, got)
+				}
+				total += depth
+			}
+			if total != workers*txns*2 { // mean 2 pushes per logical txn
+				t.Errorf("total committed pushes = %d, want %d", total, workers*txns*2)
+			}
+			if bad := obs.bad.Load(); bad != 0 {
+				t.Errorf("%d transactions aborted after release", bad)
+			}
+			ps := c.PolicyStats()
+			if ps.HeldPeak == 0 {
+				t.Error("no hold was ever admitted — the stress never reached the policy")
+			}
+			t.Logf("%s: stats=%+v sheds=%d aborts=%d", p.Name(), ps, sheds.Load(), aborts.Load())
+		})
+	}
+}
+
+// TestEagerCascadePolicyStress is the regression shape for the eager
+// cascade's decide-before-release ordering: finished transactions and
+// cross-site cycle aborts finalize from many goroutines at once, so
+// eager cascades overlap. Before cascadeEager's single-owner queue,
+// one cascade could release a dependant at a shared site before
+// another cascade's release of its predecessor landed there — the
+// local scheduler still held the edge and releaseAt panicked with
+// outstanding dependencies. Needs real preemption to interleave,
+// hence the GOMAXPROCS bump; several seeds to make the window likely.
+func TestEagerCascadePolicyStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const sites, workers, txns = 4, 8, 60
+	var released int
+	for seed := int64(1); seed <= 6; seed++ {
+		c, err := NewWithConfig(Config{Sites: sites, Policy: EagerRelease{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.Sharded{Inner: workload.Pushes{DBSize: 200}, Sites: sites, CrossProb: 0.1}
+		res, err := RunLoad(c, LoadConfig{
+			Workload:      gen,
+			Workers:       workers,
+			TxnsPerWorker: txns,
+			Seed:          seed,
+			MaxRestarts:   100000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Commits != workers*txns {
+			t.Fatalf("seed %d: %d commits, want %d", seed, res.Commits, workers*txns)
+		}
+		released += c.PolicyStats().EagerReleased
+	}
+	if released == 0 {
+		t.Fatal("no eager release ever fired — the stress never exercised the cascade")
+	}
+}

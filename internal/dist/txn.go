@@ -431,10 +431,19 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// re-check runs under the same lock the crash handler dooms under,
 	// so a crash during the hold phase cannot slip past the commit
 	// point.
-	gdeps, doomed := c.decide(t, sids, batch, counts)
+	gdeps, doomed, shed := c.decide(t, sids, batch, counts)
 	if doomed {
 		_, err := t.failSite(noSite)
 		return 0, err
+	}
+	if shed {
+		// The hold policy refused to grow the convoy: revoke the hold
+		// at every participant (recoverability makes this abort
+		// non-cascading) and surface a retryable abort — Store.Run and
+		// the workload harness restart the transaction under a fresh
+		// id, by which time the convoy may have drained.
+		c.revokeEverywhere(t, noSite, core.ReasonShed)
+		return 0, fmt.Errorf("hold shed: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonShed})
 	}
 
 	if gdeps > 0 {

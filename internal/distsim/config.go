@@ -105,6 +105,12 @@ type Config struct {
 
 	// Crashes is the protocol-step crash schedule.
 	Crashes []CrashPoint
+	// Policy, when non-nil, is the bounded-hold release policy the
+	// simulated coordinator consults (the same dist.HoldPolicy values
+	// the wall-clock cluster takes). The engine uses a Fresh clone, so
+	// one value can configure many runs; same seed + same policy means
+	// a bit-identical run. Nil preserves the unbounded baseline.
+	Policy dist.HoldPolicy
 	// RecordTrace keeps the full event-trace lines in the Result (the
 	// trace hash is always computed).
 	RecordTrace bool

@@ -18,7 +18,9 @@ import (
 // multi-site commit would not be atomic under crashes).
 func (e *Engine) startCommit(p *sproc) {
 	p.commitStart = e.tl.Now()
-	e.phExec.Add(e.tl.Now() - p.attemptStart)
+	if !e.draining {
+		e.phExec.Add(e.tl.Now() - p.attemptStart)
+	}
 	if !p.anyEdges && len(p.visited) == 1 {
 		p.state = spHolding
 		p.decideTime = p.commitStart
@@ -137,18 +139,66 @@ func (e *Engine) holdReply(p *sproc, edges []depgraph.Edge) {
 	}
 	gdeps = e.mirror.OutDegree(p.txn)
 	if gdeps > 0 {
+		if e.policy != nil {
+			depth := e.mirror.LongestChainFrom(p.txn)
+			verdict := e.policy.AdmitHold(gdeps, depth, e.heldSet)
+			if verdict != dist.Hold {
+				if verdict == dist.ShedTail {
+					e.tailAborts++
+				} else {
+					e.admitRejects++
+				}
+				e.shedHold(p, depth)
+				return
+			}
+		}
 		p.state = spHeld
 		p.heldAt = e.tl.Now()
 		e.held++
 		e.heldSet++
-		e.convoy.Add(e.heldSet)
-		e.phHold.Add(e.tl.Now() - p.commitStart)
+		if !e.draining {
+			e.convoy.Add(e.heldSet)
+			e.phHold.Add(e.tl.Now() - p.commitStart)
+		}
 		e.tracef("held T%d gdeps=%d depth=%d", p.txn, gdeps, e.heldSet)
 		e.freeTerminal(p)
 		return
 	}
-	e.phHold.Add(e.tl.Now() - p.commitStart)
+	if !e.draining {
+		e.phHold.Add(e.tl.Now() - p.commitStart)
+	}
 	e.decideCommit(p)
+}
+
+// shedHold unwinds a conversation the hold policy refused: the holds
+// already placed at every participant are revoked — recoverability
+// makes the revocation non-cascading, which is what makes shedding
+// cheap — and the logical transaction retries after a backoff, its
+// terminal still occupied (the shed IS the back-pressure the unbounded
+// protocol lacks: the terminal does not move on until the transaction
+// lands for real or is held for good).
+func (e *Engine) shedHold(p *sproc, depth int) {
+	id := p.txn
+	for _, sid := range p.visited {
+		s := e.sites[sid]
+		if s.down() {
+			continue
+		}
+		var eff core.Effects
+		if err := s.cr.RevokeInto(&eff, id, core.ReasonShed); err == nil {
+			delete(s.prepTime, id)
+			s.cr.Forget(id)
+			e.processEffects(s, &eff)
+		}
+	}
+	e.aborts++
+	e.tracef("shed T%d (%s depth=%d held=%d)", id, e.policy.Name(), depth, e.heldSet)
+	delete(e.procs, id)
+	p.txn = 0
+	p.state = spWaitRetry
+	p.attempts++
+	e.finalize(id)
+	e.tl.Schedule(e.tl.Now()+e.backoff(p.attempts), ev{kind: evResubmit, p: p})
 }
 
 // decideCommit is the commit point: the decision is forced to the log
@@ -159,7 +209,7 @@ func (e *Engine) decideCommit(p *sproc) {
 	if err := e.flog.Record(p.txn, fault.OutcomeCommit); err != nil {
 		panic(fmt.Sprintf("distsim: decision log commit of T%d: %v", p.txn, err))
 	}
-	if n := e.flog.Len(); n > e.logHighWater {
+	if n := e.flog.Len(); !e.draining && n > e.logHighWater {
 		e.logHighWater = n
 	}
 	pending := make(map[int]struct{}, len(p.visited))
@@ -169,7 +219,11 @@ func (e *Engine) decideCommit(p *sproc) {
 	e.relAcks[p.txn] = pending
 	if p.state == spHeld {
 		e.heldSet--
-		e.phHeldWait.Add(e.tl.Now() - p.heldAt)
+		wait := e.tl.Now() - p.heldAt
+		e.heldWaits = append(e.heldWaits, wait)
+		if !e.draining {
+			e.phHeldWait.Add(wait)
+		}
 	}
 	p.state = spReleasing
 	p.decideTime = e.tl.Now()
@@ -179,6 +233,18 @@ func (e *Engine) decideCommit(p *sproc) {
 	// its decision is logged; releases skip the down site and recovery
 	// redoes them.
 	p.relK = 0
+	if e.policy != nil && e.policy.EagerSubtree() {
+		// The batched release round: all participants at once (one
+		// round-trip, relReply counts acks) instead of one site per
+		// round-trip. The FIFO coordinator→site channels carry the
+		// subtree's topological decide order to every shared site.
+		for k, sid := range p.visited {
+			e.stepFired(dist.DuringReleaseCascade, p, sid)
+			at := e.sendToSite(sid, e.lat())
+			e.tl.Schedule(at, ev{kind: evRelArrive, p: p, txn: p.txn, site: sid, k: k})
+		}
+		return
+	}
 	e.sendRelease(p)
 }
 
@@ -223,11 +289,15 @@ func (e *Engine) relArrive(p *sproc, sid int) {
 }
 
 // relReply advances the release fan-out; after the last ack the real
-// commit has landed everywhere that is up.
+// commit has landed everywhere that is up. Under the eager policy's
+// batched round every release is already in flight and relK just
+// counts acks.
 func (e *Engine) relReply(p *sproc) {
 	p.relK++
 	if p.relK < len(p.visited) {
-		e.sendRelease(p)
+		if e.policy == nil || !e.policy.EagerSubtree() {
+			e.sendRelease(p)
+		}
 		return
 	}
 	e.realCommit(p)
@@ -239,8 +309,10 @@ func (e *Engine) relReply(p *sproc) {
 func (e *Engine) realCommit(p *sproc) {
 	id := p.txn
 	e.realCommits++
-	e.respReal.Add(e.tl.Now() - p.submitted)
-	e.phRelease.Add(e.tl.Now() - p.decideTime)
+	if !e.draining {
+		e.respReal.Add(e.tl.Now() - p.submitted)
+		e.phRelease.Add(e.tl.Now() - p.decideTime)
+	}
 	for _, st := range p.steps {
 		e.committedSteps[st.Object]++
 	}
@@ -262,8 +334,10 @@ func (e *Engine) realCommit(p *sproc) {
 func (e *Engine) freeTerminal(p *sproc) {
 	p.freed = true
 	e.pseudoCompl++
-	e.respPseudo.Add(e.tl.Now() - p.submitted)
-	if p.terminal >= 0 {
+	if !e.draining {
+		e.respPseudo.Add(e.tl.Now() - p.submitted)
+	}
+	if p.terminal >= 0 && !e.draining {
 		e.tl.Schedule(e.think(), ev{kind: evSubmit, terminal: p.terminal})
 	}
 }
@@ -290,6 +364,11 @@ func (e *Engine) ack(id core.TxnID, sid int) {
 func (e *Engine) stepFired(step dist.Step, p *sproc, site int) {
 	e.stepCount[step]++
 	e.tracef("step %s T%d site=%d n=%d", step, p.txn, site, e.stepCount[step])
+	if e.draining {
+		// The crash schedule covers the measured run only; the drain
+		// phase is simulated time the unbounded run never had.
+		return
+	}
 	for i := range e.cfg.Crashes {
 		cp := &e.cfg.Crashes[i]
 		if e.crashFired[i] || cp.Step != step || e.stepCount[step] != cp.Occurrence {
@@ -398,14 +477,18 @@ func (e *Engine) restartSite(s *simSite) {
 	now := e.tl.Now()
 	for _, id := range rep.Redone {
 		if t0, ok := s.prepTime[id]; ok {
-			e.inDoubt.Add(now - t0)
+			if !e.draining {
+				e.inDoubt.Add(now - t0)
+			}
 			delete(s.prepTime, id)
 		}
 		e.ack(id, s.idx)
 	}
 	for _, id := range rep.PresumedAborted {
 		if t0, ok := s.prepTime[id]; ok {
-			e.inDoubt.Add(now - t0)
+			if !e.draining {
+				e.inDoubt.Add(now - t0)
+			}
 			delete(s.prepTime, id)
 		}
 	}

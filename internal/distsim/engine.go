@@ -132,16 +132,38 @@ type Engine struct {
 	stepCount  [dist.NumSteps]int
 	crashFired []bool
 
+	// policy is the engine's Fresh clone of cfg.Policy (nil = off).
+	policy dist.HoldPolicy
+
 	// Counters (whole run; the window is a delta).
 	realCommits, pseudoCompl, aborts, heldAborts int
 	held, crashes, restarts                      int
 	redone, presumed                             int
 	heldSet                                      int
 	logHighWater                                 int
+	tailAborts, admitRejects                     int
+	eagerRounds, eagerReleased                   int
 
 	inWindow                                       bool
 	windowStart                                    float64
 	baseReal, basePseudo, baseAborts, baseHeldAbrt int
+
+	// draining marks the post-target drain phase: terminals stop
+	// (submits/resubmits are dropped), tracing is suppressed (the hash
+	// freezes at the completion target, keeping policy-off runs
+	// bit-identical to the pre-drain baselines) and the windowed
+	// metrics stop sampling; only the held set keeps draining, for the
+	// TimeToDrain measurement. The snap* values freeze the measurement
+	// window at the target.
+	draining                                       bool
+	timeToDrain                                    float64
+	snapTime                                       float64
+	snapReal, snapPseudo, snapAborts, snapHeldAbrt int
+	snapHeld                                       int
+
+	// heldWaits collects every held→decision wait (drain included) for
+	// the p99; the gated phHeldWait window keeps its pre-drain meaning.
+	heldWaits []float64
 
 	convoy                                metrics.Hist
 	inDoubt                               metrics.Window
@@ -174,6 +196,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		crashFired:     make([]bool, len(cfg.Crashes)),
 		committedSteps: make(map[core.ObjectID]uint64),
 		traceHash:      fnvOffset,
+	}
+	if cfg.Policy != nil {
+		e.policy = cfg.Policy.Fresh()
 	}
 	opts := core.Options{Predicate: cfg.Predicate, Recovery: core.RecoveryIntentions}
 	factory := cfg.Workload.Factory()
@@ -252,8 +277,10 @@ func (e *Engine) sendFromSite(s *simSite, delay float64) float64 {
 }
 
 // Run simulates until Warmup+Completions logical transactions have
-// really committed, then restarts any still-down site (resolving its
-// in-doubt records) and returns the measurements.
+// really committed, freezes the measurement window there, keeps the
+// clock running with terminals stopped until the held set empties (the
+// time-to-drain measurement), then restarts any still-down site
+// (resolving its in-doubt records) and returns the measurements.
 func (e *Engine) Run() (Result, error) {
 	target := e.cfg.Warmup + e.cfg.Completions
 	if e.cfg.Warmup == 0 {
@@ -273,6 +300,9 @@ func (e *Engine) Run() (Result, error) {
 		}
 		e.dispatch(event)
 	}
+	if err := e.drainHeld(guard); err != nil {
+		return Result{}, err
+	}
 	// Bring every site back up so final committed states are fully
 	// recovered (redo or presumed abort) before anyone inspects them.
 	for _, s := range e.sites {
@@ -281,6 +311,38 @@ func (e *Engine) Run() (Result, error) {
 		}
 	}
 	return e.result(), nil
+}
+
+// drainHeld is the post-target drain: the measurement window is frozen
+// (snapshot counters, suppressed tracing and metric sampling — a
+// policy-off run's hash and windowed numbers are bit-identical to a
+// run without the drain), terminals stop submitting, and the clock
+// runs until every held transaction has released or aborted. The
+// elapsed virtual time is TimeToDrain: how long the convoy's promises
+// take to honour once load stops — the second axis, besides depth, on
+// which a bounded-hold policy beats the baseline.
+func (e *Engine) drainHeld(guard int) error {
+	e.snapTime = e.tl.Now() - e.windowStart
+	e.snapReal = e.realCommits - e.baseReal
+	e.snapPseudo = e.pseudoCompl - e.basePseudo
+	e.snapAborts = e.aborts - e.baseAborts
+	e.snapHeldAbrt = e.heldAborts - e.baseHeldAbrt
+	e.snapHeld = e.held
+	start := e.tl.Now()
+	e.draining = true
+	for steps := 0; e.heldSet > 0; steps++ {
+		if steps >= guard {
+			return fmt.Errorf("distsim: drain guard tripped with %d still held — stall", e.heldSet)
+		}
+		event, ok := e.tl.Next()
+		if !ok {
+			return fmt.Errorf("distsim: event queue drained with %d still held — stall", e.heldSet)
+		}
+		e.dispatch(event)
+	}
+	e.timeToDrain = e.tl.Now() - start
+	e.draining = false
+	return nil
 }
 
 // openWindow starts the measurement window.
@@ -293,7 +355,9 @@ func (e *Engine) openWindow() {
 	e.baseHeldAbrt = e.heldAborts
 }
 
-// result assembles the Result.
+// result assembles the Result. The windowed counters and Held were
+// snapshot when the completion target was met (drainHeld), so the
+// post-target drain cannot move them.
 func (e *Engine) result() Result {
 	var st core.Stats
 	for _, s := range e.sites {
@@ -301,12 +365,12 @@ func (e *Engine) result() Result {
 	}
 	return Result{
 		Sites:             e.cfg.Sites,
-		SimTime:           e.tl.Now() - e.windowStart,
-		RealCommits:       e.realCommits - e.baseReal,
-		PseudoCompletions: e.pseudoCompl - e.basePseudo,
-		Aborts:            e.aborts - e.baseAborts,
-		HeldAborts:        e.heldAborts - e.baseHeldAbrt,
-		Held:              e.held,
+		SimTime:           e.snapTime,
+		RealCommits:       e.snapReal,
+		PseudoCompletions: e.snapPseudo,
+		Aborts:            e.snapAborts,
+		HeldAborts:        e.snapHeldAbrt,
+		Held:              e.snapHeld,
 		Crashes:           e.crashes,
 		Restarts:          e.restarts,
 		Redone:            e.redone,
@@ -325,7 +389,22 @@ func (e *Engine) result() Result {
 		TraceLen:          e.traceLen,
 		Trace:             e.trace,
 		Stats:             st,
+		TailAborts:        e.tailAborts,
+		AdmissionRejects:  e.admitRejects,
+		EagerRounds:       e.eagerRounds,
+		EagerReleased:     e.eagerReleased,
+		HeldWaitP99:       metrics.Quantile(e.heldWaits, 0.99),
+		TimeToDrain:       e.timeToDrain,
+		Policy:            policyName(e.policy),
 	}
+}
+
+// policyName renders the policy for Result ("" = off).
+func policyName(p dist.HoldPolicy) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
 }
 
 // stale reports whether the event's attempt has died (aborted and
@@ -338,9 +417,13 @@ func stale(event ev) bool {
 func (e *Engine) dispatch(event ev) {
 	switch event.kind {
 	case evSubmit:
-		e.submit(event.terminal)
+		// Terminals stop at the completion target: the drain phase
+		// measures how the existing convoy resolves, not new load.
+		if !e.draining {
+			e.submit(event.terminal)
+		}
 	case evResubmit:
-		if event.p.state == spWaitRetry {
+		if !e.draining && event.p.state == spWaitRetry {
 			e.startAttempt(event.p)
 		}
 	case evReqArrive:
@@ -631,11 +714,55 @@ func (e *Engine) abortAttempt(p *sproc, reason core.AbortReason, skipSite int) {
 
 // finalize removes a globally terminated transaction from the mirror
 // and cascades: held transactions whose global dependency set drained
-// reach their commit decision and start releasing.
+// reach their commit decision and start releasing. Under an
+// eager-subtree policy the whole drained subtree is decided in one
+// coordinator round.
 func (e *Engine) finalize(id core.TxnID) {
+	if e.policy != nil && e.policy.EagerSubtree() {
+		e.finalizeEager(id)
+		return
+	}
 	for _, d := range e.mirror.RemoveTxn(id) {
 		q := e.procs[d]
 		if q != nil && q.state == spHeld && e.mirror.OutDegree(d) == 0 {
+			e.decideCommit(q)
+		}
+	}
+}
+
+// finalizeEager computes the transitive closure of drained held
+// transactions in one coordinator instant: each ready transaction is
+// treated as terminated for the rest of the walk, so a chain of depth k
+// that the hop-at-a-time cascade would release over k per-level message
+// round-trips starts releasing all at once. The ready list comes out in
+// topological order and decideCommit fans each release out to every
+// participant in that order on the FIFO coordinator→site channels, so
+// at any shared site a dependant's release always arrives after its
+// dependency's — the local out-degree has drained by the time the
+// release lands, exactly the invariant the round-based cascade keeps.
+func (e *Engine) finalizeEager(id core.TxnID) {
+	queue := []core.TxnID{id}
+	var ready []*sproc
+	for qi := 0; qi < len(queue); qi++ {
+		for _, d := range e.mirror.RemoveTxn(queue[qi]) {
+			q := e.procs[d]
+			if q != nil && q.state == spHeld && e.mirror.OutDegree(d) == 0 {
+				queue = append(queue, d)
+				ready = append(ready, q)
+			}
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	e.eagerRounds++
+	e.eagerReleased += len(ready)
+	e.tracef("eager-release %d held", len(ready))
+	for _, q := range ready {
+		// A crash fired from an earlier decideCommit's step boundary
+		// can have revoked a later subtree member; skip anything no
+		// longer held.
+		if q.txn != 0 && q.state == spHeld {
 			e.decideCommit(q)
 		}
 	}

@@ -70,6 +70,27 @@ type Result struct {
 	// conservation check against the final committed states.
 	CommittedSteps map[core.ObjectID]uint64
 
+	// Policy names the hold policy the run used ("" = off, the
+	// unbounded baseline).
+	Policy string
+	// TailAborts counts holds shed by a depth bound and
+	// AdmissionRejects holds shed by a closed admission gate (whole
+	// run; each shed is also counted in Aborts and retried).
+	TailAborts, AdmissionRejects int
+	// EagerRounds counts non-empty eager-release rounds and
+	// EagerReleased the held transactions they released (whole run).
+	EagerRounds, EagerReleased int
+	// HeldWaitP99 is the 99th-percentile held→decision wait in virtual
+	// seconds, over every hold of the run including those resolved in
+	// the post-target drain (unlike PhaseHeldWait, which samples only
+	// inside the run so it stays comparable with older results).
+	HeldWaitP99 float64
+	// TimeToDrain is the virtual time from the completion target (the
+	// last arrival: terminals stop) to the empty held set — how long
+	// the convoy's outstanding promises take to honour once load
+	// stops.
+	TimeToDrain float64
+
 	// TraceHash is the 64-bit FNV-1a hash of every trace line — the
 	// bit-identity fingerprint two same-seed runs must share.
 	TraceHash uint64
@@ -102,10 +123,17 @@ func (r Result) PseudoThroughput() float64 {
 
 // String renders the headline numbers.
 func (r Result) String() string {
-	return fmt.Sprintf(
-		"sites=%d simtime=%.3f real=%d (%.1f/s) pseudo=%d (%.1f/s) aborts=%d heldaborts=%d held=%d crashes=%d redone=%d presumed=%d convoy[%s] logpeak=%d trace=%016x",
+	s := fmt.Sprintf(
+		"sites=%d simtime=%.3f real=%d (%.1f/s) pseudo=%d (%.1f/s) aborts=%d heldaborts=%d held=%d crashes=%d redone=%d presumed=%d convoy[%s] heldp99=%.4f drain=%.3f logpeak=%d trace=%016x",
 		r.Sites, r.SimTime, r.RealCommits, r.RealThroughput(),
 		r.PseudoCompletions, r.PseudoThroughput(), r.Aborts, r.HeldAborts,
 		r.Held, r.Crashes, r.Redone, r.PresumedAborted,
-		r.ConvoyDepth.String(), r.LogHighWater, r.TraceHash)
+		r.ConvoyDepth.String(), r.HeldWaitP99, r.TimeToDrain,
+		r.LogHighWater, r.TraceHash)
+	if r.Policy != "" {
+		s += fmt.Sprintf(" policy=%s shed=%d/%d eager=%d/%d",
+			r.Policy, r.TailAborts, r.AdmissionRejects,
+			r.EagerRounds, r.EagerReleased)
+	}
+	return s
 }

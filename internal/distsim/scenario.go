@@ -30,6 +30,17 @@ func Convoy(seed int64) Config {
 	return cfg
 }
 
+// ConvoyPolicy is the Convoy scenario with a bounded-hold policy
+// installed — same seed, same workload, same timing; the only change
+// is the coordinator's answer when a conversation would be held. The
+// checked-in TestConvoyPolicy42 pins each policy's win over the
+// unbounded baseline.
+func ConvoyPolicy(seed int64, p dist.HoldPolicy) Config {
+	cfg := Convoy(seed)
+	cfg.Policy = p
+	return cfg
+}
+
 // CrashRedo is the golden redo scenario: a small 2-site cluster whose
 // first conversation to pass AfterDecisionBeforeRelease crashes its
 // first participant — after the commit point, so the release skips the

@@ -14,6 +14,13 @@ const (
 // fixed precision so the byte stream — and therefore the hash — is a
 // pure function of the event sequence.
 func (e *Engine) tracef(format string, args ...any) {
+	if e.draining {
+		// The post-target drain is measurement-only: the hash (and the
+		// recorded trace) freeze at the completion target, so a
+		// policy-off run stays bit-identical to the checked-in
+		// baselines whether or not a drain phase follows.
+		return
+	}
 	line := fmt.Sprintf("t=%.6f ", e.tl.Now()) + fmt.Sprintf(format, args...)
 	h := e.traceHash
 	for i := 0; i < len(line); i++ {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -107,6 +108,27 @@ func (h *Hist) Buckets() string {
 		fmt.Fprintf(&b, ">%d:%d", h.Cap, h.Over)
 	}
 	return b.String()
+}
+
+// Quantile returns the smallest sample x such that at least q (0..1)
+// of the samples are <= x, from a raw sample series (0 when empty).
+// Sorts a copy; meant for end-of-run summaries (a held-wait p99), not
+// hot paths.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }
 
 // Window summarises non-negative float samples — count, mean, max —

@@ -41,6 +41,13 @@ const (
 	// uncommitted operations crashed, so the transaction cannot reach
 	// its commit point (crash-stop fault model, internal/fault).
 	ReasonSiteFailed
+	// ReasonShed: the coordinator's hold policy declined to hold the
+	// pseudo-committed transaction (the commit-dependency chain was too
+	// deep, or the admission gate was closed) and revoked it instead —
+	// overload control, retryable by construction: recoverability means
+	// the revocation cascades into nobody, and a later attempt under a
+	// shallower convoy can succeed.
+	ReasonShed
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +61,8 @@ func (r AbortReason) String() string {
 		return "user abort"
 	case ReasonSiteFailed:
 		return "participant site failed"
+	case ReasonShed:
+		return "shed by hold policy"
 	}
 	return "none"
 }
