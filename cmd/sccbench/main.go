@@ -10,6 +10,7 @@
 //	sccbench -list                         # available experiments
 //	sccbench -tables                       # Tables I–VIII and IX–X
 //	sccbench -shardscale                   # 1-shard vs N-shard throughput
+//	sccbench -net                          # loopback-TCP wire vs in-process calls
 //	sccbench -chaos                        # crash-stop fault-tolerance cost + chaos run
 //	sccbench -convoy                       # hold-convoy overload: policy off vs bounded-hold
 //	sccbench -convoy -policy eager         # one policy against the unbounded baseline
@@ -27,7 +28,11 @@
 // small database, 40% cross-site); the clock stops only after every
 // pseudo-commit promise is honoured, so txn/s is honest real-commit
 // throughput, drain included. -policy also installs a bounded-hold
-// policy on the -chaos clusters.
+// policy on the -chaos and -net clusters.
+// Net knobs: -net reuses the -shardscale sweep knobs (-shards,
+// -workers, -txns, -cross) to compare loopback TCP against in-process
+// calls; use -policy eager to keep the wire's longer overlap windows
+// from convoying.
 //
 // Profiling: -cpuprofile / -memprofile write pprof files for any mode,
 // so perf work profiles the real workloads without editing code:
@@ -56,6 +61,8 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -131,6 +138,115 @@ func runShardScale(shardList, maxprocsList string, workers, txns, db int, cross,
 		}
 	}
 	return nil
+}
+
+// runNet measures what the wire costs: the same closed-loop sharded
+// conservation workload (all pushes) runs against an in-process
+// fault-tolerant cluster and against the identical cluster deployed
+// over loopback TCP — one site daemon serving every site
+// (wire.ServeSites), a coordinator over remote participants
+// (wire.StartCoordinator), and a client dialling the coordinator's
+// client plane (wire.Dial). Both sides use crash-stop Crashable sites
+// and an in-memory decision log, so the ratio isolates the transport:
+// framing, the per-site FIFO workers, and two network hops per
+// operation (client → coordinator → site). This is the number behind
+// BENCH_4.json.
+//
+// An all-push workload with no hold policy convoys badly over the
+// wire: round trips widen the overlap window, every overlap holds, and
+// the end-of-run drain can dwarf the load itself (minutes for a
+// seconds-long run, with huge run-to-run variance). -policy installs
+// the same bounded-hold policy on both sides; the canonical BENCH_4
+// numbers use -policy eager so the sweep measures the transport, not
+// the convoy.
+func runNet(shardList string, workers, txns, db int, cross float64, seed int64, pol dist.HoldPolicy) error {
+	counts, err := parseIntList("-shards", shardList)
+	if err != nil {
+		return err
+	}
+	spec := fmt.Sprintf("pushes:%d", db)
+	fmt.Printf("net transport: loopback TCP vs in-process, %d workers x %d txns, push db=%d, cross-site prob %.2f\n",
+		workers, txns, db, cross)
+	fmt.Println("(both clusters crash-stop fault-tolerant; the wire side adds the client plane, one site daemon, and 2 hops/op)")
+	if pol != nil {
+		fmt.Printf("bounded-hold policy %s installed on both sides\n", pol.Name())
+	}
+	fmt.Printf("%-8s %-14s %10s %10s %10s %12s\n", "shards", "transport", "txn/s", "ops", "aborts", "elapsed")
+	for _, n := range counts {
+		lc := workload.LoadConfig{
+			Workload: workload.Sharded{
+				Inner: workload.Pushes{DBSize: db},
+				Sites: n, CrossProb: cross,
+			},
+			Workers:         workers,
+			TxnsPerWorker:   txns,
+			Seed:            seed,
+			MaxRestarts:     100000,
+			RetryHeldAborts: true,
+		}
+
+		inproc, err := dist.NewWithConfig(dist.Config{Sites: n, FaultTolerant: true, Policy: pol})
+		if err != nil {
+			return err
+		}
+		inRes, err := workload.RunLoad(inproc, lc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-14s %10.0f %10d %10d %12s\n",
+			n, "in-process", inRes.TxnPerSec, inRes.Ops, inRes.Aborts,
+			inRes.Elapsed.Round(time.Millisecond))
+
+		netRes, err := runNetOnce(n, spec, lc, pol)
+		if err != nil {
+			return err
+		}
+		ratio := ""
+		if inRes.TxnPerSec > 0 {
+			ratio = fmt.Sprintf("  (%.2fx of in-process)", netRes.TxnPerSec/inRes.TxnPerSec)
+		}
+		fmt.Printf("%-8d %-14s %10.0f %10d %10d %12s%s\n",
+			n, "loopback-tcp", netRes.TxnPerSec, netRes.Ops, netRes.Aborts,
+			netRes.Elapsed.Round(time.Millisecond), ratio)
+	}
+	return nil
+}
+
+// runNetOnce deploys the loopback cluster — daemon, coordinator,
+// client — runs the load through the client plane, and tears it down.
+func runNetOnce(n int, spec string, lc workload.LoadConfig, pol dist.HoldPolicy) (workload.LoadResult, error) {
+	sites := make(map[uint16]dist.SiteBackend, n)
+	ids := make([]uint16, 0, n)
+	for sid := 0; sid < n; sid++ {
+		cr, err := fault.New(core.Options{}, fault.NewMemLog())
+		if err != nil {
+			return workload.LoadResult{}, err
+		}
+		sites[uint16(sid)] = cr
+		ids = append(ids, uint16(sid))
+	}
+	srv, err := wire.ServeSites(wire.SiteServerConfig{Addr: "127.0.0.1:0", Sites: sites, Workload: spec})
+	if err != nil {
+		return workload.LoadResult{}, err
+	}
+	defer srv.Close()
+	co, err := wire.StartCoordinator(wire.CoordinatorConfig{
+		ClientAddr: "127.0.0.1:0",
+		Daemons:    []wire.DaemonSpec{{Listen: srv.Addr(), Sites: ids}},
+		Workload:   spec,
+		DialWait:   5 * time.Second,
+		Policy:     pol,
+	})
+	if err != nil {
+		return workload.LoadResult{}, err
+	}
+	defer co.Close()
+	cl, err := wire.Dial(co.Addr(), 5*time.Second)
+	if err != nil {
+		return workload.LoadResult{}, err
+	}
+	defer cl.Close()
+	return workload.RunLoad(cl, lc)
 }
 
 // runConvoy reproduces the hold-convoy overload under the wall clock
@@ -317,6 +433,8 @@ func main() {
 		skew       = flag.Float64("skew", 0, "zipfian key-popularity exponent for -shardscale (>1 enables hot keys)")
 		maxprocs   = flag.String("maxprocs", "", "comma-separated GOMAXPROCS values to repeat the -shardscale sweep at (empty: current)")
 
+		netMode = flag.Bool("net", false, "run the loopback-TCP vs in-process transport comparison over the -shards sweep")
+
 		chaos        = flag.Bool("chaos", false, "measure crash-stop fault tolerance: plain vs fault-tolerant vs chaos (with conservation check)")
 		chaosSites   = flag.Int("chaossites", 4, "participant sites for -chaos")
 		crashPeriod  = flag.Duration("crashperiod", 10*time.Millisecond, "healthy interval before each injected crash for -chaos")
@@ -325,7 +443,7 @@ func main() {
 		convoy      = flag.Bool("convoy", false, "run the hold-convoy overload: bounded-hold policies vs the unbounded baseline")
 		convoySites = flag.Int("convoysites", 8, "participant sites for -convoy")
 		holdOpen    = flag.Duration("holdopen", 300*time.Microsecond, "per-transaction open window before commit for -convoy (the overlap that forms the convoy)")
-		policyStr   = flag.String("policy", "", "bounded-hold policy for -convoy/-chaos: off, depth=N, eager, admit=N, admit=H/L (empty with -convoy compares off, depth=16, eager, admit=32/16)")
+		policyStr   = flag.String("policy", "", "bounded-hold policy for -convoy/-chaos/-net: off, depth=N, eager, admit=N, admit=H/L (empty with -convoy compares off, depth=16, eager, admit=32/16)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -397,6 +515,27 @@ func main() {
 			seedVal = 1
 		}
 		if err := runShardScale(*shards, *maxprocs, *workers, *txns, dbSize, *cross, *skew, seedVal); err != nil {
+			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *netMode {
+		// Wire round trips cost ~100x an in-process call, so the sweep
+		// defaults to a shorter load than -shardscale. Explicit flags win.
+		dbSize, txnsVal := *db, *txns
+		if dbSize == 0 {
+			dbSize = 256
+		}
+		if !flagSet["txns"] {
+			txnsVal = 200
+		}
+		seedVal := *seed
+		if seedVal == 0 {
+			seedVal = 1
+		}
+		if err := runNet(*shards, *workers, txnsVal, dbSize, *cross, seedVal, pol); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
 			os.Exit(1)
 		}

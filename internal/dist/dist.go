@@ -66,6 +66,26 @@ var (
 	_ SiteBackend = (*fault.Crashable)(nil)
 )
 
+// CrashRestarter is the optional crash-stop surface of a SiteBackend:
+// fault.Crashable implements it with a simulated disk, and a network
+// backend (wire.RemoteSite) implements it as connection loss plus
+// reconnect-time reconciliation. A fault-tolerant cluster requires its
+// backends to provide it; Crash/Restart drive it under the site mutex.
+type CrashRestarter interface {
+	// Crash fails the site: volatile state is gone, subsequent calls
+	// answer fault.ErrSiteDown until Restart.
+	Crash() error
+	// Restart brings the site back and resolves its in-doubt prepared
+	// records against the decision log: logged commits are redone
+	// (reported in Redone — the cluster acks their release), the rest
+	// presumed aborted.
+	Restart() (fault.RecoveryReport, error)
+	// Down reports whether the site is currently failed.
+	Down() bool
+}
+
+var _ CrashRestarter = (*fault.Crashable)(nil)
+
 // SiteID identifies one participant site, 0..NumSites-1.
 type SiteID int
 
@@ -118,7 +138,7 @@ type site struct {
 	id  SiteID
 	mu  sync.Mutex
 	p   SiteBackend
-	cr  *fault.Crashable // non-nil on a fault-tolerant cluster (p == cr)
+	cr  CrashRestarter // non-nil on a fault-tolerant cluster (p's crash surface)
 	hub *delivery.Hub
 	// txns registers every live transaction that has begun at this
 	// site, guarded by mu. The crash handler uses it to find the
@@ -219,6 +239,22 @@ type Cluster struct {
 	// needs it again. Nil map on a plain cluster.
 	logMu   sync.Mutex
 	relAcks map[core.TxnID]map[SiteID]struct{}
+	// clientGate lists transactions whose commit decision must outlive
+	// the participant acks until an external client confirms it learned
+	// the outcome (GateDecision/AckDecision). A network front end uses
+	// this for exactly-once commits: if the client's connection dies
+	// before the commit reply, the decision is still in the log when the
+	// client reconnects and asks. Guarded by logMu; nil until first use.
+	clientGate map[core.TxnID]struct{}
+	// redoClaims arbitrates the race between restart reconciliation
+	// redoing a logged direct commit at a participant and the live
+	// commit conversation withdrawing that decision after its own push
+	// failed. Reconciliation claims the decision (ClaimRedo) under
+	// logMu before redoing; undoDirectCommit finds the claim and keeps
+	// the decision — the commit landed via the redo, so the
+	// conversation reports Committed instead of retrying (a retry
+	// would push twice). Guarded by logMu; nil until first use.
+	redoClaims map[core.TxnID]struct{}
 
 	// closeMu guards drain: when non-nil, closed once the registry
 	// empties after Close — the CloseCtx waiters' signal.
@@ -259,6 +295,13 @@ type Config struct {
 	// The cluster uses a Fresh clone, so one value can configure many
 	// clusters. Nil preserves the paper's unbounded hold behaviour.
 	Policy HoldPolicy
+	// Backends, when non-nil, supplies the participant sites instead of
+	// the cluster constructing in-process schedulers (len must equal
+	// Sites; Opts is then unused). This is how a coordinator runs over
+	// remote participants: wire.RemoteSite implements SiteBackend over a
+	// TCP connection. With FaultTolerant, each backend must also
+	// implement CrashRestarter.
+	Backends []SiteBackend
 }
 
 // New builds a cluster of n in-process sites, each running its own
@@ -298,19 +341,32 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		}
 		c.relAcks = make(map[core.TxnID]map[SiteID]struct{})
 	}
+	if cfg.Backends != nil && len(cfg.Backends) != cfg.Sites {
+		return nil, fmt.Errorf("dist: %d backends for %d sites", len(cfg.Backends), cfg.Sites)
+	}
 	for i := 0; i < cfg.Sites; i++ {
 		s := &site{
 			id:   SiteID(i),
 			hub:  delivery.NewHub(),
 			txns: make(map[core.TxnID]*Txn),
 		}
-		if cfg.FaultTolerant {
+		switch {
+		case cfg.Backends != nil:
+			s.p = cfg.Backends[i]
+			if cfg.FaultTolerant {
+				cr, ok := s.p.(CrashRestarter)
+				if !ok {
+					return nil, fmt.Errorf("dist: fault-tolerant backend %d (%T) must implement CrashRestarter", i, s.p)
+				}
+				s.cr = cr
+			}
+		case cfg.FaultTolerant:
 			cr, err := fault.New(cfg.Opts, c.flog)
 			if err != nil {
 				return nil, err
 			}
 			s.cr, s.p = cr, cr
-		} else {
+		default:
 			s.p = core.NewScheduler(cfg.Opts)
 		}
 		c.sites = append(c.sites, s)
@@ -478,11 +534,84 @@ func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 	done := pending != nil && len(pending) == 0
 	if done {
 		delete(c.relAcks, id)
+		delete(c.redoClaims, id)
 	}
 	c.logMu.Unlock()
 	if done {
 		_ = c.flog.Truncate(id)
 	}
+}
+
+// clientAck is the virtual release-ack member standing for "the client
+// has learned this commit outcome" (see Cluster.GateDecision).
+const clientAck SiteID = -2
+
+// GateDecision marks the transaction's eventual commit decision as
+// client-acknowledged: if the commit point is reached, the decision
+// stays in the log — even after every participant released — until
+// AckDecision confirms the client learned the outcome. Call before
+// starting the commit conversation. On a plain (non-fault-tolerant)
+// cluster it is a no-op.
+func (c *Cluster) GateDecision(id core.TxnID) {
+	if c.flog == nil {
+		return
+	}
+	c.logMu.Lock()
+	if c.clientGate == nil {
+		c.clientGate = make(map[core.TxnID]struct{})
+	}
+	c.clientGate[id] = struct{}{}
+	c.logMu.Unlock()
+}
+
+// AckDecision confirms the gated client learned the transaction's
+// outcome, releasing the decision for truncation once every participant
+// has acked too. Safe (and a no-op) for transactions that were never
+// gated or never reached the commit point.
+func (c *Cluster) AckDecision(id core.TxnID) {
+	if c.flog == nil {
+		return
+	}
+	c.logMu.Lock()
+	delete(c.clientGate, id)
+	c.logMu.Unlock()
+	c.ackRelease(id, clientAck)
+}
+
+// AdoptDecision re-arms release accounting for a commit decision found
+// in the log by a restarting coordinator: the decision stays durable
+// until every site has confirmed it no longer holds the transaction
+// (AckDecisionSite, or a Restart recovery report's redo) and the
+// owning client has learned the outcome (AckDecision). Call before the
+// adoption-time site restarts, so their redo acks land in the pending
+// set instead of a void.
+func (c *Cluster) AdoptDecision(id core.TxnID) {
+	if c.flog == nil {
+		return
+	}
+	c.logMu.Lock()
+	if c.clientGate == nil {
+		c.clientGate = make(map[core.TxnID]struct{})
+	}
+	c.clientGate[id] = struct{}{}
+	if c.relAcks[id] == nil {
+		pending := make(map[SiteID]struct{}, len(c.sites)+1)
+		pending[clientAck] = struct{}{}
+		for _, s := range c.sites {
+			pending[s.id] = struct{}{}
+		}
+		c.relAcks[id] = pending
+	}
+	c.logMu.Unlock()
+}
+
+// AckDecisionSite records that the site holds nothing for the adopted
+// decision — either its reconciliation released the hold, or it never
+// had one. The adopting coordinator calls it for every adopted id
+// after a site restart succeeds; idempotent, and a no-op for decisions
+// already truncated.
+func (c *Cluster) AckDecisionSite(id core.TxnID, sid SiteID) {
+	c.ackRelease(id, sid)
 }
 
 // filterLive drops edges to transactions the coordinator has already

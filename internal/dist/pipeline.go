@@ -171,11 +171,99 @@ func (c *Cluster) logCommitBatch(txns []*Txn) {
 	}
 	c.logMu.Lock()
 	for _, t := range txns {
-		pending := make(map[SiteID]struct{}, len(t.visited))
+		pending := make(map[SiteID]struct{}, len(t.visited)+1)
 		for _, sid := range t.visited {
 			pending[sid] = struct{}{}
+		}
+		if _, gated := c.clientGate[t.id]; gated {
+			pending[clientAck] = struct{}{}
 		}
 		c.relAcks[t.id] = pending
 	}
 	c.logMu.Unlock()
+}
+
+// logDirectCommit forces a decision record for an edge-free direct
+// commit whose outcome a remote client will resolve from the log
+// (GateDecision was called). Without it a coordinator crash between
+// the site commit and the client reply would presume the transaction
+// aborted and the client would re-run committed work. The record is
+// written BEFORE the site commit — the same decision-before-effect
+// order as the hold path — and the ack set opens with every visited
+// site plus the client gate. Ungated transactions (in-process callers
+// that never resolve from the log) skip it: for them presumed abort is
+// harmless, the caller saw the outcome directly. Reports whether a
+// record was written.
+func (c *Cluster) logDirectCommit(id core.TxnID, sids []SiteID) bool {
+	if c.flog == nil {
+		return false
+	}
+	c.logMu.Lock()
+	_, gated := c.clientGate[id]
+	c.logMu.Unlock()
+	if !gated {
+		return false
+	}
+	if err := c.flog.Record(id, fault.OutcomeCommit); err != nil {
+		panic(fmt.Sprintf("dist: decision log direct commit of T%d: %v", id, err))
+	}
+	c.logMu.Lock()
+	pending := make(map[SiteID]struct{}, len(sids)+1)
+	for _, sid := range sids {
+		pending[sid] = struct{}{}
+	}
+	pending[clientAck] = struct{}{}
+	c.relAcks[id] = pending
+	c.logMu.Unlock()
+	return true
+}
+
+// ClaimRedo is the restart-reconciliation side of the direct-commit
+// arbitration: called (via the decided callback) before redoing a
+// logged commit at a recovering participant, it marks the decision as
+// redo-claimed and reports whether the log still holds a commit record
+// for the transaction. A live commit conversation whose own push
+// failed consults the claim in undoDirectCommit: if reconciliation got
+// there first, the decision stands and the conversation must report
+// Committed rather than retry. Claims are erased when the decision
+// truncates (ackRelease), bounding the map by the set of in-flight
+// logged commits.
+func (c *Cluster) ClaimRedo(id core.TxnID) bool {
+	if c.flog == nil {
+		return false
+	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	o, ok := c.flog.Lookup(id)
+	if !ok || o != fault.OutcomeCommit {
+		return false
+	}
+	if c.redoClaims == nil {
+		c.redoClaims = make(map[core.TxnID]struct{})
+	}
+	c.redoClaims[id] = struct{}{}
+	return true
+}
+
+// undoDirectCommit withdraws a logDirectCommit record after the site
+// commit failed: the transaction is aborting, and a lingering commit
+// record would make a restarting coordinator redo it. If restart
+// reconciliation already claimed the decision for redo (ClaimRedo),
+// the withdrawal loses the race: the commit has landed (or is landing)
+// at the recovered participant, so the record stays and the caller
+// must treat the transaction as committed. Reports whether the record
+// was withdrawn. Only a crash in the narrow window between Record and
+// Truncate can leave a stale record behind — a double failure the
+// smoke workloads cannot hit and recovery resolves toward commit (the
+// at-least-once side of the trade, documented in DESIGN.md).
+func (c *Cluster) undoDirectCommit(id core.TxnID) bool {
+	c.logMu.Lock()
+	if _, claimed := c.redoClaims[id]; claimed {
+		c.logMu.Unlock()
+		return false
+	}
+	delete(c.relAcks, id)
+	c.logMu.Unlock()
+	_ = c.flog.Truncate(id)
+	return true
 }

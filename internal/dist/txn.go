@@ -165,6 +165,18 @@ func (c *Cluster) siteFailure(err error) bool {
 	return c.faulty && (errors.Is(err, fault.ErrSiteDown) || errors.Is(err, core.ErrUnknownTxn))
 }
 
+// siteFailure is the per-transaction classification: a doomed
+// transaction additionally treats any participant error as the
+// crash's fault. The crash reconcile may already have presumed-abort
+// revoked it at a participant whose state survived (a remote daemon
+// outlives a connection blip), and that participant answers
+// ErrTxnTerminated where a fresh in-process incarnation would answer
+// ErrUnknownTxn — both must map to the same retryable site-failed
+// abort.
+func (t *Txn) siteFailure(err error) bool {
+	return t.c.siteFailure(err) || (t.c.faulty && t.doomed.Load())
+}
+
 // do runs the request; a nil ctx means no cancellation.
 func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	if t.state.Load() != txActive {
@@ -187,7 +199,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		}
 		s.mu.Unlock()
 		if err != nil {
-			if t.c.siteFailure(err) {
+			if t.siteFailure(err) {
 				return t.failSite(sid)
 			}
 			return adt.Ret{}, err
@@ -200,7 +212,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 	dec, err := s.p.RequestInto(eff, t.id, obj, op)
 	if err != nil {
 		s.mu.Unlock()
-		if t.c.siteFailure(err) {
+		if t.siteFailure(err) {
 			return t.failSite(sid)
 		}
 		return adt.Ret{}, err
@@ -354,6 +366,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// would break atomicity — multi-site transactions go through the
 	// hold conversation even when edge-free.
 	if !t.anyEdges.Load() && (!c.faulty || len(sids) <= 1) {
+		logged := c.logDirectCommit(t.id, sids)
 		for _, sid := range sids {
 			s := c.sites[sid]
 			s.mu.Lock()
@@ -365,7 +378,20 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			s.mu.Unlock()
 			if err != nil {
-				if c.siteFailure(err) {
+				if logged && !c.undoDirectCommit(t.id) {
+					// Restart reconciliation claimed the logged decision
+					// and redid the commit at the recovered site before
+					// we could withdraw it: the push landed, just not
+					// through this conversation. Retrying would push
+					// twice — report Committed instead.
+					c.ackRelease(t.id, sid)
+					s.mu.Lock()
+					s.forget(t.id)
+					s.mu.Unlock()
+					c.refreshParked(s)
+					continue
+				}
+				if t.siteFailure(err) {
 					_, ferr := t.failSite(sid)
 					return 0, ferr
 				}
@@ -373,6 +399,9 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			if st != core.Committed {
 				panic(fmt.Sprintf("dist: edge-free T%d pseudo-committed at site %d", t.id, sid))
+			}
+			if logged {
+				c.ackRelease(t.id, sid)
 			}
 			c.refreshParked(s)
 		}
@@ -413,7 +442,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 		}
 		s.mu.Unlock()
 		if err != nil {
-			if c.siteFailure(err) {
+			if t.siteFailure(err) {
 				_, ferr := t.failSite(sid)
 				return 0, ferr
 			}

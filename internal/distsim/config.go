@@ -22,8 +22,12 @@
 // direction holds, nothing is dropped or partitioned); abort
 // propagation to surviving sites is immediate (the wall-clock cluster
 // runs it synchronously too); terminals are co-located with the
-// coordinator; the coordinator itself never fails. See DESIGN.md,
-// "Simulation model".
+// coordinator. The coordinator itself can be crashed on a protocol
+// step (CoordCrashPoint): its volatile state — the union-graph mirror
+// and the release-ack table — dies, the durable decision log survives,
+// and the restarted coordinator adopts logged commits and reconciles
+// every site against the log, exactly the sequence the wall-clock
+// wire.StartCoordinator runs. See DESIGN.md, "Simulation model".
 package distsim
 
 import (
@@ -54,6 +58,25 @@ type CrashPoint struct {
 	// until the end of the run (the engine restarts every down site
 	// after the completion target is met, so final states are always
 	// fully recovered).
+	RestartAfter float64
+}
+
+// CoordCrashPoint places one coordinator crash on a protocol-step
+// boundary: the Occurrence-th global firing of Step kills the
+// coordinator. Volatile coordinator state (the mirror, the release-ack
+// table) is lost; the decision log survives. After RestartAfter virtual
+// seconds a new coordinator starts on the same log: it adopts every
+// logged commit, aborts orphaned actives, redoes logged holds and
+// direct commits, and presumed-aborts unlogged holds — the
+// wire.StartCoordinator sequence, pinned on the virtual clock.
+type CoordCrashPoint struct {
+	// Step is the protocol-step boundary (dist.Step names).
+	Step dist.Step
+	// Occurrence selects the n-th (1-based) global firing of Step.
+	Occurrence int
+	// RestartAfter is the virtual downtime before the replacement
+	// coordinator starts; must be > 0 (a cluster whose coordinator
+	// never returns cannot finish the run).
 	RestartAfter float64
 }
 
@@ -105,6 +128,12 @@ type Config struct {
 
 	// Crashes is the protocol-step crash schedule.
 	Crashes []CrashPoint
+	// CoordCrashes is the coordinator crash schedule. Non-empty
+	// schedules arm the coordinator-failure model (direct commits are
+	// logged and gated like the wire client plane does); an empty
+	// schedule keeps the classic coordinator-never-fails model and its
+	// bit-identical baseline traces.
+	CoordCrashes []CoordCrashPoint
 	// Policy, when non-nil, is the bounded-hold release policy the
 	// simulated coordinator consults (the same dist.HoldPolicy values
 	// the wall-clock cluster takes). The engine uses a Fresh clone, so
@@ -170,6 +199,17 @@ func (c Config) Validate() error {
 		}
 		if cp.Site >= c.Sites {
 			return fmt.Errorf("distsim: crash %d: site %d out of range", i, cp.Site)
+		}
+	}
+	for i, cp := range c.CoordCrashes {
+		if cp.Occurrence <= 0 {
+			return fmt.Errorf("distsim: coord crash %d: Occurrence must be >= 1", i)
+		}
+		if int(cp.Step) >= dist.NumSteps {
+			return fmt.Errorf("distsim: coord crash %d: unknown step", i)
+		}
+		if cp.RestartAfter <= 0 {
+			return fmt.Errorf("distsim: coord crash %d: RestartAfter must be > 0", i)
 		}
 	}
 	return nil

@@ -23,8 +23,23 @@ func (e *Engine) startCommit(p *sproc) {
 	}
 	if !p.anyEdges && len(p.visited) == 1 {
 		p.state = spHolding
+		p.direct = true
 		p.decideTime = p.commitStart
 		sid := p.visited[0]
+		if e.coordGate {
+			// The coordinator-failure model logs direct commits before
+			// sending them (the wire client plane's gated exactly-once
+			// rule): the record is the only durable trace the commit
+			// happened, and it stays until the terminal learns the
+			// outcome (clientAckSim, acked in realCommit).
+			if err := e.flog.Record(p.txn, fault.OutcomeCommit); err != nil {
+				panic(fmt.Sprintf("distsim: decision log direct commit of T%d: %v", p.txn, err))
+			}
+			if n := e.flog.Len(); !e.draining && n > e.logHighWater {
+				e.logHighWater = n
+			}
+			e.relAcks[p.txn] = map[int]struct{}{sid: {}, clientAckSim: {}}
+		}
 		e.tracef("commit T%d site=%d (direct)", p.txn, sid)
 		at := e.sendToSite(sid, e.lat())
 		e.tl.Schedule(at, ev{kind: evCommitArrive, p: p, txn: p.txn, site: sid})
@@ -73,6 +88,7 @@ func (e *Engine) commitArrive(p *sproc, sid int) {
 		panic(fmt.Sprintf("distsim: edge-free T%d pseudo-committed at site %d", p.txn, sid))
 	}
 	s.cr.Forget(p.txn)
+	e.ack(p.txn, sid) // gated model: the site's durable copy (no-op otherwise)
 	e.processEffects(s, &eff)
 	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
 	e.tl.Schedule(at, ev{kind: evCommitReply, p: p, txn: p.txn})
@@ -212,9 +228,12 @@ func (e *Engine) decideCommit(p *sproc) {
 	if n := e.flog.Len(); !e.draining && n > e.logHighWater {
 		e.logHighWater = n
 	}
-	pending := make(map[int]struct{}, len(p.visited))
+	pending := make(map[int]struct{}, len(p.visited)+1)
 	for _, sid := range p.visited {
 		pending[sid] = struct{}{}
+	}
+	if e.coordGate {
+		pending[clientAckSim] = struct{}{}
 	}
 	e.relAcks[p.txn] = pending
 	if p.state == spHeld {
@@ -231,7 +250,12 @@ func (e *Engine) decideCommit(p *sproc) {
 	e.stepFired(dist.AfterDecisionBeforeRelease, p, -1)
 	// A crash at the boundary cannot unwind a releasing transaction —
 	// its decision is logged; releases skip the down site and recovery
-	// redoes them.
+	// redoes them. A coordinator crash at the boundary stops the
+	// fan-out here: the replacement coordinator adopts the logged
+	// decision and finishes the releases at reconcile.
+	if e.coordDown {
+		return
+	}
 	p.relK = 0
 	if e.policy != nil && e.policy.EagerSubtree() {
 		// The batched release round: all participants at once (one
@@ -240,6 +264,9 @@ func (e *Engine) decideCommit(p *sproc) {
 		// subtree's topological decide order to every shared site.
 		for k, sid := range p.visited {
 			e.stepFired(dist.DuringReleaseCascade, p, sid)
+			if e.coordDown {
+				return
+			}
 			at := e.sendToSite(sid, e.lat())
 			e.tl.Schedule(at, ev{kind: evRelArrive, p: p, txn: p.txn, site: sid, k: k})
 		}
@@ -253,6 +280,9 @@ func (e *Engine) decideCommit(p *sproc) {
 func (e *Engine) sendRelease(p *sproc) {
 	sid := p.visited[p.relK]
 	e.stepFired(dist.DuringReleaseCascade, p, sid)
+	if e.coordDown {
+		return // reconcile finishes the fan-out from the logged decision
+	}
 	at := e.sendToSite(sid, e.lat())
 	e.tl.Schedule(at, ev{kind: evRelArrive, p: p, txn: p.txn, site: sid, k: p.relK})
 }
@@ -317,6 +347,11 @@ func (e *Engine) realCommit(p *sproc) {
 		e.committedSteps[st.Object]++
 	}
 	e.tracef("committed T%d", id)
+	if e.coordGate {
+		// The terminal has the outcome: release the client gate (the
+		// last ack truncates the decision).
+		e.ack(id, clientAckSim)
+	}
 	if !p.freed {
 		e.freeTerminal(p)
 	}
@@ -383,6 +418,14 @@ func (e *Engine) stepFired(step dist.Step, p *sproc, site int) {
 			}
 		}
 		e.crash(victim, cp.RestartAfter)
+	}
+	for i := range e.cfg.CoordCrashes {
+		cp := &e.cfg.CoordCrashes[i]
+		if e.coordCrashFired[i] || cp.Step != step || e.stepCount[step] != cp.Occurrence {
+			continue
+		}
+		e.coordCrashFired[i] = true
+		e.coordCrash(cp.RestartAfter)
 	}
 }
 
@@ -495,4 +538,218 @@ func (e *Engine) restartSite(s *simSite) {
 	e.redone += len(rep.Redone)
 	e.presumed += len(rep.PresumedAborted)
 	e.tracef("restart site=%d redone=%v presumed=%v", s.idx, rep.Redone, rep.PresumedAborted)
+	if e.coordGate {
+		// A coordinator-adopted conversation pending only on this site
+		// (its release was redone from the prepared record just now)
+		// completes here: the site ack above may have left just the
+		// client gate open.
+		for _, id := range rep.Redone {
+			if p := e.procs[id]; p != nil && p.txn == id && p.state == spReleasing {
+				e.maybeCompleteAdopted(p)
+			}
+		}
+	}
+}
+
+// coordCrash kills the coordinator at the current virtual instant. Its
+// volatile state — the union-graph mirror and the release-ack table —
+// is gone; the decision log survives. Every conversation that reached
+// its commit point (spReleasing, or a logged direct commit in flight)
+// is adopted by the replacement coordinator at restart; every unlogged
+// hold is presumed aborted; everything earlier is orphaned — the
+// terminal (co-located with the coordinator) lost its session and
+// retries, and the attempt's site-side state waits for the
+// reconcile to be aborted away.
+func (e *Engine) coordCrash(restartAfter float64) {
+	if e.coordDown {
+		return
+	}
+	e.coordDown = true
+	e.coordCrashes++
+	e.coordRestartAt = e.tl.Now() + restartAfter
+	e.tracef("coordcrash")
+	e.mirror = depgraph.NewMirror()
+	clear(e.relAcks)
+	e.tl.Schedule(e.coordRestartAt, ev{kind: evCoordRestart})
+	ids := make([]core.TxnID, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		p := e.procs[id]
+		if p == nil || p.txn != id {
+			continue
+		}
+		switch {
+		case p.state == spReleasing || (p.state == spHolding && p.direct):
+			// Decision logged (the direct path logs before sending):
+			// survives the crash; the replacement adopts it.
+			p.adopted = true
+		case p.state == spHeld:
+			// Unlogged hold: presumed abort. The revocation itself must
+			// wait for the replacement coordinator (nothing can reach
+			// the sites until then); the logical transaction re-runs
+			// detached, exactly as after a crash-revoked hold.
+			e.heldSet--
+			e.heldAborts++
+			e.coordRevoked++
+			e.orphans = append(e.orphans, orphanRec{id: id, visited: slices.Clone(p.visited)})
+			e.tracef("coordcrash-revoke T%d", id)
+			delete(e.procs, id)
+			p.txn = 0
+			p.state = spWaitRetry
+			p.attempts++
+			e.tl.Schedule(e.tl.Now()+e.backoff(p.attempts), ev{kind: evResubmit, p: p})
+		default: // spActive, spBlocked, spHolding (hold phase)
+			if p.state == spBlocked {
+				delete(e.sites[p.blockedSite].parked, id)
+			}
+			e.orphans = append(e.orphans, orphanRec{id: id, visited: slices.Clone(p.visited)})
+			e.aborts++
+			e.coordOrphans++
+			e.tracef("orphan T%d (coordinator failed)", id)
+			delete(e.procs, id)
+			p.txn = 0
+			p.state = spWaitRetry
+			p.attempts++
+			e.tl.Schedule(e.tl.Now()+e.backoff(p.attempts), ev{kind: evResubmit, p: p})
+		}
+	}
+}
+
+// coordRestart is the replacement coordinator's startup: adopt every
+// logged commit decision, finish its releases (or redo a direct
+// commit the crash beat to its site), then reconcile the orphans away
+// — abort stranded actives, revoke unlogged holds. The sequence is
+// wire.StartCoordinator's, pinned on the virtual clock.
+func (e *Engine) coordRestart() {
+	e.coordDown = false
+	e.coordRestarts++
+	var adopted []core.TxnID
+	if ol, ok := e.flog.(interface {
+		OutcomeIDs(fault.Outcome) []core.TxnID
+	}); ok {
+		adopted = ol.OutcomeIDs(fault.OutcomeCommit)
+	}
+	e.coordAdopted += len(adopted)
+	e.tracef("coordrestart adopted=%d", len(adopted))
+	now := e.tl.Now()
+	for _, id := range adopted {
+		p := e.procs[id]
+		if p == nil || p.txn != id || !p.adopted {
+			e.tracef("adopt T%d: no live conversation", id)
+			continue
+		}
+		pending := make(map[int]struct{}, len(p.visited)+1)
+		for _, sid := range p.visited {
+			pending[sid] = struct{}{}
+		}
+		pending[clientAckSim] = struct{}{}
+		e.relAcks[id] = pending
+		for _, sid := range p.visited {
+			s := e.sites[sid]
+			if s.down() {
+				continue // its restart redoes from the prepared record and acks
+			}
+			if p.direct {
+				e.adoptDirect(p, s)
+			} else {
+				e.adoptRelease(p, s, now)
+			}
+		}
+		p.adopted = false
+		e.maybeCompleteAdopted(p)
+	}
+	orphans := e.orphans
+	e.orphans = nil
+	for _, o := range orphans {
+		for _, sid := range o.visited {
+			s := e.sites[sid]
+			if s.down() {
+				// Volatile state died with the site; its restart
+				// presumed-aborts any prepared record (no log entry).
+				continue
+			}
+			var eff core.Effects
+			if err := s.cr.AbortInto(&eff, o.id); err == nil {
+				s.cr.Forget(o.id)
+				e.tracef("adopt-abort T%d site=%d", o.id, sid)
+				e.processEffects(s, &eff)
+				continue
+			}
+			// A prepared hold answers ErrTxnTerminated; revoke it.
+			var eff2 core.Effects
+			if err := s.cr.RevokeInto(&eff2, o.id, core.ReasonSiteFailed); err == nil {
+				if t0, ok := s.prepTime[o.id]; ok {
+					if !e.draining {
+						e.inDoubt.Add(now - t0)
+					}
+					delete(s.prepTime, o.id)
+				}
+				s.cr.Forget(o.id)
+				e.tracef("adopt-revoke T%d site=%d", o.id, sid)
+				e.processEffects(s, &eff2)
+			}
+		}
+	}
+}
+
+// adoptDirect resolves one adopted direct commit at its (single) site:
+// if the logged commit never landed there (the crash beat the message),
+// redo it; otherwise the site already committed and forgot it.
+func (e *Engine) adoptDirect(p *sproc, s *simSite) {
+	switch s.cr.TxnState(p.txn) {
+	case "active", "blocked":
+		var eff core.Effects
+		st, err := s.cr.CommitInto(&eff, p.txn)
+		if err != nil {
+			panic(fmt.Sprintf("distsim: adopt-commit T%d at site %d: %v", p.txn, s.idx, err))
+		}
+		if st != core.Committed {
+			panic(fmt.Sprintf("distsim: adopt-commit T%d pseudo-committed at site %d", p.txn, s.idx))
+		}
+		s.cr.Forget(p.txn)
+		e.tracef("adopt-commit T%d site=%d (direct redo)", p.txn, s.idx)
+		e.processEffects(s, &eff)
+	default:
+		e.tracef("adopt-commit T%d site=%d (already landed)", p.txn, s.idx)
+	}
+	e.ack(p.txn, s.idx)
+}
+
+// adoptRelease finishes one adopted release at a live site: released
+// now, or confirmed already released before (or during) the outage.
+func (e *Engine) adoptRelease(p *sproc, s *simSite, now float64) {
+	var eff core.Effects
+	if err := s.cr.ReleaseInto(&eff, p.txn); err != nil {
+		if !errors.Is(err, core.ErrUnknownTxn) {
+			panic(fmt.Sprintf("distsim: adopt-release T%d at site %d: %v", p.txn, s.idx, err))
+		}
+		e.tracef("adopt-release T%d site=%d (already released)", p.txn, s.idx)
+	} else {
+		if t0, ok := s.prepTime[p.txn]; ok {
+			if !e.draining {
+				e.inDoubt.Add(now - t0)
+			}
+			delete(s.prepTime, p.txn)
+		}
+		s.cr.Forget(p.txn)
+		e.tracef("adopt-release T%d site=%d", p.txn, s.idx)
+		e.processEffects(s, &eff)
+	}
+	e.ack(p.txn, s.idx)
+}
+
+// maybeCompleteAdopted finishes an adopted conversation whose every
+// site has acked — only the client gate remains — by counting its real
+// commit (which acks the gate and truncates the decision).
+func (e *Engine) maybeCompleteAdopted(p *sproc) {
+	rem := e.relAcks[p.txn]
+	if len(rem) != 1 {
+		return
+	}
+	if _, only := rem[clientAckSim]; only {
+		e.realCommit(p)
+	}
 }

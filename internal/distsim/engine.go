@@ -41,6 +41,13 @@ type sproc struct {
 	freed    bool // terminal released (pseudo completion counted)
 	state    sprocState
 
+	// direct marks an attempt on the edge-free single-site commit fast
+	// path; adopted marks a conversation that outlived a coordinator
+	// crash (its completion is driven by the replacement coordinator's
+	// reconcile, not by reply counting).
+	direct  bool
+	adopted bool
+
 	blockedSite  int
 	attempts     int
 	submitted    float64 // first submission (survives restarts)
@@ -52,6 +59,14 @@ type sproc struct {
 	holdK     int
 	relK      int
 	holdEdges [][]depgraph.Edge // per visited site, captured at hold time
+}
+
+// orphanRec remembers a transaction the crashed coordinator stranded:
+// its site-side state (locks, queue entries, holds) survives until the
+// replacement coordinator reconciles it away at restart.
+type orphanRec struct {
+	id      core.TxnID
+	visited []int
 }
 
 func (p *sproc) visitedHas(sid int) bool {
@@ -99,7 +114,16 @@ const (
 	evRelArrive                  // a release reaches participant k
 	evRelReply                   // ... and its ack reaches the coordinator
 	evRestart                    // a crashed site restarts and recovers
+	evCoordRestart               // the replacement coordinator starts and reconciles
 )
+
+// clientAckSim is the virtual release-ack member standing for "the
+// terminal has learned this commit outcome" — the simulator's copy of
+// dist's clientAck gate. Only armed when the coordinator-failure model
+// is on (Config.CoordCrashes non-empty): it keeps a logged decision in
+// the log until realCommit, so a coordinator crash between the last
+// site ack and the terminal's reply still resolves toward commit.
+const clientAckSim = -2
 
 // ev is one scheduled event. txn stamps the attempt the event belongs
 // to: if the proc has moved on (aborted and resubmitted) the event is
@@ -131,6 +155,19 @@ type Engine struct {
 
 	stepCount  [dist.NumSteps]int
 	crashFired []bool
+
+	// Coordinator-failure model (armed by a non-empty CoordCrashes
+	// schedule; coordGate=false keeps the classic coordinator-never-
+	// fails behavior bit-identical, baseline trace hashes included).
+	coordGate       bool
+	coordDown       bool
+	coordRestartAt  float64
+	coordCrashFired []bool
+	orphans         []orphanRec
+
+	coordCrashes, coordRestarts int
+	coordAdopted                int
+	coordOrphans, coordRevoked  int
 
 	// policy is the engine's Fresh clone of cfg.Policy (nil = off).
 	policy dist.HoldPolicy
@@ -186,16 +223,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 		flog = fault.NewMemLog()
 	}
 	e := &Engine{
-		cfg:            cfg,
-		src:            workload.Source{Gen: cfg.Workload, MinLen: cfg.MinLength, MaxLen: cfg.MaxLength},
-		rng:            rand.New(rand.NewSource(cfg.Seed)),
-		mirror:         depgraph.NewMirror(),
-		flog:           flog,
-		relAcks:        make(map[core.TxnID]map[int]struct{}),
-		procs:          make(map[core.TxnID]*sproc),
-		crashFired:     make([]bool, len(cfg.Crashes)),
-		committedSteps: make(map[core.ObjectID]uint64),
-		traceHash:      fnvOffset,
+		cfg:             cfg,
+		src:             workload.Source{Gen: cfg.Workload, MinLen: cfg.MinLength, MaxLen: cfg.MaxLength},
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		mirror:          depgraph.NewMirror(),
+		flog:            flog,
+		relAcks:         make(map[core.TxnID]map[int]struct{}),
+		procs:           make(map[core.TxnID]*sproc),
+		crashFired:      make([]bool, len(cfg.Crashes)),
+		coordGate:       len(cfg.CoordCrashes) > 0,
+		coordCrashFired: make([]bool, len(cfg.CoordCrashes)),
+		committedSteps:  make(map[core.ObjectID]uint64),
+		traceHash:       fnvOffset,
 	}
 	if cfg.Policy != nil {
 		e.policy = cfg.Policy.Fresh()
@@ -393,6 +432,11 @@ func (e *Engine) result() Result {
 		AdmissionRejects:  e.admitRejects,
 		EagerRounds:       e.eagerRounds,
 		EagerReleased:     e.eagerReleased,
+		CoordCrashes:      e.coordCrashes,
+		CoordRestarts:     e.coordRestarts,
+		CoordAdopted:      e.coordAdopted,
+		CoordOrphans:      e.coordOrphans,
+		CoordRevoked:      e.coordRevoked,
 		HeldWaitP99:       metrics.Quantile(e.heldWaits, 0.99),
 		TimeToDrain:       e.timeToDrain,
 		Policy:            policyName(e.policy),
@@ -415,6 +459,32 @@ func stale(event ev) bool {
 
 // dispatch routes one event.
 func (e *Engine) dispatch(event ev) {
+	if e.coordDown {
+		switch event.kind {
+		case evCoordRestart:
+			e.coordRestart()
+			return
+		case evOpDone, evObserve, evCommitReply, evHoldReply, evRelReply:
+			// Site→coordinator messages die at the dead coordinator.
+			// (Most belong to attempts orphaned at crash time anyway;
+			// the commit and release replies of adopted conversations
+			// are the load-bearing drops.)
+			return
+		case evSubmit, evResubmit:
+			// Terminals are co-located with the coordinator: new work
+			// waits for the replacement. A deferral, not an abort.
+			if !e.draining {
+				e.tl.Schedule(e.coordRestartAt+e.lat(), event)
+			}
+			return
+		case evRestart:
+			// Site recovery reconciles against the coordinator's
+			// decision log; defer until the replacement is up.
+			e.tl.Schedule(e.coordRestartAt+e.lat(), event)
+			return
+		}
+		// Coordinator→site messages already in flight are delivered.
+	}
 	switch event.kind {
 	case evSubmit:
 		// Terminals stop at the completion target: the drain phase
@@ -441,7 +511,7 @@ func (e *Engine) dispatch(event ev) {
 			e.commitArrive(event.p, event.site)
 		}
 	case evCommitReply:
-		if !stale(event) {
+		if !stale(event) && !event.p.adopted {
 			e.realCommit(event.p)
 		}
 	case evHoldArrive:
@@ -457,7 +527,7 @@ func (e *Engine) dispatch(event ev) {
 			e.relArrive(event.p, event.site)
 		}
 	case evRelReply:
-		if !stale(event) {
+		if !stale(event) && !event.p.adopted {
 			e.relReply(event.p)
 		}
 	case evRestart:
@@ -465,6 +535,8 @@ func (e *Engine) dispatch(event ev) {
 		if s.down() {
 			e.restartSite(s)
 		}
+	case evCoordRestart:
+		// Already restarted (handled in the coordDown branch).
 	}
 }
 
@@ -487,6 +559,7 @@ func (e *Engine) startAttempt(p *sproc) {
 	p.visited = p.visited[:0]
 	p.anyEdges = false
 	p.doomed = false
+	p.direct, p.adopted = false, false
 	p.state = spActive
 	p.holdK, p.relK = 0, 0
 	p.holdEdges = p.holdEdges[:0]
@@ -701,6 +774,13 @@ func (e *Engine) abortAttempt(p *sproc, reason core.AbortReason, skipSite int) {
 				e.processEffects(s, &eff2)
 			}
 		}
+	}
+	if e.coordGate && p.direct {
+		// The gated model logged this direct commit before sending it;
+		// the abort withdraws the record (dist.undoDirectCommit's
+		// mirror) so a later coordinator restart cannot redo it.
+		delete(e.relAcks, id)
+		_ = e.flog.Truncate(id)
 	}
 	delete(e.procs, id)
 	e.aborts++

@@ -42,6 +42,17 @@ type Result struct {
 	// restart recovery (whole run).
 	Redone, PresumedAborted int
 
+	// Coordinator-failure counters (whole run; all zero unless
+	// Config.CoordCrashes armed the model). CoordAdopted counts logged
+	// commit decisions the replacement coordinator adopted at restart;
+	// CoordOrphans counts attempts stranded mid-flight by a coordinator
+	// crash (each aborted and retried); CoordRevoked counts unlogged
+	// holds presumed-aborted because the coordinator that held them
+	// died.
+	CoordCrashes, CoordRestarts int
+	CoordAdopted                int
+	CoordOrphans, CoordRevoked  int
+
 	// ConvoyDepth samples the held-set size at each hold — the joining
 	// transaction included, so the first hold of an idle cluster
 	// records depth 1. Its max is the convoy depth the wall-clock
@@ -134,6 +145,11 @@ func (r Result) String() string {
 		s += fmt.Sprintf(" policy=%s shed=%d/%d eager=%d/%d",
 			r.Policy, r.TailAborts, r.AdmissionRejects,
 			r.EagerRounds, r.EagerReleased)
+	}
+	if r.CoordCrashes > 0 {
+		s += fmt.Sprintf(" coordcrash=%d/%d adopted=%d orphans=%d revoked=%d",
+			r.CoordCrashes, r.CoordRestarts, r.CoordAdopted,
+			r.CoordOrphans, r.CoordRevoked)
 	}
 	return s
 }

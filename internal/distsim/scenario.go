@@ -88,6 +88,64 @@ func smallCrashBase(seed int64) Config {
 	return cfg
 }
 
+// CoordCrash is the coordinator-failure scenario, mid-conversation
+// flavour: the coordinator dies at a BeforeDecisionForce boundary —
+// conversations have prepared holds but no logged decision. The
+// replacement coordinator must presumed-abort the unlogged holds
+// (CoordRevoked), abort the orphaned actives (CoordOrphans), and carry
+// the cluster to the completion target with conservation intact.
+func CoordCrash(seed int64) Config {
+	cfg := smallCrashBase(seed)
+	cfg.CoordCrashes = []CoordCrashPoint{{
+		Step:         dist.BeforeDecisionForce,
+		Occurrence:   4,
+		RestartAfter: 0.5,
+	}}
+	return cfg
+}
+
+// CoordCrashRelease is the adoption flavour: the coordinator dies one
+// boundary later, at AfterDecisionBeforeRelease — the decision is in
+// the log but no release was sent. The replacement coordinator adopts
+// the logged commit and finishes its releases (CoordAdopted); the
+// paper's promise survives the coordinator itself failing. This is the
+// same restart sequence the multi-process cluster runs when sccd's
+// coordinator is kill -9'd (wire.StartCoordinator), pinned on the
+// virtual clock.
+func CoordCrashRelease(seed int64) Config {
+	cfg := smallCrashBase(seed)
+	cfg.CoordCrashes = []CoordCrashPoint{{
+		Step:         dist.AfterDecisionBeforeRelease,
+		Occurrence:   2,
+		RestartAfter: 0.5,
+	}}
+	return cfg
+}
+
+// EagerReleaseCrash crashes a site in the middle of an eager release
+// round (the batched all-participants fan-out the EagerRelease policy
+// runs): the decision is logged and some releases land before the
+// victim dies, so restart recovery must redo the skipped ones from
+// their prepared records while the rest of the batch proceeds.
+func EagerReleaseCrash(seed int64) Config {
+	cfg := Default(workload.Sharded{
+		Inner:     workload.Pushes{DBSize: 32},
+		Sites:     4,
+		CrossProb: 0.5,
+	}, 4, 8, seed)
+	cfg.ThinkTime = 0.02
+	cfg.Completions = 80
+	cfg.Warmup = 0
+	cfg.Policy = dist.EagerRelease{}
+	cfg.Crashes = []CrashPoint{{
+		Step:         dist.DuringReleaseCascade,
+		Occurrence:   6,
+		Site:         -1,
+		RestartAfter: 0.5,
+	}}
+	return cfg
+}
+
 // SweepPoint parameterises one cell of the message-latency ×
 // cross-site-probability sweep at the given scale. Sites can be
 // hundreds: every site is one real scheduler, so simulated scale costs

@@ -165,6 +165,9 @@ func TestSeedMatrix(t *testing.T) {
 		{"small", small},
 		{"redo", CrashRedo},
 		{"presume", CrashPresume},
+		{"coordcrash", CoordCrash},
+		{"coordrelease", CoordCrashRelease},
+		{"eagercrash", EagerReleaseCrash},
 	}
 	for _, sc := range scenarios {
 		seen := map[uint64]int64{}

@@ -77,6 +77,12 @@ type RecoveryReport struct {
 	// PresumedAborted transactions had no logged commit outcome: their
 	// prepared records were discarded.
 	PresumedAborted []core.TxnID
+	// Aborted transactions were live (active or blocked) at a restart
+	// that reconciled surviving state — a remote site outliving its
+	// coordinator — and were rolled back as orphans. Always empty for
+	// an in-process Crashable, whose volatile actives die with the
+	// crash.
+	Aborted []core.TxnID
 }
 
 // Crashable is a core.Participant (plus the registration and

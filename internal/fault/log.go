@@ -136,6 +136,28 @@ func (l *MemLog) Lookup(id core.TxnID) (Outcome, bool) {
 	return o, ok
 }
 
+// OutcomeIDs returns every id with outcome o recorded, sorted — the
+// log replay entry point for a restarting coordinator, which must
+// re-adopt logged commits (releases owed, truncation gated on the
+// client learning the outcome) before serving.
+func (l *MemLog) OutcomeIDs(o Outcome) []core.TxnID {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return outcomeIDs(l.m, o)
+}
+
+// outcomeIDs collects and sorts the ids mapping to o.
+func outcomeIDs(m map[core.TxnID]Outcome, o Outcome) []core.TxnID {
+	var ids []core.TxnID
+	for id, got := range m {
+		if got == o {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	return ids
+}
+
 // Truncate implements Log.
 func (l *MemLog) Truncate(id core.TxnID) error {
 	l.mu.Lock()
@@ -338,6 +360,14 @@ func (l *FileLog) Lookup(id core.TxnID) (Outcome, bool) {
 	defer l.mu.Unlock()
 	o, ok := l.m[id]
 	return o, ok
+}
+
+// OutcomeIDs returns every id with outcome o recorded, sorted (see
+// MemLog.OutcomeIDs).
+func (l *FileLog) OutcomeIDs(o Outcome) []core.TxnID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return outcomeIDs(l.m, o)
 }
 
 // Truncate implements Log: a "T <id>" tombstone is appended (so replay

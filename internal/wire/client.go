@@ -1,0 +1,427 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+)
+
+// Client is a core.Store whose coordinator lives in another process.
+// Transactions run over one pipelined connection; a connection loss
+// surfaces as a retryable site-failure abort everywhere except inside
+// Commit, where the outcome may already be decided — there the client
+// blocks in a resolve loop until it can learn the outcome from the
+// coordinator's decision log (logged = committed exactly once, absent
+// = presumed abort, safe to re-run). Commits are acknowledged back
+// (kCliAck) once the client has the outcome, which is what lets the
+// coordinator truncate the gated decision.
+type Client struct {
+	peer *Peer
+	// ResolveWindow bounds how long an interrupted commit waits for the
+	// coordinator to come back before giving up with a non-retryable
+	// error (default 60s). A timeout means the outcome is UNKNOWN — the
+	// caller must not re-run the transaction.
+	ResolveWindow time.Duration
+	numSites      int
+}
+
+// Dial connects to a coordinator's client plane, retrying for wait.
+func Dial(addr string, wait time.Duration) (*Client, error) {
+	peer := NewPeer(PeerConfig{Addr: addr, Redial: true, RedialDelay: 50 * time.Millisecond})
+	if err := peer.Connect(wait); err != nil {
+		peer.Close()
+		return nil, err
+	}
+	c := &Client{peer: peer, ResolveWindow: 60 * time.Second}
+	if r, err := peer.call(kCliStatus, nil); err == nil {
+		c.numSites = int(r.u32())
+		if r.err != nil {
+			c.numSites = 0
+		}
+	}
+	return c, nil
+}
+
+// coordDown wraps transport loss as the retryable site-failure abort,
+// so core.RunStore and the workload harness retry through coordinator
+// downtime exactly like through a participant crash.
+func coordDown(id core.TxnID, err error) error {
+	return fmt.Errorf("wire: coordinator unreachable (%v): %w", err,
+		&core.ErrAborted{Txn: id, Reason: core.ReasonSiteFailed})
+}
+
+// NumSites reports the cluster's site count (0 if the first status
+// call failed).
+func (c *Client) NumSites() int { return c.numSites }
+
+// Register creates the object at its home site. Only the id crosses
+// the wire; the coordinator's configured workload factory resolves the
+// type, so typ and class are advisory here (kept for the Store
+// signature).
+func (c *Client) Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error {
+	_, _ = typ, class
+	r, err := c.peer.call(kCliRegister, appendU64(nil, uint64(id)))
+	if err != nil {
+		return coordDown(0, err)
+	}
+	return r.err
+}
+
+// SetFactory is a no-op: the coordinator and the site daemons install
+// their factories from the cluster config's workload spec. Present so
+// the workload harness (which requires it) runs against Client.
+func (c *Client) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)) {}
+
+// Begin starts a transaction. On an unreachable coordinator it returns
+// a pre-failed transaction whose operations report a retryable
+// site-failure abort, so Run-style loops retry through the outage.
+func (c *Client) Begin() core.Txn {
+	r, err := c.peer.call(kCliBegin, nil)
+	if err != nil {
+		return core.ClosedTxn(coordDown(0, err))
+	}
+	id := core.TxnID(r.u64())
+	if r.err != nil {
+		return core.ClosedTxn(r.err)
+	}
+	return &clientTxn{c: c, id: id}
+}
+
+// Run executes fn in a transaction with the standard retry loop.
+func (c *Client) Run(ctx context.Context, fn func(core.Txn) error) error {
+	return core.RunStore(ctx, c, fn)
+}
+
+// Stats fetches the cluster's protocol counters.
+func (c *Client) Stats() core.Stats {
+	r, err := c.peer.call(kCliStatus, nil)
+	if err != nil {
+		return core.Stats{}
+	}
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		r.u8()
+	}
+	st := r.stats()
+	if r.err != nil {
+		return core.Stats{}
+	}
+	return st
+}
+
+// Status fetches per-site down flags, the stats snapshot and the
+// decision log's live length.
+func (c *Client) Status() (down []bool, st core.Stats, logLen uint64, err error) {
+	r, err := c.peer.call(kCliStatus, nil)
+	if err != nil {
+		return nil, core.Stats{}, 0, coordDown(0, err)
+	}
+	n := r.count(1)
+	down = make([]bool, n)
+	for i := range down {
+		down[i] = r.u8() == 1
+	}
+	st = r.stats()
+	logLen = r.u64()
+	return down, st, logLen, r.err
+}
+
+// StateLen fetches an object's state summary: its description and
+// length (-1 when the type has none). committed selects the committed
+// state instead of the current one.
+func (c *Client) StateLen(obj core.ObjectID, committed bool) (string, int, error) {
+	b := appendU64(nil, uint64(obj))
+	var cb uint8
+	if committed {
+		cb = 1
+	}
+	r, err := c.peer.call(kCliStateLen, appendU8(b, cb))
+	if err != nil {
+		return "", 0, coordDown(0, err)
+	}
+	desc := r.str()
+	n := int(r.i64())
+	return desc, n, r.err
+}
+
+// Close closes the client's connection. The coordinator rolls back
+// this client's unfinished transactions; it is otherwise unaffected.
+func (c *Client) Close() error {
+	c.peer.Close()
+	return nil
+}
+
+// CloseCtx is Close (the remote coordinator owns draining).
+func (c *Client) CloseCtx(ctx context.Context) error { return c.Close() }
+
+var _ core.Store = (*Client)(nil)
+
+// resolve asks the coordinator (reconnecting as needed, within the
+// window) how the transaction ended. A definitive answer is
+// exactly-once safe: logged means the commit landed or will land,
+// absent means presumed abort — the coordinator cannot truncate the
+// decision before our ack.
+func (c *Client) resolve(id core.TxnID) (committed bool, err error) {
+	window := c.ResolveWindow
+	if window <= 0 {
+		window = 60 * time.Second
+	}
+	deadline := time.Now().Add(window)
+	for {
+		r, err := c.peer.call(kCliResolve, appendU64(nil, uint64(id)))
+		if err == nil {
+			committed := r.u8() == 1
+			if r.err != nil {
+				return false, r.err
+			}
+			return committed, nil
+		}
+		if !errors.Is(err, ErrPeerDown) {
+			return false, err
+		}
+		if !time.Now().Before(deadline) {
+			return false, fmt.Errorf("wire: T%d outcome unresolved after %v (coordinator unreachable; NOT safe to re-run): %w",
+				id, window, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// clientTxn is one transaction session over the wire.
+type clientTxn struct {
+	c  *Client
+	id core.TxnID
+
+	mu          sync.Mutex
+	dead        error         // terminal client-side error, short-circuits later ops
+	doneCh      chan struct{} // created lazily; closed by finish
+	finished    bool
+	waitStarted bool
+	outErr      error
+}
+
+// ID implements core.Txn.
+func (t *clientTxn) ID() core.TxnID { return t.id }
+
+func (t *clientTxn) deadErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+func (t *clientTxn) setDead(err error) {
+	t.mu.Lock()
+	if t.dead == nil {
+		t.dead = err
+	}
+	t.mu.Unlock()
+}
+
+// Do implements core.Txn. A transport failure dooms the transaction:
+// the coordinator's connection cleanup rolls the orphan back, and the
+// caller sees the retryable site-failure abort.
+func (t *clientTxn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
+	if err := t.deadErr(); err != nil {
+		return adt.Ret{}, err
+	}
+	b := appendU64(nil, uint64(t.id))
+	b = appendU64(b, uint64(obj))
+	b = appendOp(b, op)
+	r, err := t.c.peer.call(kCliDo, b)
+	if err != nil {
+		derr := coordDown(t.id, err)
+		t.setDead(derr)
+		return adt.Ret{}, derr
+	}
+	if r.err != nil {
+		var ab *core.ErrAborted
+		if errors.As(r.err, &ab) {
+			t.setDead(r.err)
+		}
+		return adt.Ret{}, r.err
+	}
+	ret := r.ret()
+	return ret, r.err
+}
+
+// DoCtx implements core.Txn. Cancellation is checked before the call;
+// a request already on the wire runs to its verdict (the remote
+// scheduler cannot be told to withdraw mid-RPC yet).
+func (t *clientTxn) DoCtx(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, error) {
+	if err := ctx.Err(); err != nil {
+		return adt.Ret{}, err
+	}
+	return t.Do(obj, op)
+}
+
+// ack tells the coordinator we have the outcome (one-way), releasing
+// the gated decision for truncation. Only call with the outcome in
+// hand: the ack lets the coordinator drop the session and truncate the
+// decision, after which nothing can answer a Wait or Resolve.
+func (t *clientTxn) ack() {
+	t.c.peer.oneway(kCliAck, appendU64(nil, uint64(t.id)))
+}
+
+// finish records the terminal outcome locally: Err answers it and
+// Done's channel closes. Idempotent; first outcome wins.
+func (t *clientTxn) finish(err error) {
+	t.mu.Lock()
+	if !t.finished {
+		t.finished = true
+		t.outErr = err
+		if t.doneCh != nil {
+			close(t.doneCh)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Commit implements core.Txn with exactly-once semantics across
+// connection loss: a response is the outcome; no response means the
+// outcome must be resolved against the decision log before this
+// logical transaction may run again. A PseudoCommitted response is a
+// promise, not yet the real outcome — the ack is deferred to the wait
+// goroutine, which learns how the hold drained (Done/Err report it).
+func (t *clientTxn) Commit() (core.CommitStatus, error) {
+	if err := t.deadErr(); err != nil {
+		return 0, err
+	}
+	r, err := t.c.peer.call(kCliCommit, appendU64(nil, uint64(t.id)))
+	if err == nil {
+		if r.err != nil {
+			t.setDead(r.err)
+			t.ack() // the outcome (abort) is known; release the gate
+			t.finish(r.err)
+			return 0, r.err
+		}
+		st := core.CommitStatus(r.u8())
+		if r.err != nil {
+			return 0, r.err
+		}
+		if st == core.PseudoCommitted {
+			t.startWait()
+			return st, nil
+		}
+		t.ack()
+		t.finish(nil)
+		return st, nil
+	}
+	if !errors.Is(err, ErrPeerDown) {
+		return 0, err
+	}
+	committed, rerr := t.c.resolve(t.id)
+	if rerr != nil {
+		t.setDead(rerr)
+		return 0, rerr
+	}
+	t.ack()
+	if committed {
+		t.finish(nil)
+		return core.Committed, nil
+	}
+	aerr := fmt.Errorf("wire: T%d presumed aborted (connection lost mid-commit): %w",
+		t.id, &core.ErrAborted{Txn: t.id, Reason: core.ReasonSiteFailed})
+	t.setDead(aerr)
+	t.finish(aerr)
+	return 0, aerr
+}
+
+// CommitCtx implements core.Txn.
+func (t *clientTxn) CommitCtx(ctx context.Context) (core.CommitStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return t.Commit()
+}
+
+// Abort implements core.Txn. Transport loss is fine: the coordinator's
+// connection cleanup aborts the orphan.
+func (t *clientTxn) Abort() error {
+	aerr := fmt.Errorf("T%d: %w", t.id, core.ErrTxnTerminated)
+	t.setDead(aerr)
+	t.finish(fmt.Errorf("T%d: %w", t.id, &core.ErrAborted{Txn: t.id}))
+	r, err := t.c.peer.call(kCliAbort, appendU64(nil, uint64(t.id)))
+	if err != nil {
+		return nil
+	}
+	return r.err
+}
+
+// Done implements core.Txn: the channel closes once the real commit
+// has landed or the transaction aborted. The wait runs over the wire
+// (kCliWait); if the connection dies during it, the outcome comes from
+// the resolve loop instead. A transaction already terminal client-side
+// answers locally.
+func (t *clientTxn) Done() <-chan struct{} {
+	t.mu.Lock()
+	if t.doneCh == nil {
+		t.doneCh = make(chan struct{})
+		if t.finished {
+			close(t.doneCh)
+		}
+	}
+	ch := t.doneCh
+	t.mu.Unlock()
+	t.startWait()
+	return ch
+}
+
+// startWait spawns the outcome-wait goroutine once. It is a no-op for
+// transactions that already finished (their outcome is local).
+func (t *clientTxn) startWait() {
+	t.mu.Lock()
+	if t.finished || t.waitStarted {
+		t.mu.Unlock()
+		return
+	}
+	t.waitStarted = true
+	t.mu.Unlock()
+	go t.wait()
+}
+
+// wait learns the real outcome of an in-flight (pseudo-committed)
+// transaction, acknowledges it, and finishes the session locally.
+func (t *clientTxn) wait() {
+	var outErr error
+	r, err := t.c.peer.call(kCliWait, appendU64(nil, uint64(t.id)))
+	switch {
+	case err == nil:
+		committed := r.u8() == 1
+		if r.err != nil {
+			outErr = r.err
+		} else if !committed {
+			outErr = r.errResp()
+		}
+		t.ack()
+	case errors.Is(err, ErrPeerDown):
+		committed, rerr := t.c.resolve(t.id)
+		switch {
+		case rerr != nil:
+			outErr = rerr
+		case !committed:
+			outErr = fmt.Errorf("wire: T%d presumed aborted: %w",
+				t.id, &core.ErrAborted{Txn: t.id, Reason: core.ReasonSiteFailed})
+			t.ack()
+		default:
+			t.ack()
+		}
+	default:
+		outErr = err
+	}
+	t.finish(outErr)
+}
+
+// Err implements core.Txn: meaningful once Done's channel closed.
+func (t *clientTxn) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outErr
+}
+
+var _ core.Txn = (*clientTxn)(nil)

@@ -1,0 +1,441 @@
+package wire
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// netCluster is the full three-tier deployment in one process: site
+// daemons behind TCP, a restartable coordinator (FileLog-backed) over
+// them, and clients dialling the coordinator's client plane.
+type netCluster struct {
+	t       *testing.T
+	daemons []*SiteServer
+	specs   []DaemonSpec
+	logPath string
+	wl      string
+	co      *Coordinator
+}
+
+func startNetCluster(t *testing.T, daemons, perDaemon int, wl string) *netCluster {
+	t.Helper()
+	nc := &netCluster{t: t, wl: wl, logPath: filepath.Join(t.TempDir(), "decision.log")}
+	for d := 0; d < daemons; d++ {
+		sites := make(map[uint16]dist.SiteBackend, perDaemon)
+		var ids []uint16
+		for k := 0; k < perDaemon; k++ {
+			sid := uint16(d*perDaemon + k)
+			cr, err := fault.New(core.Options{}, fault.NewMemLog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites[sid] = cr
+			ids = append(ids, sid)
+		}
+		srv, err := ServeSites(SiteServerConfig{Addr: "127.0.0.1:0", Sites: sites, Workload: wl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.daemons = append(nc.daemons, srv)
+		nc.specs = append(nc.specs, DaemonSpec{Listen: srv.Addr(), Sites: ids})
+	}
+	nc.startCoord()
+	t.Cleanup(func() {
+		if nc.co != nil {
+			nc.co.Close()
+		}
+		for _, d := range nc.daemons {
+			d.Close()
+		}
+	})
+	return nc
+}
+
+// startCoord starts (or restarts) the coordinator against the same
+// decision log file and the same daemons.
+func (nc *netCluster) startCoord() {
+	nc.t.Helper()
+	flog, err := fault.OpenFileLog(nc.logPath, false)
+	if err != nil {
+		nc.t.Fatal(err)
+	}
+	co, err := StartCoordinator(CoordinatorConfig{
+		ClientAddr: "127.0.0.1:0",
+		Log:        flog,
+		CloseLog:   flog.Close,
+		Daemons:    nc.specs,
+		Workload:   nc.wl,
+		DialWait:   2 * time.Second,
+	})
+	if err != nil {
+		flog.Close()
+		nc.t.Fatal(err)
+	}
+	nc.co = co
+}
+
+// crashCoord kills the coordinator the unfriendly way a kill -9 would:
+// daemon connections die first (no clean revokes or releases reach the
+// sites), then the client plane. The durable decision log survives.
+func (nc *netCluster) crashCoord() {
+	co := nc.co
+	nc.co = nil
+	for _, p := range co.peers {
+		p.Close()
+	}
+	co.Server.Close()
+	co.Cluster.Close()
+	if co.closeLog != nil {
+		_ = co.closeLog()
+	}
+}
+
+func (nc *netCluster) dial() *Client {
+	nc.t.Helper()
+	cl, err := Dial(nc.co.Addr(), 2*time.Second)
+	if err != nil {
+		nc.t.Fatal(err)
+	}
+	nc.t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// ---- raw client-plane calls (a client we can stop mid-protocol) ----
+
+func rawDial(t *testing.T, addr string) *Peer {
+	t.Helper()
+	p := NewPeer(PeerConfig{Addr: addr})
+	if err := p.Connect(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func rawBegin(t *testing.T, p *Peer) core.TxnID {
+	t.Helper()
+	r, err := p.call(kCliBegin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := core.TxnID(r.u64())
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return id
+}
+
+func rawPush(t *testing.T, p *Peer, id core.TxnID, obj core.ObjectID, v int) {
+	t.Helper()
+	b := appendU64(nil, uint64(id))
+	b = appendU64(b, uint64(obj))
+	b = appendOp(b, adt.Op{Name: adt.StackPush, Arg: v, HasArg: true})
+	r, err := p.call(kCliDo, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+}
+
+func rawCommit(t *testing.T, p *Peer, id core.TxnID) error {
+	t.Helper()
+	r, err := p.call(kCliCommit, appendU64(nil, uint64(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.err
+}
+
+func rawResolve(t *testing.T, p *Peer, id core.TxnID) bool {
+	t.Helper()
+	r, err := p.call(kCliResolve, appendU64(nil, uint64(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := r.u8() == 1
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return committed
+}
+
+func clientDepth(t *testing.T, cl *Client, obj core.ObjectID) int {
+	t.Helper()
+	_, n, err := cl.StateLen(obj, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func waitLogLen(t *testing.T, flog fault.Log, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for flog.Len() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("decision log length = %d, want %d", flog.Len(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestNetLoadConservation drives the standard load harness end to end
+// through the client plane: every operation crosses two network hops
+// (client→coordinator→site daemon), and the committed stack depths
+// must still exactly equal the committed pushes.
+func TestNetLoadConservation(t *testing.T) {
+	const db = 10
+	nc := startNetCluster(t, 2, 2, "pushes:10")
+	cl := nc.dial()
+	if cl.NumSites() != 4 {
+		t.Fatalf("NumSites = %d, want 4", cl.NumSites())
+	}
+	var mu sync.Mutex
+	counts := make(map[core.ObjectID]uint64)
+	res, err := workload.RunLoad(cl, workload.LoadConfig{
+		Workload:      workload.Pushes{DBSize: db},
+		Workers:       6,
+		TxnsPerWorker: 20,
+		Seed:          7,
+		OnCommitted: func(steps []workload.Step) {
+			mu.Lock()
+			for _, s := range steps {
+				counts[s.Object]++
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 6*20 {
+		t.Fatalf("Commits = %d, want %d", res.Commits, 6*20)
+	}
+	for obj := core.ObjectID(1); obj <= db; obj++ {
+		if got, want := clientDepth(t, cl, obj), int(counts[obj]); got != want {
+			t.Fatalf("object %d: committed depth %d, want %d pushes", obj, got, want)
+		}
+	}
+	// All decisions resolved and acked: the log has drained.
+	waitLogLen(t, nc.co.Log, 0)
+}
+
+// TestNetCoordinatorRestartExactlyOnce is the tentpole's recovery
+// story in one scenario. A client commits but never acks (its
+// connection "dies" with the outcome unread); another transaction is
+// left mid-flight. The coordinator is then killed the kill -9 way and
+// a fresh one started on the same decision log. The new coordinator
+// must adopt the logged commit (the client resolves it as committed,
+// exactly once — no re-run, no lost push), presumed-abort the
+// mid-flight orphan at the daemons, and then serve new load normally.
+func TestNetCoordinatorRestartExactlyOnce(t *testing.T) {
+	nc := startNetCluster(t, 2, 1, "pushes:4")
+	cl := nc.dial()
+
+	p := rawDial(t, nc.co.Addr())
+	// Committed but never acknowledged.
+	tCommitted := rawBegin(t, p)
+	rawPush(t, p, tCommitted, 1, 11) // site 1
+	rawPush(t, p, tCommitted, 2, 22) // site 0
+	if err := rawCommit(t, p, tCommitted); err != nil {
+		t.Fatal(err)
+	}
+	// Orphan: operations executed, no commit attempted.
+	tOrphan := rawBegin(t, p)
+	rawPush(t, p, tOrphan, 3, 33)
+	rawPush(t, p, tOrphan, 4, 44)
+
+	if nc.co.Log.Len() == 0 {
+		t.Fatal("gated decision should still be in the log before the client ack")
+	}
+	if got := clientDepth(t, cl, 1); got != 1 {
+		t.Fatalf("object 1 depth before crash = %d, want 1", got)
+	}
+
+	nc.crashCoord()
+	nc.startCoord()
+
+	if len(nc.co.Adopted) != 1 || nc.co.Adopted[0] != tCommitted {
+		t.Fatalf("Adopted = %v, want [%d]", nc.co.Adopted, tCommitted)
+	}
+	aborted := 0
+	for _, rep := range nc.co.Reports {
+		aborted += len(rep.Aborted)
+	}
+	if aborted == 0 {
+		t.Fatalf("startup reconcile aborted no orphans; reports = %+v", nc.co.Reports)
+	}
+
+	// The client reconnects and resolves: committed, exactly once.
+	p2 := rawDial(t, nc.co.Addr())
+	if !rawResolve(t, p2, tCommitted) {
+		t.Fatal("logged commit resolved as aborted after coordinator restart")
+	}
+	p2.oneway(kCliAck, appendU64(nil, uint64(tCommitted)))
+	if rawResolve(t, p2, tOrphan) {
+		t.Fatal("orphan resolved as committed; want presumed abort")
+	}
+
+	cl2 := nc.dial()
+	for obj, want := range map[core.ObjectID]int{1: 1, 2: 1, 3: 0, 4: 0} {
+		if got := clientDepth(t, cl2, obj); got != want {
+			t.Fatalf("object %d depth after restart = %d, want %d", obj, got, want)
+		}
+	}
+	// The resolved decision truncates once the client ack lands.
+	waitLogLen(t, nc.co.Log, 0)
+
+	// The restarted coordinator serves fresh load.
+	res, err := workload.RunLoad(cl2, workload.LoadConfig{
+		Workload:      workload.Pushes{DBSize: 4},
+		Workers:       4,
+		TxnsPerWorker: 10,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 4*10 {
+		t.Fatalf("post-restart Commits = %d, want %d", res.Commits, 4*10)
+	}
+}
+
+// TestNetDirectCommitResolvedAfterRestart pins the direct-commit
+// flavour of exactly-once: an edge-free single-site transaction takes
+// the fast path with no hold conversation, so its decision record is
+// the ONLY durable trace the commit happened. If the coordinator dies
+// after the site commit but before the client ack, the restarted
+// coordinator must adopt that record and the client must resolve
+// committed — never presumed abort followed by a re-run (a double
+// push). The site daemon may still report the transaction active (the
+// crash beat the commit delivery) or already committed; both reconcile
+// to exactly one push.
+func TestNetDirectCommitResolvedAfterRestart(t *testing.T) {
+	nc := startNetCluster(t, 2, 1, "pushes:4")
+	cl := nc.dial()
+
+	p := rawDial(t, nc.co.Addr())
+	id := rawBegin(t, p)
+	rawPush(t, p, id, 1, 7) // single site, edge-free: the direct path
+	if err := rawCommit(t, p, id); err != nil {
+		t.Fatal(err)
+	}
+	if nc.co.Log.Len() == 0 {
+		t.Fatal("direct commit left no decision record; a coordinator crash here loses exactly-once")
+	}
+	if got := clientDepth(t, cl, 1); got != 1 {
+		t.Fatalf("object 1 depth before crash = %d, want 1", got)
+	}
+
+	// kill -9 before the client acks.
+	nc.crashCoord()
+	nc.startCoord()
+
+	found := false
+	for _, a := range nc.co.Adopted {
+		found = found || a == id
+	}
+	if !found {
+		t.Fatalf("Adopted = %v, want it to include direct commit %d", nc.co.Adopted, id)
+	}
+
+	p2 := rawDial(t, nc.co.Addr())
+	if !rawResolve(t, p2, id) {
+		t.Fatal("direct commit resolved as aborted after coordinator restart")
+	}
+	p2.oneway(kCliAck, appendU64(nil, uint64(id)))
+
+	cl2 := nc.dial()
+	if got := clientDepth(t, cl2, 1); got != 1 {
+		t.Fatalf("object 1 depth after restart = %d, want exactly 1", got)
+	}
+	waitLogLen(t, nc.co.Log, 0)
+}
+
+// TestNetResolveDetachedSession covers the connection-blip flavour of
+// exactly-once (no coordinator restart): the client's connection dies
+// right after the commit decision, before the reply was read. The
+// session detaches instead of rolling back, and the reconnected
+// client resolves it from the live coordinator.
+func TestNetResolveDetachedSession(t *testing.T) {
+	nc := startNetCluster(t, 2, 1, "pushes:4")
+	cl := nc.dial()
+
+	p := rawDial(t, nc.co.Addr())
+	tCommitted := rawBegin(t, p)
+	rawPush(t, p, tCommitted, 1, 5)
+	if err := rawCommit(t, p, tCommitted); err != nil {
+		t.Fatal(err)
+	}
+	tActive := rawBegin(t, p)
+	rawPush(t, p, tActive, 2, 6)
+	p.Close() // the blip: outcome never read, no ack sent
+
+	p2 := rawDial(t, nc.co.Addr())
+	if !rawResolve(t, p2, tCommitted) {
+		t.Fatal("committed session resolved as aborted after reconnect")
+	}
+	p2.oneway(kCliAck, appendU64(nil, uint64(tCommitted)))
+	// The never-committed session rolls back with its connection.
+	if rawResolve(t, p2, tActive) {
+		t.Fatal("dead connection's active txn resolved as committed")
+	}
+
+	if got := clientDepth(t, cl, 1); got != 1 {
+		t.Fatalf("object 1 depth = %d, want 1", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for clientDepth(t, cl, 2) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("object 2 depth = %d, want 0 (rollback)", clientDepth(t, cl, 2))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitLogLen(t, nc.co.Log, 0)
+}
+
+// TestNetClientRetryableWhileCoordinatorDown pins the typed error
+// clients see while the coordinator is unreachable: a retryable
+// site-failure abort, so Run-style loops ride through the outage.
+func TestNetClientRetryableWhileCoordinatorDown(t *testing.T) {
+	nc := startNetCluster(t, 1, 2, "pushes:4")
+	cl := nc.dial()
+	tx := cl.Begin()
+	if _, err := tx.Do(1, adt.Op{Name: adt.StackPush, Arg: 1, HasArg: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	nc.crashCoord()
+	tx2 := cl.Begin()
+	_, err := tx2.Do(1, adt.Op{Name: adt.StackPush, Arg: 2, HasArg: true})
+	if err == nil {
+		t.Fatal("Do succeeded against a dead coordinator")
+	}
+	var ab *core.ErrAborted
+	if !errors.As(err, &ab) || !ab.Retryable() {
+		t.Fatalf("want retryable *ErrAborted, got %v", err)
+	}
+	if !errors.Is(err, core.ErrSiteFailed) {
+		t.Fatalf("want ErrSiteFailed in chain, got %v", err)
+	}
+
+	nc.startCoord()
+	cl2 := nc.dial()
+	if got := clientDepth(t, cl2, 1); got != 1 {
+		t.Fatalf("object 1 depth after coordinator restart = %d, want 1", got)
+	}
+}

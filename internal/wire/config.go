@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// ClusterFile is the JSON cluster description the sccd and sccctl
+// binaries share: one file describes the whole deployment, and every
+// process picks its own role out of it.
+//
+//	{
+//	  "client":   "127.0.0.1:7400",
+//	  "log":      "/var/tmp/scc/decision.log",
+//	  "sync":     false,
+//	  "workload": "pushes:64",
+//	  "daemons": [
+//	    {"listen": "127.0.0.1:7401", "sites": [0, 1]},
+//	    {"listen": "127.0.0.1:7402", "sites": [2, 3]}
+//	  ]
+//	}
+type ClusterFile struct {
+	// Client is the coordinator's client-plane listen address.
+	Client string `json:"client"`
+	// Log is the coordinator's decision-log file path.
+	Log string `json:"log"`
+	// Sync forces an fsync per decision record (slower, survives OS
+	// crash; off survives process crash only).
+	Sync bool `json:"sync"`
+	// Workload names the workload spec (workload.ParseSpec) whose
+	// object factory every site daemon and the coordinator install, so
+	// all processes agree on object types without code crossing the
+	// wire.
+	Workload string `json:"workload"`
+	// Daemons places the global site ids onto site-daemon processes.
+	Daemons []DaemonSpec `json:"daemons"`
+}
+
+// LoadClusterFile reads and validates a cluster description.
+func LoadClusterFile(path string) (*ClusterFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ClusterFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("wire: cluster file %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: cluster file %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// NumSites returns the total number of global sites the file places.
+func (f *ClusterFile) NumSites() int {
+	n := 0
+	for _, d := range f.Daemons {
+		n += len(d.Sites)
+	}
+	return n
+}
+
+// Validate checks the file is a runnable deployment: a client address,
+// a parseable workload (when present), and a site placement covering
+// exactly 0..N-1.
+func (f *ClusterFile) Validate() error {
+	if f.Client == "" {
+		return fmt.Errorf("missing client address")
+	}
+	if len(f.Daemons) == 0 {
+		return fmt.Errorf("no daemons")
+	}
+	n := f.NumSites()
+	seen := make(map[uint16]bool, n)
+	for i, d := range f.Daemons {
+		if d.Listen == "" {
+			return fmt.Errorf("daemon %d: missing listen address", i)
+		}
+		if len(d.Sites) == 0 {
+			return fmt.Errorf("daemon %d: no sites", i)
+		}
+		for _, sid := range d.Sites {
+			if int(sid) >= n || seen[sid] {
+				return fmt.Errorf("daemon %d: bad site placement %d (want each of 0..%d exactly once)", i, sid, n-1)
+			}
+			seen[sid] = true
+		}
+	}
+	if f.Workload != "" {
+		if _, err := workload.ParseSpec(f.Workload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

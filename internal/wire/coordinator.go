@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// Coordinator is the whole coordinator process in one value: the
+// fault-tolerant cluster over remote participants, the client-plane
+// server, the decision log, and the peer connections to the site
+// daemons. StartCoordinator builds it; Close tears it down without
+// touching the daemons.
+type Coordinator struct {
+	Cluster *dist.Cluster
+	Server  *CoordServer
+	Log     fault.Log
+
+	// Adopted lists the commit decisions found in the log at startup —
+	// transactions whose commit conversation a previous coordinator
+	// incarnation decided but possibly never finished releasing.
+	Adopted []core.TxnID
+	// Reports holds each site's startup reconciliation report (redone
+	// logged commits, presumed-aborted in-doubt holds). Sites whose
+	// first reconcile failed are absent (they retry via the peer's
+	// reconnect binding).
+	Reports map[dist.SiteID]fault.RecoveryReport
+
+	peers    []*Peer
+	closeLog func() error
+}
+
+// CoordinatorConfig parameterises StartCoordinator.
+type CoordinatorConfig struct {
+	// ClientAddr is the client-plane TCP listen address.
+	ClientAddr string
+	// Log is the coordinator's decision log. Restart-from-log adoption
+	// needs a log that can enumerate outcomes (fault.FileLog and
+	// fault.MemLog both can); nil means a fresh MemLog — correct for a
+	// coordinator that can never restart, i.e. tests.
+	Log fault.Log
+	// CloseLog, when non-nil, is invoked by Close (for FileLog owners).
+	CloseLog func() error
+	// Daemons places the global sites onto site-daemon processes. The
+	// union of all Sites lists must be exactly 0..N-1.
+	Daemons []DaemonSpec
+	// Workload is the workload spec (workload.ParseSpec) both planes
+	// resolve object types from. Empty leaves registration disabled.
+	Workload string
+	// DialWait bounds how long startup waits for each daemon to accept
+	// (default 10s). Startup proceeds with a daemon down: its sites
+	// start crashed and adopt when the connection lands.
+	DialWait time.Duration
+	// Policy optionally bounds the hold convoy (see dist.HoldPolicy).
+	Policy dist.HoldPolicy
+}
+
+// DaemonSpec places a set of global site ids on one daemon address.
+type DaemonSpec struct {
+	Listen string   `json:"listen"`
+	Sites  []uint16 `json:"sites"`
+}
+
+// outcomeLister is the optional log extension adoption needs: both
+// fault.MemLog and fault.FileLog enumerate their recorded decisions.
+type outcomeLister interface {
+	OutcomeIDs(o fault.Outcome) []core.TxnID
+}
+
+// StartCoordinator builds the coordinator over the configured site
+// daemons and starts serving clients. If the decision log is non-empty
+// — this coordinator is a restart of a crashed one — every logged
+// commit is adopted before any client is served: each reachable site
+// reports its surviving transactions, orphaned actives are aborted,
+// in-doubt holds with a logged decision are released (redo) and the
+// rest revoked (presumed abort), and the adopted decisions stay in the
+// log until the owning clients resolve them (exactly-once commits
+// across the crash).
+func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	flog := cfg.Log
+	if flog == nil {
+		flog = fault.NewMemLog()
+	}
+	nsites := 0
+	for _, d := range cfg.Daemons {
+		nsites += len(d.Sites)
+	}
+	if nsites == 0 {
+		return nil, fmt.Errorf("wire: no sites configured")
+	}
+	var objFactory func(core.ObjectID) (adt.Type, compat.Classifier)
+	if cfg.Workload != "" {
+		gen, err := workload.ParseSpec(cfg.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("wire: workload spec: %w", err)
+		}
+		objFactory = gen.Factory()
+	}
+	dialWait := cfg.DialWait
+	if dialWait <= 0 {
+		dialWait = 10 * time.Second
+	}
+
+	// decided routes restart-time redo checks through the cluster's
+	// ClaimRedo arbitration so a reconcile that redoes a logged direct
+	// commit wins against the live conversation's withdrawal (see
+	// dist.Cluster.ClaimRedo). clu is assigned before any reconcile can
+	// run: the initial Restart loop follows NewWithConfig in program
+	// order, and binding-driven reconciles only start after Bind
+	// publishes the cluster under the binding mutex.
+	var clu *dist.Cluster
+	decided := func(id core.TxnID) bool {
+		if clu != nil {
+			return clu.ClaimRedo(id)
+		}
+		o, ok := flog.Lookup(id)
+		return ok && o == fault.OutcomeCommit
+	}
+
+	co := &Coordinator{
+		Log:      flog,
+		Reports:  make(map[dist.SiteID]fault.RecoveryReport),
+		closeLog: cfg.CloseLog,
+	}
+	backends := make([]dist.SiteBackend, nsites)
+	type daemonConn struct {
+		peer *Peer
+		bind *PeerBinding
+		up   bool
+	}
+	conns := make([]daemonConn, 0, len(cfg.Daemons))
+	fail := func(err error) (*Coordinator, error) {
+		for _, dc := range conns {
+			dc.peer.Close()
+		}
+		return nil, err
+	}
+	for _, d := range cfg.Daemons {
+		bind := &PeerBinding{}
+		peer := NewPeer(PeerConfig{
+			Addr:        d.Listen,
+			Redial:      true,
+			RedialDelay: 50 * time.Millisecond,
+			OnDown:      bind.Down,
+			OnUp:        bind.Up,
+		})
+		up := true
+		if err := peer.Connect(dialWait); err != nil {
+			// The daemon is not up yet; its sites start crashed and the
+			// redial loop adopts them when the connection lands.
+			up = false
+		}
+		for _, sid := range d.Sites {
+			if int(sid) >= nsites || backends[sid] != nil {
+				peer.Close()
+				return fail(fmt.Errorf("wire: bad site placement: site %d (want each of 0..%d exactly once)", sid, nsites-1))
+			}
+			backends[sid] = NewRemoteSite(peer, sid, decided)
+			bind.AddSite(dist.SiteID(sid))
+		}
+		conns = append(conns, daemonConn{peer: peer, bind: bind, up: up})
+		co.peers = append(co.peers, peer)
+	}
+	for sid, b := range backends {
+		if b == nil {
+			return fail(fmt.Errorf("wire: bad site placement: site %d unassigned", sid))
+		}
+	}
+
+	c, err := dist.NewWithConfig(dist.Config{
+		Sites:         nsites,
+		FaultTolerant: true,
+		Log:           flog,
+		Backends:      backends,
+		Policy:        cfg.Policy,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	co.Cluster = c
+	clu = c
+
+	// Adopt the previous incarnation's logged commits before any site
+	// reconciles or any client connects: the gate keeps each decision in
+	// the log until (a) every site has confirmed it needs no redo for it
+	// and (b) the owning client has resolved the outcome.
+	if lister, ok := flog.(outcomeLister); ok {
+		co.Adopted = lister.OutcomeIDs(fault.OutcomeCommit)
+	}
+	for _, id := range co.Adopted {
+		c.AdoptDecision(id)
+	}
+
+	// Reconcile every site. Connection loss from here on is the peers'
+	// problem: the binding crashes the site on disconnect and re-runs
+	// this same reconcile on reconnect.
+	for _, dc := range conns {
+		dc.bind.Bind(c)
+	}
+	for sid := 0; sid < nsites; sid++ {
+		rep, err := c.Restart(dist.SiteID(sid))
+		if err != nil {
+			// Unreachable (or reconcile interrupted): mark it down so
+			// client transactions fail fast with the retryable verdict
+			// until the binding brings it back.
+			_ = c.Crash(dist.SiteID(sid))
+			continue
+		}
+		co.Reports[dist.SiteID(sid)] = rep
+		for _, id := range co.Adopted {
+			c.AckDecisionSite(id, dist.SiteID(sid))
+		}
+	}
+
+	srv, err := ServeCoord(CoordConfig{
+		Addr:    cfg.ClientAddr,
+		Cluster: c,
+		Factory: objFactory,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	co.Server = srv
+	return co, nil
+}
+
+// Addr returns the client-plane listen address.
+func (co *Coordinator) Addr() string { return co.Server.Addr() }
+
+// Close stops serving clients, closes the daemon connections and the
+// decision log. The daemons themselves keep running (and keep their
+// state; a new coordinator adopts it).
+func (co *Coordinator) Close() error {
+	co.Server.Close()
+	for _, p := range co.peers {
+		p.Close()
+	}
+	co.Cluster.Close()
+	if co.closeLog != nil {
+		return co.closeLog()
+	}
+	return nil
+}

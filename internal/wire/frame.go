@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// writeFrame appends one frame to w: length prefix, correlation id,
+// kind, payload. The caller is responsible for flushing (the peer and
+// the servers flush once per batch of queued frames, which is what
+// amortises the syscall under pipelining).
+func writeFrame(w *bufio.Writer, corr uint64, kind uint8, payload []byte) error {
+	n := 8 + 1 + len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[4:12], corr)
+	hdr[12] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it is large enough. The
+// returned payload aliases the (possibly grown) buffer, which is also
+// returned for reuse.
+func readFrame(r *bufio.Reader, buf []byte) (corr uint64, kind uint8, payload, newBuf []byte, err error) {
+	var hdr [13]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n < 9 || n > MaxFrame {
+		return 0, 0, nil, buf, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if _, err = io.ReadFull(r, hdr[4:13]); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	corr = binary.LittleEndian.Uint64(hdr[4:12])
+	kind = hdr[12]
+	body := int(n) - 9
+	if cap(buf) < body {
+		buf = make([]byte, body+256)
+	}
+	payload = buf[:body]
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	return corr, kind, payload, buf, nil
+}

@@ -1,0 +1,514 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/fault"
+)
+
+// RemoteSite is a dist.SiteBackend whose scheduler lives in another
+// process behind a Peer connection. The coordinator drives it exactly
+// like an in-process site; every participant call is one RPC, and the
+// read-side methods (OutEdgesAppend, OutDegree, OutEdgesOf) are served
+// from a local edge cache refreshed by the batched edge report each
+// mutating response carries — so the commit conversation's hold phase
+// costs one round trip per site and the observe path costs none.
+//
+// The cache needs no versioning: dist serializes every participant
+// call to a site under that site's mutex, so a response's report is
+// always the newest information about the site when it is applied.
+//
+// RemoteSite is also the cluster's dist.CrashRestarter: a lost
+// connection is reported as a crash (calls answer fault.ErrSiteDown),
+// and Restart reconciles the re-reachable daemon against the
+// coordinator's decision log — orphaned actives are aborted, in-doubt
+// holds released when their decision was logged and revoked (presumed
+// abort) when it was not.
+type RemoteSite struct {
+	peer *Peer
+	sid  uint16
+
+	// decided reports whether a commit decision for the transaction is
+	// in the coordinator's log. Nil is allowed on clusters that never
+	// restart sites (plain transport tests); Restart then treats every
+	// in-doubt hold as undecided.
+	decided func(core.TxnID) bool
+
+	mu    sync.Mutex
+	down  bool
+	cache map[core.TxnID][]depgraph.Edge
+}
+
+// NewRemoteSite builds a backend for global site sid served by the
+// daemon behind peer. decided (may be nil) is the coordinator's
+// decision-log lookup, consulted when Restart resolves in-doubt holds.
+func NewRemoteSite(peer *Peer, sid uint16, decided func(core.TxnID) bool) *RemoteSite {
+	return &RemoteSite{
+		peer:    peer,
+		sid:     sid,
+		decided: decided,
+		cache:   make(map[core.TxnID][]depgraph.Edge),
+	}
+}
+
+// SiteID returns the global site id this backend addresses.
+func (rs *RemoteSite) SiteID() uint16 { return rs.sid }
+
+// mapErr turns transport loss into the sentinel the coordinator's
+// failure handling branches on. Typed remote errors pass through
+// (decodeErr already rebuilt their chains).
+func (rs *RemoteSite) mapErr(err error) error {
+	if errors.Is(err, ErrPeerDown) {
+		return fmt.Errorf("wire: site %d unreachable: %w", rs.sid, fault.ErrSiteDown)
+	}
+	return err
+}
+
+// req starts a request payload addressed to this site.
+func (rs *RemoteSite) req(extra int) []byte {
+	b := make([]byte, 0, 2+extra)
+	return appendU16(b, rs.sid)
+}
+
+// guard fails fast while the site is in the crashed state — between
+// the cluster observing the connection loss and Restart completing
+// reconciliation, no call may reach the daemon (it could be back up
+// with unreconciled orphans).
+func (rs *RemoteSite) guard() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.down {
+		return fmt.Errorf("wire: site %d crashed: %w", rs.sid, fault.ErrSiteDown)
+	}
+	return nil
+}
+
+// applyReport replaces the edge cache with the response's report of
+// every live transaction at the site.
+func (rs *RemoteSite) applyReport(sets []edgeSet) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	cache := make(map[core.TxnID][]depgraph.Edge, len(sets))
+	for _, s := range sets {
+		cache[s.txn] = s.edges
+	}
+	rs.cache = cache
+}
+
+// ---- core.Participant ----
+
+// Begin registers the transaction at the remote site.
+func (rs *RemoteSite) Begin(id core.TxnID) error {
+	if err := rs.guard(); err != nil {
+		return err
+	}
+	b := appendU64(rs.req(8), uint64(id))
+	r, err := rs.peer.call(kBegin, b)
+	if err != nil {
+		return rs.mapErr(err)
+	}
+	rs.applyReport(r.edgeSets())
+	return r.err
+}
+
+// RequestInto executes op on obj at the remote site.
+func (rs *RemoteSite) RequestInto(eff *core.Effects, id core.TxnID, obj core.ObjectID, op adt.Op) (core.Decision, error) {
+	eff.Reset()
+	if err := rs.guard(); err != nil {
+		return core.Decision{}, err
+	}
+	b := appendU64(rs.req(32), uint64(id))
+	b = appendU64(b, uint64(obj))
+	b = appendOp(b, op)
+	r, err := rs.peer.call(kRequest, b)
+	if err != nil {
+		return core.Decision{}, rs.mapErr(err)
+	}
+	dec := core.Decision{Outcome: core.Outcome(r.u8())}
+	dec.Ret = r.ret()
+	dec.Reason = core.AbortReason(r.u8())
+	r.effects(eff)
+	rs.applyReport(r.edgeSets())
+	return dec, r.err
+}
+
+// CommitInto commits the transaction locally at the remote site.
+func (rs *RemoteSite) CommitInto(eff *core.Effects, id core.TxnID) (core.CommitStatus, error) {
+	eff.Reset()
+	if err := rs.guard(); err != nil {
+		return 0, err
+	}
+	b := appendU64(rs.req(8), uint64(id))
+	r, err := rs.peer.call(kCommit, b)
+	if err != nil {
+		return 0, rs.mapErr(err)
+	}
+	st := core.CommitStatus(r.u8())
+	r.effects(eff)
+	rs.applyReport(r.edgeSets())
+	return st, r.err
+}
+
+// CommitHoldInto pseudo-commits and holds at the remote site. The
+// response's edge report is what makes the conversation's subsequent
+// edge read free: dist calls OutEdgesAppend right after this under the
+// same site mutex, and the cache already holds the answer.
+func (rs *RemoteSite) CommitHoldInto(eff *core.Effects, id core.TxnID) (int, error) {
+	eff.Reset()
+	if err := rs.guard(); err != nil {
+		return 0, err
+	}
+	b := appendU64(rs.req(8), uint64(id))
+	r, err := rs.peer.call(kCommitHold, b)
+	if err != nil {
+		return 0, rs.mapErr(err)
+	}
+	deg := clampLen(r.i64())
+	r.effects(eff)
+	rs.applyReport(r.edgeSets())
+	if r.err != nil {
+		return 0, r.err
+	}
+	if deg < 0 {
+		return 0, fmt.Errorf("wire: site %d: bad out-degree", rs.sid)
+	}
+	return deg, nil
+}
+
+// ReleaseInto really commits a held transaction at the remote site.
+func (rs *RemoteSite) ReleaseInto(eff *core.Effects, id core.TxnID) error {
+	return rs.effectsCall(kRelease, eff, id)
+}
+
+// AbortInto aborts the transaction at the remote site.
+func (rs *RemoteSite) AbortInto(eff *core.Effects, id core.TxnID) error {
+	return rs.effectsCall(kAbort, eff, id)
+}
+
+// WithdrawInto abandons the transaction's blocked request.
+func (rs *RemoteSite) WithdrawInto(eff *core.Effects, id core.TxnID) error {
+	return rs.effectsCall(kWithdraw, eff, id)
+}
+
+// effectsCall is the shared shape of Release/Abort/Withdraw: txn id
+// out, effects + edge report back.
+func (rs *RemoteSite) effectsCall(kind uint8, eff *core.Effects, id core.TxnID) error {
+	eff.Reset()
+	if err := rs.guard(); err != nil {
+		return err
+	}
+	b := appendU64(rs.req(8), uint64(id))
+	r, err := rs.peer.call(kind, b)
+	if err != nil {
+		return rs.mapErr(err)
+	}
+	r.effects(eff)
+	rs.applyReport(r.edgeSets())
+	return r.err
+}
+
+// RevokeInto aborts a held pseudo-committed transaction (presumed
+// abort) at the remote site.
+func (rs *RemoteSite) RevokeInto(eff *core.Effects, id core.TxnID, reason core.AbortReason) error {
+	eff.Reset()
+	if err := rs.guard(); err != nil {
+		return err
+	}
+	b := appendU64(rs.req(9), uint64(id))
+	b = appendU8(b, uint8(reason))
+	r, err := rs.peer.call(kRevoke, b)
+	if err != nil {
+		return rs.mapErr(err)
+	}
+	r.effects(eff)
+	rs.applyReport(r.edgeSets())
+	return r.err
+}
+
+// OutEdgesAppend serves the transaction's out-edges from the cache —
+// no network. dist reads edges only after a mutating call on the same
+// site mutex, so the cache is current by construction.
+func (rs *RemoteSite) OutEdgesAppend(id core.TxnID, buf []depgraph.Edge) []depgraph.Edge {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append(buf[:0], rs.cache[id]...)
+}
+
+// Forget drops the transaction's bookkeeping. It is fire-and-forget on
+// the wire (correlation id 0): nothing downstream depends on its
+// completion, so the conversation does not wait on it.
+func (rs *RemoteSite) Forget(id core.TxnID) {
+	rs.mu.Lock()
+	delete(rs.cache, id)
+	down := rs.down
+	rs.mu.Unlock()
+	if down {
+		return
+	}
+	rs.peer.oneway(kForget, appendU64(rs.req(8), uint64(id)))
+}
+
+// ---- dist.SiteBackend extras ----
+
+// Register installs the object at the remote site. Only the id
+// crosses the wire: the daemon resolves the type and classifier from
+// its own workload spec (see workload.ParseSpec), because adt.Type
+// carries behaviour that cannot be serialised.
+func (rs *RemoteSite) Register(id core.ObjectID, typ adt.Type, class compat.Classifier) error {
+	if err := rs.guard(); err != nil {
+		return err
+	}
+	_, _ = typ, class
+	r, err := rs.peer.call(kRegister, appendU64(rs.req(8), uint64(id)))
+	if err != nil {
+		return rs.mapErr(err)
+	}
+	return r.err
+}
+
+// SetFactory is a documented no-op: remote daemons install their
+// factory from the cluster config's workload spec at startup, so both
+// processes agree on object types without closures crossing the wire.
+func (rs *RemoteSite) SetFactory(f func(core.ObjectID) (adt.Type, compat.Classifier)) {}
+
+// StatsSnapshot fetches the remote scheduler's counters.
+func (rs *RemoteSite) StatsSnapshot() core.Stats {
+	if err := rs.guard(); err != nil {
+		return core.Stats{}
+	}
+	r, err := rs.peer.call(kStats, rs.req(0))
+	if err != nil {
+		return core.Stats{}
+	}
+	st := r.stats()
+	if r.err != nil {
+		return core.Stats{}
+	}
+	return st
+}
+
+// ObjectState fetches the object's current state as a RemoteState
+// summary (description plus length).
+func (rs *RemoteSite) ObjectState(id core.ObjectID) (adt.State, error) {
+	return rs.stateCall(id, false)
+}
+
+// CommittedState fetches the object's committed state summary.
+func (rs *RemoteSite) CommittedState(id core.ObjectID) (adt.State, error) {
+	return rs.stateCall(id, true)
+}
+
+func (rs *RemoteSite) stateCall(id core.ObjectID, committed bool) (adt.State, error) {
+	if err := rs.guard(); err != nil {
+		return nil, err
+	}
+	b := appendU64(rs.req(9), uint64(id))
+	var c uint8
+	if committed {
+		c = 1
+	}
+	b = appendU8(b, c)
+	r, err := rs.peer.call(kStateLen, b)
+	if err != nil {
+		return nil, rs.mapErr(err)
+	}
+	st := &RemoteState{Desc: r.str(), N: int(r.i64())}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// TxnState fetches the transaction's state string; transport loss
+// reads as "site-down", matching fault.Crashable.
+func (rs *RemoteSite) TxnState(id core.TxnID) string {
+	if err := rs.guard(); err != nil {
+		return "site-down"
+	}
+	r, err := rs.peer.call(kTxnState, appendU64(rs.req(8), uint64(id)))
+	if err != nil {
+		return "site-down"
+	}
+	s := r.str()
+	if r.err != nil {
+		return "unknown"
+	}
+	return s
+}
+
+// OutDegree is the cached out-edge count.
+func (rs *RemoteSite) OutDegree(id core.TxnID) int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.cache[id])
+}
+
+// OutEdgesOf is the cached out-edge set.
+func (rs *RemoteSite) OutEdgesOf(id core.TxnID) []depgraph.Edge {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]depgraph.Edge(nil), rs.cache[id]...)
+}
+
+// ---- dist.CrashRestarter ----
+
+// Crash marks the site failed: the edge cache is dropped and every
+// call answers fault.ErrSiteDown until Restart. The cluster invokes it
+// when the peer connection dies (and in tests, to simulate a failure).
+func (rs *RemoteSite) Crash() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.down = true
+	rs.cache = make(map[core.TxnID][]depgraph.Edge)
+	return nil
+}
+
+// Down reports whether the site is in the crashed state.
+func (rs *RemoteSite) Down() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.down
+}
+
+// Restart reconciles a re-reachable daemon with the coordinator's
+// decision log and brings the site back into rotation. The daemon
+// reports its live transactions; orphaned actives are aborted, and
+// each in-doubt hold is resolved by the log — logged decision means
+// the global commit happened, so the hold is released (reported in
+// Redone, which the cluster acks); no logged decision means presumed
+// abort, so the hold is revoked. Release order is free: a logged
+// decision implies the transaction's global out-degree was zero, so a
+// logged hold has no out-edges at any site.
+//
+// The same routine serves both reconnect-after-blip (daemon kept its
+// state; the coordinator doomed what it had to while the site was
+// unreachable) and coordinator startup adoption (the daemon outlived a
+// coordinator crash), because resolution is purely log-driven per
+// transaction.
+func (rs *RemoteSite) Restart() (fault.RecoveryReport, error) {
+	var rep fault.RecoveryReport
+	if !rs.peer.Up() {
+		return rep, fmt.Errorf("wire: site %d still unreachable: %w", rs.sid, fault.ErrSiteDown)
+	}
+	r, err := rs.peer.call(kAdopt, rs.req(0))
+	if err != nil {
+		return rep, rs.mapErr(err)
+	}
+	type entry struct {
+		txn  core.TxnID
+		kind uint8
+	}
+	n := r.count(9)
+	entries := make([]entry, 0, n)
+	for ; n > 0; n-- {
+		entries = append(entries, entry{txn: core.TxnID(r.u64()), kind: r.u8()})
+	}
+	sets := r.edgeSets()
+	if r.err != nil {
+		return rep, r.err
+	}
+	rs.applyReport(sets)
+	var eff core.Effects
+	for _, e := range entries {
+		switch e.kind {
+		case adoptActive:
+			// A still-active transaction with a logged decision is a
+			// direct commit the crashed coordinator logged but never
+			// delivered: redo the commit. Unlogged actives are orphans
+			// whose client will retry — abort them.
+			if rs.decided != nil && rs.decided(e.txn) {
+				b := appendU64(rs.req(8), uint64(e.txn))
+				rr, err := rs.peer.call(kCommit, b)
+				switch {
+				case err == nil:
+					if rr.err == nil {
+						_ = rr.u8() // commit status
+						eff.Reset()
+						rr.effects(&eff)
+						rs.applyReport(rr.edgeSets())
+					}
+				case errors.Is(err, core.ErrUnknownTxn), errors.Is(err, core.ErrTxnTerminated):
+					// The live conversation landed this commit (and may
+					// have forgotten the transaction) between the adopt
+					// snapshot and this redo: with the decision logged,
+					// terminated can only mean committed.
+				default:
+					return rep, rs.mapErr(err)
+				}
+				rep.Redone = append(rep.Redone, e.txn)
+				continue
+			}
+			b := appendU64(rs.req(8), uint64(e.txn))
+			if r, err := rs.peer.call(kAbort, b); err != nil {
+				if !errors.Is(err, core.ErrUnknownTxn) {
+					return rep, rs.mapErr(err)
+				}
+				// Aborted and forgotten concurrently — already resolved.
+			} else if r.err == nil {
+				eff.Reset()
+				r.effects(&eff)
+				rs.applyReport(r.edgeSets())
+			}
+			rep.Aborted = append(rep.Aborted, e.txn)
+		case adoptHeld:
+			logged := rs.decided != nil && rs.decided(e.txn)
+			kind := kRevoke
+			b := appendU64(rs.req(9), uint64(e.txn))
+			if logged {
+				kind = kRelease
+			} else {
+				b = appendU8(b, uint8(core.ReasonSiteFailed))
+			}
+			rr, err := rs.peer.call(kind, b)
+			if err != nil {
+				if !errors.Is(err, core.ErrUnknownTxn) {
+					return rep, rs.mapErr(err)
+				}
+				// Resolved and forgotten by the live conversation between
+				// the adopt snapshot and this verb — nothing left to do.
+			} else if rr.err == nil {
+				eff.Reset()
+				rr.effects(&eff)
+				rs.applyReport(rr.edgeSets())
+			}
+			if logged {
+				rep.Redone = append(rep.Redone, e.txn)
+			} else {
+				rep.PresumedAborted = append(rep.PresumedAborted, e.txn)
+			}
+		}
+	}
+	rs.mu.Lock()
+	rs.down = false
+	rs.mu.Unlock()
+	return rep, nil
+}
+
+// RemoteState is the summary form object state crosses the wire in: a
+// printable description plus the state's length when it has one (-1
+// otherwise). Conservation checks over the wire sum Len.
+type RemoteState struct {
+	Desc string
+	N    int
+}
+
+// Clone returns a copy.
+func (s *RemoteState) Clone() adt.State { c := *s; return &c }
+
+// Equal compares against another remote summary.
+func (s *RemoteState) Equal(o adt.State) bool {
+	r, ok := o.(*RemoteState)
+	return ok && r.Desc == s.Desc && r.N == s.N
+}
+
+// String returns the remote state's own description.
+func (s *RemoteState) String() string { return s.Desc }
+
+// Len is the remote state's length (-1 when the type has none).
+func (s *RemoteState) Len() int { return s.N }

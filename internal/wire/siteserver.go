@@ -1,0 +1,455 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// SiteServerConfig parameterises a site daemon's participant-plane
+// server.
+type SiteServerConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" picks a port).
+	Addr string
+	// Sites maps global site ids to their local backends; one daemon
+	// can serve several sites on one listener.
+	Sites map[uint16]dist.SiteBackend
+	// Workload optionally names a workload spec (workload.ParseSpec);
+	// its object factory is installed on every site at startup, so the
+	// daemon can resolve Register calls that carry only an object id.
+	Workload string
+	// OnShutdown runs when a kShutdown request arrives (the daemon's
+	// exit hook). Nil ignores the request.
+	OnShutdown func()
+}
+
+// servedSite is one site behind the server. A single worker goroutine
+// executes its requests in arrival order — the wire's per-site FIFO —
+// so the backend sees the same serialised call pattern dist's site
+// mutex would produce in process, and the tracked-transaction map
+// needs no lock.
+type servedSite struct {
+	sid     uint16
+	backend dist.SiteBackend
+	factory func(core.ObjectID) (adt.Type, compat.Classifier)
+	work    chan wreq
+	txns    map[core.TxnID]struct{}
+	scratch []depgraph.Edge
+	eff     core.Effects
+}
+
+// wreq is one dispatched request: where to answer, and the frame.
+type wreq struct {
+	c    *serverConn
+	corr uint64
+	kind uint8
+	body []byte
+}
+
+// serverConn wraps one accepted connection with a write lock, since
+// several site workers answer onto the same connection.
+type serverConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+func (c *serverConn) send(corr uint64, kind uint8, payload []byte) {
+	if corr == 0 {
+		return // one-way request
+	}
+	c.wmu.Lock()
+	if err := writeFrame(c.bw, corr, kind, payload); err == nil {
+		_ = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+}
+
+// SiteServer serves sites' participant plane on one listener.
+type SiteServer struct {
+	cfg   SiteServerConfig
+	ln    net.Listener
+	sites map[uint16]*servedSite
+	done  chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ServeSites starts a site server: it listens, installs the configured
+// workload factory, and accepts connections in the background.
+func ServeSites(cfg SiteServerConfig) (*SiteServer, error) {
+	var factory func(core.ObjectID) (adt.Type, compat.Classifier)
+	if cfg.Workload != "" {
+		gen, err := workload.ParseSpec(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		factory = gen.Factory()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &SiteServer{
+		cfg:   cfg,
+		ln:    ln,
+		sites: make(map[uint16]*servedSite, len(cfg.Sites)),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for sid, b := range cfg.Sites {
+		ss := &servedSite{
+			sid:     sid,
+			backend: b,
+			factory: factory,
+			work:    make(chan wreq, 256),
+			txns:    make(map[core.TxnID]struct{}),
+		}
+		if factory != nil {
+			b.SetFactory(factory)
+		}
+		s.sites[sid] = ss
+		go s.siteWorker(ss)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *SiteServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server: listener and connections close, workers
+// exit. Backends are left as they are.
+func (s *SiteServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.done)
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *SiteServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop parses frames off one connection and dispatches each to its
+// site's worker. Site ids are the first u16 of every participant
+// payload; kShutdown is daemon-level and handled inline.
+func (s *SiteServer) readLoop(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := &serverConn{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	for {
+		corr, kind, payload, nbuf, err := readFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = nbuf
+		if kind == kShutdown {
+			sc.send(corr, kOK, nil)
+			if s.cfg.OnShutdown != nil {
+				go s.cfg.OnShutdown()
+			}
+			continue
+		}
+		if len(payload) < 2 {
+			sc.send(corr, kErr, appendErrResp(nil, fmt.Errorf("short payload")))
+			continue
+		}
+		sid := uint16(payload[0]) | uint16(payload[1])<<8
+		ss := s.sites[sid]
+		if ss == nil {
+			sc.send(corr, kErr, appendErrResp(nil, fmt.Errorf("unknown site %d", sid)))
+			continue
+		}
+		body := append([]byte(nil), payload[2:]...)
+		select {
+		case ss.work <- wreq{c: sc, corr: corr, kind: kind, body: body}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// siteWorker executes one site's requests sequentially.
+func (s *SiteServer) siteWorker(ss *servedSite) {
+	for {
+		select {
+		case wr := <-ss.work:
+			kind, payload := s.handle(ss, wr.kind, wr.body)
+			wr.c.send(wr.corr, kind, payload)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// report appends the site's full live edge report: every tracked
+// transaction with its current out-edges. Terminated-but-unforgotten
+// transactions export empty sets, which is exactly what the caller's
+// cache must learn (their edges drained).
+func (ss *servedSite) report(b []byte) []byte {
+	b = appendU32(b, uint32(len(ss.txns)))
+	for id := range ss.txns {
+		b = appendU64(b, uint64(id))
+		ss.scratch = ss.backend.OutEdgesAppend(id, ss.scratch[:0])
+		b = appendEdges(b, ss.scratch)
+	}
+	return b
+}
+
+// settled reports whether a failed terminal verb is a duplicate whose
+// outcome already landed: the coordinator's live commit conversation
+// and a reconnect reconcile can both deliver the release (or revoke)
+// for the same transaction — the daemon's state survives a connection
+// blip, so unlike a real crash the second delivery finds the
+// transaction terminated rather than unknown. Answering OK keeps the
+// verbs idempotent, which exactly-once delivery over a flapping
+// connection requires.
+func (s *SiteServer) settled(ss *servedSite, kind uint8, id core.TxnID) bool {
+	switch kind {
+	case kRelease:
+		return ss.backend.TxnState(id) == "committed"
+	case kAbort, kRevoke:
+		return ss.backend.TxnState(id) == "aborted"
+	}
+	return false
+}
+
+// handle executes one request against the site backend and builds the
+// response frame body.
+func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []byte) {
+	r := &reader{b: body}
+	fail := func(err error) (uint8, []byte) { return kErr, appendErrResp(nil, err) }
+	switch kind {
+	case kBegin:
+		id := core.TxnID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if err := ss.backend.Begin(id); err != nil {
+			return fail(err)
+		}
+		ss.txns[id] = struct{}{}
+		return kOK, ss.report(nil)
+
+	case kRequest:
+		id := core.TxnID(r.u64())
+		obj := core.ObjectID(r.u64())
+		op := r.op()
+		if r.err != nil {
+			return fail(r.err)
+		}
+		dec, err := ss.backend.RequestInto(&ss.eff, id, obj, op)
+		if err != nil {
+			return fail(err)
+		}
+		b := appendU8(nil, uint8(dec.Outcome))
+		b = appendRet(b, dec.Ret)
+		b = appendU8(b, uint8(dec.Reason))
+		b = appendEffects(b, &ss.eff)
+		return kOK, ss.report(b)
+
+	case kCommit:
+		id := core.TxnID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		st, err := ss.backend.CommitInto(&ss.eff, id)
+		if err != nil {
+			return fail(err)
+		}
+		b := appendU8(nil, uint8(st))
+		b = appendEffects(b, &ss.eff)
+		return kOK, ss.report(b)
+
+	case kCommitHold:
+		id := core.TxnID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		deg, err := ss.backend.CommitHoldInto(&ss.eff, id)
+		if err != nil {
+			return fail(err)
+		}
+		b := appendI64(nil, int64(deg))
+		b = appendEffects(b, &ss.eff)
+		return kOK, ss.report(b)
+
+	case kRelease, kAbort, kWithdraw:
+		id := core.TxnID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		var err error
+		switch kind {
+		case kRelease:
+			err = ss.backend.ReleaseInto(&ss.eff, id)
+		case kAbort:
+			err = ss.backend.AbortInto(&ss.eff, id)
+		case kWithdraw:
+			err = ss.backend.WithdrawInto(&ss.eff, id)
+		}
+		if err != nil && !s.settled(ss, kind, id) {
+			return fail(err)
+		}
+		if err != nil {
+			ss.eff.Reset() // duplicate delivery: nothing new happened
+		}
+		b := appendEffects(nil, &ss.eff)
+		return kOK, ss.report(b)
+
+	case kRevoke:
+		id := core.TxnID(r.u64())
+		reason := core.AbortReason(r.u8())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if err := ss.backend.RevokeInto(&ss.eff, id, reason); err != nil {
+			if !s.settled(ss, kRevoke, id) {
+				return fail(err)
+			}
+			ss.eff.Reset()
+		}
+		b := appendEffects(nil, &ss.eff)
+		return kOK, ss.report(b)
+
+	case kForget:
+		id := core.TxnID(r.u64())
+		if r.err == nil {
+			ss.backend.Forget(id)
+			delete(ss.txns, id)
+		}
+		return kOK, nil // one-way: never sent
+
+	case kRegister:
+		obj := core.ObjectID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		if ss.factory == nil {
+			return fail(fmt.Errorf("site %d has no workload factory", ss.sid))
+		}
+		typ, class := ss.factory(obj)
+		if err := ss.backend.Register(obj, typ, class); err != nil {
+			return fail(err)
+		}
+		return kOK, nil
+
+	case kFactory:
+		spec := r.str()
+		if r.err != nil {
+			return fail(r.err)
+		}
+		gen, err := workload.ParseSpec(spec)
+		if err != nil {
+			return fail(err)
+		}
+		ss.factory = gen.Factory()
+		ss.backend.SetFactory(ss.factory)
+		return kOK, nil
+
+	case kStats:
+		return kOK, appendStats(nil, ss.backend.StatsSnapshot())
+
+	case kStateLen:
+		obj := core.ObjectID(r.u64())
+		committed := r.u8() == 1
+		if r.err != nil {
+			return fail(r.err)
+		}
+		var st adt.State
+		var err error
+		if committed {
+			st, err = ss.backend.CommittedState(obj)
+		} else {
+			st, err = ss.backend.ObjectState(obj)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		n := -1
+		if l, ok := st.(interface{ Len() int }); ok {
+			n = l.Len()
+		}
+		b := appendStr(nil, st.String())
+		return kOK, appendI64(b, int64(n))
+
+	case kTxnState:
+		id := core.TxnID(r.u64())
+		if r.err != nil {
+			return fail(r.err)
+		}
+		return kOK, appendStr(nil, ss.backend.TxnState(id))
+
+	case kAdopt:
+		// Report the site's live transactions for log-driven
+		// reconciliation: actives (and blocked) are orphans the caller
+		// aborts, pseudo-committed-and-held ones are in doubt.
+		var b []byte
+		n := 0
+		for id := range ss.txns {
+			switch ss.backend.TxnState(id) {
+			case "active", "blocked":
+				b = appendU64(b, uint64(id))
+				b = appendU8(b, adoptActive)
+				n++
+			case "pseudo-committed":
+				b = appendU64(b, uint64(id))
+				b = appendU8(b, adoptHeld)
+				n++
+			}
+		}
+		out := appendU32(nil, uint32(n))
+		out = append(out, b...)
+		return kOK, ss.report(out)
+
+	case kPing:
+		return kOK, nil
+	}
+	return fail(fmt.Errorf("unknown request kind %#x", kind))
+}

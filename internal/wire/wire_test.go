@@ -1,0 +1,378 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func write(v int) adt.Op { return adt.Op{Name: adt.PageWrite, Arg: v, HasArg: true} }
+func read() adt.Op       { return adt.Op{Name: adt.PageRead} }
+
+// wireCluster is a coordinator over remote sites served by in-process
+// SiteServers — the full network stack on loopback, minus the separate
+// processes.
+type wireCluster struct {
+	c       *dist.Cluster
+	peers   []*Peer
+	servers []*SiteServer
+}
+
+func (w *wireCluster) close() {
+	w.c.Close()
+	for _, p := range w.peers {
+		p.Close()
+	}
+	for _, s := range w.servers {
+		s.Close()
+	}
+}
+
+// startWireCluster brings up daemons×perDaemon remote sites behind
+// TCP and a fault-tolerant coordinator over them. wl is the daemons'
+// workload spec (their Register factory).
+func startWireCluster(t *testing.T, daemons, perDaemon int, wl string) *wireCluster {
+	t.Helper()
+	return startWireClusterRedial(t, daemons, perDaemon, wl, 5*time.Millisecond)
+}
+
+// startWireClusterRedial is startWireCluster with an explicit redial
+// delay. Tests that observe the down window after a connection drop
+// (waitSiteDown) need it wide enough that the drop's crash event
+// reliably beats the redial's restart event to the binding; load tests
+// that only care about riding through drops keep it tight.
+func startWireClusterRedial(t *testing.T, daemons, perDaemon int, wl string, redial time.Duration) *wireCluster {
+	t.Helper()
+	mlog := fault.NewMemLog()
+	// Late-bound so reconcile redos go through the cluster's ClaimRedo
+	// arbitration (safe: clu is set before Bind publishes the cluster,
+	// and no reconcile runs earlier).
+	var clu *dist.Cluster
+	decided := func(id core.TxnID) bool {
+		if clu != nil {
+			return clu.ClaimRedo(id)
+		}
+		o, ok := mlog.Lookup(id)
+		return ok && o == fault.OutcomeCommit
+	}
+	total := daemons * perDaemon
+	backends := make([]dist.SiteBackend, total)
+	w := &wireCluster{}
+	var bindings []*PeerBinding
+	for d := 0; d < daemons; d++ {
+		sites := make(map[uint16]dist.SiteBackend, perDaemon)
+		for k := 0; k < perDaemon; k++ {
+			sid := uint16(d*perDaemon + k)
+			cr, err := fault.New(core.Options{}, fault.NewMemLog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites[sid] = cr
+		}
+		srv, err := ServeSites(SiteServerConfig{Addr: "127.0.0.1:0", Sites: sites, Workload: wl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.servers = append(w.servers, srv)
+		bind := &PeerBinding{}
+		peer := NewPeer(PeerConfig{
+			Addr:        srv.Addr(),
+			Redial:      true,
+			RedialDelay: redial,
+			OnDown:      bind.Down,
+			OnUp:        bind.Up,
+		})
+		if err := peer.Connect(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		w.peers = append(w.peers, peer)
+		bindings = append(bindings, bind)
+		for k := 0; k < perDaemon; k++ {
+			sid := uint16(d*perDaemon + k)
+			backends[sid] = NewRemoteSite(peer, sid, decided)
+			bind.AddSite(dist.SiteID(sid))
+		}
+	}
+	c, err := dist.NewWithConfig(dist.Config{
+		Sites:         total,
+		FaultTolerant: true,
+		Log:           mlog,
+		Backends:      backends,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu = c
+	for _, b := range bindings {
+		b.Bind(c)
+	}
+	w.c = c
+	t.Cleanup(w.close)
+	return w
+}
+
+func registerPages(t *testing.T, c *dist.Cluster, objects int) {
+	t.Helper()
+	for id := core.ObjectID(1); id <= core.ObjectID(objects); id++ {
+		if err := c.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// remoteLen reads an object's committed length through the wire.
+func remoteLen(t *testing.T, c *dist.Cluster, obj core.ObjectID) int {
+	t.Helper()
+	st, err := c.Site(c.SiteOf(obj)).CommittedState(obj)
+	if err != nil {
+		t.Fatalf("CommittedState(%d): %v", obj, err)
+	}
+	rs, ok := st.(*RemoteState)
+	if !ok {
+		t.Fatalf("CommittedState(%d) = %T, want *RemoteState", obj, st)
+	}
+	return rs.Len()
+}
+
+// TestWireCrossSiteCommit: a transaction spanning two remote sites
+// commits through the wire and its writes land in both committed
+// states; reads observe them; stats and txn state cross back.
+func TestWireCrossSiteCommit(t *testing.T) {
+	w := startWireCluster(t, 2, 1, "readwrite:64")
+	registerPages(t, w.c, 4)
+	tx := w.c.Begin()
+	if _, err := tx.Do(1, write(11)); err != nil { // site 1
+		t.Fatal(err)
+	}
+	if _, err := tx.Do(2, write(22)); err != nil { // site 0
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := w.c.Begin()
+	for obj, want := range map[core.ObjectID]int{1: 11, 2: 22} {
+		ret, err := tx2.Do(obj, read())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret.Val != want {
+			t.Fatalf("read(%d) = %d, want %d", obj, ret.Val, want)
+		}
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.c.Site(0).TxnState(tx.ID()); st != "committed" && st != "unknown" {
+		t.Fatalf("TxnState after commit = %q", st)
+	}
+	stats := w.c.Stats()
+	if stats.Commits == 0 || stats.Executes == 0 {
+		t.Fatalf("stats did not cross the wire: %+v", stats)
+	}
+}
+
+// TestWireLoadConservation: a concurrent pushes load over the wire
+// conserves — every committed push is in exactly one committed stack.
+func TestWireLoadConservation(t *testing.T) {
+	const db = 16
+	w := startWireCluster(t, 2, 2, "pushes:16")
+	var mu sync.Mutex
+	counts := make(map[core.ObjectID]uint64)
+	res, err := workload.RunLoad(w.c, workload.LoadConfig{
+		Workload:      workload.Pushes{DBSize: db},
+		Workers:       8,
+		TxnsPerWorker: 25,
+		Seed:          42,
+		OnCommitted: func(steps []workload.Step) {
+			mu.Lock()
+			for _, s := range steps {
+				counts[s.Object]++
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 8*25 {
+		t.Fatalf("Commits = %d, want %d", res.Commits, 8*25)
+	}
+	for obj := core.ObjectID(1); obj <= db; obj++ {
+		if got, want := remoteLen(t, w.c, obj), int(counts[obj]); got != want {
+			t.Fatalf("object %d: committed depth %d, want %d pushes", obj, got, want)
+		}
+	}
+}
+
+// TestWireChaosReconcile: the chaos harness crashes and restarts
+// remote sites under load; Restart reconciles each daemon against the
+// decision log (orphan aborts, log-driven release/revoke of in-doubt
+// holds) and conservation holds exactly.
+func TestWireChaosReconcile(t *testing.T) {
+	const db = 12
+	w := startWireCluster(t, 2, 2, "pushes:12")
+	res, err := workload.RunChaos(w.c, workload.ChaosConfig{
+		Load: workload.LoadConfig{
+			Workload:      workload.Pushes{DBSize: db},
+			Workers:       6,
+			TxnsPerWorker: 20,
+			Seed:          7,
+			MaxRestarts:   100000,
+		},
+		CrashEvery:   15 * time.Millisecond,
+		RestartAfter: 5 * time.Millisecond,
+		MaxCrashes:   6,
+		Deadline:     60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("chaos injected no crashes")
+	}
+	for obj := core.ObjectID(1); obj <= db; obj++ {
+		if got, want := remoteLen(t, w.c, obj), int(res.CommittedSteps[obj]); got != want {
+			t.Fatalf("object %d: committed depth %d, want %d pushes", obj, got, want)
+		}
+	}
+}
+
+// TestWireDroppedPeerTypedError: a dropped connection surfaces as the
+// typed retryable site failure — the transaction that touched the
+// dropped daemon aborts with ErrSiteFailed and Retryable() true — and
+// the redial loop brings the site back for fresh work.
+func TestWireDroppedPeerTypedError(t *testing.T) {
+	w := startWireClusterRedial(t, 2, 1, "readwrite:64", 200*time.Millisecond)
+	registerPages(t, w.c, 4)
+	tx := w.c.Begin()
+	if _, err := tx.Do(1, write(10)); err != nil { // site 1
+		t.Fatal(err)
+	}
+	w.peers[1].DropConnection()
+	waitSiteDown(t, w.c, 1, true)
+	_, err := tx.Do(1, write(11))
+	if !errors.Is(err, core.ErrSiteFailed) {
+		t.Fatalf("Do after drop = %v, want ErrSiteFailed", err)
+	}
+	var ab *core.ErrAborted
+	if !errors.As(err, &ab) || !ab.Retryable() {
+		t.Fatalf("site-failure abort not retryable: %v", err)
+	}
+	waitSiteDown(t, w.c, 1, false)
+	tx2 := w.c.Begin()
+	if _, err := tx2.Do(1, write(12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireDropFailsParkedWaiter: a request parked at a remote site is
+// woken with the site-failure verdict when the connection drops,
+// instead of waiting forever.
+func TestWireDropFailsParkedWaiter(t *testing.T) {
+	w := startWireCluster(t, 2, 1, "readwrite:64")
+	registerPages(t, w.c, 4)
+	t1, t2 := w.c.Begin(), w.c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil { // site 1
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := t2.Do(1, read()) // parks behind T1's write
+		res <- err
+	}()
+	waitRemoteState(t, w.c.Site(1), t2.ID(), "blocked")
+	w.peers[1].DropConnection()
+	select {
+	case err := <-res:
+		if !errors.Is(err, core.ErrSiteFailed) {
+			t.Fatalf("parked Do after drop = %v, want ErrSiteFailed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked waiter never woke after connection drop")
+	}
+}
+
+// TestWireLoadSurvivesConnectionDrops: Store.Run's retry loop rides
+// through repeated real TCP connection losses — the load completes and
+// conserves once the daemons are back.
+func TestWireLoadSurvivesConnectionDrops(t *testing.T) {
+	const db = 12
+	w := startWireCluster(t, 2, 2, "pushes:12")
+	var mu sync.Mutex
+	counts := make(map[core.ObjectID]uint64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			time.Sleep(20 * time.Millisecond)
+			w.peers[i%len(w.peers)].DropConnection()
+		}
+	}()
+	res, err := workload.RunLoad(w.c, workload.LoadConfig{
+		Workload:        workload.Pushes{DBSize: db},
+		Workers:         6,
+		TxnsPerWorker:   20,
+		Seed:            99,
+		MaxRestarts:     100000,
+		RetryHeldAborts: true,
+		OnCommitted: func(steps []workload.Step) {
+			mu.Lock()
+			for _, s := range steps {
+				counts[s.Object]++
+			}
+			mu.Unlock()
+		},
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 6*20 {
+		t.Fatalf("Commits = %d, want %d", res.Commits, 6*20)
+	}
+	// Wait for any still-down site to reconcile before auditing state.
+	for sid := 0; sid < w.c.NumSites(); sid++ {
+		waitSiteDown(t, w.c, dist.SiteID(sid), false)
+	}
+	for obj := core.ObjectID(1); obj <= db; obj++ {
+		if got, want := remoteLen(t, w.c, obj), int(counts[obj]); got != want {
+			t.Fatalf("object %d: committed depth %d, want %d pushes", obj, got, want)
+		}
+	}
+}
+
+func waitSiteDown(t *testing.T, c *dist.Cluster, sid dist.SiteID, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.SiteDown(sid) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("site %d never reached down=%v", sid, want)
+}
+
+func waitRemoteState(t *testing.T, s dist.SiteBackend, id core.TxnID, state string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.TxnState(id) == state {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("T%d never reached %s remotely", id, state)
+}

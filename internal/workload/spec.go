@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec resolves a textual workload spec into a Generator. Specs
+// are how processes that share no memory agree on a workload: a
+// cluster config file names the workload once, every sccd daemon
+// installs the matching object factory at startup, and sccctl draws
+// transactions from the same generator — nothing closure-shaped ever
+// crosses the wire.
+//
+// Grammar (parameters optional, defaults in brackets):
+//
+//	pushes[:db]                  conservation stacks, all pushes [64]
+//	readwrite[:db[,pw]]          pages, write prob pw [256, 0.3]
+//	mix[:db[,argrange]]          stack/set/table mix [256, 8]
+//	abstract[:db[,pc,pr,seed]]   generated abstract type, sigma=4
+//	                             [256, 4, 4, 7]
+func ParseSpec(spec string) (Generator, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	var args []string
+	if rest != "" {
+		args = strings.Split(rest, ",")
+	}
+	num := func(i, def int) (int, error) {
+		if i >= len(args) || args[i] == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(args[i]))
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("workload: spec %q: bad count %q", spec, args[i])
+		}
+		return n, nil
+	}
+	frac := func(i int, def float64) (float64, error) {
+		if i >= len(args) || args[i] == "" {
+			return def, nil
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("workload: spec %q: bad fraction %q", spec, args[i])
+		}
+		return f, nil
+	}
+	switch strings.TrimSpace(name) {
+	case "pushes":
+		db, err := num(0, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Pushes{DBSize: db}, nil
+	case "readwrite":
+		db, err := num(0, 256)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := frac(1, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		return ReadWrite{DBSize: db, WriteProb: pw}, nil
+	case "mix":
+		db, err := num(0, 256)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := num(1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return Mix{DBSize: db, ArgRange: ar}, nil
+	case "abstract":
+		db, err := num(0, 256)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := num(1, 4)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := num(2, 4)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := num(3, 7)
+		if err != nil {
+			return nil, err
+		}
+		return Abstract{DBSize: db, Sigma: 4, Pc: pc, Pr: pr, TableSeed: int64(seed)}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown spec %q (want pushes|readwrite|mix|abstract)", spec)
+}

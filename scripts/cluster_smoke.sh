@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke of the multi-process cluster:
+# two sccd site daemons plus one sccd coordinator on loopback TCP,
+# driven by sccctl. The coordinator is kill -9'd while a conservation
+# load is running, restarted on the same decision log, and the load
+# must complete with every stack's committed depth exactly equal to
+# its committed pushes (exactly-once across the coordinator crash).
+#
+# Usage: scripts/cluster_smoke.sh   (from the repo root; needs go)
+set -u
+
+DIR="$(mktemp -d /tmp/scc_smoke.XXXXXX)"
+BIN="$DIR/bin"
+LOG="$DIR/logs"
+mkdir -p "$BIN" "$LOG"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "SMOKE FAIL: $*" >&2
+  echo "---- coordinator log ----" >&2; cat "$LOG"/coord*.log >&2 2>/dev/null || true
+  echo "---- daemon logs ----" >&2; cat "$LOG"/site*.log >&2 2>/dev/null || true
+  exit 1
+}
+
+echo "== build"
+go build -o "$BIN/sccd" ./cmd/sccd || fail "build sccd"
+go build -o "$BIN/sccctl" ./cmd/sccctl || fail "build sccctl"
+
+# Ports: ask the kernel for free ones via a tiny helper.
+read -r P_CLIENT P_D0 P_D1 <<EOF
+$(go run ./scripts/freeports 3 2>/dev/null || echo "7411 7412 7413")
+EOF
+
+CFG="$DIR/cluster.json"
+cat > "$CFG" <<EOF
+{
+  "client":   "127.0.0.1:$P_CLIENT",
+  "log":      "$DIR/decision.log",
+  "sync":     false,
+  "workload": "pushes:32",
+  "daemons": [
+    {"listen": "127.0.0.1:$P_D0", "sites": [0, 1]},
+    {"listen": "127.0.0.1:$P_D1", "sites": [2, 3]}
+  ]
+}
+EOF
+
+echo "== start site daemons"
+"$BIN/sccd" -config "$CFG" -role site -daemon 0 > "$LOG/site0.log" 2>&1 &
+PIDS+=($!)
+"$BIN/sccd" -config "$CFG" -role site -daemon 1 > "$LOG/site1.log" 2>&1 &
+PIDS+=($!)
+
+echo "== start coordinator"
+"$BIN/sccd" -config "$CFG" -role coord > "$LOG/coord1.log" 2>&1 &
+COORD_PID=$!
+PIDS+=($COORD_PID)
+
+echo "== init (readiness barrier)"
+"$BIN/sccctl" -config "$CFG" -wait 20s init || fail "init"
+
+echo "== load with mid-flight coordinator kill -9"
+"$BIN/sccctl" -config "$CFG" load -workers 6 -txns 300 -seed 42 -verify > "$LOG/load.log" 2>&1 &
+LOAD_PID=$!
+
+# Let the load get going, then kill the coordinator the hard way.
+sleep 1
+kill -9 "$COORD_PID" 2>/dev/null || fail "coordinator already gone before kill"
+echo "== coordinator killed (kill -9), restarting on the same decision log"
+sleep 0.5
+"$BIN/sccd" -config "$CFG" -role coord > "$LOG/coord2.log" 2>&1 &
+PIDS+=($!)
+
+echo "== waiting for load to complete"
+# Bounded wait: a wedged load must fail fast with goroutine dumps in
+# the log, not hang the whole CI job. SIGQUIT makes the Go runtime
+# print all stacks before exiting.
+DEADLINE=${SMOKE_LOAD_TIMEOUT:-120}
+waited=0
+while kill -0 "$LOAD_PID" 2>/dev/null; do
+  if [ "$waited" -ge "$DEADLINE" ]; then
+    kill -QUIT "$LOAD_PID" 2>/dev/null || true
+    sleep 2
+    echo "---- load log (stalled, goroutine dump below) ----" >&2
+    cat "$LOG/load.log" >&2 2>/dev/null || true
+    fail "load still running after ${DEADLINE}s (stall; stacks above)"
+  fi
+  sleep 1
+  waited=$((waited + 1))
+done
+if ! wait "$LOAD_PID"; then
+  echo "---- load log ----" >&2; cat "$LOG/load.log" >&2 2>/dev/null || true
+  fail "load did not survive the coordinator restart (see $LOG/load.log)"
+fi
+grep -q "conservation verified" "$LOG/load.log" || fail "load finished without verifying conservation"
+cat "$LOG/load.log"
+
+echo "== status after recovery"
+"$BIN/sccctl" -config "$CFG" status || fail "status after recovery"
+
+echo "== clean daemon shutdown via sccctl kill"
+"$BIN/sccctl" -config "$CFG" kill -daemon 0 || fail "kill daemon 0"
+"$BIN/sccctl" -config "$CFG" kill -daemon 1 || fail "kill daemon 1"
+
+echo "SMOKE PASS"

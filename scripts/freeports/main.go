@@ -1,0 +1,40 @@
+// Command freeports prints N free TCP port numbers on one line —
+// scripts use it to pick loopback ports without races against fixed
+// defaults. The ports are bound briefly and released, so a small
+// window remains; good enough for test scripts.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintln(os.Stderr, "usage: freeports [n]")
+			os.Exit(2)
+		}
+		n = v
+	}
+	var ports []string
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeports:", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, strconv.Itoa(ln.Addr().(*net.TCPAddr).Port))
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	fmt.Println(strings.Join(ports, " "))
+}
