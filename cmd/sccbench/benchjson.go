@@ -45,12 +45,14 @@ type benchComparison struct {
 	Speedup *float64    `json:"speedup,omitempty"` // before mean / after mean
 }
 
-// benchReport is the emitted document.
+// benchReport is the emitted document. Telemetry optionally carries a
+// -telemetryout snapshot document from the run being recorded.
 type benchReport struct {
 	Note       string            `json:"note"`
 	BeforeFile string            `json:"before_file"`
 	AfterFile  string            `json:"after_file"`
 	Benchmarks []benchComparison `json:"benchmarks"`
+	Telemetry  json.RawMessage   `json:"telemetry,omitempty"`
 }
 
 // parseBenchFile collects samples per benchmark name from `go test
@@ -141,8 +143,9 @@ func summarise(samples []benchSample) *benchStats {
 
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
-// writeBenchComparison builds and writes the JSON report.
-func writeBenchComparison(w io.Writer, beforePath, afterPath, note string) error {
+// writeBenchComparison builds and writes the JSON report. telemetry,
+// when non-empty, names a -telemetryout JSON file to embed verbatim.
+func writeBenchComparison(w io.Writer, beforePath, afterPath, note, telemetry string) error {
 	before, err := parseBenchFile(beforePath)
 	if err != nil {
 		return fmt.Errorf("parse -before: %w", err)
@@ -150,6 +153,17 @@ func writeBenchComparison(w io.Writer, beforePath, afterPath, note string) error
 	after, err := parseBenchFile(afterPath)
 	if err != nil {
 		return fmt.Errorf("parse -after: %w", err)
+	}
+	var telemRaw json.RawMessage
+	if telemetry != "" {
+		raw, err := os.ReadFile(telemetry)
+		if err != nil {
+			return fmt.Errorf("read -telemetryfile: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("-telemetryfile %s: not valid JSON", telemetry)
+		}
+		telemRaw = raw
 	}
 	names := make(map[string]bool)
 	for n := range before {
@@ -164,7 +178,7 @@ func writeBenchComparison(w io.Writer, beforePath, afterPath, note string) error
 	}
 	sort.Strings(sorted)
 
-	rep := benchReport{Note: note, BeforeFile: beforePath, AfterFile: afterPath}
+	rep := benchReport{Note: note, BeforeFile: beforePath, AfterFile: afterPath, Telemetry: telemRaw}
 	for _, n := range sorted {
 		c := benchComparison{
 			Name:   n,

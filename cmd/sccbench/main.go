@@ -34,6 +34,11 @@
 // calls; use -policy eager to keep the wire's longer overlap windows
 // from convoying.
 //
+// Telemetry: -telemetry prints each cluster's final instrument-block
+// snapshot (phase quantiles, wave shape, decision conservation) after
+// its throughput line; -telemetryout collects the snapshots into a
+// JSON file that -benchjson can embed with -telemetryfile.
+//
 // Profiling: -cpuprofile / -memprofile write pprof files for any mode,
 // so perf work profiles the real workloads without editing code:
 //
@@ -135,6 +140,7 @@ func runShardScale(shardList, maxprocsList string, workers, txns, db int, cross,
 			fmt.Printf("%-8d %12.0f %12d %10d %10d %12s%s\n",
 				n, res.TxnPerSec, res.Ops, res.Pseudo, res.Aborts,
 				res.Elapsed.Round(time.Millisecond), speedup)
+			emitTelemetry(fmt.Sprintf("shardscale/shards=%d", n), c)
 		}
 	}
 	return nil
@@ -196,6 +202,7 @@ func runNet(shardList string, workers, txns, db int, cross float64, seed int64, 
 		fmt.Printf("%-8d %-14s %10.0f %10d %10d %12s\n",
 			n, "in-process", inRes.TxnPerSec, inRes.Ops, inRes.Aborts,
 			inRes.Elapsed.Round(time.Millisecond))
+		emitTelemetry(fmt.Sprintf("net/in-process/shards=%d", n), inproc)
 
 		netRes, err := runNetOnce(n, spec, lc, pol)
 		if err != nil {
@@ -246,7 +253,11 @@ func runNetOnce(n int, spec string, lc workload.LoadConfig, pol dist.HoldPolicy)
 		return workload.LoadResult{}, err
 	}
 	defer cl.Close()
-	return workload.RunLoad(cl, lc)
+	res, err := workload.RunLoad(cl, lc)
+	if err == nil {
+		emitTelemetry(fmt.Sprintf("net/loopback-tcp/shards=%d", n), co.Cluster)
+	}
+	return res, err
 }
 
 // runConvoy reproduces the hold-convoy overload under the wall clock
@@ -313,6 +324,7 @@ func runConvoy(sitesN, workers, txns, db int, cross float64, seed int64, holdOpe
 		fmt.Printf("%-14s %10.0f %10d %10d %10d %12s %12s%s\n",
 			name, res.TxnPerSec, res.Pseudo, ps.HeldPeak, res.Aborts, shed,
 			res.Elapsed.Round(time.Millisecond), note)
+		emitTelemetry("convoy/policy="+name, c)
 	}
 	return nil
 }
@@ -353,6 +365,7 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	}
 	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s\n", "plain",
 		plainRes.TxnPerSec, plainRes.Pseudo, plainRes.Aborts, plainRes.Elapsed.Round(time.Millisecond), "-")
+	emitTelemetry("chaos/plain", plain)
 
 	ft, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true, Policy: pol})
 	if err != nil {
@@ -368,6 +381,7 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	}
 	fmt.Printf("%-22s %12.0f %10d %10d %12s %10s%s\n", "fault-tolerant",
 		ftRes.TxnPerSec, ftRes.Pseudo, ftRes.Aborts, ftRes.Elapsed.Round(time.Millisecond), "-", overhead)
+	emitTelemetry("chaos/fault-tolerant", ft)
 
 	chaosCluster, err := dist.NewWithConfig(dist.Config{Sites: shardsN, FaultTolerant: true, Policy: pol})
 	if err != nil {
@@ -385,6 +399,7 @@ func runChaos(shardsN, workers, txns, db int, cross float64, seed int64, crashPe
 	fmt.Printf("%-22s %12.0f %10d %10d %12s %10d  (heldaborts=%d)\n", "fault-tolerant+chaos",
 		chaosRes.TxnPerSec, chaosRes.Pseudo, chaosRes.Aborts, chaosRes.Elapsed.Round(time.Millisecond),
 		chaosRes.Crashes, chaosRes.HeldAborts)
+	emitTelemetry("chaos/fault-tolerant+chaos", chaosCluster)
 
 	// Conservation across failures: every committed push — and nothing
 	// else — is in a committed stack.
@@ -448,12 +463,18 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
-		benchjson = flag.Bool("benchjson", false, "compare two saved `go test -bench` outputs as JSON")
-		beforeTxt = flag.String("before", "", "before-side bench output file for -benchjson")
-		afterTxt  = flag.String("after", "", "after-side bench output file for -benchjson")
-		benchNote = flag.String("note", "", "free-form note embedded in the -benchjson report")
+		benchjson  = flag.Bool("benchjson", false, "compare two saved `go test -bench` outputs as JSON")
+		beforeTxt  = flag.String("before", "", "before-side bench output file for -benchjson")
+		afterTxt   = flag.String("after", "", "after-side bench output file for -benchjson")
+		benchNote  = flag.String("note", "", "free-form note embedded in the -benchjson report")
+		telemFlag  = flag.Bool("telemetry", false, "print each cluster's final telemetry snapshot after its throughput line")
+		telemOut   = flag.String("telemetryout", "", "also collect -telemetry snapshots into this JSON file")
+		telemEmbed = flag.String("telemetryfile", "", "-benchjson: embed a saved -telemetryout JSON document in the report")
 	)
 	flag.Parse()
+	telemetryOn = *telemFlag
+	telemetryOut = *telemOut
+	defer flushTelemetry()
 
 	pol, err := dist.ParsePolicy(*policyStr)
 	if err != nil {
@@ -468,7 +489,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sccbench: -benchjson needs -before and -after files")
 			os.Exit(2)
 		}
-		if err := writeBenchComparison(os.Stdout, *beforeTxt, *afterTxt, *benchNote); err != nil {
+		if err := writeBenchComparison(os.Stdout, *beforeTxt, *afterTxt, *benchNote, *telemEmbed); err != nil {
 			fmt.Fprintf(os.Stderr, "sccbench: %v\n", err)
 			os.Exit(1)
 		}

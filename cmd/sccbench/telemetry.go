@@ -1,0 +1,161 @@
+package main
+
+// Telemetry snapshot mode: with -telemetry every cluster a benchmark
+// mode builds prints its final instrument-block summary (phase
+// quantiles, wave shape, decision-log conservation counters) after the
+// throughput line, and -telemetryout additionally collects every
+// summary into one JSON document — the same shape -benchjson can embed
+// via -telemetryfile, so a BENCH_*.json record can carry the telemetry
+// of the run that produced it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/telemetry"
+)
+
+var (
+	telemetryOn  bool
+	telemetryOut string
+	telemetryLog []labelledTelemetry
+)
+
+// phaseSummary condenses one histogram into the quantiles the tables
+// print (upper-bound estimates from power-of-two buckets).
+type phaseSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func summarisePhase(h *telemetry.Histogram) phaseSummary {
+	s := h.Snapshot()
+	return phaseSummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// telemetrySummary is one cluster's final instrument-block snapshot.
+type telemetrySummary struct {
+	FastCommits   uint64 `json:"fast_commits"`
+	Conversations uint64 `json:"conversations"`
+	Sheds         uint64 `json:"sheds,omitempty"`
+	HeldPeak      int64  `json:"held_peak"`
+
+	HoldNanos    phaseSummary `json:"hold_nanos"`
+	DecideNanos  phaseSummary `json:"decide_nanos"`
+	ReleaseNanos phaseSummary `json:"release_nanos"`
+	WaveSize     phaseSummary `json:"wave_size"`
+	ReleaseWidth phaseSummary `json:"release_width"`
+
+	DecisionsLogged   uint64 `json:"decisions_logged,omitempty"`
+	DecisionsAdopted  uint64 `json:"decisions_adopted,omitempty"`
+	DecisionsResolved uint64 `json:"decisions_resolved,omitempty"`
+	LiveDecisions     int64  `json:"live_decisions,omitempty"`
+
+	Crashes  uint64 `json:"crashes,omitempty"`
+	Restarts uint64 `json:"restarts,omitempty"`
+}
+
+type labelledTelemetry struct {
+	Label   string           `json:"label"`
+	Summary telemetrySummary `json:"summary"`
+}
+
+func summariseTelemetry(c *dist.Cluster) telemetrySummary {
+	tel := c.Telemetry()
+	return telemetrySummary{
+		FastCommits:       tel.FastCommits.Load(),
+		Conversations:     tel.Conversations.Load(),
+		Sheds:             tel.Sheds.Load(),
+		HeldPeak:          tel.Held.High(),
+		HoldNanos:         summarisePhase(&tel.HoldNanos),
+		DecideNanos:       summarisePhase(&tel.DecideNanos),
+		ReleaseNanos:      summarisePhase(&tel.ReleaseNanos),
+		WaveSize:          summarisePhase(&tel.WaveSize),
+		ReleaseWidth:      summarisePhase(&tel.ReleaseWidth),
+		DecisionsLogged:   tel.DecisionsLogged.Load(),
+		DecisionsAdopted:  tel.DecisionsAdopted.Load(),
+		DecisionsResolved: tel.DecisionsResolved.Load(),
+		LiveDecisions:     tel.LiveDecisions.Load(),
+		Crashes:           tel.Crashes.Load(),
+		Restarts:          tel.Restarts.Load(),
+	}
+}
+
+// emitTelemetry prints (and with -telemetryout collects) one cluster's
+// snapshot. A no-op unless -telemetry was given, so the benchmark
+// tables stay unchanged by default.
+func emitTelemetry(label string, c *dist.Cluster) {
+	if !telemetryOn || c == nil {
+		return
+	}
+	ts := summariseTelemetry(c)
+	fmt.Printf("  telemetry[%s]: fast=%d conversations=%d sheds=%d heldpeak=%d\n",
+		label, ts.FastCommits, ts.Conversations, ts.Sheds, ts.HeldPeak)
+	for _, ph := range []struct {
+		name string
+		p    phaseSummary
+	}{
+		{"hold", ts.HoldNanos}, {"decide", ts.DecideNanos}, {"release", ts.ReleaseNanos},
+	} {
+		if ph.p.Count == 0 {
+			continue
+		}
+		fmt.Printf("  telemetry[%s]: %-7s n=%-8d mean=%-10s p50<=%-10s p95<=%-10s p99<=%s\n",
+			label, ph.name, ph.p.Count, ns(ph.p.Mean), ns(ph.p.P50), ns(ph.p.P95), ns(ph.p.P99))
+	}
+	if ts.WaveSize.Count > 0 {
+		fmt.Printf("  telemetry[%s]: waves n=%d mean=%.1f p95<=%.0f; release-width mean=%.1f p95<=%.0f\n",
+			label, ts.WaveSize.Count, ts.WaveSize.Mean, ts.WaveSize.P95,
+			ts.ReleaseWidth.Mean, ts.ReleaseWidth.P95)
+	}
+	if ts.DecisionsLogged+ts.DecisionsAdopted > 0 {
+		fmt.Printf("  telemetry[%s]: decisions logged=%d adopted=%d resolved=%d live=%d\n",
+			label, ts.DecisionsLogged, ts.DecisionsAdopted, ts.DecisionsResolved, ts.LiveDecisions)
+	}
+	if telemetryOut != "" {
+		telemetryLog = append(telemetryLog, labelledTelemetry{Label: label, Summary: ts})
+	}
+}
+
+// ns renders a nanosecond quantity human-readably.
+func ns(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fus", v/1e3)
+	}
+	return fmt.Sprintf("%.0fns", v)
+}
+
+// flushTelemetry writes the collected summaries as JSON (deferred from
+// main when -telemetryout is set).
+func flushTelemetry() {
+	if telemetryOut == "" || len(telemetryLog) == 0 {
+		return
+	}
+	f, err := os.Create(telemetryOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: -telemetryout: %v\n", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(telemetryLog); err != nil {
+		fmt.Fprintf(os.Stderr, "sccbench: -telemetryout: %v\n", err)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// fetchJSON GETs a debug-plane endpoint and decodes the JSON body.
+func fetchJSON(addr, path string, v any) error {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", addr, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// cmdStats pretty-prints cluster-wide telemetry scraped from every
+// process's /statusz. Processes without a configured debug plane are
+// reported and skipped.
+func cmdStats(cf *wire.ClusterFile) {
+	if cf.Debug == "" {
+		fatal(fmt.Errorf("stats needs a coordinator debug address (\"debug\") in the cluster file"))
+	}
+	var st wire.Statusz
+	if err := fetchJSON(cf.Debug, "/statusz", &st); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coordinator (%s): policy=%s\n", cf.Debug, st.Policy)
+	if s := st.Stats; s != nil {
+		fmt.Printf("  sched: executes=%d blocks=%d grants=%d withdrawals=%d commits=%d pseudo=%d aborts=%d (deadlock=%d cycle=%d)\n",
+			s.Executes, s.Blocks, s.Grants, s.Withdrawals, s.Commits, s.PseudoCommits,
+			s.Aborts, s.DeadlockAborts, s.CycleAborts)
+	}
+	fmt.Printf("  commit: fast=%d conversations=%d sheds=%d held=%d (peak %d)\n",
+		st.FastCommits, st.Conversations, st.Sheds, st.Held, st.HeldHigh)
+	fmt.Printf("  decisions: logged=%d adopted=%d resolved=%d live=%d\n",
+		st.DecisionsLogged, st.DecisionsAdopted, st.DecisionsResolved, st.LiveDecisions)
+	fmt.Printf("  faults: crashes=%d restarts=%d  mirror-edges=%d  trace-events=%d\n",
+		st.Crashes, st.Restarts, st.MirrorEdges, st.TraceLen)
+	if ps := st.PolicyStats; ps != nil {
+		fmt.Printf("  policy: tail-aborts=%d admission-rejects=%d eager-rounds=%d eager-released=%d held-peak=%d\n",
+			ps.TailAborts, ps.AdmissionRejects, ps.EagerRounds, ps.EagerReleased, ps.HeldPeak)
+	}
+	if w := st.Wire; w != nil {
+		fmt.Printf("  wire: out=%d frames/%d B in=%d frames/%d B reconnects=%d pipeline=%d (peak %d)\n",
+			w.FramesOut, w.BytesOut, w.FramesIn, w.BytesIn, w.Reconnects, w.Pipeline, w.PipelineHigh)
+	}
+	printSiteStats(st.SiteStats)
+	for i, d := range cf.Daemons {
+		if d.Debug == "" {
+			fmt.Printf("daemon %d (%s): no debug plane configured\n", i, d.Listen)
+			continue
+		}
+		var ds wire.Statusz
+		if err := fetchJSON(d.Debug, "/statusz", &ds); err != nil {
+			fmt.Printf("daemon %d (%s): %v\n", i, d.Debug, err)
+			continue
+		}
+		fmt.Printf("daemon %d (%s):\n", i, d.Debug)
+		printSiteStats(ds.SiteStats)
+	}
+}
+
+func printSiteStats(m map[string]core.Stats) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := m[k]
+		fmt.Printf("  site %s: executes=%d blocks=%d commits=%d pseudo=%d aborts=%d withdrawals=%d\n",
+			k, s.Executes, s.Blocks, s.Commits, s.PseudoCommits, s.Aborts, s.Withdrawals)
+	}
+}
+
+// cmdTrace drains the coordinator's conversation-event ring and prints
+// it oldest-first.
+func cmdTrace(cf *wire.ClusterFile, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	last := fs.Int("last", 0, "print only the last N events (0 = all retained)")
+	fs.Parse(args)
+	if cf.Debug == "" {
+		fatal(fmt.Errorf("trace needs a coordinator debug address (\"debug\") in the cluster file"))
+	}
+	var events []telemetry.Event
+	if err := fetchJSON(cf.Debug, "/tracez", &events); err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fmt.Println("sccctl: trace ring is empty (is \"trace\" set in the cluster file?)")
+		return
+	}
+	if *last > 0 && len(events) > *last {
+		events = events[len(events)-*last:]
+	}
+	for _, e := range events {
+		fmt.Printf("%12.3fms  #%-8d %-8s txn=%-6d site=%-3d arg=%d\n",
+			float64(e.Nanos)/1e6, e.Seq, e.KindS, e.Txn, e.Site, e.Arg)
+	}
+}

@@ -6,6 +6,8 @@
 //	sccctl -config cluster.json status            # site liveness, stats, decision-log depth
 //	sccctl -config cluster.json load [flags]      # drive a closed-loop load through the client plane
 //	sccctl -config cluster.json kill -daemon N    # ask one site daemon to exit
+//	sccctl -config cluster.json stats             # cluster-wide telemetry from the debug planes
+//	sccctl -config cluster.json trace [flags]     # drain the coordinator's conversation trace
 //
 // load drives workload.RunLoad against the coordinator over TCP with
 // crash-tolerant retries, and with -verify checks conservation for
@@ -54,6 +56,10 @@ func main() {
 		cmdLoad(cf, *wait, args)
 	case "kill":
 		cmdKill(cf, args)
+	case "stats":
+		cmdStats(cf)
+	case "trace":
+		cmdTrace(cf, args)
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}

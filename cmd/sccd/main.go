@@ -34,10 +34,11 @@ import (
 
 func main() {
 	var (
-		config   = flag.String("config", "", "cluster description JSON (required)")
-		role     = flag.String("role", "", "process role: site | coord")
-		daemon   = flag.Int("daemon", -1, "site role: index into the cluster file's daemons list")
-		dialWait = flag.Duration("dialwait", 10*time.Second, "coord role: how long to wait for site daemons at startup")
+		config    = flag.String("config", "", "cluster description JSON (required)")
+		role      = flag.String("role", "", "process role: site | coord")
+		daemon    = flag.Int("daemon", -1, "site role: index into the cluster file's daemons list")
+		dialWait  = flag.Duration("dialwait", 10*time.Second, "coord role: how long to wait for site daemons at startup")
+		debugAddr = flag.String("debug-addr", "", "debug-plane HTTP listen address (overrides the cluster file; empty uses the file, \"off\" disables)")
 	)
 	flag.Parse()
 	if *config == "" || *role == "" {
@@ -50,12 +51,24 @@ func main() {
 	}
 	switch *role {
 	case "site":
-		runSite(cf, *daemon)
+		runSite(cf, *daemon, *debugAddr)
 	case "coord":
-		runCoord(cf, *dialWait)
+		runCoord(cf, *dialWait, *debugAddr)
 	default:
 		fatal(fmt.Errorf("unknown role %q (want site or coord)", *role))
 	}
+}
+
+// pickDebugAddr resolves the debug-plane address from the flag
+// override and the cluster-file default.
+func pickDebugAddr(flagAddr, fileAddr string) string {
+	switch flagAddr {
+	case "":
+		return fileAddr
+	case "off":
+		return ""
+	}
+	return flagAddr
 }
 
 func fatal(err error) {
@@ -67,7 +80,7 @@ func fatal(err error) {
 // shutdown request. Each site is a fault.Crashable with a private
 // in-memory log: the daemon's recovery is driven by the coordinator's
 // decision log at reconcile time, not replayed locally.
-func runSite(cf *wire.ClusterFile, idx int) {
+func runSite(cf *wire.ClusterFile, idx int, debugAddr string) {
 	if idx < 0 || idx >= len(cf.Daemons) {
 		fatal(fmt.Errorf("-daemon %d out of range (cluster has %d daemons)", idx, len(cf.Daemons)))
 	}
@@ -91,6 +104,14 @@ func runSite(cf *wire.ClusterFile, idx int) {
 	if err != nil {
 		fatal(err)
 	}
+	if addr := pickDebugAddr(debugAddr, d.Debug); addr != "" {
+		dbg, err := wire.ServeDebug(wire.DebugConfig{Addr: addr, Role: "site", Sites: sites})
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("sccd: site daemon %d debug plane on http://%s\n", idx, dbg.Addr())
+	}
 	fmt.Printf("sccd: site daemon %d serving sites %v on %s\n", idx, d.Sites, srv.Addr())
 	<-quit
 	srv.Close()
@@ -99,9 +120,13 @@ func runSite(cf *wire.ClusterFile, idx int) {
 // runCoord starts the coordinator: it opens (or re-opens) the decision
 // log, adopts any logged commits a previous incarnation left behind,
 // reconciles every reachable site daemon, and serves clients.
-func runCoord(cf *wire.ClusterFile, dialWait time.Duration) {
+func runCoord(cf *wire.ClusterFile, dialWait time.Duration, debugAddr string) {
 	if cf.Log == "" {
 		fatal(fmt.Errorf("coord role needs a decision log path (\"log\")"))
+	}
+	policy, err := dist.ParsePolicy(cf.Policy)
+	if err != nil {
+		fatal(err)
 	}
 	flog, err := fault.OpenFileLog(cf.Log, cf.Sync)
 	if err != nil {
@@ -114,10 +139,25 @@ func runCoord(cf *wire.ClusterFile, dialWait time.Duration) {
 		Daemons:    cf.Daemons,
 		Workload:   cf.Workload,
 		DialWait:   dialWait,
+		Policy:     policy,
+		Trace:      cf.Trace,
 	})
 	if err != nil {
 		flog.Close()
 		fatal(err)
+	}
+	if addr := pickDebugAddr(debugAddr, cf.Debug); addr != "" {
+		dbg, err := wire.ServeDebug(wire.DebugConfig{
+			Addr:    addr,
+			Role:    "coord",
+			Cluster: co.Cluster,
+			Wire:    co.WireMetrics(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("sccd: coordinator debug plane on http://%s (policy %s)\n", dbg.Addr(), co.Cluster.PolicyName())
 	}
 	if n := len(co.Adopted); n > 0 {
 		fmt.Printf("sccd: coordinator adopted %d logged commit decision(s) from %s\n", n, cf.Log)

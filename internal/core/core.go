@@ -209,6 +209,7 @@ type Stats struct {
 	Aborts         uint64
 	DeadlockAborts uint64
 	CycleAborts    uint64
+	Withdrawals    uint64
 	Commits        uint64
 	PseudoCommits  uint64
 	CycleChecks    uint64
@@ -226,6 +227,7 @@ func (s *Stats) Add(o Stats) {
 	s.Aborts += o.Aborts
 	s.DeadlockAborts += o.DeadlockAborts
 	s.CycleAborts += o.CycleAborts
+	s.Withdrawals += o.Withdrawals
 	s.Commits += o.Commits
 	s.PseudoCommits += o.PseudoCommits
 	s.CycleChecks += o.CycleChecks

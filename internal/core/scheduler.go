@@ -8,6 +8,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/depgraph"
+	"repro/internal/telemetry"
 )
 
 // graphKeeper owns dependency-graph maintenance: edge insertion and
@@ -16,28 +17,28 @@ import (
 // txnStore.
 type graphKeeper struct {
 	g     *depgraph.Graph
-	stats *Stats
+	stats *telemetry.CoreStats
 }
 
-func newGraphKeeper(stats *Stats) graphKeeper {
+func newGraphKeeper(stats *telemetry.CoreStats) graphKeeper {
 	return graphKeeper{g: depgraph.New(), stats: stats}
 }
 
 // waitFor adds a wait-for edge from -> to.
 func (gk graphKeeper) waitFor(from, to TxnID) {
 	gk.g.AddEdge(from, to, depgraph.WaitFor)
-	gk.stats.WaitForEdges++
+	gk.stats.WaitForEdges.Inc()
 }
 
 // commitDep adds a commit-dependency edge from -> to.
 func (gk graphKeeper) commitDep(from, to TxnID) {
 	gk.g.AddEdge(from, to, depgraph.CommitDep)
-	gk.stats.CommitDepEdges++
+	gk.stats.CommitDepEdges.Inc()
 }
 
 // cycleFrom runs counted cycle detection starting at t.
 func (gk graphKeeper) cycleFrom(t TxnID) bool {
-	gk.stats.CycleChecks++
+	gk.stats.CycleChecks.Inc()
 	return gk.g.HasCycleFrom(t)
 }
 
@@ -80,7 +81,7 @@ type Scheduler struct {
 	txns    txnStore
 	gk      graphKeeper
 	nextSeq uint64
-	stats   Stats
+	stats   telemetry.CoreStats
 	sc      schedScratch
 
 	// pendingRetry holds objects whose blocked queues must be
@@ -264,7 +265,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 			s.gk.waitFor(t.id, h)
 		}
 		if s.gk.cycleFrom(t.id) {
-			s.stats.DeadlockAborts++
+			s.stats.DeadlockAborts.Inc()
 			if err := s.finalize(t, false, ReasonDeadlock, eff); err != nil {
 				return Decision{}, err
 			}
@@ -278,7 +279,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 			// running, so it is not a fresh block for the paper's
 			// blocking-ratio metric (the deadlock check above still
 			// counted).
-			s.stats.Blocks++
+			s.stats.Blocks.Inc()
 			if r := s.opts.Recorder; r != nil {
 				r.Blocked(t.id, o.id, op)
 			}
@@ -294,7 +295,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 			s.gk.commitDep(t.id, h)
 		}
 		if s.gk.cycleFrom(t.id) {
-			s.stats.CycleAborts++
+			s.stats.CycleAborts.Inc()
 			if err := s.finalize(t, false, ReasonCommitCycle, eff); err != nil {
 				return Decision{}, err
 			}
@@ -310,7 +311,7 @@ func (s *Scheduler) tryExecute(t *txn, o *object, op adt.Op, retry bool, eff *Ef
 	}
 	t.visited[o.id] = struct{}{}
 	t.nops++
-	s.stats.Executes++
+	s.stats.Executes.Inc()
 	if r := s.opts.Recorder; r != nil {
 		r.Executed(t.id, o.id, op, ret, s.nextSeq)
 	}
@@ -357,7 +358,7 @@ func (s *Scheduler) commitLocked(eff *Effects, id TxnID) (CommitStatus, error) {
 
 	if s.gk.g.OutDegree(id) > 0 {
 		t.state = stPseudo
-		s.stats.PseudoCommits++
+		s.stats.PseudoCommits.Inc()
 		if r := s.opts.Recorder; r != nil {
 			r.PseudoCommitted(id)
 		}
@@ -416,7 +417,7 @@ func (s *Scheduler) commitHoldLocked(id TxnID) (int, error) {
 	}
 	t.state = stPseudo
 	t.held = true
-	s.stats.PseudoCommits++
+	s.stats.PseudoCommits.Inc()
 	if r := s.opts.Recorder; r != nil {
 		r.PseudoCommitted(id)
 	}
@@ -603,6 +604,7 @@ func (s *Scheduler) withdrawLocked(eff *Effects, id TxnID) error {
 	s.retireRequest(r)
 	s.gk.g.RemoveWaitEdges(t.id)
 	t.state = stActive
+	s.stats.Withdrawals.Inc()
 	if err := s.settle(eff); err != nil {
 		return err
 	}
@@ -650,13 +652,13 @@ func (s *Scheduler) finalize(t *txn, commit bool, reason AbortReason, eff *Effec
 
 	if commit {
 		t.state = stCommitted
-		s.stats.Commits++
+		s.stats.Commits.Inc()
 		if r := s.opts.Recorder; r != nil {
 			r.Committed(t.id)
 		}
 	} else {
 		t.state = stAborted
-		s.stats.Aborts++
+		s.stats.Aborts.Inc()
 		if r := s.opts.Recorder; r != nil {
 			r.Aborted(t.id, reason)
 		}
@@ -775,7 +777,7 @@ scan:
 		}
 		switch dec.Outcome {
 		case Executed:
-			s.stats.Grants++
+			s.stats.Grants.Inc()
 			eff.Grants = append(eff.Grants, Grant{Txn: r.txn, Object: o.id, Op: r.op, Ret: dec.Ret})
 		case Blocked:
 			// Re-insert at the front of the remaining queue
@@ -858,11 +860,51 @@ func (s *Scheduler) assertInvariants() {
 
 // StatsSnapshot returns a copy of the cumulative counters. CycleChecks
 // reflects the scheduler's own count (block-time deadlock checks plus
-// recoverable-execution checks).
+// recoverable-execution checks). The snapshot is built from the live
+// telemetry counters — the one source of truth — under the scheduler
+// mutex, so it is exact and the returned struct stays plainly
+// comparable.
 func (s *Scheduler) StatsSnapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	c := &s.stats
+	return Stats{
+		Executes:       c.Executes.Load(),
+		Blocks:         c.Blocks.Load(),
+		Grants:         c.Grants.Load(),
+		Aborts:         c.Aborts.Load(),
+		DeadlockAborts: c.DeadlockAborts.Load(),
+		CycleAborts:    c.CycleAborts.Load(),
+		Withdrawals:    c.Withdrawals.Load(),
+		Commits:        c.Commits.Load(),
+		PseudoCommits:  c.PseudoCommits.Load(),
+		CycleChecks:    c.CycleChecks.Load(),
+		CommitDepEdges: c.CommitDepEdges.Load(),
+		WaitForEdges:   c.WaitForEdges.Load(),
+	}
+}
+
+// Telemetry exposes the scheduler's live counter block for lock-free
+// reads (/metrics scrapes read it without taking the scheduler
+// mutex; increments still happen under the mutex, so per-counter
+// values are exact).
+func (s *Scheduler) Telemetry() *telemetry.CoreStats {
+	return &s.stats
+}
+
+// BlockedDepth counts transactions currently parked on a blocked
+// request — the instantaneous queue depth, as opposed to the
+// cumulative Blocks counter.
+func (s *Scheduler) BlockedDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.txns.m {
+		if t.state == stBlocked {
+			n++
+		}
+	}
+	return n
 }
 
 // TxnOps returns how many operations the transaction has executed (used

@@ -3,6 +3,8 @@ package depgraph
 import (
 	"cmp"
 	"slices"
+
+	"repro/internal/telemetry"
 )
 
 // Mirror is the coordinator's union of per-participant dependency
@@ -42,6 +44,13 @@ type Mirror struct {
 
 	cycleChecks uint64
 	observes    uint64
+	// edges counts live per-site edge contributions, kept in lockstep
+	// by addEdge and the three removal paths.
+	edges int
+
+	// met, when set, receives cycle-check cost and chain-depth
+	// observations (nil until SetMetrics — all calls are nil-safe).
+	met *telemetry.MirrorMetrics
 
 	// epoch stamps visited nodes per HasCycleFrom call; stack is the
 	// reusable DFS work list; degScratch backs the distinct-target
@@ -49,6 +58,16 @@ type Mirror struct {
 	epoch uint64
 	stack []int32
 }
+
+// SetMetrics attaches a telemetry block: subsequent cycle checks and
+// chain-depth queries record their cost into it. The mirror runs
+// under the coordinator mutex, so no synchronisation is added.
+func (m *Mirror) SetMetrics(met *telemetry.MirrorMetrics) { m.met = met }
+
+// EdgeCount returns the number of live per-site edge contributions —
+// the mirror's size, as distinct from OutDegree's per-transaction
+// distinct-target count.
+func (m *Mirror) EdgeCount() int { return m.edges }
 
 // medge is one site's contribution of a from -> to edge: out-adjacency
 // entries live in the source node's out slice.
@@ -139,6 +158,7 @@ func (m *Mirror) siteIdx(site int) *siteIndex {
 func (m *Mirror) addEdge(from, to int32, site int32, kind EdgeKind) {
 	nf := &m.nodes[from]
 	nf.out = append(nf.out, medge{to: to, site: site, kind: kind})
+	m.edges++
 	nf.pairCnt[to]++
 	if nf.pairCnt[to] == 1 {
 		m.nodes[to].in[from] = struct{}{}
@@ -217,6 +237,7 @@ func (m *Mirror) Observe(site int, from TxnID, edges []Edge) {
 			to := out[i].to
 			out[i] = out[len(out)-1]
 			out = out[:len(out)-1]
+			m.edges--
 			m.dropPair(fi, to)
 			m.dropSiteRef(s32, fi)
 			m.maybeFree(to)
@@ -254,6 +275,7 @@ func (m *Mirror) DropSite(site int) {
 				to := out[i].to
 				out[i] = out[len(out)-1]
 				out = out[:len(out)-1]
+				m.edges--
 				m.dropPair(fi, to)
 				m.maybeFree(to)
 				continue
@@ -287,6 +309,7 @@ func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
 				m.dropSiteRef(out[i].site, src)
 				out[i] = out[len(out)-1]
 				out = out[:len(out)-1]
+				m.edges--
 				continue
 			}
 			i++
@@ -296,6 +319,7 @@ func (m *Mirror) RemoveTxn(t TxnID) []TxnID {
 		m.maybeFree(src)
 	}
 	clear(n.in)
+	m.edges -= len(n.out)
 	for _, e := range n.out {
 		m.dropSiteRef(e.site, ti)
 		to := e.to
@@ -355,6 +379,7 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 		stack = append(stack, e.to)
 	}
 	found := false
+	visitedCount := uint64(1)
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -367,6 +392,7 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 			continue
 		}
 		cn.visited = epoch
+		visitedCount++
 		for _, e := range cn.out {
 			if e.to == ti {
 				found = true
@@ -381,6 +407,9 @@ func (m *Mirror) HasCycleFrom(t TxnID) bool {
 		}
 	}
 	m.stack = stack[:0]
+	if m.met != nil {
+		m.met.CycleCost.Observe(visitedCount)
+	}
 	return found
 }
 
@@ -399,7 +428,11 @@ func (m *Mirror) LongestChainFrom(t TxnID) int {
 		return 0
 	}
 	m.epoch++
-	return int(m.chainDepth(ti, m.epoch))
+	d := m.chainDepth(ti, m.epoch)
+	if m.met != nil {
+		m.met.ChainDepth.Observe(uint64(d))
+	}
+	return int(d)
 }
 
 // chainDepth computes the memoised longest-path depth of one node. The

@@ -42,6 +42,7 @@ import (
 	"repro/internal/delivery"
 	"repro/internal/depgraph"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // SiteBackend is what a cluster needs from a site beyond the
@@ -260,6 +261,14 @@ type Cluster struct {
 	// empties after Close — the CloseCtx waiters' signal.
 	closeMu sync.Mutex
 	drain   chan struct{}
+
+	// tel is the coordinator's always-on instrument block (counters and
+	// histograms are lock-free; phase timings are recorded only on the
+	// conversation path, so the edge-free fast path stays untimed).
+	// tracer is the opt-in conversation event ring (nil unless
+	// Config.Trace > 0; every Record call is nil-safe).
+	tel    telemetry.DistMetrics
+	tracer *telemetry.Tracer
 }
 
 // Cluster is the distributed core.Store.
@@ -302,6 +311,11 @@ type Config struct {
 	// TCP connection. With FaultTolerant, each backend must also
 	// implement CrashRestarter.
 	Backends []SiteBackend
+	// Trace, when positive, enables the commit-conversation event
+	// tracer with a ring of that many events (drained via Tracer();
+	// /tracez on a daemon). Zero disables tracing entirely — the
+	// default, and the zero-overhead path.
+	Trace int
 }
 
 // New builds a cluster of n in-process sites, each running its own
@@ -329,7 +343,9 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		hook:   cfg.StepHook,
 		faulty: cfg.FaultTolerant,
 		mirror: depgraph.NewMirror(),
+		tracer: telemetry.NewTracer(cfg.Trace),
 	}
+	c.mirror.SetMetrics(&c.tel.Mirror)
 	if cfg.Policy != nil {
 		c.policy = cfg.Policy.Fresh()
 	}
@@ -535,6 +551,8 @@ func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 	if done {
 		delete(c.relAcks, id)
 		delete(c.redoClaims, id)
+		c.tel.DecisionsResolved.Inc()
+		c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
 	}
 	c.logMu.Unlock()
 	if done {
@@ -601,6 +619,8 @@ func (c *Cluster) AdoptDecision(id core.TxnID) {
 			pending[s.id] = struct{}{}
 		}
 		c.relAcks[id] = pending
+		c.tel.DecisionsAdopted.Inc()
+		c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
 	}
 	c.logMu.Unlock()
 }
@@ -804,6 +824,7 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 func (c *Cluster) releaseAt(t *Txn) {
 	for _, sid := range t.visitedSorted() {
 		c.step(DuringReleaseCascade, t.id, sid)
+		c.tracer.Record(telemetry.EvRelease, uint64(t.id), int32(sid), 0)
 		s := c.sites[sid]
 		s.mu.Lock()
 		eff := s.hub.Effects()
@@ -883,6 +904,10 @@ func (c *Cluster) cascade(ids []core.TxnID) {
 			}
 		}
 		c.logCommitBatch(ready)
+		if len(ready) > 0 {
+			c.tel.Held.Set(int64(c.heldCount))
+			c.tel.ReleaseWidth.Observe(uint64(len(ready)))
+		}
 		c.mu.Unlock()
 
 		ids = ids[:0]
@@ -972,6 +997,8 @@ func (c *Cluster) eagerBatch(ids []core.TxnID) {
 		if len(ready) > 0 {
 			c.pstats.EagerRounds++
 			c.pstats.EagerReleased += len(ready)
+			c.tel.Held.Set(int64(c.heldCount))
+			c.tel.ReleaseWidth.Observe(uint64(len(ready)))
 		}
 		c.mu.Unlock()
 
@@ -999,6 +1026,33 @@ func (c *Cluster) PolicyStats() PolicyStats {
 	defer c.mu.Unlock()
 	return c.pstats
 }
+
+// PolicyName returns the active hold policy's parseable name, or
+// "off" when the cluster holds unboundedly (no policy configured).
+func (c *Cluster) PolicyName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.policy == nil {
+		return "off"
+	}
+	return c.policy.Name()
+}
+
+// Telemetry exposes the coordinator's live instrument block for
+// lock-free reads (/metrics scrapes, sccbench snapshots).
+func (c *Cluster) Telemetry() *telemetry.DistMetrics { return &c.tel }
+
+// MirrorEdges reports the dependency mirror's current edge count,
+// taken under the coordinator mutex.
+func (c *Cluster) MirrorEdges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mirror.EdgeCount()
+}
+
+// Tracer returns the conversation event ring, or nil when tracing is
+// disabled (Config.Trace == 0).
+func (c *Cluster) Tracer() *telemetry.Tracer { return c.tracer }
 
 // ---- Crash-stop fault handling (Config.FaultTolerant clusters) ----
 
@@ -1041,6 +1095,8 @@ func (c *Cluster) Crash(id SiteID) error {
 	s.hub.FailAll(core.ReasonSiteFailed)
 	s.mu.Unlock()
 
+	c.tel.Crashes.Inc()
+	c.tracer.Record(telemetry.EvCrash, 0, int32(id), 0)
 	c.mu.Lock()
 	c.mirror.DropSite(int(id))
 	var revoke []*Txn
@@ -1054,6 +1110,7 @@ func (c *Cluster) Crash(id SiteID) error {
 			revoke = append(revoke, t)
 		}
 	}
+	c.tel.Held.Set(int64(c.heldCount))
 	c.mu.Unlock()
 	for _, t := range revoke {
 		c.revokeEverywhere(t, id, core.ReasonSiteFailed)
@@ -1132,6 +1189,8 @@ func (c *Cluster) Restart(id SiteID) (fault.RecoveryReport, error) {
 		c.mu.Unlock()
 	}
 	s.mu.Unlock()
+	c.tel.Restarts.Inc()
+	c.tracer.Record(telemetry.EvRestart, 0, int32(id), int64(len(rep.Redone)))
 	// A redo is this site's release ack: the logged commit is now in
 	// its durable base, so the decision can be truncated once every
 	// other participant has confirmed too.

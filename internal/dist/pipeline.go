@@ -85,6 +85,7 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 // the crash handler dooms under, so a crash during the hold phase
 // cannot slip past the commit point.
 func (c *Cluster) decideWave(wave []*decideReq) {
+	c.tel.WaveSize.Observe(uint64(len(wave)))
 	var releasing []*Txn
 	c.mu.Lock()
 	for _, r := range wave {
@@ -120,6 +121,7 @@ func (c *Cluster) decideWave(wave []*decideReq) {
 					// cascade; the owner runs the revocation (outside
 					// this critical section — it takes site mutexes).
 					t.state.Store(txRevoking)
+					c.tel.Sheds.Inc()
 					continue
 				}
 			}
@@ -128,6 +130,7 @@ func (c *Cluster) decideWave(wave []*decideReq) {
 			if c.heldCount > c.pstats.HeldPeak {
 				c.pstats.HeldPeak = c.heldCount
 			}
+			c.tel.Held.Set(int64(c.heldCount))
 		} else {
 			// The commit point: the decision must be durable before any
 			// participant is released (txReleasing also bars the crash
@@ -169,6 +172,7 @@ func (c *Cluster) logCommitBatch(txns []*Txn) {
 			}
 		}
 	}
+	c.tel.DecisionsLogged.Add(uint64(len(txns)))
 	c.logMu.Lock()
 	for _, t := range txns {
 		pending := make(map[SiteID]struct{}, len(t.visited)+1)
@@ -180,6 +184,7 @@ func (c *Cluster) logCommitBatch(txns []*Txn) {
 		}
 		c.relAcks[t.id] = pending
 	}
+	c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
 	c.logMu.Unlock()
 }
 
@@ -207,6 +212,7 @@ func (c *Cluster) logDirectCommit(id core.TxnID, sids []SiteID) bool {
 	if err := c.flog.Record(id, fault.OutcomeCommit); err != nil {
 		panic(fmt.Sprintf("dist: decision log direct commit of T%d: %v", id, err))
 	}
+	c.tel.DecisionsLogged.Inc()
 	c.logMu.Lock()
 	pending := make(map[SiteID]struct{}, len(sids)+1)
 	for _, sid := range sids {
@@ -214,6 +220,7 @@ func (c *Cluster) logDirectCommit(id core.TxnID, sids []SiteID) bool {
 	}
 	pending[clientAck] = struct{}{}
 	c.relAcks[id] = pending
+	c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
 	c.logMu.Unlock()
 	return true
 }
@@ -262,7 +269,11 @@ func (c *Cluster) undoDirectCommit(id core.TxnID) bool {
 		c.logMu.Unlock()
 		return false
 	}
-	delete(c.relAcks, id)
+	if _, open := c.relAcks[id]; open {
+		delete(c.relAcks, id)
+		c.tel.DecisionsResolved.Inc()
+		c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
+	}
 	c.logMu.Unlock()
 	_ = c.flog.Truncate(id)
 	return true

@@ -1,0 +1,40 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestClusterStatsPerSiteSum pins the stats surface's per-site-sum
+// semantics across the telemetry rebuild: Cluster.Stats is exactly the
+// sum of the per-site snapshots, and a transaction touching k sites
+// contributes k to the per-site event counters (its real commit lands
+// at each visited participant).
+func TestClusterStatsPerSiteSum(t *testing.T) {
+	c := newPageCluster(t, 3, 6)
+	tx := c.Begin()
+	if _, err := tx.Do(1, write(10)); err != nil { // site 1
+		t.Fatal(err)
+	}
+	if _, err := tx.Do(2, write(20)); err != nil { // site 2
+		t.Fatal(err)
+	}
+	if st, err := tx.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("commit = %v, %v; want committed", st, err)
+	}
+
+	var sum core.Stats
+	for sid := 0; sid < c.NumSites(); sid++ {
+		sum.Add(c.SiteStats(SiteID(sid)))
+	}
+	if got := c.Stats(); got != sum {
+		t.Fatalf("Stats() %+v != per-site sum %+v", got, sum)
+	}
+	if sum.Executes != 2 {
+		t.Fatalf("Executes = %d, want 2 (one per visited site)", sum.Executes)
+	}
+	if sum.Commits != 2 {
+		t.Fatalf("Commits = %d, want 2 (the commit lands at each participant)", sum.Commits)
+	}
+}

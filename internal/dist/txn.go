@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/core"
 	"repro/internal/delivery"
 	"repro/internal/depgraph"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // Distributed transaction states. Writes happen under the cluster's
@@ -205,6 +207,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 			return adt.Ret{}, err
 		}
 		t.visit(sid)
+		t.c.tracer.Record(telemetry.EvBegin, uint64(t.id), int32(sid), 0)
 	}
 
 	s.mu.Lock()
@@ -235,6 +238,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		return adt.Ret{}, fmt.Errorf("site %d: %w", sid, &core.ErrAborted{Txn: t.id, Reason: dec.Reason})
 
 	case core.Blocked:
+		t.c.tracer.Record(telemetry.EvBlocked, uint64(t.id), int32(sid), 0)
 		// Mirror the wait-for edges before parking: a cross-site
 		// deadlock closes in the union graph even though each site's
 		// local check passed (§6).
@@ -366,6 +370,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// would break atomicity — multi-site transactions go through the
 	// hold conversation even when edge-free.
 	if !t.anyEdges.Load() && (!c.faulty || len(sids) <= 1) {
+		c.tel.FastCommits.Inc()
 		logged := c.logDirectCommit(t.id, sids)
 		for _, sid := range sids {
 			s := c.sites[sid]
@@ -426,6 +431,8 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// never touches it), and staleness against concurrent global
 	// finalisations is handled by filterLive at observe time, exactly
 	// as on the per-site path.
+	c.tel.Conversations.Inc()
+	holdStart := time.Now()
 	var batch []depgraph.Edge
 	var counts []int
 	for _, sid := range sids {
@@ -448,8 +455,10 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			return 0, fmt.Errorf("dist: commit-hold of T%d at site %d: %w", t.id, sid, err)
 		}
+		c.tracer.Record(telemetry.EvHold, uint64(t.id), int32(sid), 0)
 		c.step(AfterPrepareForce, t.id, sid)
 	}
+	c.tel.HoldNanos.Observe(uint64(time.Since(holdStart)))
 	c.step(BeforeDecisionForce, t.id, noSite)
 
 	// The decision round runs through the conversation pipeline: one
@@ -460,12 +469,16 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// re-check runs under the same lock the crash handler dooms under,
 	// so a crash during the hold phase cannot slip past the commit
 	// point.
+	decideStart := time.Now()
 	gdeps, doomed, shed := c.decide(t, sids, batch, counts)
+	c.tel.DecideNanos.Observe(uint64(time.Since(decideStart)))
+	c.tracer.Record(telemetry.EvDecide, uint64(t.id), int32(noSite), int64(gdeps))
 	if doomed {
 		_, err := t.failSite(noSite)
 		return 0, err
 	}
 	if shed {
+		c.tracer.Record(telemetry.EvShed, uint64(t.id), int32(noSite), int64(gdeps))
 		// The hold policy refused to grow the convoy: revoke the hold
 		// at every participant (recoverability makes this abort
 		// non-cascading) and surface a retryable abort — Store.Run and
@@ -484,7 +497,9 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 
 	// Global dependency set empty: land the real commit everywhere.
 	c.step(AfterDecisionBeforeRelease, t.id, noSite)
+	releaseStart := time.Now()
 	c.releaseAt(t)
+	c.tel.ReleaseNanos.Observe(uint64(time.Since(releaseStart)))
 	t.state.Store(txCommitted)
 	close(t.done)
 	if c.obs != nil {

@@ -1,0 +1,39 @@
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// The telemetry overhead contract: every hot-path instrument call —
+// enabled or nil — is allocation-free. The scheduler/coordinator pins
+// in internal/core and internal/dist depend on this; a regression
+// here would surface there as a budget blowout, but failing at the
+// source is a clearer signal.
+
+func TestInstrumentZeroAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	tr := NewTracer(64)
+	var nilC *Counter
+	var nilH *Histogram
+	var nilTr *Tracer
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"Tracer.Record", func() { tr.Record(EvHold, 1, 2, 3) }},
+		{"nil Counter.Inc", func() { nilC.Inc() }},
+		{"nil Histogram.Observe", func() { nilH.Observe(1) }},
+		{"nil Tracer.Record", func() { nilTr.Record(EvHold, 1, 2, 3) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.f); avg != 0 {
+			t.Errorf("%s allocates %.2f times per op, want 0", tc.name, avg)
+		}
+	}
+}

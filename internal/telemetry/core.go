@@ -1,0 +1,22 @@
+package telemetry
+
+// CoreStats is the scheduler's counter block — one Counter per field
+// of core.Stats (which stays a plain comparable struct built FROM
+// these counters on snapshot, so the documented snapshot semantics
+// are unchanged). The scheduler increments under its own mutex, so
+// the counters are exact; being atomics they can also be read
+// lock-free by /metrics scrapes.
+type CoreStats struct {
+	Executes       Counter // requests executed immediately
+	Blocks         Counter // requests parked behind a conflict
+	Grants         Counter // blocked requests later granted
+	Aborts         Counter // transactions aborted (all causes)
+	DeadlockAborts Counter // aborts from wait-for deadlock
+	CycleAborts    Counter // aborts from commit-dependency cycles
+	Withdrawals    Counter // blocked requests withdrawn before grant
+	Commits        Counter // transactions fully committed
+	PseudoCommits  Counter // commits deferred on commit dependencies
+	CycleChecks    Counter // dependency-graph cycle searches
+	CommitDepEdges Counter // commit-dependency edges added
+	WaitForEdges   Counter // wait-for edges added
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (hand-rolled — the repo takes no dependencies). Each helper writes
+// the # HELP / # TYPE header the first time a metric family appears
+// and the sample lines after it; histogram families emit cumulative
+// le-buckets plus _sum and _count, trimming the empty tail of the
+// power-of-two bucket range.
+type PromWriter struct {
+	W    io.Writer
+	seen map[string]bool
+}
+
+func (p *PromWriter) header(name, typ, help string) {
+	if p.seen == nil {
+		p.seen = make(map[string]bool)
+	}
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	fmt.Fprintf(p.W, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// lbl wraps a `key="value"` label set in braces (empty stays empty).
+func lbl(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// lblMore appends extra to a label set for bucket lines.
+func lblMore(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// Counter writes one counter sample. labels is a pre-formatted
+// `key="value"` list or empty.
+func (p *PromWriter) Counter(name, help string, v uint64, labels string) {
+	p.header(name, "counter", help)
+	fmt.Fprintf(p.W, "%s%s %d\n", name, lbl(labels), v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v int64, labels string) {
+	p.header(name, "gauge", help)
+	fmt.Fprintf(p.W, "%s%s %d\n", name, lbl(labels), v)
+}
+
+// Histogram writes one histogram family member: cumulative le-bucket
+// lines, _sum and _count.
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, labels string) {
+	p.header(name, "histogram", help)
+	// Trim trailing empty buckets: find the last non-zero bucket so a
+	// histogram of small counts does not emit 40 identical lines.
+	last := 0
+	for i, n := range s.Counts {
+		if n != 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += s.Counts[i]
+		ub := BucketUpperBound(i)
+		if math.IsInf(ub, 1) {
+			break
+		}
+		fmt.Fprintf(p.W, "%s_bucket%s %d\n", name, lblMore(labels, fmt.Sprintf(`le="%g"`, ub)), cum)
+	}
+	fmt.Fprintf(p.W, "%s_bucket%s %d\n", name, lblMore(labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(p.W, "%s_sum%s %d\n", name, lbl(labels), s.Sum)
+	fmt.Fprintf(p.W, "%s_count%s %d\n", name, lbl(labels), s.Count)
+}

@@ -243,8 +243,8 @@ func (r *reader) edgeSets() []edgeSet {
 func appendStats(b []byte, st core.Stats) []byte {
 	for _, v := range []uint64{
 		st.Executes, st.Blocks, st.Grants, st.Aborts, st.DeadlockAborts,
-		st.CycleAborts, st.Commits, st.PseudoCommits, st.CycleChecks,
-		st.CommitDepEdges, st.WaitForEdges,
+		st.CycleAborts, st.Withdrawals, st.Commits, st.PseudoCommits,
+		st.CycleChecks, st.CommitDepEdges, st.WaitForEdges,
 	} {
 		b = appendU64(b, v)
 	}
@@ -254,9 +254,9 @@ func appendStats(b []byte, st core.Stats) []byte {
 func (r *reader) stats() core.Stats {
 	return core.Stats{
 		Executes: r.u64(), Blocks: r.u64(), Grants: r.u64(), Aborts: r.u64(),
-		DeadlockAborts: r.u64(), CycleAborts: r.u64(), Commits: r.u64(),
-		PseudoCommits: r.u64(), CycleChecks: r.u64(), CommitDepEdges: r.u64(),
-		WaitForEdges: r.u64(),
+		DeadlockAborts: r.u64(), CycleAborts: r.u64(), Withdrawals: r.u64(),
+		Commits: r.u64(), PseudoCommits: r.u64(), CycleChecks: r.u64(),
+		CommitDepEdges: r.u64(), WaitForEdges: r.u64(),
 	}
 }
 

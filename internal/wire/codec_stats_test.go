@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStatsRoundTrip pins the wire encoding of core.Stats with every
+// field set to a distinct value, so a field added on one side but not
+// the other (or an order mismatch) fails loudly rather than silently
+// shifting counters — the kStats path is how cluster-wide stats
+// aggregation crosses processes.
+func TestStatsRoundTrip(t *testing.T) {
+	in := core.Stats{
+		Executes: 1, Blocks: 2, Grants: 3, Aborts: 4, DeadlockAborts: 5,
+		CycleAborts: 6, Withdrawals: 7, Commits: 8, PseudoCommits: 9,
+		CycleChecks: 10, CommitDepEdges: 11, WaitForEdges: 12,
+	}
+	b := appendStats(nil, in)
+	r := &reader{b: b}
+	out := r.stats()
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	if len(r.b) != 0 {
+		t.Fatalf("%d bytes left over after decode", len(r.b))
+	}
+}

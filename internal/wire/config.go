@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dist"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,16 @@ type ClusterFile struct {
 	// all processes agree on object types without code crossing the
 	// wire.
 	Workload string `json:"workload"`
+	// Policy optionally names the coordinator's hold policy
+	// (dist.ParsePolicy syntax: "depth=N", "eager", "admit=H/L"; empty
+	// or "off" holds unboundedly).
+	Policy string `json:"policy,omitempty"`
+	// Debug is the coordinator's debug-plane HTTP listen address
+	// (/metrics, /statusz, /tracez, pprof); empty disables it.
+	Debug string `json:"debug,omitempty"`
+	// Trace sizes the coordinator's conversation-event ring for
+	// /tracez; 0 disables tracing.
+	Trace int `json:"trace,omitempty"`
 	// Daemons places the global site ids onto site-daemon processes.
 	Daemons []DaemonSpec `json:"daemons"`
 }
@@ -94,6 +105,9 @@ func (f *ClusterFile) Validate() error {
 		if _, err := workload.ParseSpec(f.Workload); err != nil {
 			return err
 		}
+	}
+	if _, err := dist.ParsePolicy(f.Policy); err != nil {
+		return err
 	}
 	return nil
 }

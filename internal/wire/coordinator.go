@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -33,6 +34,7 @@ type Coordinator struct {
 	Reports map[dist.SiteID]fault.RecoveryReport
 
 	peers    []*Peer
+	wireMet  *telemetry.WireMetrics
 	closeLog func() error
 }
 
@@ -59,12 +61,16 @@ type CoordinatorConfig struct {
 	DialWait time.Duration
 	// Policy optionally bounds the hold convoy (see dist.HoldPolicy).
 	Policy dist.HoldPolicy
+	// Trace sizes the cluster's conversation-event ring (0 disables).
+	Trace int
 }
 
 // DaemonSpec places a set of global site ids on one daemon address.
+// Debug optionally gives the daemon its own debug-plane HTTP address.
 type DaemonSpec struct {
 	Listen string   `json:"listen"`
 	Sites  []uint16 `json:"sites"`
+	Debug  string   `json:"debug,omitempty"`
 }
 
 // outcomeLister is the optional log extension adoption needs: both
@@ -126,6 +132,7 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	co := &Coordinator{
 		Log:      flog,
 		Reports:  make(map[dist.SiteID]fault.RecoveryReport),
+		wireMet:  &telemetry.WireMetrics{},
 		closeLog: cfg.CloseLog,
 	}
 	backends := make([]dist.SiteBackend, nsites)
@@ -149,6 +156,7 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			RedialDelay: 50 * time.Millisecond,
 			OnDown:      bind.Down,
 			OnUp:        bind.Up,
+			Metrics:     co.wireMet,
 		})
 		up := true
 		if err := peer.Connect(dialWait); err != nil {
@@ -179,6 +187,7 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		Log:           flog,
 		Backends:      backends,
 		Policy:        cfg.Policy,
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		return fail(err)
@@ -232,6 +241,10 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 
 // Addr returns the client-plane listen address.
 func (co *Coordinator) Addr() string { return co.Server.Addr() }
+
+// WireMetrics returns the transport instrument block shared by every
+// daemon connection.
+func (co *Coordinator) WireMetrics() *telemetry.WireMetrics { return co.wireMet }
 
 // Close stops serving clients, closes the daemon connections and the
 // decision log. The daemons themselves keep running (and keep their

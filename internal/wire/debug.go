@@ -1,0 +1,334 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/telemetry"
+)
+
+// DebugConfig parameterises ServeDebug, the opt-in observability plane
+// a daemon exposes next to its wire listener. Exactly one of Cluster
+// (coordinator role) or Sites (site-daemon role) should be set; Wire
+// optionally adds the transport instrument block to a coordinator.
+type DebugConfig struct {
+	// Addr is the HTTP listen address ("127.0.0.1:0" picks a port).
+	Addr string
+	// Role labels the process in /statusz ("coord" or "site").
+	Role string
+	// Cluster, when set, serves the coordinator view: cluster-wide
+	// scheduler counters, conversation phase histograms, decision-log
+	// conservation counters, hold-policy state, and /tracez.
+	Cluster *dist.Cluster
+	// Wire, when set, adds frame/byte/RTT transport metrics.
+	Wire *telemetry.WireMetrics
+	// Sites, when set, serves the site-daemon view: each local
+	// backend's scheduler counters under a site label.
+	Sites map[uint16]dist.SiteBackend
+}
+
+// DebugServer is the HTTP observability plane: /metrics (Prometheus
+// text), /statusz (JSON), /tracez (JSON event ring), and net/http/pprof
+// under /debug/pprof/. It runs on its own mux so pprof's default-mux
+// registration never leaks into the daemon.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug plane on cfg.Addr.
+func ServeDebug(cfg DebugConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		pw := &telemetry.PromWriter{W: w}
+		if cfg.Cluster != nil {
+			writeCoordMetrics(pw, cfg.Cluster)
+		}
+		if cfg.Wire != nil {
+			writeWireMetrics(pw, cfg.Wire)
+		}
+		for sid, b := range cfg.Sites {
+			writeSchedMetrics(pw, b.StatsSnapshot(), fmt.Sprintf(`site="%d"`, sid))
+			if bd, ok := b.(interface{ BlockedDepth() int }); ok {
+				pw.Gauge("scc_sched_blocked", "transactions currently blocked at the site",
+					int64(bd.BlockedDepth()), fmt.Sprintf(`site="%d"`, sid))
+			}
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildStatusz(cfg))
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var events []telemetry.Event
+		if cfg.Cluster != nil {
+			events = cfg.Cluster.Tracer().Snapshot()
+		}
+		if events == nil {
+			events = []telemetry.Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the debug server.
+func (s *DebugServer) Close() { _ = s.srv.Close() }
+
+// writeSchedMetrics renders one core.Stats block as counter samples.
+func writeSchedMetrics(pw *telemetry.PromWriter, st core.Stats, labels string) {
+	pw.Counter("scc_sched_executes_total", "operations executed", st.Executes, labels)
+	pw.Counter("scc_sched_blocks_total", "requests parked behind a conflict", st.Blocks, labels)
+	pw.Counter("scc_sched_grants_total", "parked requests granted", st.Grants, labels)
+	pw.Counter("scc_sched_aborts_total", "transactions aborted", st.Aborts, labels)
+	pw.Counter("scc_sched_deadlock_aborts_total", "aborts from wait-for deadlocks", st.DeadlockAborts, labels)
+	pw.Counter("scc_sched_cycle_aborts_total", "aborts from commit-dependency cycles", st.CycleAborts, labels)
+	pw.Counter("scc_sched_withdrawals_total", "blocked requests withdrawn", st.Withdrawals, labels)
+	pw.Counter("scc_sched_commits_total", "transactions committed", st.Commits, labels)
+	pw.Counter("scc_sched_pseudo_commits_total", "transactions pseudo-committed (held)", st.PseudoCommits, labels)
+	pw.Counter("scc_sched_cycle_checks_total", "dependency-graph cycle searches", st.CycleChecks, labels)
+	pw.Counter("scc_sched_commit_dep_edges_total", "commit-dependency edges added", st.CommitDepEdges, labels)
+	pw.Counter("scc_sched_wait_for_edges_total", "wait-for edges added", st.WaitForEdges, labels)
+}
+
+// writeCoordMetrics renders the coordinator instrument block: the
+// cluster-wide scheduler sum, the commit-conversation phase
+// histograms, the decision-log conservation counters, hold-policy
+// state, and the mirror's shape.
+func writeCoordMetrics(pw *telemetry.PromWriter, c *dist.Cluster) {
+	writeSchedMetrics(pw, c.Stats(), "")
+	tel := c.Telemetry()
+
+	pw.Counter("scc_commit_fast_total", "edge-free direct commits (no conversation)", tel.FastCommits.Load(), "")
+	pw.Counter("scc_conversations_total", "commit conversations entered", tel.Conversations.Load(), "")
+	pw.Histogram("scc_phase_nanos", "commit-conversation phase latency", tel.HoldNanos.Snapshot(), `phase="hold"`)
+	pw.Histogram("scc_phase_nanos", "commit-conversation phase latency", tel.DecideNanos.Snapshot(), `phase="decide"`)
+	pw.Histogram("scc_phase_nanos", "commit-conversation phase latency", tel.ReleaseNanos.Snapshot(), `phase="release"`)
+	pw.Histogram("scc_wave_size", "decide-pipeline flat-combining wave width", tel.WaveSize.Snapshot(), "")
+	pw.Histogram("scc_release_width", "transactions released per cascade round", tel.ReleaseWidth.Snapshot(), "")
+	pw.Counter("scc_sheds_total", "conversations refused by the hold policy", tel.Sheds.Load(), "")
+	pw.Gauge("scc_held", "held (pseudo-committed) transactions", tel.Held.Load(), "")
+	pw.Gauge("scc_held_high", "held-set high-water mark", tel.Held.High(), "")
+
+	pw.Counter("scc_decisions_logged_total", "commit decisions forced to the log", tel.DecisionsLogged.Load(), "")
+	pw.Counter("scc_decisions_adopted_total", "decisions adopted from a predecessor's log", tel.DecisionsAdopted.Load(), "")
+	pw.Counter("scc_decisions_resolved_total", "decisions fully acked and truncated", tel.DecisionsResolved.Load(), "")
+	pw.Gauge("scc_decisions_live", "open release-ack sets", tel.LiveDecisions.Load(), "")
+	pw.Gauge("scc_decisions_live_high", "open release-ack high-water mark", tel.LiveDecisions.High(), "")
+
+	pw.Counter("scc_site_crashes_total", "site crash transitions observed", tel.Crashes.Load(), "")
+	pw.Counter("scc_site_restarts_total", "site recoveries completed", tel.Restarts.Load(), "")
+
+	pw.Gauge("scc_mirror_edges", "dependency-mirror edge count", int64(c.MirrorEdges()), "")
+	pw.Histogram("scc_mirror_cycle_cost", "nodes visited per cycle search", tel.Mirror.CycleCost.Snapshot(), "")
+	pw.Histogram("scc_mirror_chain_depth", "observed longest-chain depths", tel.Mirror.ChainDepth.Snapshot(), "")
+
+	ps := c.PolicyStats()
+	policy := fmt.Sprintf(`policy=%q`, c.PolicyName())
+	pw.Counter("scc_policy_tail_aborts_total", "conversations shed by a depth bound", uint64(ps.TailAborts), policy)
+	pw.Counter("scc_policy_admission_rejects_total", "conversations shed by admission control", uint64(ps.AdmissionRejects), policy)
+	pw.Counter("scc_policy_eager_rounds_total", "eager-release subtree scans", uint64(ps.EagerRounds), policy)
+	pw.Counter("scc_policy_eager_released_total", "transactions released by eager scans", uint64(ps.EagerReleased), policy)
+	pw.Gauge("scc_policy_held_peak", "held-set peak since start", int64(ps.HeldPeak), policy)
+
+	for sid := 0; sid < c.NumSites(); sid++ {
+		up := int64(1)
+		if c.SiteDown(dist.SiteID(sid)) {
+			up = 0
+		}
+		pw.Gauge("scc_site_up", "1 when the site is reachable", up, fmt.Sprintf(`site="%d"`, sid))
+	}
+}
+
+// writeWireMetrics renders the transport instrument block with a
+// per-verb RTT histogram family.
+func writeWireMetrics(pw *telemetry.PromWriter, m *telemetry.WireMetrics) {
+	pw.Counter("scc_wire_frames_out_total", "frames sent", m.FramesOut.Load(), "")
+	pw.Counter("scc_wire_frames_in_total", "frames received", m.FramesIn.Load(), "")
+	pw.Counter("scc_wire_bytes_out_total", "bytes sent (incl. frame headers)", m.BytesOut.Load(), "")
+	pw.Counter("scc_wire_bytes_in_total", "bytes received (incl. frame headers)", m.BytesIn.Load(), "")
+	pw.Counter("scc_wire_reconnects_total", "successful re-dials after a loss", m.Reconnects.Load(), "")
+	pw.Gauge("scc_wire_pipeline", "outstanding pipelined calls", m.Pipeline.Load(), "")
+	pw.Gauge("scc_wire_pipeline_high", "outstanding-call high-water mark", m.Pipeline.High(), "")
+	m.EachRTT(func(kind byte, s telemetry.HistSnapshot) {
+		pw.Histogram("scc_wire_rtt_nanos", "request round-trip latency", s, fmt.Sprintf(`verb=%q`, kindName(kind)))
+	})
+}
+
+// Statusz is the /statusz JSON document; fields are omitted when the
+// role does not populate them.
+type Statusz struct {
+	Role   string `json:"role"`
+	Policy string `json:"policy,omitempty"`
+
+	Stats     *core.Stats           `json:"stats,omitempty"`
+	SiteStats map[string]core.Stats `json:"site_stats,omitempty"`
+
+	PolicyStats *dist.PolicyStats `json:"policy_stats,omitempty"`
+
+	FastCommits   uint64 `json:"fast_commits,omitempty"`
+	Conversations uint64 `json:"conversations,omitempty"`
+	Sheds         uint64 `json:"sheds,omitempty"`
+	Held          int64  `json:"held,omitempty"`
+	HeldHigh      int64  `json:"held_high,omitempty"`
+
+	DecisionsLogged   uint64 `json:"decisions_logged,omitempty"`
+	DecisionsAdopted  uint64 `json:"decisions_adopted,omitempty"`
+	DecisionsResolved uint64 `json:"decisions_resolved,omitempty"`
+	LiveDecisions     int64  `json:"live_decisions,omitempty"`
+
+	Crashes     uint64 `json:"crashes,omitempty"`
+	Restarts    uint64 `json:"restarts,omitempty"`
+	MirrorEdges int    `json:"mirror_edges,omitempty"`
+	TraceLen    int    `json:"trace_len,omitempty"`
+
+	Wire *WireStatusz `json:"wire,omitempty"`
+}
+
+// WireStatusz is the transport block inside /statusz.
+type WireStatusz struct {
+	FramesOut    uint64 `json:"frames_out"`
+	FramesIn     uint64 `json:"frames_in"`
+	BytesOut     uint64 `json:"bytes_out"`
+	BytesIn      uint64 `json:"bytes_in"`
+	Reconnects   uint64 `json:"reconnects"`
+	Pipeline     int64  `json:"pipeline"`
+	PipelineHigh int64  `json:"pipeline_high"`
+}
+
+func buildStatusz(cfg DebugConfig) Statusz {
+	st := Statusz{Role: cfg.Role}
+	if c := cfg.Cluster; c != nil {
+		sum := c.Stats()
+		st.Stats = &sum
+		st.SiteStats = make(map[string]core.Stats, c.NumSites())
+		for sid := 0; sid < c.NumSites(); sid++ {
+			st.SiteStats[fmt.Sprintf("%d", sid)] = c.SiteStats(dist.SiteID(sid))
+		}
+		st.Policy = c.PolicyName()
+		ps := c.PolicyStats()
+		st.PolicyStats = &ps
+		tel := c.Telemetry()
+		st.FastCommits = tel.FastCommits.Load()
+		st.Conversations = tel.Conversations.Load()
+		st.Sheds = tel.Sheds.Load()
+		st.Held = tel.Held.Load()
+		st.HeldHigh = tel.Held.High()
+		st.DecisionsLogged = tel.DecisionsLogged.Load()
+		st.DecisionsAdopted = tel.DecisionsAdopted.Load()
+		st.DecisionsResolved = tel.DecisionsResolved.Load()
+		st.LiveDecisions = tel.LiveDecisions.Load()
+		st.Crashes = tel.Crashes.Load()
+		st.Restarts = tel.Restarts.Load()
+		st.MirrorEdges = c.MirrorEdges()
+		st.TraceLen = c.Tracer().Len()
+	}
+	if len(cfg.Sites) > 0 {
+		st.SiteStats = make(map[string]core.Stats, len(cfg.Sites))
+		for sid, b := range cfg.Sites {
+			st.SiteStats[fmt.Sprintf("%d", sid)] = b.StatsSnapshot()
+		}
+	}
+	if m := cfg.Wire; m != nil {
+		st.Wire = &WireStatusz{
+			FramesOut:    m.FramesOut.Load(),
+			FramesIn:     m.FramesIn.Load(),
+			BytesOut:     m.BytesOut.Load(),
+			BytesIn:      m.BytesIn.Load(),
+			Reconnects:   m.Reconnects.Load(),
+			Pipeline:     m.Pipeline.Load(),
+			PipelineHigh: m.Pipeline.High(),
+		}
+	}
+	return st
+}
+
+// kindName labels a frame kind for metrics and trace rendering.
+func kindName(k byte) string {
+	switch k {
+	case kOK:
+		return "ok"
+	case kErr:
+		return "err"
+	case kBegin:
+		return "begin"
+	case kRequest:
+		return "request"
+	case kCommit:
+		return "commit"
+	case kCommitHold:
+		return "commit-hold"
+	case kRelease:
+		return "release"
+	case kAbort:
+		return "abort"
+	case kRevoke:
+		return "revoke"
+	case kWithdraw:
+		return "withdraw"
+	case kForget:
+		return "forget"
+	case kRegister:
+		return "register"
+	case kFactory:
+		return "factory"
+	case kStats:
+		return "stats"
+	case kStateLen:
+		return "state-len"
+	case kTxnState:
+		return "txn-state"
+	case kAdopt:
+		return "adopt"
+	case kPing:
+		return "ping"
+	case kShutdown:
+		return "shutdown"
+	case kCliBegin:
+		return "cli-begin"
+	case kCliDo:
+		return "cli-do"
+	case kCliCommit:
+		return "cli-commit"
+	case kCliAbort:
+		return "cli-abort"
+	case kCliWait:
+		return "cli-wait"
+	case kCliResolve:
+		return "cli-resolve"
+	case kCliAck:
+		return "cli-ack"
+	case kCliStatus:
+		return "cli-status"
+	case kCliStateLen:
+		return "cli-state-len"
+	case kCliRegister:
+		return "cli-register"
+	}
+	return fmt.Sprintf("0x%02x", k)
+}

@@ -7,6 +7,10 @@ import (
 	"io"
 )
 
+// frameOverhead is the on-wire cost of a frame beyond its payload:
+// u32 length + u64 correlation id + u8 kind.
+const frameOverhead = 4 + 8 + 1
+
 // writeFrame appends one frame to w: length prefix, correlation id,
 // kind, payload. The caller is responsible for flushing (the peer and
 // the servers flush once per batch of queued frames, which is what

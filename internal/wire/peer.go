@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // PeerConfig parameterises a Peer.
@@ -31,6 +33,11 @@ type PeerConfig struct {
 	// newer one.
 	OnDown func(gen int)
 	OnUp   func(gen int)
+	// Metrics, when set, counts frames/bytes both ways, tracks the
+	// outstanding-call depth, reconnects, and per-verb round-trip
+	// latency. Typically one shared instance across all of a
+	// coordinator's peers.
+	Metrics *telemetry.WireMetrics
 }
 
 // resp is one response as delivered to a waiting call.
@@ -133,6 +140,9 @@ func (p *Peer) dialOnce() error {
 	p.gen++
 	gen := p.gen
 	p.mu.Unlock()
+	if m := p.cfg.Metrics; m != nil && gen > 1 {
+		m.Reconnects.Inc()
+	}
 	go p.readLoop(conn, gen)
 	if p.cfg.OnUp != nil {
 		p.cfg.OnUp(gen)
@@ -152,10 +162,17 @@ func (p *Peer) readLoop(conn net.Conn, gen int) {
 			return
 		}
 		buf = nbuf
+		if m := p.cfg.Metrics; m != nil {
+			m.FramesIn.Inc()
+			m.BytesIn.Add(uint64(frameOverhead + len(payload)))
+		}
 		body := append([]byte(nil), payload...) // reader buffer is reused
 		p.mu.Lock()
 		ch := p.pending[corr]
 		delete(p.pending, corr)
+		if m := p.cfg.Metrics; m != nil {
+			m.Pipeline.Set(int64(len(p.pending)))
+		}
 		p.mu.Unlock()
 		if ch != nil {
 			ch <- resp{kind: kind, payload: body}
@@ -212,6 +229,11 @@ func (p *Peer) redialLoop() {
 
 // roundTrip sends one request and waits for its response frame.
 func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
+	m := p.cfg.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	p.mu.Lock()
 	if p.closed || !p.up {
 		p.mu.Unlock()
@@ -221,6 +243,11 @@ func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
 	corr := p.corr
 	ch := make(chan resp, 1)
 	p.pending[corr] = ch
+	if m != nil {
+		m.FramesOut.Inc()
+		m.BytesOut.Add(uint64(frameOverhead + len(payload)))
+		m.Pipeline.Set(int64(len(p.pending)))
+	}
 	err := writeFrame(p.bw, corr, kind, payload)
 	if err == nil {
 		err = p.bw.Flush()
@@ -237,6 +264,9 @@ func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
 	}
 	p.mu.Unlock()
 	r := <-ch
+	if m != nil && r.err == nil {
+		m.RTT(kind).Observe(uint64(time.Since(start)))
+	}
 	return r.kind, r.payload, r.err
 }
 
@@ -264,6 +294,10 @@ func (p *Peer) oneway(kind uint8, payload []byte) {
 	defer p.mu.Unlock()
 	if p.closed || !p.up {
 		return
+	}
+	if m := p.cfg.Metrics; m != nil {
+		m.FramesOut.Inc()
+		m.BytesOut.Add(uint64(frameOverhead + len(payload)))
 	}
 	if err := writeFrame(p.bw, 0, kind, payload); err == nil {
 		_ = p.bw.Flush()
