@@ -503,11 +503,22 @@ func BenchmarkCoordinatorEdgeFree(b *testing.B) {
 // predecessor commits. Each parallel worker runs its own object, so
 // concurrent conversations are independent — exactly the traffic the
 // flat-combining wave coalesces into batched mirror observes and (on
-// the fault variant) grouped decision-log forces.
+// the fault variant) grouped decision-log forces. The traced mode runs
+// the plain cluster with the span plane armed at sample rate 1 (every
+// transaction stamps begin/hold/decide/release spans into the ring and
+// competes for the exemplar store) — the worst-case tracing overhead
+// recorded in BENCH_5.json; plain vs traced is the cost of the plane.
 func BenchmarkCoordinatorConversation(b *testing.B) {
-	for _, mode := range []string{"plain", "fault"} {
+	for _, mode := range []string{"plain", "fault", "traced"} {
 		b.Run(mode, func(b *testing.B) {
-			c, err := dist.NewWithConfig(dist.Config{Sites: 4, FaultTolerant: mode == "fault"})
+			cfg := dist.Config{Sites: 4, FaultTolerant: mode == "fault"}
+			if mode == "traced" {
+				cfg.Spans = 1 << 14
+				cfg.SpanExemplars = 8
+				cfg.SampleSeed = 1
+				cfg.SampleRate = 1
+			}
+			c, err := dist.NewWithConfig(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -237,13 +237,23 @@ func runNetOnce(n int, spec string, lc workload.LoadConfig, pol dist.HoldPolicy)
 		return workload.LoadResult{}, err
 	}
 	defer srv.Close()
-	co, err := wire.StartCoordinator(wire.CoordinatorConfig{
+	cc := wire.CoordinatorConfig{
 		ClientAddr: "127.0.0.1:0",
 		Daemons:    []wire.DaemonSpec{{Listen: srv.Addr(), Sites: ids}},
 		Workload:   spec,
 		DialWait:   5 * time.Second,
 		Policy:     pol,
-	})
+	}
+	if telemetryOn {
+		// Arm the span plane so the -telemetryout artifact carries the
+		// causal traces behind the RTT tail; off by default so the
+		// benchmark numbers measure the bare transport.
+		cc.Spans = 1 << 14
+		cc.SpanExemplars = 8
+		cc.SampleSeed = lc.Seed
+		cc.SampleRate = 1
+	}
+	co, err := wire.StartCoordinator(cc)
 	if err != nil {
 		return workload.LoadResult{}, err
 	}
@@ -255,7 +265,7 @@ func runNetOnce(n int, spec string, lc workload.LoadConfig, pol dist.HoldPolicy)
 	defer cl.Close()
 	res, err := workload.RunLoad(cl, lc)
 	if err == nil {
-		emitTelemetry(fmt.Sprintf("net/loopback-tcp/shards=%d", n), co.Cluster)
+		emitNetTelemetry(fmt.Sprintf("net/loopback-tcp/shards=%d", n), co)
 	}
 	return res, err
 }

@@ -12,9 +12,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 var (
@@ -69,6 +71,18 @@ type telemetrySummary struct {
 type labelledTelemetry struct {
 	Label   string           `json:"label"`
 	Summary telemetrySummary `json:"summary"`
+	// WireRTT is the loopback side's per-verb round-trip histogram
+	// family and SpanExemplars its slowest retained causal traces —
+	// both only populated by -net, so one artifact carries transport
+	// latency and the spans that explain its tail.
+	WireRTT       []verbRTT                 `json:"wire_rtt,omitempty"`
+	SpanExemplars []telemetry.TraceExemplar `json:"span_exemplars,omitempty"`
+}
+
+// verbRTT is one verb's round-trip summary.
+type verbRTT struct {
+	Verb string `json:"verb"`
+	phaseSummary
 }
 
 func summariseTelemetry(c *dist.Cluster) telemetrySummary {
@@ -125,6 +139,55 @@ func emitTelemetry(label string, c *dist.Cluster) {
 	}
 	if telemetryOut != "" {
 		telemetryLog = append(telemetryLog, labelledTelemetry{Label: label, Summary: ts})
+	}
+}
+
+// emitNetTelemetry extends the loopback cluster's snapshot with the
+// wire's per-verb RTT histograms and the span plane's tail exemplars,
+// so the -telemetryout artifact ties transport latency to the causal
+// traces behind its slowest transactions. A no-op unless -telemetry
+// was given.
+func emitNetTelemetry(label string, co *wire.Coordinator) {
+	if !telemetryOn || co == nil {
+		return
+	}
+	emitTelemetry(label, co.Cluster)
+	var rtts []verbRTT
+	co.WireMetrics().EachRTT(func(kind byte, s telemetry.HistSnapshot) {
+		rtts = append(rtts, verbRTT{
+			Verb: wire.KindName(kind),
+			phaseSummary: phaseSummary{
+				Count: s.Count,
+				Mean:  s.Mean(),
+				P50:   s.Quantile(0.50),
+				P95:   s.Quantile(0.95),
+				P99:   s.Quantile(0.99),
+			},
+		})
+	})
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i].Verb < rtts[j].Verb })
+	for _, r := range rtts {
+		fmt.Printf("  telemetry[%s]: rtt %-12s n=%-8d mean=%-10s p50<=%-10s p95<=%-10s p99<=%s\n",
+			label, r.Verb, r.Count, ns(r.Mean), ns(r.P50), ns(r.P95), ns(r.P99))
+	}
+	var exemplars []telemetry.TraceExemplar
+	if sb := co.Cluster.Spans(); sb != nil {
+		exemplars = sb.Exemplars()
+		sort.Slice(exemplars, func(i, j int) bool { return exemplars[i].Latency > exemplars[j].Latency })
+		for i, ex := range exemplars {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  telemetry[%s]: slow-trace %016x txn=%d latency=%s spans=%d\n",
+				label, ex.Trace, ex.Txn, ns(float64(ex.Latency)), len(ex.Spans))
+		}
+	}
+	if telemetryOut != "" && (len(rtts) > 0 || len(exemplars) > 0) && len(telemetryLog) > 0 {
+		last := &telemetryLog[len(telemetryLog)-1]
+		if last.Label == label {
+			last.WireRTT = rtts
+			last.SpanExemplars = exemplars
+		}
 	}
 }
 

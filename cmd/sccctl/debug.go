@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"time"
 
@@ -87,14 +88,24 @@ func printSiteStats(m map[string]core.Stats) {
 	}
 }
 
-// cmdTrace drains the coordinator's conversation-event ring and prints
-// it oldest-first.
+// cmdTrace reads the cluster's tracing planes. Without span flags it
+// drains the coordinator's conversation-event ring and prints it
+// oldest-first; -txn/-slowest/-chrome switch to the causal span plane,
+// scraping /tracez?fmt=spans from every process and stitching the
+// records into cluster-wide traces by trace id.
 func cmdTrace(cf *wire.ClusterFile, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	last := fs.Int("last", 0, "print only the last N events (0 = all retained)")
+	txn := fs.Uint64("txn", 0, "reconstruct one transaction's cluster-wide causal timeline")
+	slowest := fs.Int("slowest", 0, "rank the N slowest traces still retained (tail exemplars survive wraparound)")
+	chrome := fs.String("chrome", "", "write the merged cluster-wide spans as Chrome trace JSON to this file")
 	fs.Parse(args)
 	if cf.Debug == "" {
 		fatal(fmt.Errorf("trace needs a coordinator debug address (\"debug\") in the cluster file"))
+	}
+	if *txn != 0 || *slowest > 0 || *chrome != "" {
+		cmdTraceSpans(cf, *txn, *slowest, *chrome)
+		return
 	}
 	var events []telemetry.Event
 	if err := fetchJSON(cf.Debug, "/tracez", &events); err != nil {
@@ -110,5 +121,169 @@ func cmdTrace(cf *wire.ClusterFile, args []string) {
 	for _, e := range events {
 		fmt.Printf("%12.3fms  #%-8d %-8s txn=%-6d site=%-3d arg=%d\n",
 			float64(e.Nanos)/1e6, e.Seq, e.KindS, e.Txn, e.Site, e.Arg)
+	}
+}
+
+// procSpan is one span record tagged with the process it came from.
+type procSpan struct {
+	proc string
+	s    telemetry.Span
+}
+
+// gatherSpans scrapes every process's span feed. Processes without a
+// debug plane (or unreachable ones — a killed coordinator, say) are
+// reported and skipped; stitching works from whatever survives.
+func gatherSpans(cf *wire.ClusterFile) ([]telemetry.SpanGroup, []procSpan) {
+	type target struct{ name, addr string }
+	targets := []target{{"coord", cf.Debug}}
+	for i, d := range cf.Daemons {
+		targets = append(targets, target{fmt.Sprintf("site%d", i), d.Debug})
+	}
+	var groups []telemetry.SpanGroup
+	var all []procSpan
+	for _, t := range targets {
+		if t.addr == "" {
+			fmt.Fprintf(os.Stderr, "sccctl: %s: no debug plane configured, skipping\n", t.name)
+			continue
+		}
+		var doc wire.SpanzDoc
+		if err := fetchJSON(t.addr, "/tracez?fmt=spans", &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "sccctl: %s (%s): %v, skipping\n", t.name, t.addr, err)
+			continue
+		}
+		if doc.Process == "" {
+			doc.Process = t.name
+		}
+		groups = append(groups, telemetry.SpanGroup{Process: doc.Process, Spans: doc.Spans})
+		for _, s := range doc.Spans {
+			all = append(all, procSpan{proc: doc.Process, s: s})
+		}
+	}
+	return groups, all
+}
+
+// cmdTraceSpans is the span-plane side of cmdTrace.
+func cmdTraceSpans(cf *wire.ClusterFile, txn uint64, slowest int, chrome string) {
+	groups, all := gatherSpans(cf)
+	if len(all) == 0 {
+		fmt.Println("sccctl: no spans retained anywhere (is \"spans\" set in the cluster file?)")
+		return
+	}
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteChromeTraceGroups(f, groups); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		n := 0
+		for _, g := range groups {
+			n += len(g.Spans)
+		}
+		fmt.Printf("sccctl: wrote %d spans from %d process(es) to %s (open in chrome://tracing)\n",
+			n, len(groups), chrome)
+	}
+	if txn != 0 {
+		printTxnTimeline(all, txn)
+	}
+	if slowest > 0 {
+		printSlowest(all, slowest)
+	}
+}
+
+// printTxnTimeline reconstructs one transaction's causal timeline: the
+// trace id is resolved from any process's spans for the transaction,
+// then every span of that trace — across all processes — is ordered on
+// the shared wall-clock axis.
+func printTxnTimeline(all []procSpan, txn uint64) {
+	var trace uint64
+	for _, ps := range all {
+		if ps.s.Txn == txn && ps.s.Trace != 0 {
+			trace = ps.s.Trace
+			break
+		}
+	}
+	if trace == 0 {
+		fmt.Printf("sccctl: no spans for txn %d (unsampled, or already overwritten in every ring)\n", txn)
+		return
+	}
+	var spans []procSpan
+	for _, ps := range all {
+		if ps.s.Trace == trace {
+			spans = append(spans, ps)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].s.Wall != spans[j].s.Wall {
+			return spans[i].s.Wall < spans[j].s.Wall
+		}
+		return spans[i].s.ID < spans[j].s.ID
+	})
+	t0 := spans[0].s.Wall
+	fmt.Printf("trace %016x (txn %d): %d span(s) across the cluster\n", trace, txn, len(spans))
+	for _, ps := range spans {
+		s := ps.s
+		kind := s.KindS
+		if kind == "" {
+			kind = s.Kind.String()
+		}
+		line := fmt.Sprintf("%+12.3fms  %-8s %-8s txn=%-6d site=%-3d", float64(s.Wall-t0)/1e6, ps.proc, kind, s.Txn, s.Site)
+		if s.Object != 0 {
+			line += fmt.Sprintf(" obj=%d", s.Object)
+		}
+		if s.Wave != 0 {
+			line += fmt.Sprintf(" wave=%d", s.Wave)
+		}
+		if s.Dur > 0 {
+			line += fmt.Sprintf(" dur=%.3fms", float64(s.Dur)/1e6)
+		}
+		fmt.Println(line)
+	}
+}
+
+// printSlowest ranks retained traces by observed wall span (first span
+// start to last span end) and prints the top n.
+func printSlowest(all []procSpan, n int) {
+	type agg struct {
+		trace      uint64
+		txn        uint64
+		start, end int64
+		spans      int
+	}
+	byTrace := make(map[uint64]*agg)
+	for _, ps := range all {
+		s := ps.s
+		if s.Trace == 0 {
+			continue
+		}
+		a := byTrace[s.Trace]
+		if a == nil {
+			a = &agg{trace: s.Trace, txn: s.Txn, start: s.Wall, end: s.Wall}
+			byTrace[s.Trace] = a
+		}
+		if s.Wall < a.start {
+			a.start = s.Wall
+		}
+		if end := s.Wall + s.Dur; end > a.end {
+			a.end = end
+		}
+		a.spans++
+	}
+	ranked := make([]*agg, 0, len(byTrace))
+	for _, a := range byTrace {
+		ranked = append(ranked, a)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].end-ranked[i].start > ranked[j].end-ranked[j].start })
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Printf("slowest %d of %d retained trace(s):\n", n, len(ranked))
+	for _, a := range ranked[:n] {
+		fmt.Printf("  trace %016x txn=%-6d span=%9.3fms spans=%d\n",
+			a.trace, a.txn, float64(a.end-a.start)/1e6, a.spans)
 	}
 }

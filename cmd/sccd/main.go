@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -76,6 +77,46 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// buildFlight constructs the process's flight recorder from the
+// cluster file (nil when disabled). process labels the dump files.
+func buildFlight(cf *wire.ClusterFile, process string) *telemetry.FlightRecorder {
+	if cf.Flight <= 0 {
+		return nil
+	}
+	return telemetry.NewFlightRecorder(cf.Flight, process, cf.FlightDir)
+}
+
+// buildSpans constructs the process's span buffer from the cluster
+// file (nil when the span plane is off).
+func buildSpans(cf *wire.ClusterFile) *telemetry.SpanBuffer {
+	if cf.Spans <= 0 {
+		return nil
+	}
+	return telemetry.NewSpanBuffer(cf.Spans, cf.SpanExemplars)
+}
+
+// watchSignals blocks until SIGINT/SIGTERM arrives on quit (wire-level
+// shutdown requests feed the same channel). SIGQUIT does not exit: it
+// dumps the flight recorder — the live post-mortem hook — and the
+// process carries on serving.
+func watchSignals(quit chan os.Signal, fr *telemetry.FlightRecorder) {
+	signal.Notify(quit, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
+	for sig := range quit {
+		if sig != syscall.SIGQUIT {
+			return
+		}
+		if fr == nil {
+			fmt.Fprintln(os.Stderr, "sccd: SIGQUIT but no flight recorder configured (\"flight\" in the cluster file)")
+			continue
+		}
+		if path, err := fr.Dump("sigquit"); err != nil {
+			fmt.Fprintln(os.Stderr, "sccd: flight dump failed:", err)
+		} else {
+			fmt.Printf("sccd: flight dump written to %s\n", path)
+		}
+	}
+}
+
 // runSite serves one daemon's sites until a signal or a wire-level
 // shutdown request. Each site is a fault.Crashable with a private
 // in-memory log: the daemon's recovery is driven by the coordinator's
@@ -93,19 +134,35 @@ func runSite(cf *wire.ClusterFile, idx int, debugAddr string) {
 		}
 		sites[sid] = cr
 	}
+	process := fmt.Sprintf("site%d", idx)
+	spans := buildSpans(cf)
+	flight := buildFlight(cf, process)
+	if flight != nil {
+		flight.AttachSpans(spans)
+	}
 	quit := make(chan os.Signal, 1)
-	signal.Notify(quit, syscall.SIGINT, syscall.SIGTERM)
 	srv, err := wire.ServeSites(wire.SiteServerConfig{
 		Addr:       d.Listen,
 		Sites:      sites,
 		Workload:   cf.Workload,
+		Spans:      spans,
+		Flight:     flight,
 		OnShutdown: func() { quit <- syscall.SIGTERM },
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if addr := pickDebugAddr(debugAddr, d.Debug); addr != "" {
-		dbg, err := wire.ServeDebug(wire.DebugConfig{Addr: addr, Role: "site", Sites: sites})
+		dbg, err := wire.ServeDebug(wire.DebugConfig{
+			Addr:       addr,
+			Role:       "site",
+			Process:    process,
+			Sites:      sites,
+			Spans:      spans,
+			Flight:     flight,
+			SampleSeed: cf.SampleSeed,
+			SampleRate: cf.SampleRate,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -113,7 +170,7 @@ func runSite(cf *wire.ClusterFile, idx int, debugAddr string) {
 		fmt.Printf("sccd: site daemon %d debug plane on http://%s\n", idx, dbg.Addr())
 	}
 	fmt.Printf("sccd: site daemon %d serving sites %v on %s\n", idx, d.Sites, srv.Addr())
-	<-quit
+	watchSignals(quit, flight)
 	srv.Close()
 }
 
@@ -132,15 +189,21 @@ func runCoord(cf *wire.ClusterFile, dialWait time.Duration, debugAddr string) {
 	if err != nil {
 		fatal(err)
 	}
+	flight := buildFlight(cf, "coord")
 	co, err := wire.StartCoordinator(wire.CoordinatorConfig{
-		ClientAddr: cf.Client,
-		Log:        flog,
-		CloseLog:   flog.Close,
-		Daemons:    cf.Daemons,
-		Workload:   cf.Workload,
-		DialWait:   dialWait,
-		Policy:     policy,
-		Trace:      cf.Trace,
+		ClientAddr:    cf.Client,
+		Log:           flog,
+		CloseLog:      flog.Close,
+		Daemons:       cf.Daemons,
+		Workload:      cf.Workload,
+		DialWait:      dialWait,
+		Policy:        policy,
+		Trace:         cf.Trace,
+		Spans:         cf.Spans,
+		SpanExemplars: cf.SpanExemplars,
+		SampleSeed:    cf.SampleSeed,
+		SampleRate:    cf.SampleRate,
+		Flight:        flight,
 	})
 	if err != nil {
 		flog.Close()
@@ -150,6 +213,7 @@ func runCoord(cf *wire.ClusterFile, dialWait time.Duration, debugAddr string) {
 		dbg, err := wire.ServeDebug(wire.DebugConfig{
 			Addr:    addr,
 			Role:    "coord",
+			Process: "coord",
 			Cluster: co.Cluster,
 			Wire:    co.WireMetrics(),
 		})
@@ -170,7 +234,6 @@ func runCoord(cf *wire.ClusterFile, dialWait time.Duration, debugAddr string) {
 	}
 	fmt.Printf("sccd: coordinator serving %d sites on %s (log %s)\n", cf.NumSites(), co.Addr(), cf.Log)
 	quit := make(chan os.Signal, 1)
-	signal.Notify(quit, syscall.SIGINT, syscall.SIGTERM)
-	<-quit
+	watchSignals(quit, flight)
 	co.Close()
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/compat"
@@ -232,6 +233,9 @@ type Cluster struct {
 	eagerBusy  bool
 
 	pipe pipeline
+	// waveSeq numbers decide waves; sampled decide spans carry the wave
+	// id so a trace shows which conversations shared a combining round.
+	waveSeq atomic.Uint64
 
 	// logMu guards relAcks: per logged commit decision, the
 	// participants whose release (or restart-time redo) has not yet
@@ -269,6 +273,17 @@ type Cluster struct {
 	// Config.Trace > 0; every Record call is nil-safe).
 	tel    telemetry.DistMetrics
 	tracer *telemetry.Tracer
+
+	// Span plane (nil unless Config.Spans > 0; every Record is
+	// nil-safe): sampler mints deterministic per-transaction trace
+	// contexts at Begin, spans holds the process's span ring plus the
+	// tail-latency exemplar store, and flight (shared with the hosting
+	// process) is the crash black box.
+	spans      *telemetry.SpanBuffer
+	sampler    *telemetry.Sampler
+	flight     *telemetry.FlightRecorder
+	sampleSeed int64
+	sampleRate float64
 }
 
 // Cluster is the distributed core.Store.
@@ -316,6 +331,31 @@ type Config struct {
 	// /tracez on a daemon). Zero disables tracing entirely — the
 	// default, and the zero-overhead path.
 	Trace int
+	// Spans, when positive, enables causal tracing: every transaction
+	// is minted a deterministic trace context at Begin, and sampled
+	// conversations record span records (begin/hold/decide/release/...)
+	// into a per-process buffer of this capacity, exportable as a
+	// Chrome trace and stitched cluster-wide by sccctl. Zero disables
+	// the span plane entirely — the zero-overhead default.
+	Spans int
+	// SpanExemplars bounds the tail-based exemplar store: completed
+	// traces whose end-to-end latency lands in the top latency buckets
+	// are pinned (copied out of the ring) instead of overwritten.
+	// Zero picks a small default. Ignored unless Spans > 0.
+	SpanExemplars int
+	// SampleSeed seeds the deterministic trace sampler: the same seed
+	// and transaction id always produce the same trace id and sampling
+	// decision, so seeded runs trace reproducibly and contexts can be
+	// re-derived after a coordinator restart.
+	SampleSeed int64
+	// SampleRate is the fraction of transactions sampled, in [0,1].
+	// Zero defaults to 1 (sample everything) when Spans > 0.
+	SampleRate float64
+	// Flight, when non-nil, is the process's flight recorder: the
+	// cluster records conversation events into it and attaches the
+	// span buffer and tracer, so a dump (SIGQUIT, panic, invariant
+	// violation) carries the full black box.
+	Flight *telemetry.FlightRecorder
 }
 
 // New builds a cluster of n in-process sites, each running its own
@@ -346,6 +386,20 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		tracer: telemetry.NewTracer(cfg.Trace),
 	}
 	c.mirror.SetMetrics(&c.tel.Mirror)
+	if cfg.Spans > 0 {
+		rate := cfg.SampleRate
+		if rate <= 0 {
+			rate = 1
+		}
+		c.spans = telemetry.NewSpanBuffer(cfg.Spans, cfg.SpanExemplars)
+		c.sampler = telemetry.NewSampler(cfg.SampleSeed, rate)
+		c.sampleSeed, c.sampleRate = cfg.SampleSeed, rate
+	}
+	c.flight = cfg.Flight
+	if c.flight != nil {
+		c.flight.AttachSpans(c.spans)
+		c.flight.AttachTracer(c.tracer)
+	}
 	if cfg.Policy != nil {
 		c.policy = cfg.Policy.Fresh()
 	}
@@ -387,7 +441,64 @@ func NewWithConfig(cfg Config) (*Cluster, error) {
 		}
 		c.sites = append(c.sites, s)
 	}
+	if c.spans != nil {
+		// Remote backends propagate the per-transaction context in their
+		// frame headers so site daemons stitch into the same trace.
+		for _, s := range c.sites {
+			if tl, ok := s.p.(interface {
+				SetTraceLookup(func(core.TxnID) telemetry.TraceContext)
+			}); ok {
+				tl.SetTraceLookup(c.TraceContextOf)
+			}
+		}
+	}
 	return c, nil
+}
+
+// TraceContextOf resolves a transaction's trace context: the live
+// registry entry when the transaction is in flight, else re-derived
+// from the deterministic sampler (redo of an already-unregistered
+// transaction after a restart). Zero when the span plane is off.
+func (c *Cluster) TraceContextOf(id core.TxnID) telemetry.TraceContext {
+	if c.sampler == nil {
+		return telemetry.TraceContext{}
+	}
+	if t := c.reg.get(id); t != nil {
+		return t.Trace()
+	}
+	return c.sampler.Context(uint64(id))
+}
+
+// Spans returns the cluster's span buffer (nil unless Config.Spans > 0).
+func (c *Cluster) Spans() *telemetry.SpanBuffer { return c.spans }
+
+// Flight returns the attached flight recorder (nil unless configured).
+func (c *Cluster) Flight() *telemetry.FlightRecorder { return c.flight }
+
+// SampleConfig reports the span plane's sampler parameters; rate is 0
+// when the span plane is off.
+func (c *Cluster) SampleConfig() (seed int64, rate float64) { return c.sampleSeed, c.sampleRate }
+
+// trace records a conversation event into both the event tracer and
+// the flight recorder (each nil-safe), so the black box replays the
+// same timeline /tracez shows.
+func (c *Cluster) trace(kind telemetry.EventKind, txn uint64, site int32, arg int64) {
+	c.tracer.Record(kind, txn, site, arg)
+	c.flight.Record(kind, txn, site, arg)
+}
+
+// completeTrace finishes a sampled transaction's trace: end-to-end
+// latency measured from Begin drives the tail-based exemplar store, so
+// the slowest conversations survive ring wraparound.
+func (c *Cluster) completeTrace(t *Txn) {
+	if c.spans == nil {
+		return
+	}
+	tc := t.Trace()
+	if !tc.Sampled() {
+		return
+	}
+	c.spans.Complete(tc, uint64(t.id), int64(time.Since(t.begin)))
 }
 
 // DecisionLog returns the coordinator's decision log (nil on a plain
@@ -439,6 +550,12 @@ func (c *Cluster) Begin() core.Txn {
 		done: make(chan struct{}),
 	}
 	t.state.Store(txActive)
+	if c.sampler != nil {
+		tc := c.sampler.Context(uint64(t.id))
+		t.tc.Store(&tc)
+		t.begin = time.Now()
+		c.spans.Record(tc, telemetry.SpanBegin, uint64(t.id), -1, 0, 0, 0)
+	}
 	c.reg.add(t)
 	if c.closed.Load() {
 		// Close raced the registration: withdraw so the draining close
@@ -548,13 +665,26 @@ func (c *Cluster) ackRelease(id core.TxnID, sid SiteID) {
 		delete(pending, sid)
 	}
 	done := pending != nil && len(pending) == 0
+	var violation uint64
 	if done {
 		delete(c.relAcks, id)
 		delete(c.redoClaims, id)
 		c.tel.DecisionsResolved.Inc()
 		c.tel.LiveDecisions.Set(int64(len(c.relAcks)))
+		// Decision conservation: every resolved decision was first
+		// logged by this coordinator or adopted from the log. More
+		// resolutions than that budget means release accounting
+		// double-counted — dump the black box while the evidence
+		// (recent events, spans) is still in the rings.
+		if r, b := c.tel.DecisionsResolved.Load(), c.tel.DecisionsLogged.Load()+c.tel.DecisionsAdopted.Load(); r > b {
+			violation = r - b
+		}
 	}
 	c.logMu.Unlock()
+	if violation > 0 && c.flight != nil {
+		c.flight.Record(telemetry.EvCrash, uint64(id), int32(sid), int64(violation))
+		_, _ = c.flight.DumpOnce("conservation-violation")
+	}
 	if done {
 		_ = c.flog.Truncate(id)
 	}
@@ -808,6 +938,8 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 	}
 	t.reason.Store(int32(reason))
 	t.state.Store(txAborted)
+	c.spans.Record(t.Trace(), telemetry.SpanAbort, uint64(t.id), int32(skipSite), 0, 0, 0)
+	c.completeTrace(t)
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Aborted(t.id, detail)
@@ -822,9 +954,11 @@ func (c *Cluster) abortEverywhere(t *Txn, skipSite SiteID, reason core.AbortReas
 // counterpart — logged outcomes are re-released); its release ack
 // arrives when its restart redoes the commit.
 func (c *Cluster) releaseAt(t *Txn) {
+	ttc := t.Trace()
 	for _, sid := range t.visitedSorted() {
 		c.step(DuringReleaseCascade, t.id, sid)
-		c.tracer.Record(telemetry.EvRelease, uint64(t.id), int32(sid), 0)
+		c.trace(telemetry.EvRelease, uint64(t.id), int32(sid), 0)
+		c.spans.Record(ttc, telemetry.SpanRelease, uint64(t.id), int32(sid), 0, 0, 0)
 		s := c.sites[sid]
 		s.mu.Lock()
 		eff := s.hub.Effects()
@@ -915,6 +1049,7 @@ func (c *Cluster) cascade(ids []core.TxnID) {
 			c.step(AfterDecisionBeforeRelease, dt.id, noSite)
 			c.releaseAt(dt)
 			dt.state.Store(txCommitted)
+			c.completeTrace(dt)
 			close(dt.done)
 			if c.obs != nil {
 				c.obs.Released(dt.id)
@@ -1007,6 +1142,7 @@ func (c *Cluster) eagerBatch(ids []core.TxnID) {
 			c.step(AfterDecisionBeforeRelease, dt.id, noSite)
 			c.releaseAt(dt)
 			dt.state.Store(txCommitted)
+			c.completeTrace(dt)
 			close(dt.done)
 			if c.obs != nil {
 				c.obs.Released(dt.id)
@@ -1096,7 +1232,7 @@ func (c *Cluster) Crash(id SiteID) error {
 	s.mu.Unlock()
 
 	c.tel.Crashes.Inc()
-	c.tracer.Record(telemetry.EvCrash, 0, int32(id), 0)
+	c.trace(telemetry.EvCrash, 0, int32(id), 0)
 	c.mu.Lock()
 	c.mirror.DropSite(int(id))
 	var revoke []*Txn
@@ -1147,6 +1283,8 @@ func (c *Cluster) revokeEverywhere(t *Txn, crashed SiteID, reason core.AbortReas
 	}
 	t.reason.Store(int32(reason))
 	t.state.Store(txAborted)
+	c.spans.Record(t.Trace(), telemetry.SpanAbort, uint64(t.id), int32(crashed), 0, 0, 0)
+	c.completeTrace(t)
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Aborted(t.id, reason.String())
@@ -1190,11 +1328,14 @@ func (c *Cluster) Restart(id SiteID) (fault.RecoveryReport, error) {
 	}
 	s.mu.Unlock()
 	c.tel.Restarts.Inc()
-	c.tracer.Record(telemetry.EvRestart, 0, int32(id), int64(len(rep.Redone)))
+	c.trace(telemetry.EvRestart, 0, int32(id), int64(len(rep.Redone)))
 	// A redo is this site's release ack: the logged commit is now in
 	// its durable base, so the decision can be truncated once every
-	// other participant has confirmed too.
+	// other participant has confirmed too. The redo span re-derives its
+	// context from the sampler — the transaction itself may have been
+	// unregistered before the crash.
 	for _, txid := range rep.Redone {
+		c.spans.Record(c.TraceContextOf(txid), telemetry.SpanRedo, uint64(txid), int32(id), 0, 0, 0)
 		c.ackRelease(txid, id)
 	}
 	return rep, nil

@@ -20,6 +20,7 @@ type decideReq struct {
 	counts []int           // batch[off:off+counts[i]] belongs to sids[i]
 
 	gdeps  int
+	wave   uint64 // id of the decide wave that processed this request
 	doomed bool
 	// shed: the hold policy refused to hold the conversation; the
 	// owner revokes it everywhere and returns a retryable ReasonShed
@@ -50,7 +51,7 @@ type pipeline struct {
 // global dependency count, or doomed if a site crash voided the
 // conversation. The caller's hold phase is complete: batch/counts are
 // the per-site exports copied out under the site mutexes.
-func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []int) (gdeps int, doomed, shed bool) {
+func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []int) (gdeps int, wave uint64, doomed, shed bool) {
 	req := &decideReq{t: t, sids: sids, batch: batch, counts: counts, done: make(chan struct{})}
 	p := &c.pipe
 	p.mu.Lock()
@@ -58,7 +59,7 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 	if p.combining {
 		p.mu.Unlock()
 		<-req.done
-		return req.gdeps, req.doomed, req.shed
+		return req.gdeps, req.wave, req.doomed, req.shed
 	}
 	p.combining = true
 	for {
@@ -70,7 +71,7 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 		if len(p.pending) == 0 {
 			p.combining = false
 			p.mu.Unlock()
-			return req.gdeps, req.doomed, req.shed
+			return req.gdeps, req.wave, req.doomed, req.shed
 		}
 	}
 }
@@ -86,10 +87,12 @@ func (c *Cluster) decide(t *Txn, sids []SiteID, batch []depgraph.Edge, counts []
 // cannot slip past the commit point.
 func (c *Cluster) decideWave(wave []*decideReq) {
 	c.tel.WaveSize.Observe(uint64(len(wave)))
+	wid := c.waveSeq.Add(1)
 	var releasing []*Txn
 	c.mu.Lock()
 	for _, r := range wave {
 		t := r.t
+		r.wave = wid
 		if t.doomed.Load() {
 			r.doomed = true
 			continue

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// newSpanCluster builds a 3-site page cluster with the span plane and
+// a flight recorder armed.
+func newSpanCluster(t *testing.T, dir string) *Cluster {
+	t.Helper()
+	fr := telemetry.NewFlightRecorder(256, "test", dir)
+	c, err := NewWithConfig(Config{
+		Sites:      3,
+		Spans:      1024,
+		SampleSeed: 1,
+		SampleRate: 1,
+		Flight:     fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := core.ObjectID(1); id <= 6; id++ {
+		if err := c.Register(id, adt.Page{}, compat.PageTable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// kinds returns the set of span kinds recorded for one transaction.
+func kinds(sb *telemetry.SpanBuffer, txn uint64) map[telemetry.SpanKind]int {
+	m := make(map[telemetry.SpanKind]int)
+	for _, s := range sb.Snapshot() {
+		if s.Txn == txn {
+			m[s.Kind]++
+		}
+	}
+	return m
+}
+
+// TestClusterSpans: a cross-site held transaction leaves a full causal
+// chain — begin, per-site begins and requests, per-site holds, a
+// decision, per-site releases — and completes into the exemplar store.
+func TestClusterSpans(t *testing.T) {
+	c := newSpanCluster(t, t.TempDir())
+	t1, t2 := c.Begin(), c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(1, write(11)); err != nil { // dep T2->T1 at site 1
+		t.Fatal(err)
+	}
+	if _, err := t2.Do(2, write(22)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t2.Commit(); err != nil || st != core.PseudoCommitted {
+		t.Fatalf("T2 commit = %v, %v", st, err)
+	}
+	if tc := t2.(*Txn).Trace(); !tc.Valid() || !tc.Sampled() {
+		t.Fatalf("T2 trace context = %+v, want valid+sampled", tc)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("T1 commit = %v, %v", st, err)
+	}
+	<-t2.Done()
+	if err := t2.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := kinds(c.Spans(), uint64(t2.ID()))
+	if k2[telemetry.SpanBegin] == 0 || k2[telemetry.SpanRequest] == 0 {
+		t.Fatalf("T2 missing begin/request spans: %v", k2)
+	}
+	if k2[telemetry.SpanHold] != 2 {
+		t.Fatalf("T2 hold spans = %d, want 2 (both visited sites)", k2[telemetry.SpanHold])
+	}
+	if k2[telemetry.SpanDecide] != 1 {
+		t.Fatalf("T2 decide spans = %d, want 1", k2[telemetry.SpanDecide])
+	}
+	if k2[telemetry.SpanRelease] != 2 {
+		t.Fatalf("T2 release spans = %d, want 2", k2[telemetry.SpanRelease])
+	}
+
+	// Both terminal transactions completed into the exemplar store.
+	ex := c.Spans().Exemplars()
+	seen := make(map[uint64]bool)
+	for _, e := range ex {
+		seen[e.Txn] = true
+	}
+	if !seen[uint64(t1.ID())] || !seen[uint64(t2.ID())] {
+		t.Fatalf("exemplars %v missing T1/T2", seen)
+	}
+
+	// TraceContextOf re-derives an unregistered id from the sampler.
+	if tc := c.TraceContextOf(core.TxnID(9999)); !tc.Valid() {
+		t.Fatal("TraceContextOf(9999) invalid — sampler re-derivation broken")
+	}
+}
+
+// TestClusterSpansAbort: an aborted transaction's trace terminates
+// with an abort span and still completes into the exemplar store.
+func TestClusterSpansAbort(t *testing.T) {
+	c := newSpanCluster(t, t.TempDir())
+	t1 := c.Begin()
+	if _, err := t1.Do(1, write(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	k := kinds(c.Spans(), uint64(t1.ID()))
+	if k[telemetry.SpanAbort] == 0 {
+		t.Fatalf("aborted T1 has no abort span: %v", k)
+	}
+}
+
+// TestClusterFlightDump: the cluster's flight recorder accumulates the
+// commit conversation's events and dumps a readable artifact.
+func TestClusterFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	c := newSpanCluster(t, dir)
+	t1 := c.Begin()
+	if _, err := t1.Do(1, write(10)); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := t1.Commit(); err != nil || st != core.Committed {
+		t.Fatalf("commit = %v, %v", st, err)
+	}
+	fr := c.Flight()
+	if fr == nil || fr.Len() == 0 {
+		t.Fatal("flight recorder empty after a commit")
+	}
+	path, err := fr.Dump("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump landed in %s, want %s", filepath.Dir(path), dir)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("flight dump is empty")
+	}
+}

@@ -65,7 +65,49 @@ type Txn struct {
 	// foreign goroutine (Cluster.Crash), hence atomic.
 	doomed atomic.Bool
 
+	// tc is the transaction's causal trace context, minted by the
+	// coordinator's sampler at Begin (nil pointer when the span plane is
+	// off). A remote client with its own sampler overrides it through
+	// AttachTrace — a foreign goroutine relative to conversation reads,
+	// hence the atomic pointer. begin stamps Begin for end-to-end
+	// latency; set only when tracing is on, before the handle escapes.
+	tc    atomic.Pointer[telemetry.TraceContext]
+	begin time.Time
+
 	done chan struct{} // closed at the terminal state (real commit everywhere, or abort)
+}
+
+// Trace returns the transaction's trace context (zero when the span
+// plane is off).
+func (t *Txn) Trace() telemetry.TraceContext {
+	if p := t.tc.Load(); p != nil {
+		return *p
+	}
+	return telemetry.TraceContext{}
+}
+
+// AttachTrace adopts an externally minted trace context — a remote
+// client that roots the trace — overriding the coordinator's own
+// sampling decision for this transaction. Invalid contexts and
+// repeated attaches of the current context are no-ops.
+func (t *Txn) AttachTrace(tc telemetry.TraceContext) {
+	if !tc.Valid() || t.Trace() == tc {
+		return
+	}
+	t.tc.Store(&tc)
+}
+
+// span records one causal span for this transaction. Nil-safe and
+// unsampled-safe at every layer, so call sites stay unguarded; the
+// disabled path is two predictable branches and zero allocations.
+func (t *Txn) span(kind telemetry.SpanKind, site int32, object, wave, dur int64) {
+	t.c.spans.Record(t.Trace(), kind, uint64(t.id), site, object, wave, dur)
+}
+
+// sampled reports whether this transaction's spans are being recorded —
+// the gate for the extra clock reads that give spans durations.
+func (t *Txn) sampled() bool {
+	return t.c.spans != nil && t.Trace().Sampled()
 }
 
 // ID returns the coordinator-assigned transaction id (unique across
@@ -207,7 +249,8 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 			return adt.Ret{}, err
 		}
 		t.visit(sid)
-		t.c.tracer.Record(telemetry.EvBegin, uint64(t.id), int32(sid), 0)
+		t.c.trace(telemetry.EvBegin, uint64(t.id), int32(sid), 0)
+		t.span(telemetry.SpanBegin, int32(sid), 0, 0, 0)
 	}
 
 	s.mu.Lock()
@@ -238,7 +281,12 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		return adt.Ret{}, fmt.Errorf("site %d: %w", sid, &core.ErrAborted{Txn: t.id, Reason: dec.Reason})
 
 	case core.Blocked:
-		t.c.tracer.Record(telemetry.EvBlocked, uint64(t.id), int32(sid), 0)
+		t.c.trace(telemetry.EvBlocked, uint64(t.id), int32(sid), 0)
+		t.span(telemetry.SpanBlock, int32(sid), int64(obj), 0, 0)
+		var blockStart time.Time
+		if t.sampled() {
+			blockStart = time.Now()
+		}
 		// Mirror the wait-for edges before parking: a cross-site
 		// deadlock closes in the union graph even though each site's
 		// local check passed (§6).
@@ -275,6 +323,9 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		}
 		// Granted: the wait-for edges are gone and commit dependencies
 		// may have taken their place — re-mirror and re-check.
+		if !blockStart.IsZero() {
+			t.span(telemetry.SpanGrant, int32(sid), int64(obj), 0, int64(time.Since(blockStart)))
+		}
 		if t.c.observe(t, sid) {
 			t.c.abortEverywhere(t, noSite, core.ReasonCommitCycle, "cross-site dependency cycle")
 			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonCommitCycle})
@@ -282,6 +333,7 @@ func (t *Txn) do(ctx context.Context, obj core.ObjectID, op adt.Op) (adt.Ret, er
 		return msg.Ret, nil
 
 	default: // Executed
+		t.span(telemetry.SpanRequest, int32(sid), int64(obj), 0, 0)
 		if t.c.observe(t, sid) {
 			t.c.abortEverywhere(t, noSite, core.ReasonCommitCycle, "cross-site dependency cycle")
 			return adt.Ret{}, fmt.Errorf("cross-site: %w", &core.ErrAborted{Txn: t.id, Reason: core.ReasonCommitCycle})
@@ -408,9 +460,11 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			if logged {
 				c.ackRelease(t.id, sid)
 			}
+			t.span(telemetry.SpanRelease, int32(sid), 0, 0, 0)
 			c.refreshParked(s)
 		}
 		t.state.Store(txCommitted)
+		c.completeTrace(t)
 		close(t.done)
 		if c.obs != nil {
 			c.obs.Released(t.id)
@@ -433,10 +487,15 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// as on the per-site path.
 	c.tel.Conversations.Inc()
 	holdStart := time.Now()
+	sampled := t.sampled()
 	var batch []depgraph.Edge
 	var counts []int
 	for _, sid := range sids {
 		c.step(BeforeCommitHold, t.id, sid)
+		var siteStart time.Time
+		if sampled {
+			siteStart = time.Now()
+		}
 		s := c.sites[sid]
 		s.mu.Lock()
 		eff := s.hub.Effects()
@@ -455,7 +514,10 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 			}
 			return 0, fmt.Errorf("dist: commit-hold of T%d at site %d: %w", t.id, sid, err)
 		}
-		c.tracer.Record(telemetry.EvHold, uint64(t.id), int32(sid), 0)
+		c.trace(telemetry.EvHold, uint64(t.id), int32(sid), 0)
+		if sampled {
+			t.span(telemetry.SpanHold, int32(sid), 0, 0, int64(time.Since(siteStart)))
+		}
 		c.step(AfterPrepareForce, t.id, sid)
 	}
 	c.tel.HoldNanos.Observe(uint64(time.Since(holdStart)))
@@ -470,15 +532,19 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	// so a crash during the hold phase cannot slip past the commit
 	// point.
 	decideStart := time.Now()
-	gdeps, doomed, shed := c.decide(t, sids, batch, counts)
+	gdeps, wave, doomed, shed := c.decide(t, sids, batch, counts)
 	c.tel.DecideNanos.Observe(uint64(time.Since(decideStart)))
-	c.tracer.Record(telemetry.EvDecide, uint64(t.id), int32(noSite), int64(gdeps))
+	c.trace(telemetry.EvDecide, uint64(t.id), int32(noSite), int64(gdeps))
+	if sampled {
+		t.span(telemetry.SpanDecide, int32(noSite), int64(gdeps), int64(wave), int64(time.Since(decideStart)))
+	}
 	if doomed {
 		_, err := t.failSite(noSite)
 		return 0, err
 	}
 	if shed {
-		c.tracer.Record(telemetry.EvShed, uint64(t.id), int32(noSite), int64(gdeps))
+		c.trace(telemetry.EvShed, uint64(t.id), int32(noSite), int64(gdeps))
+		t.span(telemetry.SpanShed, int32(noSite), int64(gdeps), int64(wave), 0)
 		// The hold policy refused to grow the convoy: revoke the hold
 		// at every participant (recoverability makes this abort
 		// non-cascading) and surface a retryable abort — Store.Run and
@@ -501,6 +567,7 @@ func (t *Txn) Commit() (core.CommitStatus, error) {
 	c.releaseAt(t)
 	c.tel.ReleaseNanos.Observe(uint64(time.Since(releaseStart)))
 	t.state.Store(txCommitted)
+	c.completeTrace(t)
 	close(t.done)
 	if c.obs != nil {
 		c.obs.Released(t.id)

@@ -143,6 +143,14 @@ type Config struct {
 	// RecordTrace keeps the full event-trace lines in the Result (the
 	// trace hash is always computed).
 	RecordTrace bool
+	// Spans, when positive, records deterministic causal spans into a
+	// ring of this capacity, stamped from the VIRTUAL clock: the same
+	// seed yields bit-identical span timelines, and the trace hash is
+	// untouched (span emission never draws randomness or trace lines).
+	Spans int
+	// SpanExemplars bounds the pinned tail-latency exemplar store; 0
+	// picks a small default. Ignored unless Spans > 0.
+	SpanExemplars int
 	// Log is the coordinator's decision log; nil means a fresh
 	// fault.NewMemLog.
 	Log fault.Log

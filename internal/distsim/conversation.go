@@ -9,6 +9,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // startCommit begins the commit conversation: the edge-free
@@ -116,6 +117,7 @@ func (e *Engine) holdArrive(p *sproc, sid int) {
 	}
 	s.prepTime[p.txn] = e.tl.Now()
 	e.tracef("hold T%d site=%d (prepare forced)", p.txn, sid)
+	e.span(telemetry.SpanHold, p.txn, sid, 0, 0, 0)
 	e.processEffects(s, &eff)
 	id := p.txn
 	e.stepFired(dist.AfterPrepareForce, p, sid)
@@ -209,6 +211,10 @@ func (e *Engine) shedHold(p *sproc, depth int) {
 	}
 	e.aborts++
 	e.tracef("shed T%d (%s depth=%d held=%d)", id, e.policy.Name(), depth, e.heldSet)
+	if e.spans != nil {
+		e.span(telemetry.SpanShed, id, -1, int64(depth), int64(e.heldSet), 0)
+		e.completeSpan(id, e.tl.Now()-p.attemptStart)
+	}
 	delete(e.procs, id)
 	p.txn = 0
 	p.state = spWaitRetry
@@ -247,6 +253,7 @@ func (e *Engine) decideCommit(p *sproc) {
 	p.state = spReleasing
 	p.decideTime = e.tl.Now()
 	e.tracef("decide T%d commit", p.txn)
+	e.span(telemetry.SpanDecide, p.txn, -1, 0, 0, int64((e.tl.Now()-p.commitStart)*1e9))
 	e.stepFired(dist.AfterDecisionBeforeRelease, p, -1)
 	// A crash at the boundary cannot unwind a releasing transaction —
 	// its decision is logged; releases skip the down site and recovery
@@ -312,6 +319,7 @@ func (e *Engine) relArrive(p *sproc, sid int) {
 		s.cr.Forget(p.txn)
 		e.ack(p.txn, sid)
 		e.tracef("release T%d site=%d", p.txn, sid)
+		e.span(telemetry.SpanRelease, p.txn, sid, 0, 0, 0)
 		e.processEffects(s, &eff)
 	}
 	at := e.sendFromSite(s, e.cfg.SiteTime+e.lat())
@@ -347,6 +355,7 @@ func (e *Engine) realCommit(p *sproc) {
 		e.committedSteps[st.Object]++
 	}
 	e.tracef("committed T%d", id)
+	e.completeSpan(id, e.tl.Now()-p.submitted)
 	if e.coordGate {
 		// The terminal has the outcome: release the client gate (the
 		// last ack truncates the decision).
@@ -525,6 +534,7 @@ func (e *Engine) restartSite(s *simSite) {
 			}
 			delete(s.prepTime, id)
 		}
+		e.span(telemetry.SpanRedo, id, s.idx, 0, 0, 0)
 		e.ack(id, s.idx)
 	}
 	for _, id := range rep.PresumedAborted {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -211,6 +212,16 @@ type Engine struct {
 	traceHash uint64
 	traceLen  int
 	trace     []string
+
+	// Span plane (nil unless Config.Spans > 0): spans is clocked off
+	// the virtual timeline, sampler derives each transaction's trace
+	// context purely from (Seed, txn id) — same seed, bit-identical
+	// causal traces.
+	spans   *telemetry.SpanBuffer
+	sampler *telemetry.Sampler
+	// blockedAt remembers when a blocked request parked (virtual time)
+	// so the grant span can carry the wait as its duration.
+	blockedAt map[core.TxnID]float64
 }
 
 // NewEngine builds an engine for the configuration.
@@ -239,6 +250,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Policy != nil {
 		e.policy = cfg.Policy.Fresh()
 	}
+	if cfg.Spans > 0 {
+		e.spans = telemetry.NewSpanBuffer(cfg.Spans, cfg.SpanExemplars)
+		e.spans.SetClock(func() int64 { return int64(e.tl.Now() * 1e9) })
+		e.sampler = telemetry.NewSampler(cfg.Seed, 1)
+		e.blockedAt = make(map[core.TxnID]float64)
+	}
 	opts := core.Options{Predicate: cfg.Predicate, Recovery: core.RecoveryIntentions}
 	factory := cfg.Workload.Factory()
 	for i := 0; i < cfg.Sites; i++ {
@@ -260,6 +277,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Site exposes one participant's crash-stop backend (tests and
 // conservation checks; call after Run, when every site is up).
 func (e *Engine) Site(i int) *fault.Crashable { return e.sites[i].cr }
+
+// Spans exposes the causal-span ring (nil unless Config.Spans > 0).
+func (e *Engine) Spans() *telemetry.SpanBuffer { return e.spans }
 
 // route maps an object to its home site (dist.RouteByModulo's rule).
 func (e *Engine) route(id core.ObjectID) int {
@@ -402,7 +422,7 @@ func (e *Engine) result() Result {
 	for _, s := range e.sites {
 		st.Add(s.cr.StatsSnapshot())
 	}
-	return Result{
+	r := Result{
 		Sites:             e.cfg.Sites,
 		SimTime:           e.snapTime,
 		RealCommits:       e.snapReal,
@@ -441,6 +461,11 @@ func (e *Engine) result() Result {
 		TimeToDrain:       e.timeToDrain,
 		Policy:            policyName(e.policy),
 	}
+	if e.spans != nil {
+		r.Spans = e.spans.Snapshot()
+		r.SpanExemplars = e.spans.Exemplars()
+	}
+	return r
 }
 
 // policyName renders the policy for Result ("" = off).
@@ -566,6 +591,7 @@ func (e *Engine) startAttempt(p *sproc) {
 	p.attemptStart = e.tl.Now()
 	e.procs[p.txn] = p
 	e.tracef("submit T%d term=%d len=%d attempt=%d", p.txn, p.terminal, len(p.steps), p.attempts)
+	e.span(telemetry.SpanBegin, p.txn, -1, int64(len(p.steps)), 0, 0)
 	e.issue(p)
 }
 
@@ -606,12 +632,17 @@ func (e *Engine) reqArrive(p *sproc, sid int) {
 	case core.Executed:
 		p.idx++
 		e.tracef("req T%d site=%d obj=%d op=%s -> executed", p.txn, sid, step.Object, step.Op.Name)
+		e.span(telemetry.SpanRequest, p.txn, sid, int64(step.Object), 0, 0)
 		e.afterExec(p, s)
 	case core.Blocked:
 		p.state = spBlocked
 		p.blockedSite = sid
 		s.parked[p.txn] = p
 		e.tracef("req T%d site=%d obj=%d op=%s -> blocked", p.txn, sid, step.Object, step.Op.Name)
+		if e.spans != nil {
+			e.span(telemetry.SpanBlock, p.txn, sid, int64(step.Object), 0, 0)
+			e.blockedAt[p.txn] = e.tl.Now()
+		}
 		e.scheduleObserve(p, s)
 	case core.Aborted:
 		e.tracef("req T%d site=%d obj=%d -> aborted (%s)", p.txn, sid, step.Object, dec.Reason)
@@ -701,6 +732,14 @@ func (e *Engine) processEffects(s *simSite, eff *core.Effects) {
 		q.state = spActive
 		q.idx++
 		e.tracef("grant T%d site=%d obj=%d", q.txn, s.idx, g.Object)
+		if e.spans != nil {
+			var blockDur int64
+			if t0, ok := e.blockedAt[q.txn]; ok {
+				blockDur = int64((e.tl.Now() - t0) * 1e9)
+				delete(e.blockedAt, q.txn)
+			}
+			e.span(telemetry.SpanGrant, q.txn, s.idx, int64(g.Object), 0, blockDur)
+		}
 		e.afterExec(q, s)
 	}
 	var retries []core.RetryAbort
@@ -785,6 +824,11 @@ func (e *Engine) abortAttempt(p *sproc, reason core.AbortReason, skipSite int) {
 	delete(e.procs, id)
 	e.aborts++
 	e.tracef("abort T%d (%s)", id, reason)
+	if e.spans != nil {
+		delete(e.blockedAt, id)
+		e.span(telemetry.SpanAbort, id, skipSite, 0, 0, 0)
+		e.completeSpan(id, e.tl.Now()-p.attemptStart)
+	}
 	p.txn = 0
 	p.state = spWaitRetry
 	p.attempts++

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // Result is what one deterministic multi-site run measured. The
@@ -109,6 +110,13 @@ type Result struct {
 	TraceLen int
 	// Trace holds the lines themselves when Config.RecordTrace is set.
 	Trace []string
+
+	// Spans is the causal-span ring's final contents (nil unless
+	// Config.Spans > 0), stamped from the virtual clock, and
+	// SpanExemplars the pinned tail-latency traces. Same seed, same
+	// config, bit-identical slices.
+	Spans         []telemetry.Span
+	SpanExemplars []telemetry.TraceExemplar
 
 	// Stats sums every site's scheduler counters across incarnations.
 	Stats core.Stats

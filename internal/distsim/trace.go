@@ -1,6 +1,11 @@
 package distsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
 
 // fnvOffset/fnvPrime are the FNV-1a 64-bit constants.
 const (
@@ -34,4 +39,25 @@ func (e *Engine) tracef(format string, args ...any) {
 	if e.cfg.RecordTrace {
 		e.trace = append(e.trace, line)
 	}
+}
+
+// span records one causal span stamped from the virtual clock. Span
+// emission is deliberately decoupled from tracef: it never touches the
+// trace hash, never draws randomness, and keeps recording through the
+// drain phase, so a run's determinism fingerprint is bit-identical
+// with the span plane on or off.
+func (e *Engine) span(kind telemetry.SpanKind, txn core.TxnID, site int, object, wave, dur int64) {
+	if e.spans == nil {
+		return
+	}
+	e.spans.Record(e.sampler.Context(uint64(txn)), kind, uint64(txn), int32(site), object, wave, dur)
+}
+
+// completeSpan folds the transaction's finished trace into the
+// exemplar store with the given virtual latency (seconds).
+func (e *Engine) completeSpan(txn core.TxnID, latency float64) {
+	if e.spans == nil {
+		return
+	}
+	e.spans.Complete(e.sampler.Context(uint64(txn)), uint64(txn), int64(latency*1e9))
 }

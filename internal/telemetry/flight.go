@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a bounded structured-event black box per process.
+//
+// The recorder accumulates the same conversation events the Tracer
+// does — but it exists to be *dumped*, not scraped: on SIGQUIT, on a
+// daemon panic, or when a decision-log conservation invariant trips,
+// the recorder writes a self-contained JSON post-mortem (its own event
+// ring, plus snapshots of any attached span buffer and tracer) to
+// disk. The recording path keeps the package's contract: Record is
+// allocation-free and nil-safe; only Dump allocates.
+
+// FlightEvent is one black-box entry: wall and monotonic stamps plus
+// the same (kind, txn, site, arg) shape the Tracer records.
+type FlightEvent struct {
+	Seq   uint64    `json:"seq"`
+	Wall  int64     `json:"wall"`
+	Nanos int64     `json:"nanos"`
+	Kind  EventKind `json:"-"`
+	KindS string    `json:"kind"`
+	Txn   uint64    `json:"txn"`
+	Site  int32     `json:"site"`
+	Arg   int64     `json:"arg"`
+}
+
+// FlightDump is the JSON document a dump writes.
+type FlightDump struct {
+	Process   string          `json:"process"`
+	Reason    string          `json:"reason"`
+	Wall      string          `json:"wall"`
+	Events    []FlightEvent   `json:"events"`
+	Spans     []Span          `json:"spans,omitempty"`
+	Exemplars []TraceExemplar `json:"exemplars,omitempty"`
+	Trace     []Event         `json:"trace,omitempty"`
+}
+
+// FlightRecorder is the per-process black box. A nil recorder no-ops
+// everywhere, so call sites never guard.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []FlightEvent
+	next    uint64
+	epoch   time.Time
+	wall0   int64
+	process string
+	dir     string
+
+	spans  *SpanBuffer
+	tracer *Tracer
+
+	lastPath string
+	dumps    int
+	once     map[string]bool // reasons already dumped via DumpOnce
+}
+
+// NewFlightRecorder builds a recorder with capacity size for process
+// (a short role label: "coord", "site-a", ...), dumping into dir
+// (defaulted to the working directory). size <= 0 disables: the
+// returned recorder is nil.
+func NewFlightRecorder(size int, process, dir string) *FlightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	if dir == "" {
+		dir = "."
+	}
+	now := time.Now()
+	return &FlightRecorder{
+		ring:    make([]FlightEvent, size),
+		epoch:   now,
+		wall0:   now.UnixNano(),
+		process: process,
+		dir:     dir,
+		once:    make(map[string]bool),
+	}
+}
+
+// AttachSpans includes the span buffer's snapshot in future dumps.
+func (f *FlightRecorder) AttachSpans(b *SpanBuffer) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.spans = b
+	f.mu.Unlock()
+}
+
+// AttachTracer includes the tracer's snapshot in future dumps.
+func (f *FlightRecorder) AttachTracer(tr *Tracer) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.tracer = tr
+	f.mu.Unlock()
+}
+
+// Record appends one event. Nil-safe, allocation-free.
+func (f *FlightRecorder) Record(kind EventKind, txn uint64, site int32, arg int64) {
+	if f == nil {
+		return
+	}
+	now := int64(time.Since(f.epoch))
+	f.mu.Lock()
+	e := &f.ring[f.next%uint64(len(f.ring))]
+	e.Seq = f.next
+	e.Wall = f.wall0 + now
+	e.Nanos = now
+	e.Kind = kind
+	e.KindS = ""
+	e.Txn = txn
+	e.Site = site
+	e.Arg = arg
+	f.next++
+	f.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.next < uint64(len(f.ring)) {
+		return int(f.next)
+	}
+	return len(f.ring)
+}
+
+// Cap reports the ring capacity (0 for nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// LastDump reports the path of the most recent on-disk dump ("" if
+// none yet).
+func (f *FlightRecorder) LastDump() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastPath
+}
+
+// Dumps reports how many dumps have been written.
+func (f *FlightRecorder) Dumps() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// snapshot assembles the dump document. Caller must NOT hold f.mu.
+func (f *FlightRecorder) snapshot(reason string) FlightDump {
+	f.mu.Lock()
+	n := uint64(len(f.ring))
+	start, count := uint64(0), f.next
+	if f.next > n {
+		start, count = f.next-n, n
+	}
+	events := make([]FlightEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e := f.ring[(start+i)%n]
+		e.KindS = e.Kind.String()
+		events = append(events, e)
+	}
+	spans, tracer := f.spans, f.tracer
+	process := f.process
+	f.mu.Unlock()
+
+	d := FlightDump{
+		Process: process,
+		Reason:  reason,
+		Wall:    time.Now().UTC().Format(time.RFC3339Nano),
+		Events:  events,
+	}
+	if spans != nil {
+		d.Spans = spans.Snapshot()
+		d.Exemplars = spans.Exemplars()
+	}
+	if tracer != nil {
+		d.Trace = tracer.Snapshot()
+	}
+	return d
+}
+
+// DumpTo writes the post-mortem document to w.
+func (f *FlightRecorder) DumpTo(w io.Writer, reason string) error {
+	if f == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f.snapshot(reason))
+}
+
+// Dump writes the post-mortem to a fresh file in the recorder's dump
+// directory and returns its path. File naming is
+// flight-<process>-<n>.json so successive dumps never clobber.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	f.dumps++
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%s-%d.json", f.process, f.dumps))
+	f.mu.Unlock()
+
+	tmp := path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	err = f.DumpTo(file, reason)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	f.mu.Lock()
+	f.lastPath = path
+	f.mu.Unlock()
+	return path, nil
+}
+
+// DumpOnce dumps at most once per reason — the hook for invariant
+// violations that would otherwise re-trip on every subsequent check.
+// Returns the dump path ("" when this reason already fired).
+func (f *FlightRecorder) DumpOnce(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	if f.once[reason] {
+		f.mu.Unlock()
+		return "", nil
+	}
+	f.once[reason] = true
+	f.mu.Unlock()
+	return f.Dump(reason)
+}

@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSamplerDeterminism pins the sampling contract: the same (seed,
+// txn) pair always yields the same trace id and the same decision, so
+// seeded runs are reproducible and contexts can be re-derived after a
+// restart without having been stored.
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(42, 0.5)
+	b := NewSampler(42, 0.5)
+	sampled := 0
+	for txn := uint64(1); txn <= 4096; txn++ {
+		ca, cb := a.Context(txn), b.Context(txn)
+		if ca != cb {
+			t.Fatalf("txn %d: contexts differ across samplers: %+v vs %+v", txn, ca, cb)
+		}
+		if !ca.Valid() {
+			t.Fatalf("txn %d: invalid trace id", txn)
+		}
+		if ca.Sampled() {
+			sampled++
+		}
+	}
+	// Rate 0.5 over 4096 uniform hashes: expect roughly half, with wide
+	// slack — this asserts the threshold works, not the distribution.
+	if sampled < 1024 || sampled > 3072 {
+		t.Errorf("rate 0.5 sampled %d/4096, far from half", sampled)
+	}
+
+	// Different seeds must diverge (else the seed does nothing).
+	c := NewSampler(43, 0.5)
+	diff := 0
+	for txn := uint64(1); txn <= 256; txn++ {
+		if a.Context(txn).Trace != c.Context(txn).Trace {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed change did not change any trace id")
+	}
+
+	// Rate edges: 1 samples everything, 0 nothing; nil mints zero.
+	all := NewSampler(7, 1)
+	none := NewSampler(7, 0)
+	for txn := uint64(1); txn <= 64; txn++ {
+		if !all.Context(txn).Sampled() {
+			t.Fatalf("rate 1 skipped txn %d", txn)
+		}
+		if none.Context(txn).Sampled() {
+			t.Fatalf("rate 0 sampled txn %d", txn)
+		}
+	}
+	var nilS *Sampler
+	if tc := nilS.Context(9); tc.Valid() || tc.Sampled() {
+		t.Errorf("nil sampler minted %+v", tc)
+	}
+}
+
+// TestSpanBufferWraparound checks the ring semantics: capacity bounds
+// retention, oldest spans are overwritten first, and snapshots come
+// out oldest-first.
+func TestSpanBufferWraparound(t *testing.T) {
+	b := NewSpanBuffer(4, 2)
+	tc := TraceContext{Trace: 1, Span: 1, Flags: TraceSampled}
+	for i := uint64(1); i <= 6; i++ {
+		b.Record(tc, SpanRequest, i, 0, 0, 0, 0)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	snap := b.Snapshot()
+	var txns []uint64
+	for _, s := range snap {
+		txns = append(txns, s.Txn)
+	}
+	want := []uint64{3, 4, 5, 6}
+	for i := range want {
+		if txns[i] != want[i] {
+			t.Fatalf("snapshot txns = %v, want %v", txns, want)
+		}
+	}
+	// Unsampled contexts record nothing.
+	b.Record(TraceContext{Trace: 2}, SpanBegin, 9, 0, 0, 0, 0)
+	if b.Len() != 4 || b.Snapshot()[3].Txn != 6 {
+		t.Error("unsampled context was recorded")
+	}
+	// Nil buffer no-ops everywhere.
+	var nb *SpanBuffer
+	nb.Record(tc, SpanBegin, 1, 0, 0, 0, 0)
+	nb.Complete(tc, 1, 1)
+	if nb.Len() != 0 || nb.Snapshot() != nil || nb.Exemplars() != nil {
+		t.Error("nil buffer retained data")
+	}
+}
+
+// TestExemplarRetention is the tail-based retention contract: a
+// completed trace whose latency lands in the top buckets is pinned
+// with its spans copied out, so subsequent ring wraparound cannot lose
+// it, and the slowest traces win eviction once the store is full.
+func TestExemplarRetention(t *testing.T) {
+	b := NewSpanBuffer(8, 2)
+	mk := func(trace uint64) TraceContext {
+		return TraceContext{Trace: trace, Span: trace, Flags: TraceSampled}
+	}
+
+	// Trace 1 completes slow, then the ring wraps completely.
+	b.Record(mk(1), SpanBegin, 1, 0, 0, 0, 0)
+	b.Record(mk(1), SpanRelease, 1, 0, 0, 0, 0)
+	b.Complete(mk(1), 1, 1_000_000)
+	for i := uint64(10); i < 30; i++ {
+		b.Record(mk(i), SpanRequest, i, 0, 0, 0, 0)
+	}
+	if got := b.TraceOf(1); len(got) != 2 {
+		t.Fatalf("trace 1 lost to wraparound: %d spans retained, want 2", len(got))
+	}
+
+	// Fill the store (cap 2), then evict by latency: a faster trace
+	// must not displace a slower pin; a slower one must.
+	b.Record(mk(2), SpanBegin, 2, 0, 0, 0, 0)
+	b.Complete(mk(2), 2, 2_000_000)
+	b.Record(mk(3), SpanBegin, 3, 0, 0, 0, 0)
+	b.Complete(mk(3), 3, 500) // faster than both pins: rejected
+	exs := b.Exemplars()
+	if len(exs) != 2 {
+		t.Fatalf("exemplar count = %d, want 2", len(exs))
+	}
+	for _, ex := range exs {
+		if ex.Trace == 3 {
+			t.Fatal("fast trace displaced a slower exemplar")
+		}
+	}
+	b.Record(mk(4), SpanBegin, 4, 0, 0, 0, 0)
+	b.Complete(mk(4), 4, 5_000_000) // slower than the min pin (trace 1)
+	traces := map[uint64]bool{}
+	for _, ex := range b.Exemplars() {
+		traces[ex.Trace] = true
+	}
+	if !traces[4] || !traces[2] || traces[1] {
+		t.Fatalf("eviction picked wrong victim: pins = %v, want {2,4}", traces)
+	}
+
+	// Unsampled completion is a no-op.
+	b.Complete(TraceContext{Trace: 99}, 99, 1<<40)
+	if len(b.Exemplars()) != 2 {
+		t.Error("unsampled completion changed the exemplar store")
+	}
+}
+
+// TestSpanBufferVirtualClock checks SetClock: both stamps come from
+// the injected source, which is what makes distsim spans deterministic.
+func TestSpanBufferVirtualClock(t *testing.T) {
+	b := NewSpanBuffer(4, 1)
+	now := int64(0)
+	b.SetClock(func() int64 { return now })
+	tc := TraceContext{Trace: 5, Span: 5, Flags: TraceSampled}
+	now = 1500
+	b.Record(tc, SpanBegin, 1, 0, 0, 0, 0)
+	now = 2500
+	b.Record(tc, SpanHold, 1, 2, 0, 0, 300)
+	snap := b.Snapshot()
+	if snap[0].Wall != 1500 || snap[0].Start != 1500 {
+		t.Errorf("first span stamps = (%d,%d), want (1500,1500)", snap[0].Wall, snap[0].Start)
+	}
+	if snap[1].Wall != 2500 || snap[1].Dur != 300 {
+		t.Errorf("second span = %+v, want wall 2500 dur 300", snap[1])
+	}
+}
+
+// TestWriteChromeTrace checks the export is valid JSON in the
+// trace_event shape with the trace identity in args.
+func TestWriteChromeTrace(t *testing.T) {
+	b := NewSpanBuffer(8, 1)
+	tc := TraceContext{Trace: 0xabc, Span: 7, Flags: TraceSampled}
+	b.Record(tc, SpanHold, 3, 1, 42, 0, 2000)
+	b.Record(tc, SpanDecide, 3, -1, 0, 4, 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "coord", b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  string  `json:"pid"`
+			Tid  string  `json:"tid"`
+			Args struct {
+				Trace string `json:"trace"`
+				Site  int32  `json:"site"`
+				Wave  int64  `json:"wave"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("event count = %d, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "hold" || doc.TraceEvents[0].Pid != "coord" || doc.TraceEvents[0].Tid != "T3" {
+		t.Errorf("first event = %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[0].Args.Trace != "0000000000000abc" {
+		t.Errorf("trace id rendered as %q", doc.TraceEvents[0].Args.Trace)
+	}
+	if doc.TraceEvents[1].Args.Wave != 4 {
+		t.Errorf("wave = %d, want 4", doc.TraceEvents[1].Args.Wave)
+	}
+}
+
+// TestFlightRecorderDump checks the black box end to end: record,
+// attach spans/tracer, dump to a buffer and to disk, DumpOnce
+// once-per-reason semantics, and nil safety.
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(8, "site-a", dir)
+	spans := NewSpanBuffer(8, 1)
+	tr := NewTracer(8)
+	f.AttachSpans(spans)
+	f.AttachTracer(tr)
+
+	tc := TraceContext{Trace: 11, Span: 11, Flags: TraceSampled}
+	spans.Record(tc, SpanHold, 7, 2, 0, 0, 0)
+	tr.Record(EvHold, 7, 2, 1)
+	f.Record(EvHold, 7, 2, 1)
+	f.Record(EvCrash, 0, 2, 0)
+
+	var buf bytes.Buffer
+	if err := f.DumpTo(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Process != "site-a" || d.Reason != "test" {
+		t.Errorf("dump header = %q/%q", d.Process, d.Reason)
+	}
+	if len(d.Events) != 2 || d.Events[1].KindS != "crash" {
+		t.Errorf("dump events = %+v", d.Events)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Trace != 11 {
+		t.Errorf("dump spans = %+v", d.Spans)
+	}
+	if len(d.Trace) != 1 {
+		t.Errorf("dump tracer events = %+v", d.Trace)
+	}
+
+	path, err := f.Dump("sigquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(path, dir) || f.LastDump() != path {
+		t.Errorf("dump path %q, LastDump %q", path, f.LastDump())
+	}
+	if p2, _ := f.Dump("sigquit"); p2 == path {
+		t.Error("second dump clobbered the first")
+	}
+
+	if p, err := f.DumpOnce("conservation"); err != nil || p == "" {
+		t.Fatalf("first DumpOnce = %q, %v", p, err)
+	}
+	if p, err := f.DumpOnce("conservation"); err != nil || p != "" {
+		t.Errorf("second DumpOnce fired: %q, %v", p, err)
+	}
+
+	var nf *FlightRecorder
+	nf.Record(EvHold, 1, 1, 1)
+	if nf.Len() != 0 || nf.Cap() != 0 || nf.LastDump() != "" {
+		t.Error("nil recorder retained state")
+	}
+	if p, err := nf.Dump("x"); p != "" || err != nil {
+		t.Error("nil recorder dumped")
+	}
+	if NewFlightRecorder(0, "x", "") != nil {
+		t.Error("size 0 must disable")
+	}
+	if NewSpanBuffer(0, 0) != nil {
+		t.Error("size 0 must disable")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Client is a core.Store whose coordinator lives in another process.
@@ -29,7 +30,15 @@ type Client struct {
 	// caller must not re-run the transaction.
 	ResolveWindow time.Duration
 	numSites      int
+	sampler       *telemetry.Sampler
 }
+
+// SetSampler enables client-rooted tracing: each transaction mints a
+// deterministic trace context from the sampler at Begin, and every
+// subsequent frame of that transaction carries it — the coordinator
+// adopts the client's trace id, so the resulting cluster-wide trace is
+// rooted here. Call before starting transactions.
+func (c *Client) SetSampler(s *telemetry.Sampler) { c.sampler = s }
 
 // Dial connects to a coordinator's client plane, retrying for wait.
 func Dial(addr string, wait time.Duration) (*Client, error) {
@@ -87,10 +96,21 @@ func (c *Client) Begin() core.Txn {
 		return core.ClosedTxn(coordDown(0, err))
 	}
 	id := core.TxnID(r.u64())
+	// Older responses end at the id; newer ones append the
+	// coordinator-minted trace context, which the client adopts unless
+	// its own sampler overrides it (the client then roots the trace and
+	// tells the coordinator so on the next frame).
+	var tc telemetry.TraceContext
+	if len(r.b) >= traceBlockKnown {
+		tc = telemetry.TraceContext{Trace: r.u64(), Span: r.u64(), Flags: r.u8()}
+	}
 	if r.err != nil {
 		return core.ClosedTxn(r.err)
 	}
-	return &clientTxn{c: c, id: id}
+	if c.sampler != nil {
+		tc = c.sampler.Context(uint64(id))
+	}
+	return &clientTxn{c: c, id: id, tc: tc}
 }
 
 // Run executes fn in a transaction with the standard retry loop.
@@ -197,6 +217,7 @@ func (c *Client) resolve(id core.TxnID) (committed bool, err error) {
 type clientTxn struct {
 	c  *Client
 	id core.TxnID
+	tc telemetry.TraceContext
 
 	mu          sync.Mutex
 	dead        error         // terminal client-side error, short-circuits later ops
@@ -233,7 +254,7 @@ func (t *clientTxn) Do(obj core.ObjectID, op adt.Op) (adt.Ret, error) {
 	b := appendU64(nil, uint64(t.id))
 	b = appendU64(b, uint64(obj))
 	b = appendOp(b, op)
-	r, err := t.c.peer.call(kCliDo, b)
+	r, err := t.c.peer.callT(kCliDo, t.tc, b)
 	if err != nil {
 		derr := coordDown(t.id, err)
 		t.setDead(derr)
@@ -292,7 +313,7 @@ func (t *clientTxn) Commit() (core.CommitStatus, error) {
 	if err := t.deadErr(); err != nil {
 		return 0, err
 	}
-	r, err := t.c.peer.call(kCliCommit, appendU64(nil, uint64(t.id)))
+	r, err := t.c.peer.callT(kCliCommit, t.tc, appendU64(nil, uint64(t.id)))
 	if err == nil {
 		if r.err != nil {
 			t.setDead(r.err)
@@ -389,7 +410,7 @@ func (t *clientTxn) startWait() {
 // transaction, acknowledges it, and finishes the session locally.
 func (t *clientTxn) wait() {
 	var outErr error
-	r, err := t.c.peer.call(kCliWait, appendU64(nil, uint64(t.id)))
+	r, err := t.c.peer.callT(kCliWait, t.tc, appendU64(nil, uint64(t.id)))
 	switch {
 	case err == nil:
 		committed := r.u8() == 1

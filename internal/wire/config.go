@@ -46,6 +46,24 @@ type ClusterFile struct {
 	// Trace sizes the coordinator's conversation-event ring for
 	// /tracez; 0 disables tracing.
 	Trace int `json:"trace,omitempty"`
+	// Spans sizes every process's causal span ring (coordinator and
+	// site daemons alike); 0 disables the span plane cluster-wide.
+	Spans int `json:"spans,omitempty"`
+	// SpanExemplars bounds each process's pinned tail-latency exemplar
+	// store; 0 picks a small default.
+	SpanExemplars int `json:"span_exemplars,omitempty"`
+	// SampleRate is the traced fraction of transactions in [0,1]; 0
+	// means sample everything when the span plane is on.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	// SampleSeed seeds the deterministic trace sampler; every process
+	// derives the same trace ids from it.
+	SampleSeed int64 `json:"sample_seed,omitempty"`
+	// Flight sizes every process's flight-recorder ring; 0 disables
+	// the black box.
+	Flight int `json:"flight,omitempty"`
+	// FlightDir is where flight dumps land (default: the working
+	// directory of each process).
+	FlightDir string `json:"flight_dir,omitempty"`
 	// Daemons places the global site ids onto site-daemon processes.
 	Daemons []DaemonSpec `json:"daemons"`
 }

@@ -63,6 +63,15 @@ type CoordinatorConfig struct {
 	Policy dist.HoldPolicy
 	// Trace sizes the cluster's conversation-event ring (0 disables).
 	Trace int
+	// Spans/SpanExemplars/SampleSeed/SampleRate configure the cluster's
+	// causal span plane (see dist.Config); Spans 0 disables it.
+	Spans         int
+	SpanExemplars int
+	SampleSeed    int64
+	SampleRate    float64
+	// Flight, when non-nil, is the process's flight recorder, shared
+	// with the cluster so conversation events land in the black box.
+	Flight *telemetry.FlightRecorder
 }
 
 // DaemonSpec places a set of global site ids on one daemon address.
@@ -188,6 +197,11 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		Backends:      backends,
 		Policy:        cfg.Policy,
 		Trace:         cfg.Trace,
+		Spans:         cfg.Spans,
+		SpanExemplars: cfg.SpanExemplars,
+		SampleSeed:    cfg.SampleSeed,
+		SampleRate:    cfg.SampleRate,
+		Flight:        cfg.Flight,
 	})
 	if err != nil {
 		return fail(err)
@@ -231,6 +245,7 @@ func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		Addr:    cfg.ClientAddr,
 		Cluster: c,
 		Factory: objFactory,
+		Flight:  cfg.Flight,
 	})
 	if err != nil {
 		return fail(err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // CoordConfig parameterises the coordinator's client-plane server.
@@ -23,6 +24,9 @@ type CoordConfig struct {
 	// remote registration). Comes from the cluster config's workload
 	// spec, like the site daemons' factories.
 	Factory func(core.ObjectID) (adt.Type, compat.Classifier)
+	// Flight, when non-nil, is dumped before a panic in a request
+	// handler takes the process down, so the crash leaves a black box.
+	Flight *telemetry.FlightRecorder
 }
 
 // servedTxn is one client transaction's session state at the
@@ -155,8 +159,13 @@ func (s *CoordServer) readLoop(cc *cliConn) {
 			return
 		}
 		buf = nbuf
+		kind, tc, payload, err := splitTrace(kind, payload)
+		if err != nil {
+			cc.send(corr, kErr, appendErrResp(nil, err))
+			continue
+		}
 		body := append([]byte(nil), payload...)
-		go s.handle(cc, corr, kind, body)
+		go s.handle(cc, corr, kind, tc, body)
 	}
 }
 
@@ -200,8 +209,12 @@ func (s *CoordServer) drop(id core.TxnID) {
 	s.mu.Unlock()
 }
 
-// handle executes one client request and answers it.
-func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) {
+// handle executes one client request and answers it. A trace context
+// on kCliBegin is a client-minted root: it is attached to the new
+// transaction and overrides the coordinator's own sampling decision,
+// so the client's trace id spans the whole cluster.
+func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, tc telemetry.TraceContext, body []byte) {
+	defer dumpOnPanic(s.cfg.Flight)
 	r := &reader{b: body}
 	fail := func(err error) { cc.send(corr, kErr, appendErrResp(nil, err)) }
 	ok := func(payload []byte) { cc.send(corr, kOK, payload) }
@@ -213,6 +226,7 @@ func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) 
 			fail(core.ErrClosed)
 			return
 		}
+		attachTrace(t, tc)
 		sv := &servedTxn{t: t}
 		s.mu.Lock()
 		s.txns[t.ID()] = sv
@@ -220,7 +234,19 @@ func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) 
 		cc.mu.Lock()
 		cc.owned[t.ID()] = sv
 		cc.mu.Unlock()
-		ok(appendU64(nil, uint64(t.ID())))
+		// The response carries the transaction's trace context (the
+		// coordinator-minted one unless the client just overrode it), so
+		// the client can adopt the cluster's trace id.
+		b := appendU64(nil, uint64(t.ID()))
+		if tt, okT := any(t).(interface {
+			Trace() telemetry.TraceContext
+		}); okT {
+			ttc := tt.Trace()
+			b = appendU64(b, ttc.Trace)
+			b = appendU64(b, ttc.Span)
+			b = appendU8(b, ttc.Flags)
+		}
+		ok(b)
 
 	case kCliDo:
 		id := core.TxnID(r.u64())
@@ -235,6 +261,7 @@ func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) 
 			fail(fmt.Errorf("T%d: %w", id, core.ErrUnknownTxn))
 			return
 		}
+		attachTrace(sv.t, tc)
 		ret, err := sv.t.Do(obj, op)
 		if err != nil {
 			fail(err)
@@ -253,6 +280,7 @@ func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) 
 			fail(fmt.Errorf("T%d: %w", id, core.ErrUnknownTxn))
 			return
 		}
+		attachTrace(sv.t, tc)
 		sv.mu.Lock()
 		if sv.committing {
 			// A duplicate commit (client retried on a blip that did not
@@ -431,6 +459,20 @@ func (s *CoordServer) handle(cc *cliConn, corr uint64, kind uint8, body []byte) 
 
 	default:
 		fail(fmt.Errorf("unknown client request kind %#x", kind))
+	}
+}
+
+// attachTrace hands a client-carried trace context to the transaction.
+// A no-op for invalid contexts or transactions without tracing; for a
+// context the transaction already carries it is an idempotent store.
+func attachTrace(t core.Txn, tc telemetry.TraceContext) {
+	if !tc.Valid() {
+		return
+	}
+	if at, ok := any(t).(interface {
+		AttachTrace(telemetry.TraceContext)
+	}); ok {
+		at.AttachTrace(tc)
 	}
 }
 

@@ -30,6 +30,68 @@ type DebugConfig struct {
 	// Sites, when set, serves the site-daemon view: each local
 	// backend's scheduler counters under a site label.
 	Sites map[uint16]dist.SiteBackend
+	// Process labels this process in exported Chrome traces and flight
+	// dumps; empty falls back to Role.
+	Process string
+	// Spans/Flight expose the span plane on /tracez and /statusz. A
+	// coordinator may leave them nil: the cluster's own buffer and
+	// recorder are used. Site daemons set them explicitly (their spans
+	// come from the served backends, not a cluster).
+	Spans  *telemetry.SpanBuffer
+	Flight *telemetry.FlightRecorder
+	// SampleSeed/SampleRate report the span plane's sampler in /statusz
+	// for roles without a Cluster (the coordinator's are read from it).
+	SampleSeed int64
+	SampleRate float64
+}
+
+// spanPlane resolves the effective span buffer, flight recorder and
+// sampler parameters for this debug plane.
+func (cfg DebugConfig) spanPlane() (sb *telemetry.SpanBuffer, fr *telemetry.FlightRecorder, seed int64, rate float64) {
+	sb, fr, seed, rate = cfg.Spans, cfg.Flight, cfg.SampleSeed, cfg.SampleRate
+	if c := cfg.Cluster; c != nil {
+		if sb == nil {
+			sb = c.Spans()
+		}
+		if fr == nil {
+			fr = c.Flight()
+		}
+		if rate == 0 {
+			seed, rate = c.SampleConfig()
+		}
+	}
+	return sb, fr, seed, rate
+}
+
+// processName labels this process in trace exports.
+func (cfg DebugConfig) processName() string {
+	if cfg.Process != "" {
+		return cfg.Process
+	}
+	return cfg.Role
+}
+
+// mergedSpans returns the span ring's snapshot with pinned exemplar
+// spans appended, deduplicated by (trace, span id) — an exemplar's
+// spans may still be live in the ring.
+func mergedSpans(sb *telemetry.SpanBuffer) []telemetry.Span {
+	if sb == nil {
+		return []telemetry.Span{}
+	}
+	spans := sb.Snapshot()
+	seen := make(map[[2]uint64]struct{}, len(spans))
+	for _, s := range spans {
+		seen[[2]uint64{s.Trace, s.ID}] = struct{}{}
+	}
+	for _, ex := range sb.Exemplars() {
+		for _, s := range ex.Spans {
+			if _, dup := seen[[2]uint64{s.Trace, s.ID}]; !dup {
+				seen[[2]uint64{s.Trace, s.ID}] = struct{}{}
+				spans = append(spans, s)
+			}
+		}
+	}
+	return spans
 }
 
 // DebugServer is the HTTP observability plane: /metrics (Prometheus
@@ -72,6 +134,23 @@ func ServeDebug(cfg DebugConfig) (*DebugServer, error) {
 		_ = enc.Encode(buildStatusz(cfg))
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		sb, _, _, _ := cfg.spanPlane()
+		switch r.URL.Query().Get("fmt") {
+		case "json":
+			// Chrome trace_event JSON: load straight into chrome://tracing
+			// or Perfetto.
+			w.Header().Set("Content-Type", "application/json")
+			_ = telemetry.WriteChromeTrace(w, cfg.processName(), mergedSpans(sb))
+			return
+		case "spans":
+			// Raw span records, the sccctl stitching feed: this process's
+			// ring plus its pinned exemplars.
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(SpanzDoc{Process: cfg.processName(), Spans: mergedSpans(sb)})
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		var events []telemetry.Event
 		if cfg.Cluster != nil {
@@ -207,7 +286,36 @@ type Statusz struct {
 	MirrorEdges int    `json:"mirror_edges,omitempty"`
 	TraceLen    int    `json:"trace_len,omitempty"`
 
+	Tracing *TracingStatusz `json:"tracing,omitempty"`
+	Flight  *FlightStatusz  `json:"flight,omitempty"`
+
 	Wire *WireStatusz `json:"wire,omitempty"`
+}
+
+// SpanzDoc is the /tracez?fmt=spans JSON document: one process's span
+// records, ready for cross-process stitching by trace id.
+type SpanzDoc struct {
+	Process string           `json:"process"`
+	Spans   []telemetry.Span `json:"spans"`
+}
+
+// TracingStatusz is the span-plane block inside /statusz.
+type TracingStatusz struct {
+	Enabled    bool    `json:"enabled"`
+	SpanLen    int     `json:"span_len"`
+	SpanCap    int     `json:"span_cap"`
+	Exemplars  int     `json:"exemplars"`
+	SampleSeed int64   `json:"sample_seed"`
+	SampleRate float64 `json:"sample_rate"`
+}
+
+// FlightStatusz is the flight-recorder block inside /statusz.
+type FlightStatusz struct {
+	Enabled  bool   `json:"enabled"`
+	Len      int    `json:"len"`
+	Cap      int    `json:"cap"`
+	Dumps    int    `json:"dumps"`
+	LastDump string `json:"last_dump,omitempty"`
 }
 
 // WireStatusz is the transport block inside /statusz.
@@ -254,6 +362,27 @@ func buildStatusz(cfg DebugConfig) Statusz {
 			st.SiteStats[fmt.Sprintf("%d", sid)] = b.StatsSnapshot()
 		}
 	}
+	if sb, fr, seed, rate := cfg.spanPlane(); sb != nil || fr != nil {
+		st.Tracing = &TracingStatusz{
+			Enabled:    sb != nil,
+			SampleSeed: seed,
+			SampleRate: rate,
+		}
+		if sb != nil {
+			st.Tracing.SpanLen = sb.Len()
+			st.Tracing.SpanCap = sb.Cap()
+			st.Tracing.Exemplars = len(sb.Exemplars())
+		}
+		if fr != nil {
+			st.Flight = &FlightStatusz{
+				Enabled:  true,
+				Len:      fr.Len(),
+				Cap:      fr.Cap(),
+				Dumps:    fr.Dumps(),
+				LastDump: fr.LastDump(),
+			}
+		}
+	}
 	if m := cfg.Wire; m != nil {
 		st.Wire = &WireStatusz{
 			FramesOut:    m.FramesOut.Load(),
@@ -267,6 +396,22 @@ func buildStatusz(cfg DebugConfig) Statusz {
 	}
 	return st
 }
+
+// dumpOnPanic (deferred in request handlers) writes the flight
+// recorder's black box before letting a panic take the process down,
+// so even an invariant-violation crash leaves a post-mortem artifact.
+func dumpOnPanic(fr *telemetry.FlightRecorder) {
+	if r := recover(); r != nil {
+		if fr != nil {
+			_, _ = fr.DumpOnce("panic")
+		}
+		panic(r)
+	}
+}
+
+// KindName labels a frame kind (verb) for metrics and trace rendering
+// — the labels /metrics and sccbench's per-verb RTT tables share.
+func KindName(k byte) string { return kindName(k) }
 
 // kindName labels a frame kind for metrics and trace rendering.
 func kindName(k byte) string {

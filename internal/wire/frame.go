@@ -5,11 +5,29 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // frameOverhead is the on-wire cost of a frame beyond its payload:
 // u32 length + u64 correlation id + u8 kind.
 const frameOverhead = 4 + 8 + 1
+
+// kindTrace is the kind-byte flag marking a trace block between the
+// header and the payload. The block is length-prefixed —
+//
+//	u8 blockLen | u64 trace id | u64 parent span | u8 flags | ...
+//
+// — so a decoder reads the fields it knows and skips the rest: a newer
+// sender can extend the block without breaking an older receiver
+// (forward compatibility), and a receiver that predates tracing still
+// fails loudly on the unknown kind bit rather than misparsing the
+// payload.
+const kindTrace uint8 = 0x80
+
+// traceBlockKnown is the size of the trace-block fields this version
+// writes and understands.
+const traceBlockKnown = 8 + 8 + 1
 
 // writeFrame appends one frame to w: length prefix, correlation id,
 // kind, payload. The caller is responsible for flushing (the peer and
@@ -29,6 +47,66 @@ func writeFrame(w *bufio.Writer, corr uint64, kind uint8, payload []byte) error 
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// writeFrameT is writeFrame with a trace block: a valid context sets
+// the kindTrace bit and travels between the header and the payload, so
+// the receiving process stitches its spans into the sender's trace. An
+// invalid (zero) context degrades to a plain frame — the wire carries
+// no tracing overhead when tracing is off.
+func writeFrameT(w *bufio.Writer, corr uint64, kind uint8, tc telemetry.TraceContext, payload []byte) error {
+	if !tc.Valid() {
+		return writeFrame(w, corr, kind, payload)
+	}
+	n := 8 + 1 + 1 + traceBlockKnown + len(payload)
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	var hdr [13 + 1 + traceBlockKnown]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[4:12], corr)
+	hdr[12] = kind | kindTrace
+	hdr[13] = traceBlockKnown
+	binary.LittleEndian.PutUint64(hdr[14:22], tc.Trace)
+	binary.LittleEndian.PutUint64(hdr[22:30], tc.Span)
+	hdr[30] = tc.Flags
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// splitTrace strips a received frame's trace block: it returns the
+// base kind, the decoded context, and the payload proper. Unknown
+// trailing block bytes (a newer sender) are skipped; a block shorter
+// than the known fields decodes the prefix it carries and leaves the
+// rest zero.
+func splitTrace(kind uint8, payload []byte) (uint8, telemetry.TraceContext, []byte, error) {
+	if kind&kindTrace == 0 {
+		return kind, telemetry.TraceContext{}, payload, nil
+	}
+	if len(payload) < 1 {
+		return 0, telemetry.TraceContext{}, nil, fmt.Errorf("wire: truncated trace block")
+	}
+	bl := int(payload[0])
+	if len(payload) < 1+bl {
+		return 0, telemetry.TraceContext{}, nil, fmt.Errorf("wire: truncated trace block (%d of %d bytes)", len(payload)-1, bl)
+	}
+	block := payload[1 : 1+bl]
+	var tc telemetry.TraceContext
+	if len(block) >= 8 {
+		tc.Trace = binary.LittleEndian.Uint64(block)
+		block = block[8:]
+	}
+	if len(block) >= 8 {
+		tc.Span = binary.LittleEndian.Uint64(block)
+		block = block[8:]
+	}
+	if len(block) >= 1 {
+		tc.Flags = block[0]
+	}
+	return kind &^ kindTrace, tc, payload[1+bl:], nil
 }
 
 // readFrame reads one frame, reusing buf when it is large enough. The

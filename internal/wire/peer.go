@@ -229,6 +229,13 @@ func (p *Peer) redialLoop() {
 
 // roundTrip sends one request and waits for its response frame.
 func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
+	return p.roundTripT(kind, telemetry.TraceContext{}, payload)
+}
+
+// roundTripT is roundTrip with trace-context propagation: a valid
+// context rides the request frame's trace block so the remote process
+// records its spans into the same trace.
+func (p *Peer) roundTripT(kind uint8, tc telemetry.TraceContext, payload []byte) (uint8, []byte, error) {
 	m := p.cfg.Metrics
 	var start time.Time
 	if m != nil {
@@ -248,7 +255,7 @@ func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
 		m.BytesOut.Add(uint64(frameOverhead + len(payload)))
 		m.Pipeline.Set(int64(len(p.pending)))
 	}
-	err := writeFrame(p.bw, corr, kind, payload)
+	err := writeFrameT(p.bw, corr, kind, tc, payload)
 	if err == nil {
 		err = p.bw.Flush()
 	}
@@ -274,7 +281,12 @@ func (p *Peer) roundTrip(kind uint8, payload []byte) (uint8, []byte, error) {
 // decoded into its typed error, a kOK response returned as a payload
 // reader.
 func (p *Peer) call(kind uint8, payload []byte) (*reader, error) {
-	rkind, body, err := p.roundTrip(kind, payload)
+	return p.callT(kind, telemetry.TraceContext{}, payload)
+}
+
+// callT is call with trace-context propagation.
+func (p *Peer) callT(kind uint8, tc telemetry.TraceContext, payload []byte) (*reader, error) {
+	rkind, body, err := p.roundTripT(kind, tc, payload)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // RemoteSite is a dist.SiteBackend whose scheduler lives in another
@@ -40,6 +41,12 @@ type RemoteSite struct {
 	// in-doubt hold as undecided.
 	decided func(core.TxnID) bool
 
+	// traceOf resolves a transaction's trace context so participant
+	// calls carry it in their frames (the coordinator installs it via
+	// SetTraceLookup; nil propagates nothing). Installed before traffic
+	// starts, so reads need no lock.
+	traceOf func(core.TxnID) telemetry.TraceContext
+
 	mu    sync.Mutex
 	down  bool
 	cache map[core.TxnID][]depgraph.Edge
@@ -59,6 +66,24 @@ func NewRemoteSite(peer *Peer, sid uint16, decided func(core.TxnID) bool) *Remot
 
 // SiteID returns the global site id this backend addresses.
 func (rs *RemoteSite) SiteID() uint16 { return rs.sid }
+
+// SetTraceLookup installs the coordinator's trace-context resolver:
+// every participant call addressed to a transaction then carries that
+// transaction's context in its frame, which is what lets the remote
+// daemon's spans stitch into the coordinator's trace. Call before the
+// backend serves traffic.
+func (rs *RemoteSite) SetTraceLookup(f func(core.TxnID) telemetry.TraceContext) {
+	rs.traceOf = f
+}
+
+// tc resolves the transaction's trace context (zero when tracing is
+// off or no resolver is installed).
+func (rs *RemoteSite) tc(id core.TxnID) telemetry.TraceContext {
+	if rs.traceOf == nil {
+		return telemetry.TraceContext{}
+	}
+	return rs.traceOf(id)
+}
 
 // mapErr turns transport loss into the sentinel the coordinator's
 // failure handling branches on. Typed remote errors pass through
@@ -109,7 +134,7 @@ func (rs *RemoteSite) Begin(id core.TxnID) error {
 		return err
 	}
 	b := appendU64(rs.req(8), uint64(id))
-	r, err := rs.peer.call(kBegin, b)
+	r, err := rs.peer.callT(kBegin, rs.tc(id), b)
 	if err != nil {
 		return rs.mapErr(err)
 	}
@@ -126,7 +151,7 @@ func (rs *RemoteSite) RequestInto(eff *core.Effects, id core.TxnID, obj core.Obj
 	b := appendU64(rs.req(32), uint64(id))
 	b = appendU64(b, uint64(obj))
 	b = appendOp(b, op)
-	r, err := rs.peer.call(kRequest, b)
+	r, err := rs.peer.callT(kRequest, rs.tc(id), b)
 	if err != nil {
 		return core.Decision{}, rs.mapErr(err)
 	}
@@ -145,7 +170,7 @@ func (rs *RemoteSite) CommitInto(eff *core.Effects, id core.TxnID) (core.CommitS
 		return 0, err
 	}
 	b := appendU64(rs.req(8), uint64(id))
-	r, err := rs.peer.call(kCommit, b)
+	r, err := rs.peer.callT(kCommit, rs.tc(id), b)
 	if err != nil {
 		return 0, rs.mapErr(err)
 	}
@@ -165,7 +190,7 @@ func (rs *RemoteSite) CommitHoldInto(eff *core.Effects, id core.TxnID) (int, err
 		return 0, err
 	}
 	b := appendU64(rs.req(8), uint64(id))
-	r, err := rs.peer.call(kCommitHold, b)
+	r, err := rs.peer.callT(kCommitHold, rs.tc(id), b)
 	if err != nil {
 		return 0, rs.mapErr(err)
 	}
@@ -204,7 +229,7 @@ func (rs *RemoteSite) effectsCall(kind uint8, eff *core.Effects, id core.TxnID) 
 		return err
 	}
 	b := appendU64(rs.req(8), uint64(id))
-	r, err := rs.peer.call(kind, b)
+	r, err := rs.peer.callT(kind, rs.tc(id), b)
 	if err != nil {
 		return rs.mapErr(err)
 	}
@@ -222,7 +247,7 @@ func (rs *RemoteSite) RevokeInto(eff *core.Effects, id core.TxnID, reason core.A
 	}
 	b := appendU64(rs.req(9), uint64(id))
 	b = appendU8(b, uint8(reason))
-	r, err := rs.peer.call(kRevoke, b)
+	r, err := rs.peer.callT(kRevoke, rs.tc(id), b)
 	if err != nil {
 		return rs.mapErr(err)
 	}

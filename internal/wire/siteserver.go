@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/compat"
 	"repro/internal/core"
 	"repro/internal/depgraph"
 	"repro/internal/dist"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -29,6 +31,14 @@ type SiteServerConfig struct {
 	// OnShutdown runs when a kShutdown request arrives (the daemon's
 	// exit hook). Nil ignores the request.
 	OnShutdown func()
+	// Spans, when set, records this daemon's side of every traced
+	// conversation: requests arriving with a sampled trace context in
+	// their frame emit spans here, which is the daemon's half of the
+	// cluster-wide trace sccctl stitches.
+	Spans *telemetry.SpanBuffer
+	// Flight, when set, records hold/release/abort transitions into the
+	// daemon's flight recorder (the black box dumped on SIGQUIT/panic).
+	Flight *telemetry.FlightRecorder
 }
 
 // servedSite is one site behind the server. A single worker goroutine
@@ -46,11 +56,13 @@ type servedSite struct {
 	eff     core.Effects
 }
 
-// wreq is one dispatched request: where to answer, and the frame.
+// wreq is one dispatched request: where to answer, the frame, and the
+// trace context it carried (zero when the frame had none).
 type wreq struct {
 	c    *serverConn
 	corr uint64
 	kind uint8
+	tc   telemetry.TraceContext
 	body []byte
 }
 
@@ -189,6 +201,11 @@ func (s *SiteServer) readLoop(conn net.Conn) {
 			return
 		}
 		buf = nbuf
+		kind, tc, payload, err := splitTrace(kind, payload)
+		if err != nil {
+			sc.send(corr, kErr, appendErrResp(nil, err))
+			continue
+		}
 		if kind == kShutdown {
 			sc.send(corr, kOK, nil)
 			if s.cfg.OnShutdown != nil {
@@ -208,7 +225,7 @@ func (s *SiteServer) readLoop(conn net.Conn) {
 		}
 		body := append([]byte(nil), payload[2:]...)
 		select {
-		case ss.work <- wreq{c: sc, corr: corr, kind: kind, body: body}:
+		case ss.work <- wreq{c: sc, corr: corr, kind: kind, tc: tc, body: body}:
 		case <-s.done:
 			return
 		}
@@ -217,10 +234,11 @@ func (s *SiteServer) readLoop(conn net.Conn) {
 
 // siteWorker executes one site's requests sequentially.
 func (s *SiteServer) siteWorker(ss *servedSite) {
+	defer dumpOnPanic(s.cfg.Flight)
 	for {
 		select {
 		case wr := <-ss.work:
-			kind, payload := s.handle(ss, wr.kind, wr.body)
+			kind, payload := s.handle(ss, wr.kind, wr.tc, wr.body)
 			wr.c.send(wr.corr, kind, payload)
 		case <-s.done:
 			return
@@ -261,10 +279,23 @@ func (s *SiteServer) settled(ss *servedSite, kind uint8, id core.TxnID) bool {
 }
 
 // handle executes one request against the site backend and builds the
-// response frame body.
-func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []byte) {
+// response frame body. A sampled trace context records the daemon's
+// half of the conversation: spans into the span buffer, hold/release
+// transitions into the flight recorder.
+func (s *SiteServer) handle(ss *servedSite, kind uint8, tc telemetry.TraceContext, body []byte) (uint8, []byte) {
 	r := &reader{b: body}
 	fail := func(err error) (uint8, []byte) { return kErr, appendErrResp(nil, err) }
+	sid := int32(ss.sid)
+	var start time.Time
+	if tc.Sampled() && s.cfg.Spans != nil {
+		start = time.Now()
+	}
+	dur := func() int64 {
+		if start.IsZero() {
+			return 0
+		}
+		return int64(time.Since(start))
+	}
 	switch kind {
 	case kBegin:
 		id := core.TxnID(r.u64())
@@ -275,6 +306,7 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 			return fail(err)
 		}
 		ss.txns[id] = struct{}{}
+		s.cfg.Spans.Record(tc, telemetry.SpanBegin, uint64(id), sid, 0, 0, 0)
 		return kOK, ss.report(nil)
 
 	case kRequest:
@@ -288,6 +320,11 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 		if err != nil {
 			return fail(err)
 		}
+		sk := telemetry.SpanRequest
+		if dec.Outcome == core.Blocked {
+			sk = telemetry.SpanBlock
+		}
+		s.cfg.Spans.Record(tc, sk, uint64(id), sid, int64(obj), 0, dur())
 		b := appendU8(nil, uint8(dec.Outcome))
 		b = appendRet(b, dec.Ret)
 		b = appendU8(b, uint8(dec.Reason))
@@ -303,6 +340,8 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 		if err != nil {
 			return fail(err)
 		}
+		s.cfg.Spans.Record(tc, telemetry.SpanRelease, uint64(id), sid, 0, 0, dur())
+		s.cfg.Flight.Record(telemetry.EvRelease, uint64(id), sid, 0)
 		b := appendU8(nil, uint8(st))
 		b = appendEffects(b, &ss.eff)
 		return kOK, ss.report(b)
@@ -316,6 +355,8 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 		if err != nil {
 			return fail(err)
 		}
+		s.cfg.Spans.Record(tc, telemetry.SpanHold, uint64(id), sid, 0, 0, dur())
+		s.cfg.Flight.Record(telemetry.EvHold, uint64(id), sid, int64(deg))
 		b := appendI64(nil, int64(deg))
 		b = appendEffects(b, &ss.eff)
 		return kOK, ss.report(b)
@@ -340,6 +381,12 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 		if err != nil {
 			ss.eff.Reset() // duplicate delivery: nothing new happened
 		}
+		if kind == kRelease {
+			s.cfg.Spans.Record(tc, telemetry.SpanRelease, uint64(id), sid, 0, 0, dur())
+			s.cfg.Flight.Record(telemetry.EvRelease, uint64(id), sid, 0)
+		} else {
+			s.cfg.Spans.Record(tc, telemetry.SpanAbort, uint64(id), sid, 0, 0, dur())
+		}
 		b := appendEffects(nil, &ss.eff)
 		return kOK, ss.report(b)
 
@@ -355,6 +402,8 @@ func (s *SiteServer) handle(ss *servedSite, kind uint8, body []byte) (uint8, []b
 			}
 			ss.eff.Reset()
 		}
+		s.cfg.Spans.Record(tc, telemetry.SpanAbort, uint64(id), sid, 0, 0, dur())
+		s.cfg.Flight.Record(telemetry.EvShed, uint64(id), sid, int64(reason))
 		b := appendEffects(nil, &ss.eff)
 		return kOK, ss.report(b)
 

@@ -47,6 +47,8 @@ read -r P_CLIENT P_D0 P_D1 P_DBG_CO P_DBG_D0 P_DBG_D1 <<EOF
 $(go run ./scripts/freeports 6 2>/dev/null || echo "7411 7412 7413 7414 7415 7416")
 EOF
 
+FLIGHT_DIR="$DIR/flight"
+mkdir -p "$FLIGHT_DIR"
 CFG="$DIR/cluster.json"
 cat > "$CFG" <<EOF
 {
@@ -57,6 +59,12 @@ cat > "$CFG" <<EOF
   "policy":   "depth=4",
   "debug":    "127.0.0.1:$P_DBG_CO",
   "trace":    4096,
+  "spans":    32768,
+  "span_exemplars": 8,
+  "sample_rate": 1,
+  "sample_seed": 42,
+  "flight":   2048,
+  "flight_dir": "$FLIGHT_DIR",
   "daemons": [
     {"listen": "127.0.0.1:$P_D0", "sites": [0, 1], "debug": "127.0.0.1:$P_DBG_D0"},
     {"listen": "127.0.0.1:$P_D1", "sites": [2, 3], "debug": "127.0.0.1:$P_DBG_D1"}
@@ -79,9 +87,11 @@ scrape() {
 
 echo "== start site daemons"
 "$BIN/sccd" -config "$CFG" -role site -daemon 0 > "$LOG/site0.log" 2>&1 &
-PIDS+=($!)
+SITE0_PID=$!
+PIDS+=($SITE0_PID)
 "$BIN/sccd" -config "$CFG" -role site -daemon 1 > "$LOG/site1.log" 2>&1 &
-PIDS+=($!)
+SITE1_PID=$!
+PIDS+=($SITE1_PID)
 
 echo "== start coordinator"
 "$BIN/sccd" -config "$CFG" -role coord > "$LOG/coord1.log" 2>&1 &
@@ -109,7 +119,43 @@ scrape "127.0.0.1:$P_DBG_D1" 'scc_sched_executes_total{site="2"} [0-9]'
 
 # Now kill the coordinator the hard way.
 kill -9 "$COORD_PID" 2>/dev/null || fail "coordinator already gone before kill"
-echo "== coordinator killed (kill -9), restarting on the same decision log"
+echo "== coordinator killed (kill -9); flight-dumping the site daemons (SIGQUIT)"
+# While the coordinator is dead, every hold the sites placed for it is
+# in doubt. SIGQUIT makes each site daemon dump its flight recorder —
+# the crash black box — and keep running; the dumps must contain an
+# in-doubt transaction's partial causal trace: a sampled hold span with
+# no matching release.
+kill -QUIT "$SITE0_PID" 2>/dev/null || fail "site daemon 0 gone before SIGQUIT"
+kill -QUIT "$SITE1_PID" 2>/dev/null || fail "site daemon 1 gone before SIGQUIT"
+for _ in $(seq 1 50); do
+  ls "$FLIGHT_DIR"/flight-site0-*.json >/dev/null 2>&1 \
+    && ls "$FLIGHT_DIR"/flight-site1-*.json >/dev/null 2>&1 && break
+  sleep 0.1
+done
+ls "$FLIGHT_DIR"/flight-site0-*.json >/dev/null 2>&1 || fail "site daemon 0 wrote no flight dump on SIGQUIT"
+ls "$FLIGHT_DIR"/flight-site1-*.json >/dev/null 2>&1 || fail "site daemon 1 wrote no flight dump on SIGQUIT"
+indoubt=""
+for dump in "$FLIGHT_DIR"/flight-site*.json; do
+  # The dump is indented JSON; compact it so the span fields sit on one
+  # line for grep ("kind" directly precedes "txn" in a span record).
+  compact=$(tr -d ' \n' < "$dump")
+  echo "$compact" | grep -q '"trace":0,' && fail "flight dump $dump has an unsampled span (trace 0)"
+  holds=$(echo "$compact" | grep -o '"kind":"hold","txn":[0-9]*' | grep -o '[0-9]*$' | sort -u)
+  rels=$(echo "$compact" | grep -o '"kind":"release","txn":[0-9]*' | grep -o '[0-9]*$' | sort -u)
+  orphan=$(comm -23 <(echo "$holds") <(echo "$rels") | head -1)
+  if [ -n "$orphan" ]; then
+    indoubt="$orphan"
+    echo "flight dump $(basename "$dump"): in-doubt txn $orphan (hold span, no release)"
+  fi
+done
+[ -n "$indoubt" ] || fail "no flight dump shows an in-doubt partial trace (hold without release)"
+if [ -n "${FLIGHT_OUT:-}" ]; then
+  mkdir -p "$FLIGHT_OUT"
+  cp "$FLIGHT_DIR"/flight-*.json "$FLIGHT_OUT"/ 2>/dev/null || true
+  echo "flight dumps copied to $FLIGHT_OUT"
+fi
+
+echo "== restarting coordinator on the same decision log"
 sleep 0.5
 "$BIN/sccd" -config "$CFG" -role coord > "$LOG/coord2.log" 2>&1 &
 PIDS+=($!)
@@ -148,7 +194,7 @@ jint() {
   echo "$1" | grep -o "\"$2\": *-\{0,1\}[0-9]*" | grep -o -- '-\{0,1\}[0-9]*$' || echo 0
 }
 conserved=""
-for _ in $(seq 1 50); do
+for _ in $(seq 1 100); do
   STATUS="$(curl -sf "http://127.0.0.1:$P_DBG_CO/statusz")" || fail "curl /statusz"
   logged=$(jint "$STATUS" decisions_logged)
   adopted=$(jint "$STATUS" decisions_adopted)
@@ -178,6 +224,41 @@ grep -q 'commits' "$LOG/stats.log" || fail "sccctl stats printed no commit line"
 "$BIN/sccctl" -config "$CFG" trace -last 5 > "$LOG/trace.log" 2>&1 || {
   cat "$LOG/trace.log" >&2; fail "sccctl trace"
 }
+
+echo "== /statusz reports the tracing and flight-recorder planes"
+echo "$STATUS" | grep -q '"tracing"' || fail "/statusz missing tracing block"
+echo "$STATUS" | grep -q '"flight"' || fail "/statusz missing flight block"
+echo "$STATUS" | grep -q '"sample_rate": *1' || fail "/statusz tracing block missing sample_rate"
+
+echo "== cross-process span stitching (sccctl trace -txn)"
+# Pick a recently committed transaction from site daemon 0's span feed
+# (a release span means its real commit landed there), then ask sccctl
+# to reconstruct its cluster-wide causal timeline: rows must come from
+# both the coordinator and the site daemon, and the chain must end in
+# a release.
+TXN=$(curl -sf "http://127.0.0.1:$P_DBG_D0/tracez?fmt=spans" | tr -d ' \n' \
+  | grep -o '"kind":"release","txn":[0-9]*' | tail -1 | grep -o '[0-9]*$') \
+  || fail "no release span retained at site daemon 0"
+[ -n "$TXN" ] || fail "could not pick a committed txn from site daemon 0's span feed"
+"$BIN/sccctl" -config "$CFG" trace -txn "$TXN" > "$LOG/timeline.log" 2>&1 || {
+  cat "$LOG/timeline.log" >&2; fail "sccctl trace -txn $TXN"
+}
+grep -q "span(s) across the cluster" "$LOG/timeline.log" || fail "timeline header missing"
+grep -q ' coord ' "$LOG/timeline.log" || fail "timeline for txn $TXN has no coordinator spans"
+grep -Eq ' site[01] ' "$LOG/timeline.log" || fail "timeline for txn $TXN has no site-daemon spans"
+grep -q ' release ' "$LOG/timeline.log" || fail "timeline for txn $TXN never releases"
+echo "timeline for txn $TXN stitched from coordinator + site daemon spans:"
+head -5 "$LOG/timeline.log"
+
+echo "== slowest traces and Chrome export (sccctl trace -slowest/-chrome)"
+"$BIN/sccctl" -config "$CFG" trace -slowest 3 -chrome "$DIR/trace.json" > "$LOG/slowest.log" 2>&1 || {
+  cat "$LOG/slowest.log" >&2; fail "sccctl trace -slowest"
+}
+grep -q 'slowest 3 of' "$LOG/slowest.log" || fail "slowest ranking missing"
+grep -q '"traceEvents"' "$DIR/trace.json" || fail "Chrome trace export is not a trace_event document"
+if [ -n "${FLIGHT_OUT:-}" ]; then
+  cp "$DIR/trace.json" "$FLIGHT_OUT"/cluster-trace.json 2>/dev/null || true
+fi
 
 echo "== clean daemon shutdown via sccctl kill"
 "$BIN/sccctl" -config "$CFG" kill -daemon 0 || fail "kill daemon 0"
